@@ -1,0 +1,150 @@
+// Ablation: the three coherence strategies of §3.5, end to end.
+//
+//   software   — write-back caching + clflushopt/sfence (cMPI's choice)
+//   uncachable — MTRR marks the pool UC; correct without flushes but every
+//                access is a serialized PCIe transaction (Fig. 11's spike)
+//   hardware   — CXL 3.0 Back-Invalidate: plain cached accesses stay
+//                coherent, but every miss/ownership change pays a snoop
+//                round that grows with the number of attached caches (the
+//                paper's scalability argument against it)
+//
+// Part 1 measures cMPI two-sided latency with the software vs uncachable
+// pool (full stack). Part 2 measures a raw cacheline ping-pong between two
+// nodes as idle caches are added to the coherence domain: hardware
+// coherence starts cheaper than software flushing but loses its edge as
+// the domain grows — while software coherence is flat, paying only for
+// the lines actually shared.
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/cmpi.hpp"
+#include "osu/report.hpp"
+
+namespace {
+
+using namespace cmpi;
+
+double twosided_latency_us(bool uncachable, std::size_t size, int iters) {
+  runtime::UniverseConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.pool_size = 64_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  cfg.uncachable_pool = uncachable;
+  runtime::Universe universe(cfg);
+  double result = 0;
+  universe.run([&](runtime::RankCtx& ctx) {
+    Session mpi(ctx);
+    std::vector<std::byte> buffer(size);
+    ctx.barrier();
+    const double start = ctx.clock().now();
+    for (int i = 0; i < iters; ++i) {
+      if (mpi.rank() == 0) {
+        check_ok(mpi.send(1, 0, buffer));
+        check_ok(mpi.recv(1, 0, buffer).status());
+      } else {
+        check_ok(mpi.recv(0, 0, buffer).status());
+        check_ok(mpi.send(0, 0, buffer));
+      }
+    }
+    ctx.barrier();
+    if (mpi.rank() == 0) {
+      result = (ctx.clock().now() - start) / iters / 2.0 / 1e3;
+    }
+  });
+  return result;
+}
+
+/// Raw line handoff A -> B, software coherence: A coherent-writes, B
+/// coherent-reads (flush + invalidate discipline).
+double sw_handoff_us(int total_caches, int rounds) {
+  auto device = check_ok(cxlsim::DaxDevice::create(16_MiB));
+  std::vector<std::unique_ptr<cxlsim::CacheSim>> idle;
+  for (int i = 0; i < total_caches - 2; ++i) {
+    idle.push_back(std::make_unique<cxlsim::CacheSim>(*device));
+  }
+  cxlsim::CacheSim cache_a(*device);
+  cxlsim::CacheSim cache_b(*device);
+  simtime::VClock clock_a;
+  simtime::VClock clock_b;
+  cxlsim::Accessor a(*device, cache_a, clock_a);
+  cxlsim::Accessor b(*device, cache_b, clock_b);
+  std::byte value[8] = {};
+  for (int i = 0; i < rounds; ++i) {
+    a.coherent_write(4096, value);
+    b.clock().observe(a.clock().now());
+    b.coherent_read(4096, value);
+    a.clock().observe(b.clock().now());
+  }
+  return clock_b.now() / rounds / 1e3;
+}
+
+/// Raw line handoff under Back-Invalidate hardware coherence: plain
+/// cached accesses, the device keeps the caches coherent.
+double hw_handoff_us(int total_caches, int rounds) {
+  cxlsim::CxlTimingParams params;
+  params.hw_coherence = true;
+  auto device = check_ok(cxlsim::DaxDevice::create(16_MiB, 4, params));
+  std::vector<std::unique_ptr<cxlsim::CacheSim>> idle;
+  for (int i = 0; i < total_caches - 2; ++i) {
+    idle.push_back(std::make_unique<cxlsim::CacheSim>(*device));
+  }
+  cxlsim::CacheSim cache_a(*device);
+  cxlsim::CacheSim cache_b(*device);
+  simtime::VClock clock_a;
+  simtime::VClock clock_b;
+  cxlsim::Accessor a(*device, cache_a, clock_a);
+  cxlsim::Accessor b(*device, cache_b, clock_b);
+  std::byte value[8] = {};
+  for (int i = 0; i < rounds; ++i) {
+    a.store(4096, value);  // BI acquires ownership, no flush needed
+    b.clock().observe(a.clock().now());
+    b.load(4096, value);   // BI fetches the dirty line from A
+    a.clock().observe(b.clock().now());
+  }
+  return clock_b.now() / rounds / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = check_ok(CliArgs::parse(argc, argv));
+  const int iters = static_cast<int>(args.get_int("iters", 20));
+  const bool csv = args.get_bool("csv");
+
+  osu::FigureTable e2e(
+      "Ablation 1: cMPI two-sided latency, software coherence vs "
+      "uncachable pool",
+      "Size", "us");
+  for (const std::size_t size : {8u, 256u, 2048u, 4096u, 16384u}) {
+    e2e.set("software (flush)", size,
+            twosided_latency_us(false, size, iters));
+    e2e.set("uncachable", size, twosided_latency_us(true, size, iters));
+  }
+  e2e.print(std::cout);
+  if (csv) {
+    e2e.print_csv(std::cout);
+  }
+  std::printf("  the UC pool tracks software coherence for tiny messages "
+              "and detonates past the PCIe MPS (paper §4.5)\n");
+
+  osu::FigureTable handoff(
+      "Ablation 2: cacheline handoff cost vs coherence-domain size",
+      "Caches", "us/handoff");
+  for (const int caches : {2, 4, 8, 16, 32}) {
+    handoff.set("software (flush)", static_cast<std::size_t>(caches),
+                sw_handoff_us(caches, 50));
+    handoff.set("hardware (BI)", static_cast<std::size_t>(caches),
+                hw_handoff_us(caches, 50));
+  }
+  handoff.print(std::cout);
+  if (csv) {
+    handoff.print_csv(std::cout);
+  }
+  std::printf("  software coherence is flat; BI snoop cost grows with every"
+              " attached cache — the paper's case against hardware"
+              " coherence at pool scale (§3.5)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation: multi-level hash metadata index (§3.1) vs a linear-scan
+// metadata directory.
+//
+// The CXL SHM Arena must find an object's slot with as few CXL SHM reads
+// as possible — every probe is a coherent (flush + load) access. The
+// multi-level hash probes at most L slots per name; a flat directory
+// scans until it hits the name. This bench measures the virtual-time cost
+// of opening objects under both designs as the object count grows.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "arena/arena.hpp"
+#include "common/cli.hpp"
+#include "common/hash.hpp"
+#include "common/units.hpp"
+#include "osu/report.hpp"
+
+namespace {
+
+using namespace cmpi;
+
+struct Fixture {
+  std::unique_ptr<cxlsim::DaxDevice> device;
+  std::unique_ptr<cxlsim::CacheSim> cache;
+  std::unique_ptr<cxlsim::Accessor> acc;
+  simtime::VClock clock;
+
+  Fixture() {
+    device = check_ok(cxlsim::DaxDevice::create(256_MiB));
+    cache = std::make_unique<cxlsim::CacheSim>(*device);
+    acc = std::make_unique<cxlsim::Accessor>(*device, *cache, clock);
+  }
+};
+
+/// Average virtual ns per Arena::open with `objects` live objects.
+double arena_open_cost_ns(int objects) {
+  Fixture fx;
+  arena::Arena::Params params;
+  params.levels = 10;
+  params.level1_buckets = 4099;
+  params.max_participants = 2;
+  arena::Arena arena_obj = check_ok(
+      arena::Arena::format(*fx.acc, 0, 128_MiB, 0, params));
+  for (int i = 0; i < objects; ++i) {
+    check_ok(arena_obj.create("obj_" + std::to_string(i), 64));
+  }
+  fx.cache->drop_all();  // cold metadata, like a fresh process attach
+  const double start = fx.clock.now();
+  constexpr int kLookups = 200;
+  for (int i = 0; i < kLookups; ++i) {
+    // Spread lookups over the whole namespace.
+    auto handle = check_ok(
+        arena_obj.open("obj_" + std::to_string((i * 37) % objects)));
+    check_ok(arena_obj.close(handle));
+  }
+  return (fx.clock.now() - start) / kLookups;
+}
+
+/// Average virtual ns to find a name by scanning a flat slot directory
+/// (the naive dax-offset-management alternative, §3.1).
+double linear_scan_cost_ns(int objects) {
+  Fixture fx;
+  // 128-byte slots, like the arena's; name check = one coherent read.
+  constexpr std::size_t kSlot = 128;
+  // Populate: names hashed into slot i.
+  for (int i = 0; i < objects; ++i) {
+    const std::uint64_t h = hash_string("obj_" + std::to_string(i));
+    fx.acc->coherent_write(4096 + static_cast<std::uint64_t>(i) * kSlot,
+                           {reinterpret_cast<const std::byte*>(&h), 8});
+  }
+  fx.cache->drop_all();
+  const double start = fx.clock.now();
+  constexpr int kLookups = 200;
+  for (int i = 0; i < kLookups; ++i) {
+    const std::uint64_t want =
+        hash_string("obj_" + std::to_string((i * 37) % objects));
+    for (int s = 0; s < objects; ++s) {
+      std::uint64_t h = 0;
+      fx.acc->coherent_read(4096 + static_cast<std::uint64_t>(s) * kSlot,
+                            {reinterpret_cast<std::byte*>(&h), 8});
+      if (h == want) {
+        break;
+      }
+    }
+  }
+  return (fx.clock.now() - start) / kLookups;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = check_ok(CliArgs::parse(argc, argv));
+  const bool csv = args.get_bool("csv");
+  osu::FigureTable table(
+      "Ablation: multi-level hash vs linear metadata scan (open cost)",
+      "Objects", "us/open");
+  for (const int objects : {16, 64, 256, 1024}) {
+    table.set("multi-level hash", static_cast<std::size_t>(objects),
+              arena_open_cost_ns(objects) / 1e3);
+    table.set("linear scan", static_cast<std::size_t>(objects),
+              linear_scan_cost_ns(objects) / 1e3);
+  }
+  table.print(std::cout);
+  if (csv) {
+    table.print_csv(std::cout);
+  }
+  std::printf("\n  the hash probes <= 10 slots regardless of object count;"
+              " the scan grows linearly\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Ablation: one-sided synchronization over CXL SHM flags (§3.4) vs over
+// network messages.
+//
+// PSCW traditionally sends epoch-status messages over the network; cMPI
+// replaces them with shared flag arrays in CXL SHM, eliminating the
+// round trips (and, over TCP, the target-progress delays). This bench
+// measures the per-epoch cost of an empty PSCW epoch (no data) under
+// both designs, plus Lock/Unlock.
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/cmpi.hpp"
+#include "fabric/net_fabric.hpp"
+#include "osu/report.hpp"
+
+namespace {
+
+using namespace cmpi;
+
+/// Per-epoch cost of start/complete + post/wait over CXL SHM flags.
+double cxl_pscw_epoch_us(int iters) {
+  runtime::UniverseConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.pool_size = 64_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  runtime::Universe universe(cfg);
+  double result = 0;
+  universe.run([&](runtime::RankCtx& ctx) {
+    Session mpi(ctx);
+    rma::Window win = mpi.create_window("sync_ablation", 64);
+    const std::array<int, 1> peer{1 - ctx.rank()};
+    win.fence();
+    const double start = ctx.clock().now();
+    for (int i = 0; i < iters; ++i) {
+      if (ctx.rank() == 0) {
+        win.start(peer);
+        win.complete(peer);
+      } else {
+        win.post(peer);
+        win.wait(peer);
+      }
+    }
+    win.fence();
+    if (ctx.rank() == 0) {
+      result = (ctx.clock().now() - start) / iters / 1e3;
+    }
+    win.free();
+  });
+  return result;
+}
+
+/// Per-epoch cost of CXL Lock/Unlock (bakery lock in CXL SHM).
+double cxl_lock_epoch_us(int iters) {
+  runtime::UniverseConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.pool_size = 64_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  runtime::Universe universe(cfg);
+  double result = 0;
+  universe.run([&](runtime::RankCtx& ctx) {
+    Session mpi(ctx);
+    rma::Window win = mpi.create_window("lock_ablation", 64);
+    win.fence();
+    const double start = ctx.clock().now();
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < iters; ++i) {
+        win.lock(1);
+        win.unlock(1);
+      }
+      result = (ctx.clock().now() - start) / iters / 1e3;
+    }
+    win.fence();
+    win.free();
+  });
+  return result;
+}
+
+/// Per-epoch cost of PSCW emulated with network messages.
+double net_pscw_epoch_us(const fabric::NicProfile& profile, int iters) {
+  fabric::NetConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.profile = profile;
+  fabric::NetUniverse universe(cfg);
+  double result = 0;
+  universe.run([&](fabric::NetCtx& ctx) {
+    fabric::NetWindow win(ctx, "sync_ablation", 64);
+    const std::array<int, 1> peer{1 - ctx.rank()};
+    win.fence();
+    const double start = ctx.clock().now();
+    for (int i = 0; i < iters; ++i) {
+      if (ctx.rank() == 0) {
+        win.start(peer);
+        win.complete(peer);
+      } else {
+        win.post(peer);
+        win.wait(peer);
+      }
+    }
+    win.fence();
+    if (ctx.rank() == 0) {
+      result = (ctx.clock().now() - start) / iters / 1e3;
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = check_ok(CliArgs::parse(argc, argv));
+  const int iters = static_cast<int>(args.get_int("iters", 50));
+  const bool csv = args.get_bool("csv");
+
+  osu::FigureTable table(
+      "Ablation: one-sided synchronization, CXL SHM flags vs network",
+      "Variant", "us/epoch");
+  table.set("PSCW", 1, cxl_pscw_epoch_us(iters));
+  table.set("Lock/Unlock", 1, cxl_lock_epoch_us(iters));
+  const double eth = net_pscw_epoch_us(fabric::tcp_ethernet(), iters);
+  const double mlx = net_pscw_epoch_us(fabric::tcp_cx6dx(), iters);
+  table.set("PSCW over TCP/Ethernet", 1, eth);
+  table.set("PSCW over TCP/CX-6 Dx", 1, mlx);
+  table.print(std::cout);
+  if (csv) {
+    table.print_csv(std::cout);
+  }
+  std::printf("\n  CXL-resident flags eliminate the network round trips and"
+              " the target-progress delay of emulated RMA sync\n");
+  return 0;
+}

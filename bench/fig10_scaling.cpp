@@ -1,0 +1,99 @@
+// Figure 10: strong scaling with CG (NPB class D) and miniAMR over the
+// SimGrid-style event simulator (§4.4), eight MPI processes per node,
+// interconnect parameters from the Table 1 / §4.2 measurements.
+//
+// Paper shape targets:
+//   CG      — CXL SHM communication time ~25.3% lower than TCP/CX-6 Dx
+//             and ~37.6% lower than TCP/Ethernet; communication <15% of
+//             runtime, so total differences stay small; gap vs CX-6 Dx
+//             narrows as bandwidth matters more at scale.
+//   miniAMR — communication >62% of runtime and growing with node count
+//             (computation steady); CXL total ~4%/4.7% faster than
+//             CX-6 Dx / Ethernet; Ethernet competitive at small scale but
+//             losing beyond 8 nodes on bandwidth.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "figure_common.hpp"
+#include "simnet/apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmpi;
+  const auto args = check_ok(CliArgs::parse(argc, argv));
+  const auto nodes_list =
+      bench::parse_proc_list(args.get_string("nodes", "2,4,8,16,32"));
+  const int cg_outer = static_cast<int>(args.get_int("cg-outer", 3));
+  const int amr_steps = static_cast<int>(args.get_int("amr-steps", 50));
+  const bool csv = args.get_bool("csv");
+  for (const auto& flag : args.unused_flags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+
+  osu::FigureTable cg_total("Figure 10a: CG class D strong scaling (total)",
+                            "Nodes", "ms");
+  osu::FigureTable cg_comm("Figure 10a': CG communication time", "Nodes",
+                           "ms");
+  osu::FigureTable amr_total("Figure 10b: miniAMR strong scaling (total)",
+                             "Nodes", "ms");
+  osu::FigureTable amr_comm("Figure 10b': miniAMR communication time",
+                            "Nodes", "ms");
+
+  for (const auto& profile :
+       {simnet::cxl_shm_profile(), simnet::tcp_cx6dx_profile(),
+        simnet::tcp_ethernet_profile()}) {
+    for (const int nodes : nodes_list) {
+      simnet::ClusterConfig cluster;
+      cluster.nodes = nodes;
+      cluster.transport = profile;
+
+      simnet::CgParams cg;
+      cg.outer_iters = cg_outer;
+      const simnet::AppResult cg_result = simnet::run_cg(cluster, cg);
+      cg_total.set(profile.name, static_cast<std::size_t>(nodes),
+                   cg_result.total_time / 1e6);
+      cg_comm.set(profile.name, static_cast<std::size_t>(nodes),
+                  cg_result.comm_time / 1e6);
+
+      simnet::MiniAmrParams amr;
+      amr.timesteps = amr_steps;
+      const simnet::AppResult amr_result = simnet::run_miniamr(cluster, amr);
+      amr_total.set(profile.name, static_cast<std::size_t>(nodes),
+                    amr_result.total_time / 1e6);
+      amr_comm.set(profile.name, static_cast<std::size_t>(nodes),
+                   amr_result.comm_time / 1e6);
+      std::printf("  %-28s %2d nodes: CG comm %4.1f%%  miniAMR comm %4.1f%%\n",
+                  profile.name.c_str(), nodes,
+                  100 * cg_result.comm_fraction(),
+                  100 * amr_result.comm_fraction());
+    }
+  }
+
+  for (const auto* table : {&cg_total, &cg_comm, &amr_total, &amr_comm}) {
+    table->print(std::cout);
+    if (csv) {
+      table->print_csv(std::cout);
+    }
+  }
+
+  // Headline comparisons (averaged over node counts).
+  const auto average_gain = [&](const osu::FigureTable& table,
+                                const std::string& base) {
+    double sum = 0;
+    int count = 0;
+    for (const std::size_t nodes : table.rows()) {
+      sum += 1.0 - table.at("CXL SHM", nodes) / table.at(base, nodes);
+      ++count;
+    }
+    return 100.0 * sum / count;
+  };
+  std::printf("\n  CG comm time: CXL lower than TCP/CX-6 Dx by %.1f%% "
+              "(paper: 25.3%%), than TCP/Ethernet by %.1f%% (paper: 37.6%%)\n",
+              average_gain(cg_comm, "TCP over Mellanox CX-6 Dx"),
+              average_gain(cg_comm, "TCP over Ethernet"));
+  std::printf("  miniAMR total: CXL faster than TCP/CX-6 Dx by %.1f%% "
+              "(paper: 4%%), than TCP/Ethernet by %.1f%% (paper: 4.7%%)\n",
+              average_gain(amr_total, "TCP over Mellanox CX-6 Dx"),
+              average_gain(amr_total, "TCP over Ethernet"));
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 5: bandwidth of one-sided MPI communication (MPI_Put streaming,
+// half origins / half targets, message sizes 1 B - 8 MiB).
+//
+// Paper shape targets: CXL SHM beats TCP/Ethernet by up to ~71.6x; beats
+// TCP/CX-6 Dx by up to ~3.7x for <=16 KiB; saturates ~8.6 GB/s at 16
+// procs and declines past 16 KiB; TCP/CX-6 Dx overtakes beyond 16 KiB at
+// high process counts.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmpi;
+  const bench::FigureOptions opts = bench::parse_options(argc, argv);
+  osu::FigureTable table(
+      "Figure 5: bandwidth of one-sided MPI communication", "Size", "MB/s");
+  bench::run_standard_sweep(opts, table, osu::cxl_onesided_bw_mbps,
+                            osu::net_onesided_bw_mbps);
+  bench::finish(table, opts);
+  bench::print_headline_ratios(table, opts, /*higher_is_better=*/true);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 6: latency of one-sided MPI communication (MPI_Put + PSCW epoch
+// per operation).
+//
+// Paper shape targets: CXL SHM ~12 us flat from 1 B to 16 KiB, then
+// linear growth; TCP baselines hover at ~620-630 us (emulated RMA serviced
+// by the target's progress engine); TCP/CX-6 Dx wins beyond ~256 KiB; CXL
+// up to ~49.4x lower latency than TCP/Ethernet and ~48.3x than CX-6 Dx.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmpi;
+  const bench::FigureOptions opts = bench::parse_options(argc, argv);
+  osu::FigureTable table(
+      "Figure 6: latency of one-sided MPI communication", "Size", "us");
+  bench::run_standard_sweep(opts, table, osu::cxl_onesided_latency_us,
+                            osu::net_onesided_latency_us);
+  bench::finish(table, opts);
+  bench::print_headline_ratios(table, opts, /*higher_is_better=*/false);
+  return 0;
+}

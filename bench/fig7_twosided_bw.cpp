@@ -1,0 +1,21 @@
+// Figure 7: bandwidth of two-sided MPI communication (multi-pair
+// streaming send/recv through the SPSC ring matrix, 64 KiB cells).
+//
+// Paper shape targets: CXL SHM saturates ~6.05 GB/s (about 30% below its
+// one-sided peak — every byte crosses the device twice); TCP/Ethernet
+// converges to ~120 MB/s; TCP/CX-6 Dx keeps scaling with process count to
+// >10 GB/s for large messages (up to ~2.1x over CXL at >4 procs); CXL up
+// to ~48.2x over Ethernet.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmpi;
+  const bench::FigureOptions opts = bench::parse_options(argc, argv);
+  osu::FigureTable table(
+      "Figure 7: bandwidth of two-sided MPI communication", "Size", "MB/s");
+  bench::run_standard_sweep(opts, table, osu::cxl_twosided_bw_mbps,
+                            osu::net_twosided_bw_mbps);
+  bench::finish(table, opts);
+  bench::print_headline_ratios(table, opts, /*higher_is_better=*/true);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 8: latency of two-sided MPI communication (ping-pong).
+//
+// Paper shape targets: CXL SHM ~12 us for small messages, rising linearly
+// once messages exceed the 64 KiB cell (chunking); TCP/Ethernet ~160 us;
+// TCP/CX-6 Dx ~55 us small-message, linear beyond 256 KiB; CXL up to
+// ~13.7x lower than Ethernet and ~9.6x lower than CX-6 Dx below 64 KiB.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmpi;
+  const bench::FigureOptions opts = bench::parse_options(argc, argv);
+  osu::FigureTable table(
+      "Figure 8: latency of two-sided MPI communication", "Size", "us");
+  bench::run_standard_sweep(opts, table, osu::cxl_twosided_latency_us,
+                            osu::net_twosided_latency_us);
+  bench::finish(table, opts);
+  bench::print_headline_ratios(table, opts, /*higher_is_better=*/false);
+  return 0;
+}

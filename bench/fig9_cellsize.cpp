@@ -1,0 +1,59 @@
+// Figure 9: bandwidth of two-sided communication with various message-cell
+// sizes (§4.3). Cell size bounds the eager chunk: larger cells let larger
+// messages travel without splitting and raise peak bandwidth, saturating
+// around 64 KiB.
+//
+// Paper shape targets (32 procs): 16 KiB cells peak ~3.6 GB/s, 32 KiB
+// ~3.9 GB/s, 64 KiB ~6 GB/s, and 128 KiB adds nothing beyond 64 KiB.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cmpi;
+  bench::FigureOptions opts = bench::parse_options(argc, argv);
+  // Fig. 9 is a single-process-count study (the paper plots 32 procs; we
+  // default to the largest requested count).
+  const int procs = opts.procs.back();
+
+  osu::FigureTable table(
+      "Figure 9: two-sided bandwidth vs message-cell size (" +
+          std::to_string(procs) + " procs)",
+      "Size", "MB/s");
+  for (const std::size_t cell : {16u * 1024, 32u * 1024, 64u * 1024,
+                                 128u * 1024}) {
+    osu::SweepParams params = bench::sweep_params(opts, procs);
+    params.cell_payload = cell;
+    const auto values = osu::cxl_twosided_bw_mbps(params);
+    const std::string series = format_size(cell) + " cells";
+    double peak = 0;
+    for (std::size_t i = 0; i < params.sizes.size(); ++i) {
+      table.set(series, params.sizes[i], values[i]);
+      peak = std::max(peak, values[i]);
+    }
+    std::printf("  peak with %s cells: %.0f MB/s\n",
+                format_size(cell).c_str(), peak);
+  }
+  bench::finish(table, opts);
+
+  // The splitting mechanism is most visible in latency: beyond the cell
+  // size a message travels as sequential chunks and latency turns linear
+  // at the cell boundary (§4.2's "limited cell size" discussion).
+  osu::FigureTable latency(
+      "Figure 9 (companion): two-sided latency vs message-cell size (2 "
+      "procs)",
+      "Size", "us");
+  for (const std::size_t cell : {16u * 1024, 32u * 1024, 64u * 1024,
+                                 128u * 1024}) {
+    osu::SweepParams params = bench::sweep_params(opts, 2);
+    params.cell_payload = cell;
+    params.sizes.clear();
+    for (std::size_t s = 4u * 1024; s <= 512u * 1024; s *= 2) {
+      params.sizes.push_back(s);
+    }
+    const auto values = osu::cxl_twosided_latency_us(params);
+    for (std::size_t i = 0; i < params.sizes.size(); ++i) {
+      latency.set(format_size(cell) + " cells", params.sizes[i], values[i]);
+    }
+  }
+  bench::finish(latency, opts);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared scaffolding for the figure benches: flag parsing, the standard
+// transports-x-procs sweep of Figs. 5-8, and ratio annotations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/units.hpp"
+#include "fabric/profiles.hpp"
+#include "osu/drivers.hpp"
+#include "osu/report.hpp"
+
+namespace cmpi::bench {
+
+struct FigureOptions {
+  std::vector<int> procs{2, 8, 16};
+  std::size_t max_size = 8u * 1024 * 1024;
+  int iters = 6;
+  int warmup = 2;
+  std::size_t cell_payload = 64u * 1024;  // §4.2: tuned cell size
+  bool csv = false;
+};
+
+inline std::vector<int> parse_proc_list(const std::string& text) {
+  std::vector<int> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    out.push_back(std::atoi(item.c_str()));
+  }
+  return out;
+}
+
+/// Common flags: --procs=2,8,16  --max-size=8M  --iters=N  --cell=64K --csv
+inline FigureOptions parse_options(int argc, char** argv) {
+  const auto args = check_ok(CliArgs::parse(argc, argv));
+  FigureOptions opts;
+  const std::string procs = args.get_string("procs", "2,8,16");
+  opts.procs = parse_proc_list(procs);
+  opts.max_size = args.get_size("max-size", opts.max_size);
+  opts.iters = static_cast<int>(args.get_int("iters", opts.iters));
+  opts.warmup = static_cast<int>(args.get_int("warmup", opts.warmup));
+  opts.cell_payload = args.get_size("cell", opts.cell_payload);
+  opts.csv = args.get_bool("csv");
+  for (const auto& flag : args.unused_flags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    std::exit(2);
+  }
+  return opts;
+}
+
+inline osu::SweepParams sweep_params(const FigureOptions& opts, int procs) {
+  osu::SweepParams params;
+  params.sizes = osu::osu_sizes(opts.max_size);
+  params.procs = procs;
+  params.iters = opts.iters;
+  params.warmup = opts.warmup;
+  params.cell_payload = opts.cell_payload;
+  return params;
+}
+
+/// Run the standard three-transport sweep of Figs. 5-8 and fill the table.
+/// `cxl_fn` / `net_fn` are the matching osu driver functions.
+inline void run_standard_sweep(
+    const FigureOptions& opts, osu::FigureTable& table,
+    const std::function<std::vector<double>(const osu::SweepParams&)>& cxl_fn,
+    const std::function<std::vector<double>(const fabric::NicProfile&,
+                                            const osu::SweepParams&)>&
+        net_fn) {
+  for (const int procs : opts.procs) {
+    const osu::SweepParams params = sweep_params(opts, procs);
+    const std::string suffix = " (" + std::to_string(procs) + "p)";
+    {
+      const auto values = cxl_fn(params);
+      for (std::size_t i = 0; i < params.sizes.size(); ++i) {
+        table.set("CXL SHM" + suffix, params.sizes[i], values[i]);
+      }
+    }
+    for (const auto& profile :
+         {fabric::tcp_ethernet(), fabric::tcp_cx6dx()}) {
+      const auto values = net_fn(profile, params);
+      const std::string name =
+          (profile.name == "TCP over Ethernet" ? "TCP/Ethernet"
+                                               : "TCP/CX-6 Dx") +
+          suffix;
+      for (std::size_t i = 0; i < params.sizes.size(); ++i) {
+        table.set(name, params.sizes[i], values[i]);
+      }
+    }
+  }
+}
+
+/// Print the paper-style "up to Nx" annotations for a bandwidth table
+/// (higher is better) or latency table (lower is better).
+inline void print_headline_ratios(const osu::FigureTable& table,
+                                  const FigureOptions& opts,
+                                  bool higher_is_better) {
+  for (const int procs : opts.procs) {
+    const std::string suffix = " (" + std::to_string(procs) + "p)";
+    const std::string cxl = "CXL SHM" + suffix;
+    for (const std::string base : {"TCP/Ethernet", "TCP/CX-6 Dx"}) {
+      const std::string other = base + suffix;
+      const double ratio =
+          higher_is_better ? osu::max_ratio(table, cxl, other)
+                           : osu::max_ratio(table, other, cxl);
+      std::printf("  CXL SHM vs %-22s up to %.1fx %s\n", other.c_str(),
+                  ratio, higher_is_better ? "higher bandwidth" : "lower latency");
+    }
+  }
+}
+
+inline void finish(const osu::FigureTable& table, const FigureOptions& opts) {
+  table.print(std::cout);
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  }
+}
+
+}  // namespace cmpi::bench

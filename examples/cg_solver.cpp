@@ -1,0 +1,150 @@
+// Distributed conjugate gradient over cMPI — a working miniature of the
+// NPB CG workload the paper's scaling study simulates (§4.4).
+//
+// Solves A x = b for the 1D Laplacian (tridiagonal, SPD) with the rows
+// block-partitioned across ranks. Each iteration needs exactly the
+// communication CG is known for: halo exchange for the distributed SpMV
+// and two dot-product allreduces — all over CXL shared memory.
+//
+//   $ build/examples/cg_solver [--n=8192] [--ranks=4] [--tol=1e-8]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/cmpi.hpp"
+
+namespace {
+
+using namespace cmpi;
+
+/// Distributed tridiagonal SpMV: y = A x, A = tridiag(-1, 2, -1).
+/// `x` has one ghost element at each end, exchanged with the neighbors.
+void spmv(Session& mpi, std::vector<double>& x_with_ghosts,
+          std::vector<double>& y) {
+  const int rank = mpi.rank();
+  const int nranks = mpi.size();
+  const std::size_t local = y.size();
+  std::vector<RequestPtr> requests;
+  if (rank > 0) {
+    requests.push_back(mpi.irecv(
+        rank - 1, 1, std::as_writable_bytes(std::span(&x_with_ghosts[0], 1))));
+    requests.push_back(mpi.isend(
+        rank - 1, 1, std::as_bytes(std::span(&x_with_ghosts[1], 1))));
+  }
+  if (rank + 1 < nranks) {
+    requests.push_back(mpi.irecv(
+        rank + 1, 1,
+        std::as_writable_bytes(std::span(&x_with_ghosts[local + 1], 1))));
+    requests.push_back(mpi.isend(
+        rank + 1, 1, std::as_bytes(std::span(&x_with_ghosts[local], 1))));
+  }
+  check_ok(mpi.wait_all(requests));
+  for (std::size_t i = 0; i < local; ++i) {
+    y[i] = 2 * x_with_ghosts[i + 1] - x_with_ghosts[i] -
+           x_with_ghosts[i + 2];
+  }
+}
+
+double dot(Session& mpi, const std::vector<double>& a,
+           const std::vector<double>& b) {
+  double partial = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    partial += a[i] * b[i];
+  }
+  std::vector<double> sum{partial};
+  mpi.allreduce(sum, ReduceOp::kSum);
+  return sum[0];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = check_ok(CliArgs::parse(argc, argv));
+  const std::size_t n = args.get_size("n", 8192);
+  const unsigned ranks = static_cast<unsigned>(args.get_int("ranks", 4));
+  const double tol = 1e-8;
+  const int max_iters = static_cast<int>(args.get_int("max-iters", 20000));
+
+  runtime::UniverseConfig config;
+  config.nodes = 2;
+  config.ranks_per_node = (ranks + 1) / 2;
+  config.pool_size = 128_MiB;
+  runtime::Universe universe(config);
+
+  universe.run([&](runtime::RankCtx& ctx) {
+    Session mpi(ctx);
+    const std::size_t local = n / static_cast<std::size_t>(mpi.size());
+
+    // b = A * ones, so the exact solution is x = ones.
+    std::vector<double> ones(local + 2, 1.0);
+    if (mpi.rank() == 0) {
+      ones[0] = 0;  // domain boundary ghost
+    }
+    if (mpi.rank() == mpi.size() - 1) {
+      ones[local + 1] = 0;
+    }
+    std::vector<double> b(local);
+    // Ghosts of the all-ones vector are 1 except at the global ends;
+    // compute b directly (no comm needed for this setup step).
+    for (std::size_t i = 0; i < local; ++i) {
+      b[i] = 2 * ones[i + 1] - ones[i] - ones[i + 2];
+    }
+
+    std::vector<double> x(local + 2, 0.0);   // with ghosts
+    std::vector<double> r = b;               // r = b - A*0
+    std::vector<double> p(local + 2, 0.0);   // with ghosts
+    for (std::size_t i = 0; i < local; ++i) {
+      p[i + 1] = r[i];
+    }
+    std::vector<double> ap(local);
+
+    double rho = dot(mpi, r, r);
+    const double target = tol * tol * rho;
+    int iters = 0;
+    const double start_ns = mpi.now_ns();
+    while (rho > target && iters < max_iters) {
+      spmv(mpi, p, ap);
+      double p_dot_ap = 0;
+      for (std::size_t i = 0; i < local; ++i) {
+        p_dot_ap += p[i + 1] * ap[i];
+      }
+      std::vector<double> sum{p_dot_ap};
+      mpi.allreduce(sum, ReduceOp::kSum);
+      const double alpha = rho / sum[0];
+      for (std::size_t i = 0; i < local; ++i) {
+        x[i + 1] += alpha * p[i + 1];
+        r[i] -= alpha * ap[i];
+      }
+      const double rho_next = dot(mpi, r, r);
+      const double beta = rho_next / rho;
+      rho = rho_next;
+      for (std::size_t i = 0; i < local; ++i) {
+        p[i + 1] = r[i] + beta * p[i + 1];
+      }
+      ++iters;
+    }
+    const double elapsed_ms = (mpi.now_ns() - start_ns) / 1e6;
+
+    // Verify: x should be all ones.
+    double max_error = 0;
+    for (std::size_t i = 0; i < local; ++i) {
+      max_error = std::max(max_error, std::abs(x[i + 1] - 1.0));
+    }
+    std::vector<double> global_error{max_error};
+    mpi.allreduce(global_error, ReduceOp::kMax);
+    if (mpi.rank() == 0) {
+      std::printf("cg_solver: n=%zu, ranks=%d\n", n, mpi.size());
+      std::printf("  converged in %d iterations, residual^2 %.3e\n", iters,
+                  rho);
+      std::printf("  max |x - 1| = %.3e  (%s)\n", global_error[0],
+                  global_error[0] < 1e-6 ? "PASS" : "FAIL");
+      std::printf("  simulated time: %.2f ms (%.1f us/iteration)\n",
+                  elapsed_ms, elapsed_ms * 1e3 / std::max(iters, 1));
+    }
+    if (global_error[0] >= 1e-6) {
+      throw std::runtime_error("CG did not converge to the exact solution");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The Table 2 C API, end to end: the paper designs the CXL SHM Arena's
+// surface to mirror POSIX shared memory (shm_open/shm_unlink) so that
+// swapping the MPI library's SHM layer "only requires API-level changes".
+// This example is that usage pattern, written the way the MPICH
+// integration would call it:
+//
+//   cxl_shm_init()                      <-  shm_open era: mmap /dev/dax
+//   cxl_shm_create(name, size, &obj)    <-  shm_open(O_CREAT) + ftruncate
+//   cxl_shm_open(name, &obj)            <-  shm_open(O_RDWR)
+//   ... load/store through the mapping ...
+//   cxl_shm_close(obj)                  <-  munmap
+//   cxl_shm_destroy(obj)                <-  shm_unlink
+//   cxl_shm_finalize()
+//
+//   $ build/examples/posix_style_api
+#include <cstdio>
+#include <cstring>
+
+#include "arena/capi.hpp"
+#include "common/units.hpp"
+#include "core/cmpi.hpp"
+
+int main() {
+  using namespace cmpi;
+  using namespace cmpi::arena;
+
+  runtime::UniverseConfig config;
+  config.nodes = 2;
+  config.ranks_per_node = 1;
+  config.pool_size = 64_MiB;
+  runtime::Universe universe(config);
+
+  universe.run([](runtime::RankCtx& ctx) {
+    // The runtime equivalent of mmap'ing the dax device: bind this rank's
+    // arena as the C API's context, then "initialize" it.
+    arena::cxl_shm_set_context(&ctx.arena());
+    if (cxl_shm_init() != 0) {
+      std::fprintf(stderr, "init failed: %s\n", arena::cxl_shm_last_error());
+      return;
+    }
+
+    constexpr char kName[] = "posix_style_object";
+    constexpr char kPayload[] = "created through the Table 2 API";
+
+    if (ctx.rank() == 0) {
+      arena::CxlShmObject* object = nullptr;
+      if (cxl_shm_create(kName, 4096, &object) != 0) {
+        std::fprintf(stderr, "create failed: %s\n",
+                     arena::cxl_shm_last_error());
+        return;
+      }
+      std::printf("[rank 0] cxl_shm_create('%s', 4096) -> offset %#lx\n",
+                  kName,
+                  static_cast<unsigned long>(cxl_shm_obj_offset(object)));
+      // "memcpy into the mapping": a coherent store through the accessor.
+      ctx.acc().coherent_write(
+          cxl_shm_obj_offset(object),
+          {reinterpret_cast<const std::byte*>(kPayload), sizeof kPayload});
+      ctx.barrier();  // publish
+      ctx.barrier();  // wait for the reader
+      if (cxl_shm_destroy(object) != 0) {
+        std::fprintf(stderr, "destroy failed: %s\n",
+                     arena::cxl_shm_last_error());
+      } else {
+        std::printf("[rank 0] cxl_shm_destroy: object unlinked\n");
+      }
+    } else {
+      ctx.barrier();  // wait for the writer
+      arena::CxlShmObject* object = nullptr;
+      if (cxl_shm_open(kName, &object) != 0) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     arena::cxl_shm_last_error());
+        return;
+      }
+      char buffer[64] = {};
+      ctx.acc().coherent_read(
+          cxl_shm_obj_offset(object),
+          {reinterpret_cast<std::byte*>(buffer), sizeof buffer});
+      std::printf("[rank 1] cxl_shm_open('%s') -> %zu bytes: \"%s\"\n",
+                  kName, cxl_shm_obj_size(object), buffer);
+      cxl_shm_close(object);
+      ctx.barrier();  // let the writer destroy
+    }
+    cxl_shm_finalize();
+    arena::cxl_shm_set_context(nullptr);
+  });
+  return 0;
+}

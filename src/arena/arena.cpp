@@ -1,0 +1,403 @@
+#include "arena/arena.hpp"
+
+#include <cstring>
+
+#include "common/align.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
+
+namespace cmpi::arena {
+
+namespace {
+
+template <typename T>
+void read_pod(cxlsim::Accessor& acc, std::uint64_t pool_offset, T& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  acc.coherent_read(pool_offset,
+                    {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+}
+
+template <typename T>
+void write_pod(cxlsim::Accessor& acc, std::uint64_t pool_offset, const T& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  acc.coherent_write(pool_offset,
+                     {reinterpret_cast<const std::byte*>(&in), sizeof(T)});
+}
+
+}  // namespace
+
+std::uint64_t Arena::metadata_footprint(const Params& params) {
+  const auto index = MultilevelHash::create(params.levels,
+                                            params.level1_buckets);
+  CMPI_EXPECTS(index.is_ok());
+  const std::uint64_t header = align_up(sizeof(Header), kCacheLineSize);
+  const std::uint64_t lock = BakeryLock::footprint(params.max_participants);
+  const std::uint64_t slots = index.value().total_slots() * sizeof(Slot);
+  return align_up(header + lock + slots, kCacheLineSize);
+}
+
+Result<Arena> Arena::format(cxlsim::Accessor& acc, std::uint64_t base,
+                            std::uint64_t size, std::size_t participant,
+                            const Params& params) {
+  if (!is_aligned(base, kCacheLineSize)) {
+    return status::invalid_argument("arena base must be cacheline aligned");
+  }
+  auto index = MultilevelHash::create(params.levels, params.level1_buckets);
+  if (!index.is_ok()) {
+    return index.status();
+  }
+  const std::uint64_t header_bytes = align_up(sizeof(Header), kCacheLineSize);
+  const std::uint64_t lock_offset = header_bytes;
+  const std::uint64_t slots_offset =
+      lock_offset + BakeryLock::footprint(params.max_participants);
+  const std::uint64_t slots_bytes = index.value().total_slots() * sizeof(Slot);
+  const std::uint64_t objects_offset =
+      align_up(slots_offset + slots_bytes, kCacheLineSize);
+  if (objects_offset + kCacheLineSize > size) {
+    return status::invalid_argument(
+        "arena too small for its metadata (need > " +
+        std::to_string(objects_offset) + " bytes)");
+  }
+
+  Header header{};
+  header.magic = kHeaderMagic;
+  header.version = kVersion;
+  header.arena_size = size;
+  header.levels = params.levels;
+  header.level1_buckets = params.level1_buckets;
+  header.slots_total = index.value().total_slots();
+  header.lock_offset = lock_offset;
+  header.slots_offset = slots_offset;
+  header.objects_offset = objects_offset;
+  header.objects_size = align_down(size - objects_offset, kCacheLineSize);
+  header.free_head = objects_offset;
+  header.max_participants = params.max_participants;
+
+  // Zero the slot region (status == free). Bulk NT stores: format is a
+  // one-time bootstrap, not a benchmarked path.
+  std::byte zeros[4096] = {};
+  std::uint64_t cleared = 0;
+  while (cleared < slots_bytes) {
+    const std::uint64_t n = std::min<std::uint64_t>(sizeof zeros,
+                                                    slots_bytes - cleared);
+    acc.nt_store(base + slots_offset + cleared,
+                 {zeros, static_cast<std::size_t>(n)});
+    cleared += n;
+  }
+  acc.sfence();
+
+  const BakeryLock lock_view =
+      BakeryLock::format(acc, base + lock_offset, params.max_participants);
+
+  // One free block spanning the whole object region.
+  FreeBlock initial{};
+  initial.magic = kFreeMagic;
+  initial.size = header.objects_size;
+  initial.next = 0;
+  write_pod(acc, base + objects_offset, initial);
+
+  // Header last: attachers spin on the magic.
+  write_pod(acc, base, header);
+
+  log_info("arena: formatted at %#lx: %lu slots over %lu levels, %lu MiB objects",
+           static_cast<unsigned long>(base),
+           static_cast<unsigned long>(header.slots_total),
+           static_cast<unsigned long>(header.levels),
+           static_cast<unsigned long>(header.objects_size >> 20));
+  return Arena(acc, base, participant, header, std::move(index).value(),
+               lock_view);
+}
+
+Result<Arena> Arena::attach(cxlsim::Accessor& acc, std::uint64_t base,
+                            std::size_t participant) {
+  Header header{};
+  read_pod(acc, base, header);
+  if (header.magic != kHeaderMagic) {
+    return status::not_found("no arena formatted at this base");
+  }
+  if (header.version != kVersion) {
+    return status::invalid_argument("arena version mismatch");
+  }
+  auto index = MultilevelHash::create(header.levels, header.level1_buckets);
+  if (!index.is_ok()) {
+    return index.status();
+  }
+  const BakeryLock lock_view = BakeryLock::attach(acc, base + header.lock_offset);
+  return Arena(acc, base, participant, header, std::move(index).value(),
+               lock_view);
+}
+
+Arena::Arena(cxlsim::Accessor& acc, std::uint64_t base,
+             std::size_t participant, const Header& header,
+             MultilevelHash index, BakeryLock lock_view)
+    : acc_(&acc),
+      base_(base),
+      participant_(participant),
+      slots_offset_(header.slots_offset),
+      objects_offset_(header.objects_offset),
+      objects_size_(header.objects_size),
+      index_(std::move(index)),
+      lock_(lock_view) {}
+
+Arena::Header Arena::read_header() {
+  Header header{};
+  read_pod(*acc_, base_, header);
+  return header;
+}
+
+void Arena::write_free_head(std::uint64_t value) {
+  Header header = read_header();
+  header.free_head = value;
+  write_pod(*acc_, base_, header);
+}
+
+std::uint64_t Arena::slot_pool_offset(std::size_t slot_index) const {
+  return base_ + slots_offset_ + slot_index * sizeof(Slot);
+}
+
+Arena::Slot Arena::read_slot(std::size_t slot_index) {
+  Slot slot{};
+  read_pod(*acc_, slot_pool_offset(slot_index), slot);
+  return slot;
+}
+
+void Arena::write_slot(std::size_t slot_index, const Slot& slot) {
+  write_pod(*acc_, slot_pool_offset(slot_index), slot);
+}
+
+Arena::FreeBlock Arena::read_free_block(std::uint64_t offset_from_base) {
+  FreeBlock block{};
+  read_pod(*acc_, base_ + offset_from_base, block);
+  CMPI_ASSERT(block.magic == kFreeMagic);
+  return block;
+}
+
+void Arena::write_free_block(std::uint64_t offset_from_base,
+                             const FreeBlock& block) {
+  write_pod(*acc_, base_ + offset_from_base, block);
+}
+
+Arena::Probe Arena::probe(std::string_view name, std::uint64_t name_hash) {
+  Probe result;
+  for (std::size_t level = 0; level < index_.levels(); ++level) {
+    const std::size_t slot_index = index_.slot_of(name, level);
+    const Slot slot = read_slot(slot_index);
+    if (slot.status == kSlotUsed) {
+      if (slot.name_hash == name_hash &&
+          name == std::string_view(slot.name)) {
+        result.found = slot_index;
+        return result;
+      }
+    } else if (!result.first_free.has_value()) {
+      result.first_free = slot_index;
+    }
+  }
+  return result;
+}
+
+ObjectHandle Arena::make_handle(std::string_view name, std::size_t slot_index,
+                                const Slot& slot) const {
+  ObjectHandle handle;
+  handle.name = std::string(name);
+  handle.arena_offset = slot.offset;
+  handle.pool_offset = base_ + slot.offset;
+  handle.size = slot.size;
+  handle.slot_index = slot_index;
+  handle.open = true;
+  return handle;
+}
+
+Result<ObjectHandle> Arena::create(std::string_view name, std::uint64_t size) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return status::invalid_argument("object name must be 1.." +
+                                    std::to_string(kMaxNameLen) + " chars");
+  }
+  if (size == 0) {
+    return status::invalid_argument("object size must be nonzero");
+  }
+  const std::uint64_t name_hash = hash_string(name);
+  const std::uint64_t alloc_size = align_up(size, kCacheLineSize);
+
+  BakeryLock::Guard guard(lock_, *acc_, participant_);
+  const Probe where = probe(name, name_hash);
+  if (where.found.has_value()) {
+    return status::already_exists("object '" + std::string(name) +
+                                  "' already exists");
+  }
+  if (!where.first_free.has_value()) {
+    return status::capacity_exceeded(
+        "all hash levels occupied for object '" + std::string(name) + "'");
+  }
+  auto offset = allocate_locked(alloc_size);
+  if (!offset.is_ok()) {
+    return offset.status();
+  }
+
+  Slot slot{};
+  slot.status = kSlotUsed;
+  slot.name_hash = name_hash;
+  slot.offset = offset.value();
+  slot.size = size;
+  slot.refcount = 1;
+  std::memcpy(slot.name, name.data(), name.size());
+  write_slot(*where.first_free, slot);
+  return make_handle(name, *where.first_free, slot);
+}
+
+Result<ObjectHandle> Arena::open(std::string_view name) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return status::invalid_argument("bad object name");
+  }
+  const std::uint64_t name_hash = hash_string(name);
+  // Lock-free probe (paper: lookups are parallel). The refcount bump takes
+  // the lock and re-validates.
+  const Probe where = probe(name, name_hash);
+  if (!where.found.has_value()) {
+    return status::not_found("object '" + std::string(name) + "' not found");
+  }
+  BakeryLock::Guard guard(lock_, *acc_, participant_);
+  Slot slot = read_slot(*where.found);
+  if (slot.status != kSlotUsed || slot.name_hash != name_hash ||
+      name != std::string_view(slot.name)) {
+    return status::not_found("object '" + std::string(name) +
+                             "' vanished during open");
+  }
+  slot.refcount += 1;
+  write_slot(*where.found, slot);
+  return make_handle(name, *where.found, slot);
+}
+
+Status Arena::close(ObjectHandle& handle) {
+  if (!handle.open) {
+    return status::closed("handle already closed");
+  }
+  BakeryLock::Guard guard(lock_, *acc_, participant_);
+  Slot slot = read_slot(handle.slot_index);
+  if (slot.status == kSlotUsed && slot.refcount > 0) {
+    slot.refcount -= 1;
+    write_slot(handle.slot_index, slot);
+  }
+  handle.open = false;
+  return Status::ok();
+}
+
+Status Arena::destroy(ObjectHandle& handle) {
+  if (!handle.open) {
+    return status::closed("handle already closed");
+  }
+  BakeryLock::Guard guard(lock_, *acc_, participant_);
+  Slot slot = read_slot(handle.slot_index);
+  if (slot.status != kSlotUsed ||
+      handle.name != std::string_view(slot.name)) {
+    handle.open = false;
+    return status::not_found("object '" + handle.name +
+                             "' already destroyed");
+  }
+  const std::uint64_t alloc_size = align_up(slot.size, kCacheLineSize);
+  slot.status = kSlotFree;
+  slot.refcount = 0;
+  write_slot(handle.slot_index, slot);
+  free_locked(slot.offset, alloc_size);
+  handle.open = false;
+  return Status::ok();
+}
+
+Result<std::uint64_t> Arena::allocate_locked(std::uint64_t size) {
+  CMPI_EXPECTS(is_aligned(size, kCacheLineSize));
+  Header header = read_header();
+  std::uint64_t prev = 0;  // 0 = head pointer itself
+  std::uint64_t at = header.free_head;
+  while (at != 0) {
+    FreeBlock block = read_free_block(at);
+    if (block.size >= size) {
+      std::uint64_t replacement;
+      if (block.size >= size + kCacheLineSize) {
+        // Split: the remainder becomes the free block.
+        const std::uint64_t rest = at + size;
+        FreeBlock remainder{kFreeMagic, block.size - size, block.next};
+        write_free_block(rest, remainder);
+        replacement = rest;
+      } else {
+        replacement = block.next;
+      }
+      if (prev == 0) {
+        header.free_head = replacement;
+        write_pod(*acc_, base_, header);
+      } else {
+        FreeBlock prev_block = read_free_block(prev);
+        prev_block.next = replacement;
+        write_free_block(prev, prev_block);
+      }
+      return at;
+    }
+    prev = at;
+    at = block.next;
+  }
+  return status::out_of_memory("arena object region exhausted");
+}
+
+void Arena::free_locked(std::uint64_t offset_from_base, std::uint64_t size) {
+  CMPI_EXPECTS(is_aligned(size, kCacheLineSize));
+  CMPI_EXPECTS(offset_from_base >= objects_offset_);
+  CMPI_EXPECTS(offset_from_base + size <= objects_offset_ + objects_size_);
+  Header header = read_header();
+
+  // Find the address-ordered insertion point.
+  std::uint64_t prev = 0;
+  std::uint64_t next = header.free_head;
+  while (next != 0 && next < offset_from_base) {
+    prev = next;
+    next = read_free_block(next).next;
+  }
+
+  std::uint64_t block_offset = offset_from_base;
+  std::uint64_t block_size = size;
+
+  // Coalesce with the following block.
+  if (next != 0 && offset_from_base + size == next) {
+    const FreeBlock next_block = read_free_block(next);
+    block_size += next_block.size;
+    next = next_block.next;
+  }
+
+  // Coalesce with the preceding block, else link from it (or the head).
+  if (prev != 0) {
+    FreeBlock prev_block = read_free_block(prev);
+    if (prev + prev_block.size == block_offset) {
+      prev_block.size += block_size;
+      prev_block.next = next;
+      write_free_block(prev, prev_block);
+      return;
+    }
+    prev_block.next = block_offset;
+    write_free_block(prev, prev_block);
+  } else {
+    header.free_head = block_offset;
+    write_pod(*acc_, base_, header);
+  }
+  write_free_block(block_offset, FreeBlock{kFreeMagic, block_size, next});
+}
+
+std::uint64_t Arena::free_bytes() {
+  BakeryLock::Guard guard(lock_, *acc_, participant_);
+  std::uint64_t total = 0;
+  std::uint64_t at = read_header().free_head;
+  while (at != 0) {
+    const FreeBlock block = read_free_block(at);
+    total += block.size;
+    at = block.next;
+  }
+  return total;
+}
+
+std::uint64_t Arena::used_slots() {
+  std::uint64_t used = 0;
+  for (std::size_t i = 0; i < index_.total_slots(); ++i) {
+    if (read_slot(i).status == kSlotUsed) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+}  // namespace cmpi::arena

@@ -1,0 +1,185 @@
+// CXL SHM Arena (paper §3.1): user-space management of named shared-memory
+// objects over the raw dax pool.
+//
+// The dax device is just a flat byte range — no files, no directory, no
+// lifecycle. The Arena imposes:
+//
+//   [ header | bakery lock | metadata slots (multi-level hash) | shm_objects ]
+//
+// * header      — geometry + allocator root, written at format time.
+// * bakery lock — serializes create/destroy/refcount updates across nodes
+//                 (the pool has no cross-host atomics).
+// * metadata    — a fixed-capacity multi-level hash of 128-byte slots, one
+//                 slot per bucket; a name probes one slot per level. Lookups
+//                 are lock-free; insertions take the lock.
+// * shm_objects — object payloads, managed by an address-ordered first-fit
+//                 free list with coalescing; blocks are cacheline-aligned
+//                 (§3.7) so object flushes never false-share.
+//
+// Every word of arena state lives in CXL SHM and is accessed with the §3.5
+// coherence discipline (coherent_write after mutation, coherent_read before
+// inspection), so arenas work across simulated nodes and across forked
+// processes alike.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "arena/bakery_lock.hpp"
+#include "arena/multilevel_hash.hpp"
+#include "common/status.hpp"
+#include "cxlsim/accessor.hpp"
+
+namespace cmpi::arena {
+
+/// An opened/created SHM object. Offsets are relative to the arena base
+/// (the paper stores base-relative offsets so every process can apply its
+/// own mmap address); pool_offset is the absolute pool address for use
+/// with an Accessor.
+struct ObjectHandle {
+  std::string name;
+  std::uint64_t arena_offset = 0;
+  std::uint64_t pool_offset = 0;
+  std::uint64_t size = 0;
+  std::size_t slot_index = 0;
+  bool open = false;
+};
+
+class Arena {
+ public:
+  struct Params {
+    std::size_t levels = 10;
+    std::size_t level1_buckets = 1009;  ///< paper production value: 200,000
+    std::size_t max_participants = 64;  ///< bakery lock width
+  };
+
+  /// Format a fresh arena occupying [base, base + size) of the pool and
+  /// attach to it. Exactly one caller formats; everyone else attaches.
+  static Result<Arena> format(cxlsim::Accessor& acc, std::uint64_t base,
+                              std::uint64_t size, std::size_t participant,
+                              const Params& params);
+
+  /// Attach to an arena formatted by another rank/process.
+  static Result<Arena> attach(cxlsim::Accessor& acc, std::uint64_t base,
+                              std::size_t participant);
+
+  /// Create a new named object of `size` bytes (rounded up to cacheline).
+  /// Fails with kAlreadyExists, kCapacityExceeded (all hash levels taken
+  /// for this name) or kOutOfMemory (no free block).
+  Result<ObjectHandle> create(std::string_view name, std::uint64_t size);
+
+  /// Open an existing object by name. Lock-free probe; takes the lock only
+  /// to bump the refcount.
+  Result<ObjectHandle> open(std::string_view name);
+
+  /// Drop a reference taken by create/open.
+  Status close(ObjectHandle& handle);
+
+  /// Remove the object's name and free its space. Like shm_unlink, this is
+  /// valid while other ranks hold handles — their handles dangle, exactly
+  /// the hazard the real system has. Closes `handle` too.
+  Status destroy(ObjectHandle& handle);
+
+  // --- Introspection (tests, stats) ---
+  [[nodiscard]] const MultilevelHash& index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t objects_offset() const noexcept {
+    return objects_offset_;
+  }
+  [[nodiscard]] std::uint64_t objects_size() const noexcept {
+    return objects_size_;
+  }
+  /// Total bytes currently on the free list (walks it; takes the lock).
+  std::uint64_t free_bytes();
+  /// Number of occupied metadata slots (full scan; test helper).
+  std::uint64_t used_slots();
+
+  /// Bytes of metadata overhead for a given Params and arena size
+  /// (everything before shm_objects).
+  static std::uint64_t metadata_footprint(const Params& params);
+
+  /// Maximum object name length (NUL excluded).
+  static constexpr std::size_t kMaxNameLen = 47;
+
+ private:
+  // ---- On-pool structures (trivially copyable, fixed layout) ----
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t arena_size;
+    std::uint64_t levels;
+    std::uint64_t level1_buckets;
+    std::uint64_t slots_total;
+    std::uint64_t lock_offset;     // from base
+    std::uint64_t slots_offset;    // from base
+    std::uint64_t objects_offset;  // from base
+    std::uint64_t objects_size;
+    std::uint64_t free_head;       // from base; 0 = empty list
+    std::uint64_t max_participants;
+  };
+
+  struct Slot {
+    std::uint64_t status;  // 0 free, 1 used
+    std::uint64_t name_hash;
+    std::uint64_t offset;  // from base
+    std::uint64_t size;
+    std::uint64_t refcount;
+    char name[kMaxNameLen + 1];
+    char pad[128 - 5 * sizeof(std::uint64_t) - (kMaxNameLen + 1)];
+  };
+  static_assert(sizeof(Slot) == 128);
+
+  struct FreeBlock {
+    std::uint64_t magic;
+    std::uint64_t size;
+    std::uint64_t next;  // from base; 0 = end
+  };
+
+  static constexpr std::uint64_t kHeaderMagic = 0x43584C4152454E41ULL;
+  static constexpr std::uint64_t kFreeMagic = 0x46524545424C4BULL;
+  static constexpr std::uint64_t kVersion = 1;
+  static constexpr std::uint64_t kSlotUsed = 1;
+  static constexpr std::uint64_t kSlotFree = 0;
+
+  Arena(cxlsim::Accessor& acc, std::uint64_t base, std::size_t participant,
+        const Header& header, MultilevelHash index, BakeryLock lock_view);
+
+  // Raw pool IO for the fixed structures.
+  Header read_header();
+  void write_free_head(std::uint64_t value);
+  Slot read_slot(std::size_t slot_index);
+  void write_slot(std::size_t slot_index, const Slot& slot);
+  FreeBlock read_free_block(std::uint64_t offset_from_base);
+  void write_free_block(std::uint64_t offset_from_base, const FreeBlock& block);
+  [[nodiscard]] std::uint64_t slot_pool_offset(std::size_t slot_index) const;
+
+  /// First-fit allocation from the free list. Caller holds the lock.
+  /// Returns base-relative offset.
+  Result<std::uint64_t> allocate_locked(std::uint64_t size);
+  /// Address-ordered free with coalescing. Caller holds the lock.
+  void free_locked(std::uint64_t offset_from_base, std::uint64_t size);
+
+  /// Probe result for a name.
+  struct Probe {
+    std::optional<std::size_t> found;       // slot with matching used name
+    std::optional<std::size_t> first_free;  // first free slot on the path
+  };
+  Probe probe(std::string_view name, std::uint64_t name_hash);
+
+  ObjectHandle make_handle(std::string_view name, std::size_t slot_index,
+                           const Slot& slot) const;
+
+  cxlsim::Accessor* acc_;
+  std::uint64_t base_;
+  std::size_t participant_;
+  std::uint64_t slots_offset_;
+  std::uint64_t objects_offset_;
+  std::uint64_t objects_size_;
+  MultilevelHash index_;
+  BakeryLock lock_;
+};
+
+}  // namespace cmpi::arena

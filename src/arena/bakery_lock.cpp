@@ -1,0 +1,111 @@
+#include "arena/bakery_lock.hpp"
+
+#include <thread>
+
+namespace cmpi::arena {
+
+namespace {
+constexpr std::uint64_t kFlagClear = 0;
+constexpr std::uint64_t kChoosingSet = 1;
+}  // namespace
+
+BakeryLock BakeryLock::format(cxlsim::Accessor& acc, std::uint64_t base,
+                              std::size_t max_participants) {
+  CMPI_EXPECTS(max_participants > 0);
+  CMPI_EXPECTS(is_aligned(base, kCacheLineSize));
+  acc.nt_store_u64(base, max_participants);
+  BakeryLock lock(base, max_participants);
+  for (std::size_t p = 0; p < max_participants; ++p) {
+    acc.publish_flag(lock.slot(p) + kChoosingOffset, kFlagClear);
+    acc.publish_flag(lock.slot(p) + kNumberOffset, kFlagClear);
+  }
+  return lock;
+}
+
+BakeryLock BakeryLock::attach(cxlsim::Accessor& acc, std::uint64_t base) {
+  const std::uint64_t n = acc.nt_load_u64(base);
+  CMPI_ENSURES(n > 0);
+  return BakeryLock(base, static_cast<std::size_t>(n));
+}
+
+void BakeryLock::lock(cxlsim::Accessor& acc, std::size_t participant) const {
+  CMPI_EXPECTS(participant < max_participants_);
+  // Doorway: pick a ticket one greater than every ticket currently drawn.
+  acc.publish_flag(slot(participant) + kChoosingOffset, kChoosingSet);
+  std::uint64_t max_ticket = 0;
+  for (std::size_t j = 0; j < max_participants_; ++j) {
+    const auto number = acc.peek_flag(slot(j) + kNumberOffset);
+    max_ticket = std::max(max_ticket, number.value);
+  }
+  const std::uint64_t my_ticket = max_ticket + 1;
+  acc.publish_flag(slot(participant) + kNumberOffset, my_ticket);
+  acc.publish_flag(slot(participant) + kChoosingOffset, kFlagClear);
+
+  // Wait for every lower-priority ticket holder.
+  for (std::size_t j = 0; j < max_participants_; ++j) {
+    if (j == participant) {
+      continue;
+    }
+    // First wait until j is out of the doorway.
+    for (;;) {
+      const auto choosing = acc.peek_flag(slot(j) + kChoosingOffset);
+      if (choosing.value == kFlagClear) {
+        acc.absorb_flag(choosing);
+        break;
+      }
+      std::this_thread::yield();
+    }
+    // Then wait until j either is not competing or has lower priority
+    // (larger ticket, or equal ticket and larger id).
+    for (;;) {
+      const auto number = acc.peek_flag(slot(j) + kNumberOffset);
+      const bool j_waits_behind =
+          number.value == kFlagClear || number.value > my_ticket ||
+          (number.value == my_ticket && j > participant);
+      if (j_waits_behind) {
+        acc.absorb_flag(number);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool BakeryLock::try_lock(cxlsim::Accessor& acc,
+                          std::size_t participant) const {
+  CMPI_EXPECTS(participant < max_participants_);
+  acc.publish_flag(slot(participant) + kChoosingOffset, kChoosingSet);
+  std::uint64_t max_ticket = 0;
+  bool contended = false;
+  for (std::size_t j = 0; j < max_participants_; ++j) {
+    if (j == participant) {
+      continue;
+    }
+    const auto choosing = acc.peek_flag(slot(j) + kChoosingOffset);
+    const auto number = acc.peek_flag(slot(j) + kNumberOffset);
+    if (choosing.value != kFlagClear || number.value != kFlagClear) {
+      contended = true;
+    }
+    max_ticket = std::max(max_ticket, number.value);
+  }
+  if (contended) {
+    acc.publish_flag(slot(participant) + kChoosingOffset, kFlagClear);
+    return false;
+  }
+  acc.publish_flag(slot(participant) + kNumberOffset, max_ticket + 1);
+  acc.publish_flag(slot(participant) + kChoosingOffset, kFlagClear);
+  // Between our scan and our ticket publication another participant may
+  // have entered the doorway; fall back to the full wait, which is brief
+  // because our ticket is already drawn.
+  lock(acc, participant);
+  // lock() re-publishes choosing/number; our earlier publication only
+  // shortens its doorway. Correctness is the bakery invariant itself.
+  return true;
+}
+
+void BakeryLock::unlock(cxlsim::Accessor& acc, std::size_t participant) const {
+  CMPI_EXPECTS(participant < max_participants_);
+  acc.publish_flag(slot(participant) + kNumberOffset, kFlagClear);
+}
+
+}  // namespace cmpi::arena

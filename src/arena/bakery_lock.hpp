@@ -1,0 +1,94 @@
+// Lamport bakery lock resident in CXL SHM.
+//
+// The pooled device offers no cross-host atomic read-modify-write (§3.5),
+// so mutual exclusion across nodes must be built from plain loads and
+// stores. The bakery algorithm needs exactly that: per-participant
+// `choosing` and `number` words, written only by their owner and read by
+// everyone. All accesses use the non-temporal u64 path (never cached), so
+// the lock needs no explicit flushes; the `number` word carries a virtual
+// timestamp so that lock hand-off propagates time between rank clocks.
+//
+// Used for: CXL SHM Arena create/destroy serialization, and the paper's
+// Lock-Unlock one-sided synchronization (§3.4, "placing the window lock in
+// CXL SHM").
+//
+// The lock view itself is a value object (offsets only); each caller passes
+// its own Accessor. Participants are dense ids in [0, max_participants).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "cxlsim/accessor.hpp"
+
+namespace cmpi::arena {
+
+class BakeryLock {
+ public:
+  /// Bytes of CXL SHM the lock occupies for `max_participants`.
+  static constexpr std::size_t footprint(std::size_t max_participants) noexcept {
+    return kHeaderBytes + max_participants * kSlotBytes;
+  }
+
+  /// One-time initialization of the lock's CXL SHM (single caller, before
+  /// any lock/unlock).
+  static BakeryLock format(cxlsim::Accessor& acc, std::uint64_t base,
+                           std::size_t max_participants);
+
+  /// Attach to an already-formatted lock.
+  static BakeryLock attach(cxlsim::Accessor& acc, std::uint64_t base);
+
+  /// Acquire for `participant`. Blocks (yielding) until the lock is held.
+  void lock(cxlsim::Accessor& acc, std::size_t participant) const;
+
+  /// Release. Precondition: `participant` holds the lock.
+  void unlock(cxlsim::Accessor& acc, std::size_t participant) const;
+
+  /// Try to acquire without waiting behind other tickets. Returns false if
+  /// any other participant is competing.
+  [[nodiscard]] bool try_lock(cxlsim::Accessor& acc,
+                              std::size_t participant) const;
+
+  [[nodiscard]] std::size_t max_participants() const noexcept {
+    return max_participants_;
+  }
+
+  /// RAII guard.
+  class Guard {
+   public:
+    Guard(const BakeryLock& lock_view, cxlsim::Accessor& acc,
+          std::size_t participant)
+        : lock_(lock_view), acc_(acc), participant_(participant) {
+      lock_.lock(acc_, participant_);
+    }
+    ~Guard() { lock_.unlock(acc_, participant_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    const BakeryLock& lock_;
+    cxlsim::Accessor& acc_;
+    std::size_t participant_;
+  };
+
+ private:
+  static constexpr std::size_t kHeaderBytes = kCacheLineSize;
+  static constexpr std::size_t kSlotBytes = kCacheLineSize;
+  // Within a slot: choosing flag at +0, number flag at +16 (both
+  // timestamped 16-byte flags).
+  static constexpr std::size_t kChoosingOffset = 0;
+  static constexpr std::size_t kNumberOffset = 16;
+
+  BakeryLock(std::uint64_t base, std::size_t max_participants)
+      : base_(base), max_participants_(max_participants) {}
+
+  [[nodiscard]] std::uint64_t slot(std::size_t participant) const noexcept {
+    return base_ + kHeaderBytes + participant * kSlotBytes;
+  }
+
+  std::uint64_t base_;
+  std::size_t max_participants_;
+};
+
+}  // namespace cmpi::arena

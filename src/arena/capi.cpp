@@ -1,0 +1,123 @@
+#include "arena/capi.hpp"
+
+#include <string>
+
+namespace cmpi::arena {
+namespace {
+
+thread_local Arena* tls_arena = nullptr;
+thread_local bool tls_initialized = false;
+thread_local std::string tls_last_error;
+
+int fail(std::string message) noexcept {
+  tls_last_error = std::move(message);
+  return -1;
+}
+
+int require_ready(const char* who) noexcept {
+  if (tls_arena == nullptr) {
+    return fail(std::string(who) + ": no arena context registered");
+  }
+  if (!tls_initialized) {
+    return fail(std::string(who) + ": cxl_shm_init not called");
+  }
+  return 0;
+}
+
+}  // namespace
+
+void cxl_shm_set_context(Arena* arena_for_this_thread) noexcept {
+  tls_arena = arena_for_this_thread;
+  if (arena_for_this_thread == nullptr) {
+    tls_initialized = false;
+  }
+}
+
+int cxl_shm_init() noexcept {
+  if (tls_arena == nullptr) {
+    return fail("cxl_shm_init: no arena context registered");
+  }
+  tls_initialized = true;
+  return 0;
+}
+
+int cxl_shm_finalize() noexcept {
+  if (!tls_initialized) {
+    return fail("cxl_shm_finalize: not initialized");
+  }
+  tls_initialized = false;
+  return 0;
+}
+
+int cxl_shm_create(const char* name, std::size_t size,
+                   CxlShmObject** obj_handle) noexcept {
+  if (const int rc = require_ready("cxl_shm_create"); rc != 0) {
+    return rc;
+  }
+  if (name == nullptr || obj_handle == nullptr) {
+    return fail("cxl_shm_create: null argument");
+  }
+  auto result = tls_arena->create(name, size);
+  if (!result.is_ok()) {
+    return fail("cxl_shm_create: " + result.status().to_string());
+  }
+  *obj_handle = new CxlShmObject{std::move(result).value()};
+  return 0;
+}
+
+int cxl_shm_open(const char* name, CxlShmObject** obj_handle) noexcept {
+  if (const int rc = require_ready("cxl_shm_open"); rc != 0) {
+    return rc;
+  }
+  if (name == nullptr || obj_handle == nullptr) {
+    return fail("cxl_shm_open: null argument");
+  }
+  auto result = tls_arena->open(name);
+  if (!result.is_ok()) {
+    return fail("cxl_shm_open: " + result.status().to_string());
+  }
+  *obj_handle = new CxlShmObject{std::move(result).value()};
+  return 0;
+}
+
+int cxl_shm_destroy(CxlShmObject* obj_handle) noexcept {
+  if (const int rc = require_ready("cxl_shm_destroy"); rc != 0) {
+    return rc;
+  }
+  if (obj_handle == nullptr) {
+    return fail("cxl_shm_destroy: null handle");
+  }
+  const Status status = tls_arena->destroy(obj_handle->handle);
+  delete obj_handle;
+  if (!status.is_ok()) {
+    return fail("cxl_shm_destroy: " + status.to_string());
+  }
+  return 0;
+}
+
+int cxl_shm_close(CxlShmObject* obj_handle) noexcept {
+  if (const int rc = require_ready("cxl_shm_close"); rc != 0) {
+    return rc;
+  }
+  if (obj_handle == nullptr) {
+    return fail("cxl_shm_close: null handle");
+  }
+  const Status status = tls_arena->close(obj_handle->handle);
+  delete obj_handle;
+  if (!status.is_ok()) {
+    return fail("cxl_shm_close: " + status.to_string());
+  }
+  return 0;
+}
+
+std::uint64_t cxl_shm_obj_offset(const CxlShmObject* obj_handle) noexcept {
+  return obj_handle == nullptr ? 0 : obj_handle->handle.pool_offset;
+}
+
+std::size_t cxl_shm_obj_size(const CxlShmObject* obj_handle) noexcept {
+  return obj_handle == nullptr ? 0 : obj_handle->handle.size;
+}
+
+const char* cxl_shm_last_error() noexcept { return tls_last_error.c_str(); }
+
+}  // namespace cmpi::arena

@@ -1,0 +1,62 @@
+// The POSIX-SHM-flavoured C API of Table 2. The paper designs the Arena's
+// surface to mirror shm_open/shm_unlink so MPI integration only needs
+// API-level changes; we reproduce that surface verbatim:
+//
+//   cxl_shm_init / cxl_shm_finalize
+//   cxl_shm_create(name, size, *obj_handle)
+//   cxl_shm_open(name, *obj_handle)
+//   cxl_shm_destroy(*obj_handle)
+//   cxl_shm_close(*obj_handle)
+//
+// In the real system cxl_shm_init mmaps the dax device; in the simulation
+// the equivalent of the mapping is the rank's (Accessor, Arena) pair, which
+// the runtime registers per thread via cxl_shm_set_context before user code
+// runs. All functions return 0 on success, -1 on failure (errno-style), and
+// cxl_shm_last_error() reports the failure detail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arena/arena.hpp"
+
+namespace cmpi::arena {
+
+/// Opaque object handle of the C API.
+struct CxlShmObject {
+  ObjectHandle handle;
+};
+
+/// Register the calling thread's arena (runtime/test bootstrap). Pass
+/// nullptr to clear. The arena must outlive the registration.
+void cxl_shm_set_context(Arena* arena_for_this_thread) noexcept;
+
+/// Table 2: initialize and "mmap" the CXL SHM arena for this thread.
+/// Fails (-1) when no context was registered.
+int cxl_shm_init() noexcept;
+
+/// Table 2: clean up; closes nothing by itself (handles are independent).
+int cxl_shm_finalize() noexcept;
+
+/// Table 2: create a new object with the specified size.
+int cxl_shm_create(const char* name, std::size_t size,
+                   CxlShmObject** obj_handle) noexcept;
+
+/// Table 2: open an existing object by name.
+int cxl_shm_open(const char* name, CxlShmObject** obj_handle) noexcept;
+
+/// Table 2: delete an object from the CXL SHM Arena (frees the handle).
+int cxl_shm_destroy(CxlShmObject* obj_handle) noexcept;
+
+/// Table 2: close and release an object handle (frees the handle).
+int cxl_shm_close(CxlShmObject* obj_handle) noexcept;
+
+/// Pool offset / size accessors for a handle (the simulation's stand-in
+/// for "base address + offset" pointer arithmetic).
+std::uint64_t cxl_shm_obj_offset(const CxlShmObject* obj_handle) noexcept;
+std::size_t cxl_shm_obj_size(const CxlShmObject* obj_handle) noexcept;
+
+/// Human-readable description of the last C-API failure on this thread.
+const char* cxl_shm_last_error() noexcept;
+
+}  // namespace cmpi::arena

@@ -1,0 +1,164 @@
+#include "arena/famfs_lite.hpp"
+
+#include <cstring>
+
+#include "common/align.hpp"
+
+namespace cmpi::arena {
+
+namespace {
+
+template <typename T>
+void read_pod(cxlsim::Accessor& acc, std::uint64_t at, T& out) {
+  acc.coherent_read(at, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+}
+
+template <typename T>
+void write_pod(cxlsim::Accessor& acc, std::uint64_t at, const T& in) {
+  acc.coherent_write(at,
+                     {reinterpret_cast<const std::byte*>(&in), sizeof(T)});
+}
+
+}  // namespace
+
+Result<FamfsLite> FamfsLite::format_master(cxlsim::Accessor& acc,
+                                           std::uint64_t base,
+                                           std::uint64_t size) {
+  if (!is_aligned(base, kCacheLineSize)) {
+    return status::invalid_argument("famfs base must be cacheline aligned");
+  }
+  const std::uint64_t table_offset = align_up(sizeof(Superblock),
+                                              kCacheLineSize);
+  const std::uint64_t data_offset =
+      align_up(table_offset + kMaxFiles * sizeof(FileEntry), kCacheLineSize);
+  if (data_offset + kCacheLineSize > size) {
+    return status::invalid_argument("famfs region too small");
+  }
+  FamfsLite fs(acc, base, /*master=*/true);
+  FileEntry empty{};
+  for (std::size_t slot = 0; slot < kMaxFiles; ++slot) {
+    fs.write_entry(slot, empty);
+  }
+  Superblock sb{};
+  sb.magic = kMagic;
+  sb.total_size = size;
+  sb.table_offset = table_offset;
+  sb.data_offset = data_offset;
+  sb.bump = data_offset;
+  sb.file_count = 0;
+  fs.write_super(sb);
+  return fs;
+}
+
+Result<FamfsLite> FamfsLite::attach_client(cxlsim::Accessor& acc,
+                                           std::uint64_t base) {
+  FamfsLite fs(acc, base, /*master=*/false);
+  const Superblock sb = fs.read_super();
+  if (sb.magic != kMagic) {
+    return status::not_found("no famfs filesystem at this base");
+  }
+  return fs;
+}
+
+FamfsLite::Superblock FamfsLite::read_super() {
+  Superblock sb{};
+  read_pod(*acc_, base_, sb);
+  return sb;
+}
+
+void FamfsLite::write_super(const Superblock& sb) {
+  write_pod(*acc_, base_, sb);
+}
+
+FamfsLite::FileEntry FamfsLite::read_entry(std::size_t slot) {
+  CMPI_EXPECTS(slot < kMaxFiles);
+  FileEntry entry{};
+  read_pod(*acc_,
+           base_ + read_super().table_offset + slot * sizeof(FileEntry),
+           entry);
+  return entry;
+}
+
+void FamfsLite::write_entry(std::size_t slot, const FileEntry& entry) {
+  CMPI_EXPECTS(slot < kMaxFiles);
+  // Table offset is immutable after format; avoid re-reading the super
+  // when we already know the geometry (format path calls this before the
+  // super exists).
+  const std::uint64_t table_offset = align_up(sizeof(Superblock),
+                                              kCacheLineSize);
+  write_pod(*acc_, base_ + table_offset + slot * sizeof(FileEntry), entry);
+}
+
+Result<FamfsLite::FileHandle> FamfsLite::create(std::string_view name,
+                                                std::uint64_t size) {
+  if (!master_) {
+    return status::unsupported(
+        "famfs: only the master node may create files (§3.1)");
+  }
+  if (name.empty() || name.size() > kMaxNameLen || size == 0) {
+    return status::invalid_argument("bad famfs file name or size");
+  }
+  Superblock sb = read_super();
+  std::size_t free_slot = kMaxFiles;
+  for (std::size_t slot = 0; slot < kMaxFiles; ++slot) {
+    const FileEntry entry = read_entry(slot);
+    if (entry.used != 0 && name == std::string_view(entry.name)) {
+      return status::already_exists("famfs file exists");
+    }
+    if (entry.used == 0 && free_slot == kMaxFiles) {
+      free_slot = slot;
+    }
+  }
+  if (free_slot == kMaxFiles) {
+    return status::capacity_exceeded("famfs file table full");
+  }
+  const std::uint64_t alloc = align_up(size, kCacheLineSize);
+  if (sb.bump + alloc > sb.total_size) {
+    return status::out_of_memory("famfs extent space exhausted");
+  }
+  FileEntry entry{};
+  entry.used = 1;
+  entry.offset = sb.bump;
+  entry.size = size;
+  std::memcpy(entry.name, name.data(), name.size());
+  write_entry(free_slot, entry);
+  sb.bump += alloc;
+  sb.file_count += 1;
+  write_super(sb);
+  return FileHandle{std::string(name), base_ + entry.offset, size,
+                    free_slot};
+}
+
+Result<FamfsLite::FileHandle> FamfsLite::open(std::string_view name) {
+  for (std::size_t slot = 0; slot < kMaxFiles; ++slot) {
+    const FileEntry entry = read_entry(slot);
+    if (entry.used != 0 && name == std::string_view(entry.name)) {
+      return FileHandle{std::string(name), base_ + entry.offset, entry.size,
+                        slot};
+    }
+  }
+  return status::not_found("famfs file not found");
+}
+
+Status FamfsLite::remove(std::string_view name) {
+  if (!master_) {
+    return status::unsupported(
+        "famfs: only the master node may remove files (§3.1)");
+  }
+  for (std::size_t slot = 0; slot < kMaxFiles; ++slot) {
+    FileEntry entry = read_entry(slot);
+    if (entry.used != 0 && name == std::string_view(entry.name)) {
+      entry.used = 0;
+      write_entry(slot, entry);
+      Superblock sb = read_super();
+      sb.file_count -= 1;
+      write_super(sb);
+      return Status::ok();
+    }
+  }
+  return status::not_found("famfs file not found");
+}
+
+std::uint64_t FamfsLite::files_in_use() { return read_super().file_count; }
+
+}  // namespace cmpi::arena

@@ -1,0 +1,102 @@
+// FamfsLite — a minimal model of the Famfs shared-memory-filesystem design
+// the paper contrasts the CXL SHM Arena against (§3.1).
+//
+// Famfs (Micron) manages disaggregated shared memory as a filesystem with
+// a client/master architecture: only the MASTER node may create or delete
+// files; clients can only open existing ones. The paper rejects that
+// restriction for MPI ("any node may need to create SHM objects") and
+// notes Famfs' APIs differ from POSIX SHM, complicating integration.
+//
+// This module exists to make the comparison concrete and testable: it
+// implements the same named-object service over the same pool, but with
+// Famfs' architectural restriction. bench/ablation-style tests show the
+// functional consequence: a non-master rank creating an RMA window or
+// queue object must round-trip through the master, while the Arena serves
+// it locally under the bakery lock.
+//
+// Layout: a superblock plus a flat file table (name, offset, size),
+// master-mutated only; clients read the table with the §3.5 coherence
+// discipline. Allocation is an append-only log (Famfs files are
+// pre-allocated extents; deletion support is similarly minimal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "cxlsim/accessor.hpp"
+
+namespace cmpi::arena {
+
+class FamfsLite {
+ public:
+  struct FileHandle {
+    std::string name;
+    std::uint64_t pool_offset = 0;
+    std::uint64_t size = 0;
+    std::size_t slot = 0;
+  };
+
+  static constexpr std::size_t kMaxFiles = 256;
+  static constexpr std::size_t kMaxNameLen = 47;
+
+  /// Format a filesystem on [base, base+size); the caller becomes the
+  /// master. Exactly one master per filesystem.
+  static Result<FamfsLite> format_master(cxlsim::Accessor& acc,
+                                         std::uint64_t base,
+                                         std::uint64_t size);
+
+  /// Attach as a client (may open, may NOT create or remove).
+  static Result<FamfsLite> attach_client(cxlsim::Accessor& acc,
+                                         std::uint64_t base);
+
+  [[nodiscard]] bool is_master() const noexcept { return master_; }
+
+  /// Create a file. Master only — clients get kUnsupported, the §3.1
+  /// restriction that disqualifies this design for MPI.
+  Result<FileHandle> create(std::string_view name, std::uint64_t size);
+
+  /// Open an existing file (any node).
+  Result<FileHandle> open(std::string_view name);
+
+  /// Remove a file. Master only. Space is not reclaimed (append-only
+  /// extent log, as in the real system's early revisions).
+  Status remove(std::string_view name);
+
+  [[nodiscard]] std::uint64_t files_in_use();
+
+ private:
+  struct Superblock {
+    std::uint64_t magic;
+    std::uint64_t total_size;
+    std::uint64_t table_offset;  // from base
+    std::uint64_t data_offset;   // from base
+    std::uint64_t bump;          // next free byte, from base
+    std::uint64_t file_count;
+  };
+  struct FileEntry {
+    std::uint64_t used;
+    std::uint64_t offset;  // from base
+    std::uint64_t size;
+    char name[kMaxNameLen + 1];
+    char pad[128 - 3 * 8 - (kMaxNameLen + 1)];
+  };
+  static_assert(sizeof(FileEntry) == 128);
+
+  static constexpr std::uint64_t kMagic = 0x46414D46534C4954ULL;
+
+  FamfsLite(cxlsim::Accessor& acc, std::uint64_t base, bool master)
+      : acc_(&acc), base_(base), master_(master) {}
+
+  Superblock read_super();
+  void write_super(const Superblock& sb);
+  FileEntry read_entry(std::size_t slot);
+  void write_entry(std::size_t slot, const FileEntry& entry);
+
+  cxlsim::Accessor* acc_;
+  std::uint64_t base_;
+  bool master_;
+};
+
+}  // namespace cmpi::arena

@@ -1,0 +1,63 @@
+#include "arena/multilevel_hash.hpp"
+
+#include "common/hash.hpp"
+#include "common/primes.hpp"
+
+namespace cmpi::arena {
+
+Result<MultilevelHash> MultilevelHash::create(std::size_t levels,
+                                              std::size_t level1_buckets) {
+  if (levels == 0) {
+    return status::invalid_argument("need at least one hash level");
+  }
+  if (level1_buckets < 2 + levels) {
+    return status::invalid_argument("level-1 bucket count too small");
+  }
+  std::vector<std::size_t> counts;
+  counts.reserve(levels);
+  std::uint64_t prime = prev_prime(level1_buckets);
+  for (std::size_t l = 0; l < levels; ++l) {
+    if (prime < 2) {
+      return status::invalid_argument("ran out of primes for hash levels");
+    }
+    counts.push_back(static_cast<std::size_t>(prime));
+    if (l + 1 < levels) {
+      prime = prev_prime(prime - 1);
+    }
+  }
+  return MultilevelHash(std::move(counts));
+}
+
+MultilevelHash MultilevelHash::paper_config() {
+  return check_ok(create(/*levels=*/10, /*level1_buckets=*/200000));
+}
+
+MultilevelHash::MultilevelHash(std::vector<std::size_t> bucket_counts)
+    : bucket_counts_(std::move(bucket_counts)) {
+  level_starts_.reserve(bucket_counts_.size());
+  for (const std::size_t count : bucket_counts_) {
+    level_starts_.push_back(total_);
+    total_ += count;
+  }
+}
+
+std::size_t MultilevelHash::slot_of(std::string_view key,
+                                    std::size_t l) const {
+  CMPI_EXPECTS(l < bucket_counts_.size());
+  // Level index doubles as the hash seed, giving each level an independent
+  // hash function over the same key.
+  const std::uint64_t h = hash_string(key, /*seed=*/l + 1);
+  return level_starts_[l] + static_cast<std::size_t>(h % bucket_counts_[l]);
+}
+
+std::vector<std::size_t> MultilevelHash::probe_sequence(
+    std::string_view key) const {
+  std::vector<std::size_t> seq;
+  seq.reserve(levels());
+  for (std::size_t l = 0; l < levels(); ++l) {
+    seq.push_back(slot_of(key, l));
+  }
+  return seq;
+}
+
+}  // namespace cmpi::arena

@@ -1,0 +1,68 @@
+// Multi-level hash index geometry (paper §3.1, following Broder & Karlin's
+// multilevel adaptive hashing).
+//
+// The metadata region of the CXL SHM Arena is a flat array of fixed-size
+// slots, logically partitioned into L levels. Level l holds a prime number
+// of buckets (one slot per bucket); level 1 is sized by the caller and each
+// deeper level takes the next prime down, so the levels are nearly equal in
+// size but use independent hash functions. A key probes exactly one slot
+// per level — at most L probes, no dynamic resizing, and probes of distinct
+// levels are independent (parallelizable).
+//
+// The paper's production configuration: 10 levels, level 1 capped at
+// 200,000 slots -> primes 199,999 down to 199,873, 1,999,260 slots total.
+// This class is pure geometry/index math (host-side, immutable); the slots
+// themselves live in CXL SHM and are accessed by the Arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cmpi::arena {
+
+class MultilevelHash {
+ public:
+  /// Build the level geometry. `level1_buckets` is rounded down to the
+  /// nearest prime; each deeper level uses the next prime below the
+  /// previous level. Errors if the parameters collapse (too few buckets
+  /// for the requested level count).
+  static Result<MultilevelHash> create(std::size_t levels,
+                                       std::size_t level1_buckets);
+
+  /// Paper configuration: 10 levels, level-1 cap 200,000.
+  static MultilevelHash paper_config();
+
+  [[nodiscard]] std::size_t levels() const noexcept {
+    return bucket_counts_.size();
+  }
+
+  /// Total number of slots across all levels.
+  [[nodiscard]] std::size_t total_slots() const noexcept { return total_; }
+
+  /// Bucket count of level `l` (0-based).
+  [[nodiscard]] std::size_t level_buckets(std::size_t l) const {
+    CMPI_EXPECTS(l < bucket_counts_.size());
+    return bucket_counts_[l];
+  }
+
+  /// Global slot index a key probes at level `l` (0-based): the levels are
+  /// flattened contiguously, level 0 first.
+  [[nodiscard]] std::size_t slot_of(std::string_view key, std::size_t l) const;
+
+  /// All L probe positions for a key, in level order.
+  [[nodiscard]] std::vector<std::size_t> probe_sequence(
+      std::string_view key) const;
+
+ private:
+  explicit MultilevelHash(std::vector<std::size_t> bucket_counts);
+
+  std::vector<std::size_t> bucket_counts_;
+  std::vector<std::size_t> level_starts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cmpi::arena

@@ -1,0 +1,447 @@
+// Channel-templated collective algorithms.
+//
+// The algorithm bodies live here, templated on a Channel type so the same
+// code runs over the global Endpoint (collectives.hpp wrappers) and over
+// sub-communicators (core/communicator.hpp). A Channel provides:
+//   int rank(); int nranks();
+//   Status send(int dst, int tag, std::span<const std::byte>);
+//   Result<RecvInfo> recv(int src, int tag, std::span<std::byte>);
+//   RequestPtr isend(...); RequestPtr irecv(...);
+//   Status wait(const RequestPtr&); Status wait_all(span<const RequestPtr>);
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "coll/collectives.hpp"
+
+namespace cmpi::coll::detail {
+
+
+
+
+// Tag blocks per collective so concurrent rounds never cross-match.
+constexpr int kTagBarrier = kCollTagBase + 0x000;
+constexpr int kTagBcast = kCollTagBase + 0x100;
+constexpr int kTagReduce = kCollTagBase + 0x200;
+constexpr int kTagAllreduce = kCollTagBase + 0x300;
+constexpr int kTagAllgather = kCollTagBase + 0x400;
+constexpr int kTagBruck = kCollTagBase + 0x500;
+constexpr int kTagAlltoall = kCollTagBase + 0x600;
+constexpr int kTagRedScat = kCollTagBase + 0x700;
+constexpr int kTagGather = kCollTagBase + 0x800;
+constexpr int kTagScatter = kCollTagBase + 0x900;
+constexpr int kTagScan = kCollTagBase + 0xA00;
+
+/// Simultaneous send+recv without deadlock.
+template <typename Ch>
+void sendrecv(Ch& ep, int dst, std::span<const std::byte> out,
+              int src, std::span<std::byte> in, int tag) {
+  const p2p::RequestPtr s = ep.isend(dst, tag, out);
+  const p2p::RequestPtr r = ep.irecv(src, tag, in);
+  check_ok(ep.wait(s));
+  check_ok(ep.wait(r));
+}
+
+template <typename T>
+void combine(std::span<T> acc, std::span<const T> in, ReduceOp op) {
+  CMPI_EXPECTS(acc.size() == in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+template <typename Ch, typename T>
+void reduce_impl(Ch& ep, int root, std::span<T> inout,
+                 ReduceOp op) {
+  const int n = ep.nranks();
+  const int vrank = (ep.rank() - root + n) % n;
+  std::vector<T> tmp(inout.size());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((vrank & mask) != 0) {
+      const int dst = ((vrank - mask) + root) % n;
+      check_ok(ep.send(dst, kTagReduce, std::as_bytes(inout)));
+      return;  // contributed; done
+    }
+    const int partner = vrank + mask;
+    if (partner < n) {
+      const int src = (partner + root) % n;
+      check_ok(ep.recv(src, kTagReduce,
+                       std::as_writable_bytes(std::span(tmp))));
+      combine(inout, std::span<const T>(tmp), op);
+    }
+  }
+}
+
+template <typename Ch, typename T>
+void allreduce_impl(Ch& ep, std::span<T> inout, ReduceOp op) {
+  const int n = ep.nranks();
+  if (n == 1) {
+    return;
+  }
+  const int rank = ep.rank();
+  int pof2 = 1;
+  while (pof2 * 2 <= n) {
+    pof2 *= 2;
+  }
+  const int rem = n - pof2;
+  std::vector<T> tmp(inout.size());
+
+  // Fold-in: the first 2*rem ranks pair up so pof2 ranks remain.
+  int newrank;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      check_ok(ep.send(rank + 1, kTagAllreduce, std::as_bytes(inout)));
+      newrank = -1;  // parked until fold-out
+    } else {
+      check_ok(ep.recv(rank - 1, kTagAllreduce,
+                       std::as_writable_bytes(std::span(tmp))));
+      combine(inout, std::span<const T>(tmp), op);
+      newrank = rank / 2;
+    }
+  } else {
+    newrank = rank - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner = partner_new < rem ? partner_new * 2 + 1
+                                            : partner_new + rem;
+      sendrecv(ep, partner, std::as_bytes(inout), partner,
+               std::as_writable_bytes(std::span(tmp)), kTagAllreduce + 1);
+      combine(inout, std::span<const T>(tmp), op);
+    }
+  }
+
+  // Fold-out: parked even ranks receive the final result.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      check_ok(ep.recv(rank + 1, kTagAllreduce + 2,
+                       std::as_writable_bytes(inout)));
+    } else {
+      check_ok(ep.send(rank - 1, kTagAllreduce + 2, std::as_bytes(inout)));
+    }
+  }
+}
+
+
+template <typename Ch>
+void barrier(Ch& ep) {
+  const int n = ep.nranks();
+  for (int k = 0, dist = 1; dist < n; ++k, dist <<= 1) {
+    const int dst = (ep.rank() + dist) % n;
+    const int src = (ep.rank() - dist + n) % n;
+    sendrecv(ep, dst, {}, src, {}, kTagBarrier + k);
+  }
+}
+
+template <typename Ch>
+void bcast(Ch& ep, int root, std::span<std::byte> data) {
+  const int n = ep.nranks();
+  const int vrank = (ep.rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int src = ((vrank - mask) + root) % n;
+      check_ok(ep.recv(src, kTagBcast, data));
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = ((vrank + mask) + root) % n;
+      check_ok(ep.send(dst, kTagBcast, data));
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename Ch>
+void reduce(Ch& ep, int root, std::span<double> inout,
+            ReduceOp op) {
+  reduce_impl(ep, root, inout, op);
+}
+template <typename Ch>
+void reduce(Ch& ep, int root, std::span<std::int64_t> inout,
+            ReduceOp op) {
+  reduce_impl(ep, root, inout, op);
+}
+
+template <typename Ch>
+void allreduce(Ch& ep, std::span<double> inout, ReduceOp op) {
+  allreduce_impl(ep, inout, op);
+}
+template <typename Ch>
+void allreduce(Ch& ep, std::span<std::int64_t> inout,
+               ReduceOp op) {
+  allreduce_impl(ep, inout, op);
+}
+
+template <typename Ch>
+void allgather(Ch& ep, std::span<const std::byte> mine,
+               std::span<std::byte> all) {
+  const int n = ep.nranks();
+  const std::size_t sz = mine.size();
+  CMPI_EXPECTS(all.size() == sz * static_cast<std::size_t>(n));
+  std::memcpy(all.data() + static_cast<std::size_t>(ep.rank()) * sz,
+              mine.data(), sz);
+  if (n == 1) {
+    return;
+  }
+  const int right = (ep.rank() + 1) % n;
+  const int left = (ep.rank() - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_block = (ep.rank() - step + n) % n;
+    const int recv_block = (ep.rank() - step - 1 + n) % n;
+    sendrecv(ep, right,
+             all.subspan(static_cast<std::size_t>(send_block) * sz, sz), left,
+             all.subspan(static_cast<std::size_t>(recv_block) * sz, sz),
+             kTagAllgather + step);
+  }
+}
+
+template <typename Ch>
+void allgather_bruck(Ch& ep, std::span<const std::byte> mine,
+                     std::span<std::byte> all) {
+  const int n = ep.nranks();
+  const std::size_t sz = mine.size();
+  CMPI_EXPECTS(all.size() == sz * static_cast<std::size_t>(n));
+  // tmp holds blocks in the rotated order rank, rank+1, ..., rank+n-1.
+  std::vector<std::byte> tmp(sz * static_cast<std::size_t>(n));
+  std::memcpy(tmp.data(), mine.data(), sz);
+  int have = 1;
+  for (int step = 0; have < n; ++step) {
+    const int dist = have;  // 2^step blocks held
+    const int count = std::min(have, n - have);
+    const int dst = (ep.rank() - dist + n) % n;
+    const int src = (ep.rank() + dist) % n;
+    sendrecv(ep, dst,
+             std::span<const std::byte>(tmp.data(),
+                                        static_cast<std::size_t>(count) * sz),
+             src,
+             std::span<std::byte>(tmp.data() +
+                                      static_cast<std::size_t>(have) * sz,
+                                  static_cast<std::size_t>(count) * sz),
+             kTagBruck + step);
+    have += count;
+  }
+  // Un-rotate into rank order.
+  for (int i = 0; i < n; ++i) {
+    const int block = (ep.rank() + i) % n;
+    std::memcpy(all.data() + static_cast<std::size_t>(block) * sz,
+                tmp.data() + static_cast<std::size_t>(i) * sz, sz);
+  }
+}
+
+template <typename Ch>
+void alltoall(Ch& ep, std::span<const std::byte> send,
+              std::span<std::byte> recv, std::size_t block) {
+  const int n = ep.nranks();
+  CMPI_EXPECTS(send.size() == block * static_cast<std::size_t>(n));
+  CMPI_EXPECTS(recv.size() == block * static_cast<std::size_t>(n));
+  std::memcpy(recv.data() + static_cast<std::size_t>(ep.rank()) * block,
+              send.data() + static_cast<std::size_t>(ep.rank()) * block,
+              block);
+  for (int step = 1; step < n; ++step) {
+    const int dst = (ep.rank() + step) % n;
+    const int src = (ep.rank() - step + n) % n;
+    sendrecv(ep, dst,
+             send.subspan(static_cast<std::size_t>(dst) * block, block), src,
+             recv.subspan(static_cast<std::size_t>(src) * block, block),
+             kTagAlltoall + step);
+  }
+}
+
+template <typename Ch>
+void reduce_scatter(Ch& ep, std::span<const double> data,
+                    std::span<double> out, ReduceOp op) {
+  const int n = ep.nranks();
+  const std::size_t block = out.size();
+  CMPI_EXPECTS(data.size() == block * static_cast<std::size_t>(n));
+  if (n == 1) {
+    std::copy(data.begin(), data.end(), out.begin());
+    return;
+  }
+  const int rank = ep.rank();
+  const int right = (rank + 1) % n;
+  const int left = (rank - 1 + n) % n;
+  std::vector<double> cur(data.begin(), data.end());
+  std::vector<double> tmp(block);
+  // Ring scatter-reduce: after n-1 steps rank owns the full reduction of
+  // block (rank + 1) % n.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_block = (rank - step + n) % n;
+    const int recv_block = (rank - step - 1 + n) % n;
+    sendrecv(
+        ep, right,
+        std::as_bytes(std::span<const double>(
+            cur.data() + static_cast<std::size_t>(send_block) * block, block)),
+        left, std::as_writable_bytes(std::span(tmp)), kTagRedScat + step);
+    combine(std::span<double>(
+                cur.data() + static_cast<std::size_t>(recv_block) * block,
+                block),
+            std::span<const double>(tmp), op);
+  }
+  // Final shift: deliver each completed block to its owner.
+  const int done_block = (rank + 1) % n;
+  sendrecv(ep, done_block,
+           std::as_bytes(std::span<const double>(
+               cur.data() + static_cast<std::size_t>(done_block) * block,
+               block)),
+           left, std::as_writable_bytes(out), kTagRedScat + n);
+}
+
+template <typename Ch>
+void gather(Ch& ep, int root, std::span<const std::byte> mine,
+            std::span<std::byte> all) {
+  const int n = ep.nranks();
+  const std::size_t sz = mine.size();
+  const int vrank = (ep.rank() - root + n) % n;
+  // Each subtree owner accumulates its subtree's blocks (by virtual rank)
+  // into a staging buffer, then forwards the whole prefix to its parent.
+  std::vector<std::byte> staged(sz * static_cast<std::size_t>(n));
+  std::memcpy(staged.data(), mine.data(), sz);
+  int have = 1;  // blocks for vranks [vrank, vrank + have)
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank - mask) + root) % n;
+      check_ok(ep.send(parent, kTagGather,
+                       std::span<const std::byte>(
+                           staged.data(),
+                           static_cast<std::size_t>(have) * sz)));
+      break;
+    }
+    const int child_vrank = vrank + mask;
+    if (child_vrank < n) {
+      const int child = (child_vrank + root) % n;
+      const int child_blocks = std::min(mask, n - child_vrank);
+      check_ok(ep.recv(child, kTagGather,
+                       std::span<std::byte>(
+                           staged.data() + static_cast<std::size_t>(mask) *
+                                               sz,
+                           static_cast<std::size_t>(child_blocks) * sz))
+                   .status());
+      have += child_blocks;
+    }
+    mask <<= 1;
+  }
+  if (ep.rank() == root) {
+    CMPI_EXPECTS(all.size() == sz * static_cast<std::size_t>(n));
+    // Un-rotate from virtual-rank order to rank order.
+    for (int v = 0; v < n; ++v) {
+      const int r = (v + root) % n;
+      std::memcpy(all.data() + static_cast<std::size_t>(r) * sz,
+                  staged.data() + static_cast<std::size_t>(v) * sz, sz);
+    }
+  }
+}
+
+template <typename Ch>
+void scatter(Ch& ep, int root, std::span<const std::byte> all,
+             std::span<std::byte> mine) {
+  const int n = ep.nranks();
+  const std::size_t sz = mine.size();
+  const int vrank = (ep.rank() - root + n) % n;
+  std::vector<std::byte> staged(sz * static_cast<std::size_t>(n));
+  int have = 0;  // blocks held for vranks [vrank, vrank + have)
+  if (ep.rank() == root) {
+    CMPI_EXPECTS(all.size() == sz * static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      const int r = (v + root) % n;
+      std::memcpy(staged.data() + static_cast<std::size_t>(v) * sz,
+                  all.data() + static_cast<std::size_t>(r) * sz, sz);
+    }
+    have = n;
+  } else {
+    // Receive this subtree's prefix from the parent.
+    int mask = 1;
+    while ((vrank & mask) == 0) {
+      mask <<= 1;
+    }
+    const int parent = ((vrank - mask) + root) % n;
+    have = std::min(mask, n - vrank);
+    const p2p::RecvInfo info = check_ok(ep.recv(
+        parent, kTagScatter,
+        std::span<std::byte>(staged.data(),
+                             static_cast<std::size_t>(have) * sz)));
+    CMPI_ASSERT(info.bytes == static_cast<std::size_t>(have) * sz);
+  }
+  // Forward the upper halves to children.
+  int mask = 1;
+  while (mask < have) {
+    mask <<= 1;
+  }
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if (vrank + mask < n && mask < have) {
+      const int child = ((vrank + mask) + root) % n;
+      const int child_blocks = have - mask;
+      check_ok(ep.send(child, kTagScatter,
+                       std::span<const std::byte>(
+                           staged.data() + static_cast<std::size_t>(mask) *
+                                               sz,
+                           static_cast<std::size_t>(child_blocks) * sz)));
+      have = mask;
+    }
+  }
+  std::memcpy(mine.data(), staged.data(), sz);
+}
+
+
+
+template <typename Ch, typename T>
+void scan_impl(Ch& ep, std::span<T> inout, ReduceOp op) {
+  const int n = ep.nranks();
+  const int rank = ep.rank();
+  std::vector<T> incoming(inout.size());
+  // Hillis-Steele inclusive prefix: at distance d, receive from rank-d and
+  // fold it in; send our *pre-fold* partial to rank+d.
+  for (int dist = 1; dist < n; dist <<= 1) {
+    std::vector<T> outgoing(inout.begin(), inout.end());
+    p2p::RequestPtr send_req;
+    p2p::RequestPtr recv_req;
+    if (rank + dist < n) {
+      send_req = ep.isend(rank + dist, kTagScan + dist,
+                          std::as_bytes(std::span<const T>(outgoing)));
+    }
+    if (rank - dist >= 0) {
+      recv_req = ep.irecv(rank - dist, kTagScan + dist,
+                          std::as_writable_bytes(std::span(incoming)));
+    }
+    if (recv_req != nullptr) {
+      check_ok(ep.wait(recv_req));
+      combine(inout, std::span<const T>(incoming), op);
+    }
+    if (send_req != nullptr) {
+      check_ok(ep.wait(send_req));
+    }
+  }
+}
+
+
+template <typename Ch>
+void scan(Ch& ep, std::span<double> inout, ReduceOp op) {
+  scan_impl(ep, inout, op);
+}
+template <typename Ch>
+void scan(Ch& ep, std::span<std::int64_t> inout, ReduceOp op) {
+  scan_impl(ep, inout, op);
+}
+
+
+}  // namespace cmpi::coll::detail

@@ -1,0 +1,70 @@
+#include "coll/collectives.hpp"
+
+#include "coll/algorithms.hpp"
+
+// Thin non-template entry points over the channel-templated algorithms in
+// coll/algorithms.hpp, instantiated for the global Endpoint. The same
+// algorithms run over sub-communicators through core/communicator.hpp.
+namespace cmpi::coll {
+
+void barrier(p2p::Endpoint& ep) { detail::barrier(ep); }
+
+void bcast(p2p::Endpoint& ep, int root, std::span<std::byte> data) {
+  detail::bcast(ep, root, data);
+}
+
+void reduce(p2p::Endpoint& ep, int root, std::span<double> inout,
+            ReduceOp op) {
+  detail::reduce(ep, root, inout, op);
+}
+void reduce(p2p::Endpoint& ep, int root, std::span<std::int64_t> inout,
+            ReduceOp op) {
+  detail::reduce(ep, root, inout, op);
+}
+
+void allreduce(p2p::Endpoint& ep, std::span<double> inout, ReduceOp op) {
+  detail::allreduce(ep, inout, op);
+}
+void allreduce(p2p::Endpoint& ep, std::span<std::int64_t> inout,
+               ReduceOp op) {
+  detail::allreduce(ep, inout, op);
+}
+
+void allgather(p2p::Endpoint& ep, std::span<const std::byte> mine,
+               std::span<std::byte> all) {
+  detail::allgather(ep, mine, all);
+}
+
+void allgather_bruck(p2p::Endpoint& ep, std::span<const std::byte> mine,
+                     std::span<std::byte> all) {
+  detail::allgather_bruck(ep, mine, all);
+}
+
+void alltoall(p2p::Endpoint& ep, std::span<const std::byte> send,
+              std::span<std::byte> recv, std::size_t block) {
+  detail::alltoall(ep, send, recv, block);
+}
+
+void reduce_scatter(p2p::Endpoint& ep, std::span<const double> data,
+                    std::span<double> out, ReduceOp op) {
+  detail::reduce_scatter(ep, data, out, op);
+}
+
+void gather(p2p::Endpoint& ep, int root, std::span<const std::byte> mine,
+            std::span<std::byte> all) {
+  detail::gather(ep, root, mine, all);
+}
+
+void scatter(p2p::Endpoint& ep, int root, std::span<const std::byte> all,
+             std::span<std::byte> mine) {
+  detail::scatter(ep, root, all, mine);
+}
+
+void scan(p2p::Endpoint& ep, std::span<double> inout, ReduceOp op) {
+  detail::scan(ep, inout, op);
+}
+void scan(p2p::Endpoint& ep, std::span<std::int64_t> inout, ReduceOp op) {
+  detail::scan(ep, inout, op);
+}
+
+}  // namespace cmpi::coll

@@ -1,0 +1,85 @@
+// Collective communication over cMPI point-to-point (paper §3.6).
+//
+// The paper leaves collectives as future work but notes that MPI libraries
+// implement them on top of point-to-point using algorithms like recursive
+// doubling and Bruck's algorithm — "hence the collective communications can
+// directly benefit from cMPI". This module is that layer:
+//
+//   barrier         — dissemination algorithm, ceil(log2 n) rounds
+//   bcast           — binomial tree
+//   reduce          — binomial tree combine
+//   allreduce       — recursive doubling (fold-in/out for non-powers of 2)
+//   allgather       — ring (bandwidth-optimal) and Bruck (latency-optimal)
+//   alltoall        — pairwise exchange
+//   reduce_scatter  — ring algorithm, one combine-and-forward per step
+//
+// Every collective uses a private tag space (kCollTagBase and above) so it
+// never matches application point-to-point traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "p2p/endpoint.hpp"
+
+namespace cmpi::coll {
+
+inline constexpr int kCollTagBase = 1 << 20;
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Dissemination barrier: completes when every rank has entered.
+void barrier(p2p::Endpoint& ep);
+
+/// Binomial-tree broadcast of `data` from `root` to all ranks.
+void bcast(p2p::Endpoint& ep, int root, std::span<std::byte> data);
+
+/// Element-wise reduction of `inout` onto `root` (binomial tree). Every
+/// rank passes its contribution; only the root's buffer holds the result.
+void reduce(p2p::Endpoint& ep, int root, std::span<double> inout,
+            ReduceOp op);
+void reduce(p2p::Endpoint& ep, int root, std::span<std::int64_t> inout,
+            ReduceOp op);
+
+/// Recursive-doubling allreduce; result in every rank's `inout`.
+void allreduce(p2p::Endpoint& ep, std::span<double> inout, ReduceOp op);
+void allreduce(p2p::Endpoint& ep, std::span<std::int64_t> inout, ReduceOp op);
+
+/// Ring allgather: every rank contributes `mine`; `all` (nranks * mine
+/// bytes) receives the concatenation in rank order.
+void allgather(p2p::Endpoint& ep, std::span<const std::byte> mine,
+               std::span<std::byte> all);
+
+/// Bruck allgather: same semantics, ceil(log2 n) rounds of doubling block
+/// counts — fewer rounds, better for small payloads.
+void allgather_bruck(p2p::Endpoint& ep, std::span<const std::byte> mine,
+                     std::span<std::byte> all);
+
+/// Pairwise-exchange alltoall: `send` and `recv` hold nranks blocks of
+/// `block` bytes each; block i of `send` goes to rank i.
+void alltoall(p2p::Endpoint& ep, std::span<const std::byte> send,
+              std::span<std::byte> recv, std::size_t block);
+
+/// Ring reduce-scatter: `data` holds nranks blocks of `block_elems`
+/// doubles; on return, `out` (block_elems doubles) holds the reduction of
+/// every rank's block[rank].
+void reduce_scatter(p2p::Endpoint& ep, std::span<const double> data,
+                    std::span<double> out, ReduceOp op);
+
+/// Binomial-tree gather: every rank contributes `mine`; on the root,
+/// `all` (nranks * mine bytes) receives the concatenation in rank order.
+/// Non-roots may pass an empty `all`.
+void gather(p2p::Endpoint& ep, int root, std::span<const std::byte> mine,
+            std::span<std::byte> all);
+
+/// Binomial-tree scatter: the root's `all` (nranks blocks of `mine`
+/// bytes) is distributed; every rank receives its block in `mine`.
+void scatter(p2p::Endpoint& ep, int root, std::span<const std::byte> all,
+             std::span<std::byte> mine);
+
+/// Inclusive prefix sum (MPI_Scan): rank r ends with the reduction of
+/// ranks 0..r. Hillis-Steele doubling, log2(n) rounds.
+void scan(p2p::Endpoint& ep, std::span<double> inout, ReduceOp op);
+void scan(p2p::Endpoint& ep, std::span<std::int64_t> inout, ReduceOp op);
+
+}  // namespace cmpi::coll

@@ -1,0 +1,59 @@
+// Alignment arithmetic used throughout the CXL SHM layers. The paper's
+// constraints: dax mappings are 2 MiB aligned, SHM objects are cacheline
+// (64 B) aligned to make flushing and non-temporal access efficient (§3.7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace cmpi {
+
+/// Cache line size of the simulated hosts (x86-64).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// dax device mapping granularity (devdax requires 2 MiB aligned mappings).
+inline constexpr std::size_t kDaxAlignment = 2 * 1024 * 1024;
+
+/// True iff `value` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Round `value` up to the next multiple of `alignment` (a power of two).
+constexpr std::size_t align_up(std::size_t value, std::size_t alignment) noexcept {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+/// Round `value` down to a multiple of `alignment` (a power of two).
+constexpr std::size_t align_down(std::size_t value, std::size_t alignment) noexcept {
+  return value & ~(alignment - 1);
+}
+
+/// True iff `value` is a multiple of `alignment` (a power of two).
+constexpr bool is_aligned(std::size_t value, std::size_t alignment) noexcept {
+  return (value & (alignment - 1)) == 0;
+}
+
+constexpr bool is_aligned(const void* ptr, std::size_t alignment) noexcept {
+  return is_aligned(reinterpret_cast<std::uintptr_t>(ptr), alignment);
+}
+
+/// Number of cache lines touched by the byte range [offset, offset + size).
+constexpr std::size_t cache_lines_spanned(std::size_t offset,
+                                          std::size_t size) noexcept {
+  if (size == 0) {
+    return 0;
+  }
+  const std::size_t first = align_down(offset, kCacheLineSize);
+  const std::size_t last = align_down(offset + size - 1, kCacheLineSize);
+  return (last - first) / kCacheLineSize + 1;
+}
+
+/// Integral ceiling division.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace cmpi

@@ -1,0 +1,125 @@
+#include "common/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cmpi {
+
+Result<CliArgs> CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      return status::invalid_argument("expected --key[=value], got '" +
+                                      std::string(arg) + "'");
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      args.values_.emplace(std::string(body), "1");
+    } else {
+      args.values_.emplace(std::string(body.substr(0, eq)),
+                           std::string(body.substr(eq + 1)));
+    }
+  }
+  return args;
+}
+
+std::string CliArgs::get_string(std::string_view key,
+                                std::string_view def) const {
+  consumed_.emplace(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::string(def) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view key, std::int64_t def) const {
+  consumed_.emplace(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "cmpi: flag --%s expects an integer, got '%s'\n",
+                 std::string(key).c_str(), it->second.c_str());
+    std::abort();
+  }
+  return value;
+}
+
+std::size_t CliArgs::get_size(std::string_view key, std::size_t def) const {
+  consumed_.emplace(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  auto parsed = parse_size(it->second);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "cmpi: flag --%s: %s\n", std::string(key).c_str(),
+                 parsed.status().to_string().c_str());
+    std::abort();
+  }
+  return parsed.value();
+}
+
+bool CliArgs::get_bool(std::string_view key, bool def) const {
+  consumed_.emplace(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "1" || it->second == "true";
+}
+
+std::vector<std::string> CliArgs::unused_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.find(key) == consumed_.end()) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+Result<std::size_t> parse_size(std::string_view text) {
+  if (text.empty()) {
+    return status::invalid_argument("empty size");
+  }
+  std::size_t multiplier = 1;
+  std::string_view digits = text;
+  switch (text.back()) {
+    case 'K':
+    case 'k':
+      multiplier = 1024;
+      digits.remove_suffix(1);
+      break;
+    case 'M':
+    case 'm':
+      multiplier = 1024UL * 1024;
+      digits.remove_suffix(1);
+      break;
+    case 'G':
+    case 'g':
+      multiplier = 1024UL * 1024 * 1024;
+      digits.remove_suffix(1);
+      break;
+    default:
+      break;
+  }
+  if (digits.empty()) {
+    return status::invalid_argument("no digits in size '" + std::string(text) +
+                                    "'");
+  }
+  std::size_t value = 0;
+  for (const char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return status::invalid_argument("malformed size '" + std::string(text) +
+                                      "'");
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value * multiplier;
+}
+
+}  // namespace cmpi

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the bench/example binaries:
+// --key=value or --flag (boolean). Unknown flags are an error so typos in
+// sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cmpi {
+
+class CliArgs {
+ public:
+  /// Parse argv. Returns an error for malformed arguments (not starting
+  /// with "--"). Does not validate flag names; get_* track which keys were
+  /// consumed and unused_flags() reports leftovers.
+  static Result<CliArgs> parse(int argc, const char* const* argv);
+
+  /// String flag with default.
+  std::string get_string(std::string_view key, std::string_view def) const;
+
+  /// Integer flag with default; dies on non-numeric values.
+  std::int64_t get_int(std::string_view key, std::int64_t def) const;
+
+  /// Size flag accepting suffixes K/M/G (binary units), e.g. --cell=64K.
+  std::size_t get_size(std::string_view key, std::size_t def) const;
+
+  /// Boolean flag: present without value or with value 1/true.
+  bool get_bool(std::string_view key, bool def = false) const;
+
+  /// Flags that were supplied but never consumed by a get_* call.
+  std::vector<std::string> unused_flags() const;
+
+ private:
+  mutable std::set<std::string, std::less<>> consumed_;
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+/// Parse "64K"/"8M"/"512" into bytes. Returns error on malformed input.
+Result<std::size_t> parse_size(std::string_view text);
+
+}  // namespace cmpi

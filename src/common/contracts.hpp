@@ -1,0 +1,38 @@
+// Contract checking macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.5/I.7). Violations are programming errors, so they
+// abort with a diagnostic rather than throwing: a violated precondition in a
+// message-passing runtime means shared state may already be corrupt.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmpi::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) noexcept {
+  std::fprintf(stderr, "cmpi: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace cmpi::detail
+
+/// Precondition check: argument/state requirements at function entry.
+#define CMPI_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::cmpi::detail::contract_failure("precondition", #cond,     \
+                                             __FILE__, __LINE__))
+
+/// Postcondition check: guarantees the implementation must uphold.
+#define CMPI_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::cmpi::detail::contract_failure("postcondition", #cond,    \
+                                             __FILE__, __LINE__))
+
+/// Internal invariant check (always on; the runtime is a simulator whose
+/// value is correctness, not peak native speed).
+#define CMPI_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::cmpi::detail::contract_failure("invariant", #cond,        \
+                                             __FILE__, __LINE__))

@@ -1,0 +1,37 @@
+// String hashing for the CXL SHM Arena metadata index. Each hash level uses
+// a distinct seed so that keys colliding at one level are spread
+// independently at the next (the property multi-level hashing relies on).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cmpi {
+
+/// 64-bit finalizer from splitmix64; good avalanche, cheap, constexpr.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the bytes of `key`, then mixed with `seed`. Distinct seeds
+/// give effectively independent hash functions for the same key.
+constexpr std::uint64_t hash_string(std::string_view key,
+                                    std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h ^ mix64(seed));
+}
+
+/// Hash an integer with a seed (used for deterministic workload generators).
+constexpr std::uint64_t hash_u64(std::uint64_t value,
+                                 std::uint64_t seed = 0) noexcept {
+  return mix64(value ^ mix64(seed));
+}
+
+}  // namespace cmpi

@@ -1,0 +1,81 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cmpi {
+namespace {
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("CMPI_LOG");
+  if (env == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(
+      level_storage().load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept {
+  if (level < log_level()) {
+    return;
+  }
+  char body[1024];
+  std::vsnprintf(body, sizeof body, fmt, args);
+  std::fprintf(stderr, "[cmpi %s] %s\n", level_tag(level), body);
+}
+
+}  // namespace detail
+
+#define CMPI_DEFINE_LOG_FN(name, level)            \
+  void name(const char* fmt, ...) {                \
+    std::va_list args;                             \
+    va_start(args, fmt);                           \
+    detail::vlog(level, fmt, args);                \
+    va_end(args);                                  \
+  }
+
+CMPI_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+CMPI_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+CMPI_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+CMPI_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef CMPI_DEFINE_LOG_FN
+
+}  // namespace cmpi

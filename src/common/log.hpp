@@ -1,0 +1,36 @@
+// Minimal leveled logger. Default level is Warn so tests and benches stay
+// quiet; set CMPI_LOG=debug|info|warn|error (or call set_log_level) to
+// change it. Thread-safe: each message is written with a single fprintf.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace cmpi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global log threshold.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log threshold (initialized from $CMPI_LOG on first use).
+LogLevel log_level() noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept;
+}  // namespace detail
+
+#if defined(__GNUC__)
+#define CMPI_PRINTF_LIKE __attribute__((format(printf, 1, 2)))
+#else
+#define CMPI_PRINTF_LIKE
+#endif
+
+void log_debug(const char* fmt, ...) CMPI_PRINTF_LIKE;
+void log_info(const char* fmt, ...) CMPI_PRINTF_LIKE;
+void log_warn(const char* fmt, ...) CMPI_PRINTF_LIKE;
+void log_error(const char* fmt, ...) CMPI_PRINTF_LIKE;
+
+#undef CMPI_PRINTF_LIKE
+
+}  // namespace cmpi

@@ -1,0 +1,51 @@
+// Prime number helpers for the multi-level hash table. The paper sizes each
+// hash level with a distinct prime bucket count (level 1 starts at the
+// largest prime <= 200,000 and each deeper level takes the next prime down),
+// so we need prev-prime iteration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace cmpi {
+
+/// Deterministic primality test; exact for all 64-bit inputs we use
+/// (trial division — table sizes are at most a few hundred thousand).
+constexpr bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) {
+    return false;
+  }
+  if (n % 2 == 0) {
+    return n == 2;
+  }
+  if (n % 3 == 0) {
+    return n == 3;
+  }
+  for (std::uint64_t i = 5; i * i <= n; i += 6) {
+    if (n % i == 0 || n % (i + 2) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Largest prime <= n. Precondition: n >= 2.
+constexpr std::uint64_t prev_prime(std::uint64_t n) noexcept {
+  CMPI_EXPECTS(n >= 2);
+  while (!is_prime(n)) {
+    --n;
+  }
+  return n;
+}
+
+/// Smallest prime >= n. Precondition: n >= 2.
+constexpr std::uint64_t next_prime(std::uint64_t n) noexcept {
+  CMPI_EXPECTS(n >= 2);
+  while (!is_prime(n)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace cmpi

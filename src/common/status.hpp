@@ -1,0 +1,152 @@
+// Status / Result error handling for recoverable failures (out of arena
+// space, name collisions, closed endpoints). Programming errors use the
+// contract macros instead; see contracts.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/contracts.hpp"
+
+namespace cmpi {
+
+/// Error categories used across the library. Mirrors the failure surface a
+/// POSIX-SHM-style API needs (Table 2 of the paper) plus runtime errors.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed a malformed value
+  kNotFound,          ///< named object does not exist
+  kAlreadyExists,     ///< named object already exists
+  kOutOfMemory,       ///< arena/pool exhausted
+  kCapacityExceeded,  ///< fixed-capacity structure (hash table, ring) full
+  kClosed,            ///< object/endpoint already closed or finalized
+  kTruncated,         ///< receive buffer smaller than the incoming message
+  kUnsupported,       ///< operation not supported by the (simulated) device
+  kInternal,          ///< invariant failure surfaced as a recoverable error
+};
+
+/// Human-readable name for an error code.
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on the success path (no message
+/// allocated); failures carry a code and a context message.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() noexcept = default;
+
+  /// Failure with a code and diagnostic message.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CMPI_EXPECTS(code != ErrorCode::kOk);
+  }
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status error. Minimal expected<T, Status>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    CMPI_EXPECTS(!std::get<Status>(data_).is_ok());
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  /// Status of the operation; Status::ok() when a value is present.
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+  /// Access the value. Precondition: is_ok().
+  [[nodiscard]] T& value() & {
+    CMPI_EXPECTS(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    CMPI_EXPECTS(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    CMPI_EXPECTS(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+namespace status {
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status out_of_memory(std::string msg) {
+  return {ErrorCode::kOutOfMemory, std::move(msg)};
+}
+inline Status capacity_exceeded(std::string msg) {
+  return {ErrorCode::kCapacityExceeded, std::move(msg)};
+}
+inline Status closed(std::string msg) {
+  return {ErrorCode::kClosed, std::move(msg)};
+}
+inline Status truncated(std::string msg) {
+  return {ErrorCode::kTruncated, std::move(msg)};
+}
+inline Status unsupported(std::string msg) {
+  return {ErrorCode::kUnsupported, std::move(msg)};
+}
+inline Status internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+}  // namespace status
+
+/// Abort-on-error helper for call sites where failure is a programming error
+/// (tests, examples, initialization paths with validated inputs).
+inline void check_ok(const Status& s) {
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "cmpi: unexpected failure: %s\n",
+                 s.to_string().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T check_ok(Result<T> r) {
+  check_ok(r.status());
+  return std::move(r).value();
+}
+
+}  // namespace cmpi

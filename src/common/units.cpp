@@ -1,0 +1,45 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace cmpi {
+
+std::string format_size(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1_MiB && bytes % 1_MiB == 0) {
+    std::snprintf(buf, sizeof buf, "%zuM", bytes / 1_MiB);
+  } else if (bytes >= 1_KiB && bytes % 1_KiB == 0) {
+    std::snprintf(buf, sizeof buf, "%zuK", bytes / 1_KiB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu", bytes);
+  }
+  return buf;
+}
+
+std::string format_duration_ns(double nanoseconds) {
+  char buf[48];
+  if (nanoseconds < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", nanoseconds);
+  } else if (nanoseconds < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", nanoseconds / 1e3);
+  } else if (nanoseconds < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", nanoseconds / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", nanoseconds / 1e9);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[48];
+  if (bytes_per_second < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f KB/s", bytes_per_second / 1e3);
+  } else if (bytes_per_second < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_second / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_second / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace cmpi

@@ -1,0 +1,30 @@
+// Byte-size literals and formatting helpers shared by the benches and the
+// timing models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cmpi {
+
+inline constexpr std::size_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024;
+}
+inline constexpr std::size_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024 * 1024;
+}
+inline constexpr std::size_t operator""_GiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024 * 1024 * 1024;
+}
+
+/// "8", "1K", "64K", "8M" — the message-size labels OSU-style tables use.
+std::string format_size(std::size_t bytes);
+
+/// "123.4 ns" / "12.3 us" / "4.5 ms" with three significant digits.
+std::string format_duration_ns(double nanoseconds);
+
+/// "117.8 MB/s" / "9.90 GB/s" (decimal units, like the paper's tables).
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace cmpi

@@ -1,0 +1,182 @@
+// Sub-communicators (MPI_Comm_split).
+//
+// A Communicator is a subset of the universe's ranks with its own dense
+// rank numbering and an isolated tag space — the abstraction §3.2's
+// window-creation flow is written against ("to create a CXL SHM-based RMA
+// window for a specific communicator, the root rank of the communicator
+// creates a CXL SHM object ... and broadcasts the object name").
+//
+// Implementation: rank translation tables over the world endpoint plus a
+// context id folded into the message tag (MPI's context-id envelope
+// field, encoded in the tag bits our cell header already carries). All
+// collective algorithms run unchanged over the Communicator because they
+// are templated on the channel (coll/algorithms.hpp).
+//
+// Tag layout: [1 << 26 | context_id << 13 | encoded_tag] where
+// encoded_tag is the user tag (< 4096) or 4096 + the collective-tag
+// offset. User point-to-point tags on a communicator must be < 4096.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coll/algorithms.hpp"
+#include "p2p/endpoint.hpp"
+#include "rma/window.hpp"
+
+namespace cmpi {
+
+class Communicator {
+ public:
+  static constexpr int kMaxUserTag = 4096;
+
+  /// Built by Session::split; see there.
+  Communicator(p2p::Endpoint& world, int context_id,
+               std::vector<int> members, int my_index)
+      : world_(&world),
+        context_id_(context_id),
+        members_(std::move(members)),
+        my_index_(my_index) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      world_to_comm_[members_[i]] = static_cast<int>(i);
+    }
+  }
+
+  [[nodiscard]] int rank() const noexcept { return my_index_; }
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(members_.size());
+  }
+  [[nodiscard]] int size() const noexcept { return nranks(); }
+  /// World rank of communicator member `r`.
+  [[nodiscard]] int world_rank(int r) const {
+    CMPI_EXPECTS(r >= 0 && r < nranks());
+    return members_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int context_id() const noexcept { return context_id_; }
+
+  // ---- Channel interface (translated ranks, context-scoped tags) ----
+  Status send(int dst, int tag, std::span<const std::byte> data) {
+    return world_->send(world_rank(dst), scope_tag(tag), data);
+  }
+  Status ssend(int dst, int tag, std::span<const std::byte> data) {
+    return world_->ssend(world_rank(dst), scope_tag(tag), data);
+  }
+  Result<p2p::RecvInfo> recv(int src, int tag, std::span<std::byte> buffer) {
+    auto result = world_->recv(translate_src(src), scope_tag(tag), buffer);
+    if (result.is_ok()) {
+      return translate_info(result.value());
+    }
+    return result;
+  }
+  p2p::RequestPtr isend(int dst, int tag, std::span<const std::byte> data) {
+    return world_->isend(world_rank(dst), scope_tag(tag), data);
+  }
+  p2p::RequestPtr irecv(int src, int tag, std::span<std::byte> buffer) {
+    return world_->irecv(translate_src(src), scope_tag(tag), buffer);
+  }
+  bool test(const p2p::RequestPtr& r) { return world_->test(r); }
+  Status wait(const p2p::RequestPtr& r) { return world_->wait(r); }
+  Status wait_all(std::span<const p2p::RequestPtr> rs) {
+    return world_->wait_all(rs);
+  }
+  /// Completion info of a communicator-scoped receive, with the source
+  /// translated to a communicator rank.
+  [[nodiscard]] p2p::RecvInfo info_of(const p2p::RequestPtr& r) const {
+    return translate_info(r->info());
+  }
+
+  // ---- Collectives over the communicator ----
+  void barrier() { coll::detail::barrier(*this); }
+  void bcast(int root, std::span<std::byte> data) {
+    coll::detail::bcast(*this, root, data);
+  }
+  void reduce(int root, std::span<double> inout, coll::ReduceOp op) {
+    coll::detail::reduce(*this, root, inout, op);
+  }
+  void allreduce(std::span<double> inout, coll::ReduceOp op) {
+    coll::detail::allreduce(*this, inout, op);
+  }
+  void allreduce(std::span<std::int64_t> inout, coll::ReduceOp op) {
+    coll::detail::allreduce(*this, inout, op);
+  }
+  void allgather(std::span<const std::byte> mine, std::span<std::byte> all) {
+    coll::detail::allgather(*this, mine, all);
+  }
+  void alltoall(std::span<const std::byte> send_blocks,
+                std::span<std::byte> recv_blocks, std::size_t block) {
+    coll::detail::alltoall(*this, send_blocks, recv_blocks, block);
+  }
+  void gather(int root, std::span<const std::byte> mine,
+              std::span<std::byte> all) {
+    coll::detail::gather(*this, root, mine, all);
+  }
+  void scatter(int root, std::span<const std::byte> all,
+               std::span<std::byte> mine) {
+    coll::detail::scatter(*this, root, all, mine);
+  }
+  void scan(std::span<double> inout, coll::ReduceOp op) {
+    coll::detail::scan(*this, inout, op);
+  }
+
+  // ---- One-sided over the communicator (§3.2's flow) ----
+  /// Collective window creation among the members: the root creates the
+  /// object under a context-unique name and BROADCASTS the name to the
+  /// other members, exactly as §3.2 describes; everyone opens it.
+  rma::Window create_window(runtime::RankCtx& ctx, std::size_t win_size) {
+    const int root = 0;
+    std::string name;
+    if (rank() == root) {
+      name = "comm" + std::to_string(context_id_) + "_w" +
+             std::to_string(windows_created_);
+    }
+    ++windows_created_;
+    // Broadcast the (fixed-width) name from the root.
+    char buffer[rma::kWindowNameCapacity] = {};
+    if (rank() == root) {
+      CMPI_EXPECTS(name.size() < sizeof buffer);
+      std::copy(name.begin(), name.end(), buffer);
+    }
+    bcast(root, {reinterpret_cast<std::byte*>(buffer), sizeof buffer});
+    name.assign(buffer);
+    rma::Window window = rma::Window::create_grouped(
+        ctx, name, win_size, rank(), nranks(), /*is_root=*/rank() == root,
+        [this] { barrier(); });
+    return window;
+  }
+
+ private:
+  [[nodiscard]] int scope_tag(int tag) const {
+    int encoded;
+    if (tag >= coll::kCollTagBase) {
+      encoded = kMaxUserTag + (tag - coll::kCollTagBase);
+      CMPI_EXPECTS(encoded < 2 * kMaxUserTag);
+    } else {
+      CMPI_EXPECTS(tag >= 0 && tag < kMaxUserTag);
+      encoded = tag;
+    }
+    return (1 << 26) | (context_id_ << 13) | encoded;
+  }
+
+  [[nodiscard]] int translate_src(int src) const {
+    return src == p2p::kAnySource ? p2p::kAnySource : world_rank(src);
+  }
+
+  [[nodiscard]] p2p::RecvInfo translate_info(p2p::RecvInfo info) const {
+    const auto it = world_to_comm_.find(info.source);
+    CMPI_ASSERT(it != world_to_comm_.end());
+    info.source = it->second;
+    info.tag = (info.tag & (kMaxUserTag - 1));
+    return info;
+  }
+
+  p2p::Endpoint* world_;
+  int context_id_;
+  std::vector<int> members_;  // comm rank -> world rank, sorted by key
+  int my_index_;
+  std::map<int, int> world_to_comm_;
+  int windows_created_ = 0;
+};
+
+}  // namespace cmpi

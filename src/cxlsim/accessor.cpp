@@ -1,0 +1,252 @@
+#include "cxlsim/accessor.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/align.hpp"
+
+namespace cmpi::cxlsim {
+
+namespace {
+
+/// Number of whole cache lines an access spans.
+std::size_t lines_of(std::uint64_t offset, std::size_t size) noexcept {
+  return cache_lines_spanned(offset, size);
+}
+
+/// Per-line cost of a Back-Invalidate coherence transaction: snoop every
+/// other attached cache plus the device-directory lookup (§3.5's
+/// scalability argument — grows with the coherence domain).
+simtime::Ns bi_line_cost(DaxDevice& device) noexcept {
+  const auto& p = device.timing().params();
+  if (!p.hw_coherence) {
+    return 0;
+  }
+  const std::size_t others =
+      device.attached_caches() > 0 ? device.attached_caches() - 1 : 0;
+  return p.bi_snoop_base + p.bi_directory_lookup +
+         static_cast<simtime::Ns>(others) * p.bi_snoop_per_cache;
+}
+
+}  // namespace
+
+void Accessor::store(std::uint64_t offset, std::span<const std::byte> src) {
+  const auto& p = device_.timing().params();
+  if (is_uncachable(offset)) {
+    cache_.nt_store(offset, src);
+    clock_.advance(device_.timing().uncached_cost(src.size()));
+    return;
+  }
+  cache_.write(offset, src);
+  // Stores retire through the write buffer; per-line cost is a cache hit
+  // (plus the BI ownership transaction under hardware coherence).
+  clock_.advance(static_cast<simtime::Ns>(lines_of(offset, src.size())) *
+                 (p.cache_hit_latency + bi_line_cost(device_)));
+}
+
+void Accessor::load(std::uint64_t offset, std::span<std::byte> dst) {
+  const auto& p = device_.timing().params();
+  if (is_uncachable(offset)) {
+    cache_.nt_load(offset, dst);
+    clock_.advance(device_.timing().uncached_cost(dst.size()));
+    return;
+  }
+  const auto before = cache_.stats();
+  cache_.read(offset, dst);
+  const auto after = cache_.stats();
+  const auto misses = after.misses - before.misses;
+  const auto hits = after.hits - before.hits;
+  // Under hardware coherence every miss is also a BI snoop round.
+  clock_.advance(static_cast<simtime::Ns>(misses) *
+                     (p.line_fill_latency + bi_line_cost(device_)) +
+                 static_cast<simtime::Ns>(hits) * p.cache_hit_latency);
+}
+
+void Accessor::memset(std::uint64_t offset, std::byte value,
+                      std::size_t size) {
+  const auto& p = device_.timing().params();
+  if (is_uncachable(offset)) {
+    // One UC op for the whole range: the regime (write-combining vs TLP
+    // splitting) depends on the total size, Fig. 11.
+    std::byte chunk[kCacheLineSize];
+    std::fill(std::begin(chunk), std::end(chunk), value);
+    std::size_t done = 0;
+    while (done < size) {
+      const std::size_t n = std::min(size - done, sizeof chunk);
+      cache_.nt_store(offset + done, {chunk, n});
+      done += n;
+    }
+    clock_.advance(device_.timing().uncached_cost(size));
+    return;
+  }
+  cache_.memset(offset, value, size);
+  clock_.advance(static_cast<simtime::Ns>(lines_of(offset, size)) *
+                 p.cache_hit_latency);
+}
+
+void Accessor::charge_flush(const CacheSim::FlushResult& result,
+                            simtime::Ns per_line_cost) {
+  const auto& p = device_.timing().params();
+  if (result.lines_touched == 0) {
+    return;
+  }
+  clock_.advance(p.flush_base +
+                 static_cast<simtime::Ns>(result.lines_touched) *
+                     per_line_cost);
+  if (result.lines_written_back > 0) {
+    const simtime::Ns done = device_.timing().reserve_device(
+        clock_.now(), result.lines_written_back * kCacheLineSize,
+        /*is_read=*/false);
+    pending_drain_ =
+        std::max(pending_drain_, done + p.line_write_latency);
+  }
+}
+
+void Accessor::clflush(std::uint64_t offset, std::size_t size) {
+  charge_flush(cache_.clflush(offset, size),
+               device_.timing().params().clflush_per_line);
+}
+
+void Accessor::clflushopt(std::uint64_t offset, std::size_t size) {
+  charge_flush(cache_.clflush(offset, size),
+               device_.timing().params().clflushopt_per_line);
+}
+
+void Accessor::clwb(std::uint64_t offset, std::size_t size) {
+  charge_flush(cache_.clwb(offset, size),
+               device_.timing().params().clflushopt_per_line);
+}
+
+void Accessor::sfence() {
+  clock_.advance(device_.timing().params().fence_cost);
+  clock_.observe(pending_drain_);
+}
+
+void Accessor::lfence() {
+  clock_.advance(device_.timing().params().fence_cost);
+}
+
+void Accessor::coherent_write(std::uint64_t offset,
+                              std::span<const std::byte> src) {
+  store(offset, src);
+  clflushopt(offset, src.size());
+  sfence();
+}
+
+void Accessor::coherent_read(std::uint64_t offset, std::span<std::byte> dst) {
+  lfence();
+  // Invalidate any stale node-cached copy (write-back of locally dirty
+  // lines is the defined clflush behaviour; the coherence discipline says
+  // reader and writer ranges don't overlap concurrently).
+  clflush(offset, dst.size());
+  sfence();
+  load(offset, dst);
+}
+
+void Accessor::nt_store(std::uint64_t offset, std::span<const std::byte> src) {
+  const auto& p = device_.timing().params();
+  cache_.nt_store(offset, src);
+  if (src.size() <= sizeof(std::uint64_t)) {
+    clock_.advance(p.nt_store_latency);
+  } else {
+    const simtime::Ns done = device_.timing().reserve_device(
+        clock_.now(), src.size(), /*is_read=*/false);
+    pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
+    clock_.advance(static_cast<simtime::Ns>(lines_of(offset, src.size())) *
+                   p.cache_hit_latency);
+  }
+}
+
+void Accessor::nt_load(std::uint64_t offset, std::span<std::byte> dst) {
+  const auto& p = device_.timing().params();
+  cache_.nt_load(offset, dst);
+  if (dst.size() <= sizeof(std::uint64_t)) {
+    clock_.advance(p.nt_load_latency);
+  } else {
+    const simtime::Ns done = device_.timing().reserve_device(
+        clock_.now(), dst.size(), /*is_read=*/true);
+    clock_.observe(done + p.line_fill_latency);
+  }
+}
+
+std::uint64_t Accessor::nt_load_u64(std::uint64_t offset) {
+  clock_.advance(device_.timing().params().nt_load_latency);
+  return cache_.nt_load_u64(offset);
+}
+
+void Accessor::nt_store_u64(std::uint64_t offset, std::uint64_t value) {
+  clock_.advance(device_.timing().params().nt_store_latency);
+  cache_.nt_store_u64(offset, value);
+}
+
+void Accessor::bulk_write(std::uint64_t offset,
+                          std::span<const std::byte> src) {
+  if (src.empty()) {
+    return;
+  }
+  if (is_uncachable(offset)) {
+    // UC region: no streaming, no write-combining past the MPS (§4.5).
+    cache_.nt_store(offset, src);
+    clock_.advance(device_.timing().uncached_cost(src.size()));
+    return;
+  }
+  const auto& p = device_.timing().params();
+  CxlTimingModel::StreamScope stream(device_.timing());
+  const simtime::Ns start = clock_.now();
+  // §3.5 discipline: every bulk write ends with a flush round (the
+  // clflushopt sweep's setup cost; the per-line flush work is what limits
+  // the flushed streaming rate and is folded into the device reservation).
+  clock_.advance(p.flush_base + device_.timing().cpu_copy_cost(src.size()));
+  const simtime::Ns done =
+      device_.timing().reserve_device(start, src.size(), /*is_read=*/false);
+  pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
+  cache_.nt_store(offset, src);
+}
+
+void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst) {
+  if (dst.empty()) {
+    return;
+  }
+  if (is_uncachable(offset)) {
+    cache_.nt_load(offset, dst);
+    clock_.advance(device_.timing().uncached_cost(dst.size()));
+    return;
+  }
+  const auto& p = device_.timing().params();
+  CxlTimingModel::StreamScope stream(device_.timing());
+  const simtime::Ns start = clock_.now();
+  // §3.5 discipline: invalidate (flush) before the read so no stale lines
+  // satisfy it.
+  clock_.advance(p.flush_base + device_.timing().cpu_copy_cost(dst.size()));
+  const simtime::Ns done =
+      device_.timing().reserve_device(start, dst.size(), /*is_read=*/true);
+  clock_.observe(done + p.line_fill_latency);
+  cache_.nt_load(offset, dst);
+}
+
+void Accessor::publish_flag(std::uint64_t offset, std::uint64_t value) {
+  CMPI_EXPECTS(is_aligned(offset, sizeof(std::uint64_t)));
+  sfence();  // release: all prior writes are covered by the stamp
+  // Stamp first, value second: a reader that sees the new value (acquire)
+  // is guaranteed to see at least this stamp.
+  cache_.nt_store_u64(offset + sizeof(std::uint64_t),
+                      std::bit_cast<std::uint64_t>(clock_.now()));
+  clock_.advance(device_.timing().params().nt_store_latency);
+  cache_.nt_store_u64(offset, value);
+}
+
+Accessor::FlagValue Accessor::peek_flag(std::uint64_t offset) {
+  CMPI_EXPECTS(is_aligned(offset, sizeof(std::uint64_t)));
+  FlagValue out;
+  out.value = cache_.nt_load_u64(offset);
+  out.stamp = std::bit_cast<simtime::Ns>(
+      cache_.nt_load_u64(offset + sizeof(std::uint64_t)));
+  return out;
+}
+
+void Accessor::absorb_flag(const FlagValue& flag) {
+  clock_.advance(device_.timing().params().nt_load_latency);
+  clock_.observe(flag.stamp);
+}
+
+}  // namespace cmpi::cxlsim

@@ -1,0 +1,118 @@
+// Per-rank access path to the simulated CXL pool.
+//
+// Every CXL SHM touch in the upper layers (arena metadata, message cells,
+// RMA windows, synchronization flags) goes through an Accessor, which
+// performs the functional operation on the owning node's CacheSim and
+// charges the rank's virtual clock according to the device timing model.
+//
+// Operation classes, mirroring §3.5 of the paper:
+//   * cached load/store/memset — write-back, may be stale/invisible until
+//     flushed; per-line latency charges (control-plane sized data),
+//   * clflush / clflushopt / clwb + sfence/lfence — software coherence,
+//   * non-temporal ops — bypass the cache; u64 variants are the lock-free
+//     synchronization-flag primitives (head/tail pointers, PSCW flags),
+//   * bulk_write / bulk_read — streaming payload copies with the pipelined
+//     CPU + device bandwidth model (and contention gauge),
+//   * timestamped flags — an 8-byte value plus an 8-byte virtual-time stamp
+//     published together, the mechanism that propagates causality between
+//     rank clocks (see simtime/vclock.hpp).
+//
+// An Accessor is owned by exactly one rank thread; it is not thread-safe
+// (the CacheSim and device underneath are).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "cxlsim/cache_sim.hpp"
+#include "cxlsim/dax_device.hpp"
+#include "simtime/vclock.hpp"
+
+namespace cmpi::cxlsim {
+
+class Accessor {
+ public:
+  Accessor(DaxDevice& device, CacheSim& node_cache, simtime::VClock& clock)
+      : device_(device), cache_(node_cache), clock_(clock) {}
+
+  Accessor(const Accessor&) = delete;
+  Accessor& operator=(const Accessor&) = delete;
+
+  // --- Cached (write-back) accesses; per-line latency charges ---
+  void store(std::uint64_t offset, std::span<const std::byte> src);
+  void load(std::uint64_t offset, std::span<std::byte> dst);
+  void memset(std::uint64_t offset, std::byte value, std::size_t size);
+
+  // --- Flush family ---
+  void clflush(std::uint64_t offset, std::size_t size);
+  void clflushopt(std::uint64_t offset, std::size_t size);
+  void clwb(std::uint64_t offset, std::size_t size);
+
+  /// Store fence: waits (in virtual time) for outstanding write-backs to
+  /// reach the device.
+  void sfence();
+  /// Load fence: ordering cost only.
+  void lfence();
+
+  // --- §3.5 composite coherence helpers ---
+  /// "After every write, flush + fence": cached store, clflushopt, sfence.
+  void coherent_write(std::uint64_t offset, std::span<const std::byte> src);
+  /// "Before every read, fence + flush": lfence, invalidate, cached load.
+  void coherent_read(std::uint64_t offset, std::span<std::byte> dst);
+
+  // --- Non-temporal accesses ---
+  void nt_store(std::uint64_t offset, std::span<const std::byte> src);
+  void nt_load(std::uint64_t offset, std::span<std::byte> dst);
+  std::uint64_t nt_load_u64(std::uint64_t offset);
+  void nt_store_u64(std::uint64_t offset, std::uint64_t value);
+
+  // --- Streaming payload copies (message cells, RMA data) ---
+  /// Local buffer -> pool. Functionally non-temporal (immediately visible
+  /// to other heads); charges the CPU copy cost and reserves device write
+  /// bandwidth. Device completion is folded into the next sfence.
+  void bulk_write(std::uint64_t offset, std::span<const std::byte> src);
+  /// Pool -> local buffer; charges CPU copy and device read bandwidth.
+  void bulk_read(std::uint64_t offset, std::span<std::byte> dst);
+
+  // --- Timestamped synchronization flags ---
+  /// Layout: [u64 value][u64 vtime bits]; 16 bytes, 8-byte aligned.
+  static constexpr std::size_t kFlagBytes = 16;
+
+  struct FlagValue {
+    std::uint64_t value = 0;
+    simtime::Ns stamp = 0;
+  };
+
+  /// Publish value + the caller's current virtual time. Issues an sfence
+  /// first so the stamp covers all prior writes (release semantics).
+  void publish_flag(std::uint64_t offset, std::uint64_t value);
+
+  /// Read a flag without charging time (failed polls are waiting, not
+  /// work; see the runtime's wait loops).
+  [[nodiscard]] FlagValue peek_flag(std::uint64_t offset);
+
+  /// Charge one NT-load round and absorb the publisher's stamp into this
+  /// rank's clock. Call exactly once per observed transition.
+  void absorb_flag(const FlagValue& flag);
+
+  [[nodiscard]] simtime::VClock& clock() noexcept { return clock_; }
+  [[nodiscard]] DaxDevice& device() noexcept { return device_; }
+  [[nodiscard]] CacheSim& node_cache() noexcept { return cache_; }
+
+ private:
+  [[nodiscard]] bool is_uncachable(std::uint64_t offset) const noexcept {
+    return device_.cacheability(offset) == Cacheability::kUncachable;
+  }
+  void charge_flush(const CacheSim::FlushResult& result,
+                    simtime::Ns per_line_cost);
+
+  DaxDevice& device_;
+  CacheSim& cache_;
+  simtime::VClock& clock_;
+  /// Latest device completion stamp of writes this rank issued but has not
+  /// yet fenced (flush write-backs, NT stores, bulk writes).
+  simtime::Ns pending_drain_ = 0;
+};
+
+}  // namespace cmpi::cxlsim

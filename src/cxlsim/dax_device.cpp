@@ -1,0 +1,185 @@
+#include "cxlsim/dax_device.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "common/log.hpp"
+#include "cxlsim/cache_sim.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+namespace cmpi::cxlsim {
+namespace {
+
+int make_memfd(const char* name, std::size_t size) {
+#if defined(__linux__)
+  const int fd = static_cast<int>(syscall(SYS_memfd_create, name, 0));
+#else
+  (void)name;
+  const int fd = -1;
+  errno = ENOSYS;
+#endif
+  if (fd < 0) {
+    return -1;
+  }
+  if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DaxDevice>> DaxDevice::create(
+    std::size_t size, unsigned heads, const CxlTimingParams& timing) {
+  if (size == 0) {
+    return status::invalid_argument("pool size must be nonzero");
+  }
+  if (heads == 0) {
+    return status::invalid_argument("device needs at least one head");
+  }
+  const std::size_t pool_size = align_up(size, kDaxAlignment);
+
+  const int pool_fd = make_memfd("cmpi-cxl-pool", pool_size);
+  if (pool_fd < 0) {
+    return status::internal(std::string("memfd_create(pool): ") +
+                            std::strerror(errno));
+  }
+  void* pool_base = mmap(nullptr, pool_size, PROT_READ | PROT_WRITE,
+                         MAP_SHARED, pool_fd, 0);
+  if (pool_base == MAP_FAILED) {
+    close(pool_fd);
+    return status::internal(std::string("mmap(pool): ") +
+                            std::strerror(errno));
+  }
+
+  const int ctrl_fd = make_memfd("cmpi-cxl-ctrl", sizeof(CtrlBlock));
+  if (ctrl_fd < 0) {
+    munmap(pool_base, pool_size);
+    close(pool_fd);
+    return status::internal(std::string("memfd_create(ctrl): ") +
+                            std::strerror(errno));
+  }
+  void* ctrl_raw = mmap(nullptr, sizeof(CtrlBlock), PROT_READ | PROT_WRITE,
+                        MAP_SHARED, ctrl_fd, 0);
+  if (ctrl_raw == MAP_FAILED) {
+    munmap(pool_base, pool_size);
+    close(pool_fd);
+    close(ctrl_fd);
+    return status::internal(std::string("mmap(ctrl): ") +
+                            std::strerror(errno));
+  }
+
+  auto* ctrl = new (ctrl_raw) CtrlBlock{};
+  pthread_mutexattr_t attr;
+  pthread_mutexattr_init(&attr);
+  pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  pthread_mutex_init(&ctrl->pool_mutex, &attr);
+  pthread_mutexattr_destroy(&attr);
+
+  log_info("cxlsim: created pooled device: %zu MiB, %u heads",
+           pool_size >> 20, heads);
+  return std::unique_ptr<DaxDevice>(
+      new DaxDevice(pool_fd, static_cast<std::byte*>(pool_base), pool_size,
+                    ctrl_fd, ctrl, heads, timing));
+}
+
+DaxDevice::DaxDevice(int pool_fd, std::byte* pool_base, std::size_t size,
+                     int ctrl_fd, CtrlBlock* ctrl, unsigned heads,
+                     const CxlTimingParams& timing)
+    : pool_fd_(pool_fd),
+      pool_base_(pool_base),
+      size_(size),
+      ctrl_fd_(ctrl_fd),
+      ctrl_(ctrl),
+      heads_(heads),
+      timing_(timing) {}
+
+DaxDevice::~DaxDevice() {
+  if (ctrl_ != nullptr) {
+    pthread_mutex_destroy(&ctrl_->pool_mutex);
+    munmap(ctrl_, sizeof(CtrlBlock));
+  }
+  if (ctrl_fd_ >= 0) {
+    close(ctrl_fd_);
+  }
+  if (pool_base_ != nullptr) {
+    munmap(pool_base_, size_);
+  }
+  if (pool_fd_ >= 0) {
+    close(pool_fd_);
+  }
+}
+
+Status DaxDevice::set_cacheability(std::uint64_t offset, std::uint64_t size,
+                                   Cacheability type) {
+  if (size == 0 || offset + size > size_) {
+    return status::invalid_argument("MTRR range outside the pool");
+  }
+  MtrrTable& table = ctrl_->mtrr;
+  // Reprogramming an existing range replaces it.
+  for (std::uint32_t i = 0; i < table.count; ++i) {
+    if (table.ranges[i].offset == offset && table.ranges[i].size == size) {
+      table.ranges[i].type = type;
+      return Status::ok();
+    }
+  }
+  if (table.count == MtrrTable::kMaxRanges) {
+    return status::capacity_exceeded("MTRR register file full");
+  }
+  table.ranges[table.count++] = {offset, size, type};
+  return Status::ok();
+}
+
+void DaxDevice::register_cache(CacheSim* cache) {
+  std::lock_guard lock(cache_registry_mutex_);
+  caches_.push_back(cache);
+}
+
+void DaxDevice::unregister_cache(CacheSim* cache) {
+  std::lock_guard lock(cache_registry_mutex_);
+  std::erase(caches_, cache);
+}
+
+std::size_t DaxDevice::attached_caches() const {
+  std::lock_guard lock(cache_registry_mutex_);
+  return caches_.size();
+}
+
+void DaxDevice::bi_write_acquire(std::uint64_t line_offset, CacheSim* self) {
+  std::lock_guard lock(cache_registry_mutex_);
+  for (CacheSim* cache : caches_) {
+    if (cache != self) {
+      cache->external_invalidate(line_offset);
+    }
+  }
+}
+
+void DaxDevice::bi_read_acquire(std::uint64_t line_offset, CacheSim* self) {
+  std::lock_guard lock(cache_registry_mutex_);
+  for (CacheSim* cache : caches_) {
+    if (cache != self) {
+      cache->external_writeback(line_offset);
+    }
+  }
+}
+
+Cacheability DaxDevice::cacheability(std::uint64_t offset) const noexcept {
+  const MtrrTable& table = ctrl_->mtrr;
+  for (std::uint32_t i = 0; i < table.count; ++i) {
+    const auto& r = table.ranges[i];
+    if (offset >= r.offset && offset < r.offset + r.size) {
+      return r.type;
+    }
+  }
+  return Cacheability::kWriteBack;
+}
+
+}  // namespace cmpi::cxlsim

@@ -1,0 +1,81 @@
+#include "fabric/profiles.hpp"
+
+namespace cmpi::fabric {
+
+// Calibration notes (targets from the paper):
+//   raw one-way latency      = send_overhead + wire_latency + recv_overhead
+//   MPI two-sided latency    = raw + 2 * mpi_msg_overhead
+//   MPI one-sided latency    = two-sided + 2 * rma_sync_overhead
+//   single-stream large-message bandwidth ≈ mtu / per_segment_overhead
+//   aggregate bandwidth cap  = wire_bytes_per_ns
+NicProfile tcp_ethernet() {
+  NicProfile p;
+  p.name = "TCP over Ethernet";
+  p.loggp.send_overhead = 4000;        // kernel TCP stack, raw 16 us total
+  p.loggp.wire_latency = 8000;
+  p.loggp.recv_overhead = 4000;
+  p.loggp.wire_bytes_per_ns = 0.1178;  // 117.8 MB/s (Table 1)
+  p.loggp.mtu = 1500;
+  p.loggp.per_segment_overhead = 1000;  // software packetization
+  p.mpi_msg_overhead = 72000;   // OSU two-sided ≈ 160 us (§4.2)
+  p.rma_sync_overhead = 290000; // OSU one-sided ≈ 630 us (§4.2)
+  return p;
+}
+
+NicProfile tcp_cx6dx() {
+  NicProfile p;
+  p.name = "TCP over Mellanox CX-6 Dx";
+  p.loggp.send_overhead = 4500;        // raw 18 us total
+  p.loggp.wire_latency = 9000;
+  p.loggp.recv_overhead = 4500;
+  p.loggp.wire_bytes_per_ns = 11.5;    // 11.5 GB/s (Table 1)
+  p.loggp.mtu = 1500;
+  p.loggp.per_segment_overhead = 860;  // ~1.7 GB/s single-stream TCP
+  p.mpi_msg_overhead = 18500;   // OSU two-sided ≈ 55 us (§4.2)
+  p.rma_sync_overhead = 475000; // OSU one-sided ≈ 620 us (§4.2)
+  return p;
+}
+
+NicProfile rocev2_cx6dx() {
+  NicProfile p;
+  p.name = "RoCEv2 over Mellanox CX-6 Dx";
+  p.loggp.send_overhead = 400;         // kernel bypass, raw 1.6 us
+  p.loggp.wire_latency = 900;
+  p.loggp.recv_overhead = 300;
+  p.loggp.wire_bytes_per_ns = 10.8;
+  p.loggp.mtu = 4096;
+  p.loggp.per_segment_overhead = 50;   // NIC segmentation
+  p.mpi_msg_overhead = 1500;
+  p.rma_sync_overhead = 3000;          // native RDMA, no emulation
+  return p;
+}
+
+NicProfile rocev2_cx3() {
+  NicProfile p;
+  p.name = "RoCEv2 over Mellanox CX-3";
+  p.loggp.send_overhead = 500;         // raw ~2 us
+  p.loggp.wire_latency = 1100;
+  p.loggp.recv_overhead = 400;
+  p.loggp.wire_bytes_per_ns = 7.0;
+  p.loggp.mtu = 4096;
+  p.loggp.per_segment_overhead = 80;
+  p.mpi_msg_overhead = 2000;
+  p.rma_sync_overhead = 4000;
+  return p;
+}
+
+NicProfile infiniband_cx6() {
+  NicProfile p;
+  p.name = "InfiniBand over Mellanox CX-6";
+  p.loggp.send_overhead = 150;         // raw ~0.6 us
+  p.loggp.wire_latency = 300;
+  p.loggp.recv_overhead = 150;
+  p.loggp.wire_bytes_per_ns = 25.0;
+  p.loggp.mtu = 4096;
+  p.loggp.per_segment_overhead = 30;
+  p.mpi_msg_overhead = 800;
+  p.rma_sync_overhead = 1500;
+  return p;
+}
+
+}  // namespace cmpi::fabric

@@ -1,0 +1,52 @@
+// Interconnect profiles for the network baselines, calibrated to Table 1
+// of the paper and to the MPI-level latencies its figures report.
+//
+// Raw-transport numbers (latency, bandwidth) come straight from Table 1.
+// MPI-over-transport overheads are calibrated from the OSU-level results:
+// the paper measures ~55 us small-message two-sided latency over TCP/CX-6
+// Dx (vs 18 us raw iperf) and ~160 us over commodity Ethernet (vs 16 us
+// raw), the difference being socket-progress, copies, and rendezvous
+// machinery inside MPICH's TCP netmod. One-sided over TCP is slower still
+// (~620-630 us regardless of NIC) because RMA is emulated with packet
+// round-trips serviced only when the target enters its progress engine —
+// `rma_sync_overhead` models that target-side progress delay.
+#pragma once
+
+#include <string>
+
+#include "simtime/loggp.hpp"
+
+namespace cmpi::fabric {
+
+struct NicProfile {
+  std::string name;
+  simtime::LogGPParams loggp;
+  /// Extra per-message MPI software cost (matching, request bookkeeping,
+  /// socket syscalls) charged at each side on top of LogGP overheads.
+  simtime::Ns mpi_msg_overhead = 0;
+  /// Target-side progress delay for emulated one-sided operations: the
+  /// origin's synchronization completes only after the target's progress
+  /// engine services the RMA packets.
+  simtime::Ns rma_sync_overhead = 0;
+  /// Socket/QP send-buffer: max bytes in flight per pair before the
+  /// sender blocks on the receiver (flow control). Large enough that a
+  /// streaming sender pipelines several max-size (4 MiB) messages.
+  std::size_t sndbuf = 16 * 1024 * 1024;
+};
+
+/// TCP over a standard Ethernet NIC: 16 us, 117.8 MB/s (Table 1).
+NicProfile tcp_ethernet();
+
+/// TCP over Mellanox CX-6 Dx (high-end SmartNIC): 18 us, 11.5 GB/s.
+NicProfile tcp_cx6dx();
+
+/// RoCEv2 over Mellanox CX-6 Dx: 1.6 us, 10.8 GB/s.
+NicProfile rocev2_cx6dx();
+
+/// RoCEv2 over Mellanox CX-3 (low-end SmartNIC): ~2 us, 7.0 GB/s.
+NicProfile rocev2_cx3();
+
+/// InfiniBand over Mellanox CX-6: ~0.6 us, 25 GB/s.
+NicProfile infiniband_cx6();
+
+}  // namespace cmpi::fabric

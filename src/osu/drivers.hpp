@@ -1,0 +1,70 @@
+// OSU-Micro-Benchmark-style drivers (paper §4.2).
+//
+// The paper measures cMPI with the OSU suite: streaming multi-pair
+// bandwidth and ping-pong latency for two-sided communication, and the
+// one-sided put benchmarks extended to N origin / N target processes.
+// These drivers reproduce that protocol over both backends:
+//
+//   * cxl_*  — the real cMPI stack (Universe + Session / rma::Window),
+//   * net_*  — the modeled network baselines (NetUniverse + NetWindow).
+//
+// Protocol per data point, faithful to OSU:
+//   bandwidth: each sender streams `window` back-to-back messages per
+//     iteration, then waits for a 4-byte ack (two-sided) or closes the
+//     epoch (one-sided). Aggregate MB/s = total bytes / max rank time.
+//   latency: ping-pong (two-sided) or put+epoch (one-sided); reported
+//     one-way/per-op average in microseconds.
+//
+// `procs` processes split half senders (ranks [0, procs/2)) on node 0 and
+// half receivers on node 1, matching the paper's two-server testbed. All
+// times are virtual (see simtime/vclock.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/net_fabric.hpp"
+#include "runtime/universe.hpp"
+
+namespace cmpi::osu {
+
+struct SweepParams {
+  std::vector<std::size_t> sizes;  ///< message sizes to sweep
+  int procs = 2;                   ///< total processes (even)
+  int iters = 10;                  ///< timed iterations per size
+  int warmup = 2;                  ///< untimed iterations per size
+  /// Cap on per-iteration bytes per pair: window = clamp(window_bytes /
+  /// size, 2, 32) keeps wall-clock bounded across the sweep.
+  std::size_t window_bytes = 1024 * 1024;
+  /// cMPI message-cell payload (§4.3; the paper's tuned value is 64 KiB).
+  std::size_t cell_payload = 64 * 1024;
+  std::size_t ring_cells = 8;
+};
+
+/// Message window for a given size (OSU window, adaptively bounded).
+int window_for(const SweepParams& params, std::size_t size);
+
+/// Standard OSU size ladder 1 B .. 8 MiB (powers of two).
+std::vector<std::size_t> osu_sizes(std::size_t max = 8u * 1024 * 1024);
+
+// ---- cMPI over CXL SHM ----
+std::vector<double> cxl_twosided_bw_mbps(const SweepParams& params);
+std::vector<double> cxl_twosided_latency_us(const SweepParams& params);
+std::vector<double> cxl_onesided_bw_mbps(const SweepParams& params);
+std::vector<double> cxl_onesided_latency_us(const SweepParams& params);
+
+// ---- MPI over a modeled NIC ----
+std::vector<double> net_twosided_bw_mbps(const fabric::NicProfile& profile,
+                                         const SweepParams& params);
+std::vector<double> net_twosided_latency_us(const fabric::NicProfile& profile,
+                                            const SweepParams& params);
+std::vector<double> net_onesided_bw_mbps(const fabric::NicProfile& profile,
+                                         const SweepParams& params);
+std::vector<double> net_onesided_latency_us(const fabric::NicProfile& profile,
+                                            const SweepParams& params);
+
+/// UniverseConfig sized for a bench sweep (pool large enough for the ring
+/// matrix and windows at the given proc count / cell size).
+runtime::UniverseConfig bench_universe_config(const SweepParams& params);
+
+}  // namespace cmpi::osu

@@ -1,0 +1,135 @@
+#include "osu/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace cmpi::osu {
+
+FigureTable::FigureTable(std::string title, std::string row_label,
+                         std::string value_unit)
+    : title_(std::move(title)),
+      row_label_(std::move(row_label)),
+      value_unit_(std::move(value_unit)) {}
+
+void FigureTable::add_series(const std::string& name) {
+  if (std::find(series_order_.begin(), series_order_.end(), name) ==
+      series_order_.end()) {
+    series_order_.push_back(name);
+    data_[name];
+  }
+}
+
+void FigureTable::set(const std::string& series, std::size_t row_key,
+                      double value) {
+  add_series(series);
+  if (std::find(row_order_.begin(), row_order_.end(), row_key) ==
+      row_order_.end()) {
+    row_order_.push_back(row_key);
+  }
+  data_[series][row_key] = value;
+}
+
+double FigureTable::at(const std::string& series, std::size_t row_key) const {
+  const auto s = data_.find(series);
+  CMPI_EXPECTS(s != data_.end());
+  const auto v = s->second.find(row_key);
+  CMPI_EXPECTS(v != s->second.end());
+  return v->second;
+}
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[32];
+  if (v >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (v >= 10) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void FigureTable::print(std::ostream& os) const {
+  os << "\n== " << title_ << " (" << value_unit_ << ") ==\n";
+  // Column widths.
+  std::size_t key_width = row_label_.size();
+  for (const std::size_t key : row_order_) {
+    key_width = std::max(key_width, format_size(key).size());
+  }
+  std::vector<std::size_t> widths;
+  for (const auto& name : series_order_) {
+    std::size_t w = name.size();
+    for (const std::size_t key : row_order_) {
+      const auto it = data_.at(name).find(key);
+      if (it != data_.at(name).end()) {
+        w = std::max(w, format_value(it->second).size());
+      }
+    }
+    widths.push_back(w);
+  }
+  // Header.
+  os << "  " << row_label_;
+  os << std::string(key_width - row_label_.size(), ' ');
+  for (std::size_t i = 0; i < series_order_.size(); ++i) {
+    os << "  " << std::string(widths[i] - series_order_[i].size(), ' ')
+       << series_order_[i];
+  }
+  os << "\n";
+  // Rows.
+  for (const std::size_t key : row_order_) {
+    const std::string label = format_size(key);
+    os << "  " << label << std::string(key_width - label.size(), ' ');
+    for (std::size_t i = 0; i < series_order_.size(); ++i) {
+      const auto& column = data_.at(series_order_[i]);
+      const auto it = column.find(key);
+      const std::string cell =
+          it == column.end() ? "-" : format_value(it->second);
+      os << "  " << std::string(widths[i] - cell.size(), ' ') << cell;
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void FigureTable::print_csv(std::ostream& os) const {
+  os << row_label_;
+  for (const auto& name : series_order_) {
+    os << "," << name;
+  }
+  os << "\n";
+  for (const std::size_t key : row_order_) {
+    os << key;
+    for (const auto& name : series_order_) {
+      const auto& column = data_.at(name);
+      const auto it = column.find(key);
+      os << ",";
+      if (it != column.end()) {
+        os << it->second;
+      }
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+double max_ratio(const FigureTable& table, const std::string& numerator,
+                 const std::string& denominator) {
+  double best = 0;
+  for (const std::size_t key : table.rows()) {
+    const double a = table.at(numerator, key);
+    const double b = table.at(denominator, key);
+    if (b > 0) {
+      best = std::max(best, a / b);
+    }
+  }
+  return best;
+}
+
+}  // namespace cmpi::osu

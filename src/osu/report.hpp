@@ -1,0 +1,55 @@
+// Figure/table reporting for the bench binaries: aligned text tables with
+// one row per message size and one column per series (transport x procs),
+// plus optional CSV for plotting. Every bench prints the same rows/series
+// the paper's figure plots.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmpi::osu {
+
+class FigureTable {
+ public:
+  /// `title`: e.g. "Figure 7: bandwidth of two-sided MPI communication".
+  /// `row_label`: e.g. "Size"; `value_unit`: e.g. "MB/s".
+  FigureTable(std::string title, std::string row_label,
+              std::string value_unit);
+
+  /// Register a series column (insertion order preserved).
+  void add_series(const std::string& name);
+
+  /// Record one value. Rows appear in first-set order.
+  void set(const std::string& series, std::size_t row_key, double value);
+
+  /// Aligned text table.
+  void print(std::ostream& os) const;
+
+  /// CSV (same data, machine-readable).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] double at(const std::string& series,
+                          std::size_t row_key) const;
+  [[nodiscard]] const std::vector<std::size_t>& rows() const noexcept {
+    return row_order_;
+  }
+
+ private:
+  std::string title_;
+  std::string row_label_;
+  std::string value_unit_;
+  std::vector<std::string> series_order_;
+  std::vector<std::size_t> row_order_;
+  std::map<std::string, std::map<std::size_t, double>> data_;
+};
+
+/// "who wins" annotation helper: max ratio of series a over series b
+/// across rows where both exist (used for the paper's headline "up to Nx"
+/// claims).
+double max_ratio(const FigureTable& table, const std::string& numerator,
+                 const std::string& denominator);
+
+}  // namespace cmpi::osu

@@ -1,0 +1,444 @@
+#include "p2p/endpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace cmpi::p2p {
+
+Endpoint Endpoint::create(runtime::RankCtx& ctx) {
+  const auto& cfg = ctx.config();
+  std::optional<queue::QueueMatrix> matrix;
+  if (ctx.rank() == 0) {
+    matrix = check_ok(queue::QueueMatrix::create(
+        ctx.arena(), ctx.acc(), ctx.nranks(), cfg.ring_cells,
+        cfg.cell_payload));
+  }
+  ctx.barrier();  // §3.4: creation epoch closes before anyone opens
+  if (ctx.rank() != 0) {
+    matrix = check_ok(
+        queue::QueueMatrix::open(ctx.arena(), ctx.acc(), ctx.nranks()));
+  }
+  ctx.barrier();
+  return Endpoint(ctx, std::move(*matrix));
+}
+
+Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
+    : ctx_(&ctx),
+      matrix_(std::move(matrix)),
+      assembly_(static_cast<std::size_t>(ctx.nranks())),
+      send_queues_(static_cast<std::size_t>(ctx.nranks())),
+      ssend_sent_(static_cast<std::size_t>(ctx.nranks()), 0),
+      ssend_seen_(static_cast<std::size_t>(ctx.nranks()), 0) {}
+
+namespace {
+/// Internal tag space for synchronous-send acknowledgements: per-pair
+/// sequence numbers folded into a reserved range above user and
+/// collective tags. FIFO per pair keeps sender and receiver counters in
+/// step.
+constexpr int kSsendAckBase = 1 << 23;
+constexpr std::uint32_t kSsendAckRange = 1u << 20;
+
+int ssend_ack_tag(std::uint32_t counter) {
+  return kSsendAckBase + static_cast<int>(counter % kSsendAckRange);
+}
+
+bool is_internal_tag(int tag) { return tag >= kSsendAckBase; }
+}  // namespace
+
+// ---------- Send path ----------
+
+RequestPtr Endpoint::isend(int dst, int tag,
+                           std::span<const std::byte> data) {
+  CMPI_EXPECTS(dst >= 0 && dst < nranks());
+  CMPI_EXPECTS(tag >= 0);
+  ctx_->charge_mpi_overhead();
+  auto request = std::make_shared<Request>();
+  request->kind = Request::Kind::kSend;
+  request->peer = dst;
+  request->tag = tag;
+  request->send_data = data;
+  if (!is_internal_tag(tag)) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += data.size();
+  }
+  send_queues_[static_cast<std::size_t>(dst)].push_back(request);
+  push_sends(dst);
+  return request;
+}
+
+Status Endpoint::send(int dst, int tag, std::span<const std::byte> data) {
+  return wait(isend(dst, tag, data));
+}
+
+RequestPtr Endpoint::issend(int dst, int tag,
+                            std::span<const std::byte> data) {
+  CMPI_EXPECTS(dst >= 0 && dst < nranks());
+  CMPI_EXPECTS(tag >= 0);
+  ctx_->charge_mpi_overhead();
+  auto request = std::make_shared<Request>();
+  request->kind = Request::Kind::kSend;
+  request->peer = dst;
+  request->tag = tag;
+  request->send_data = data;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += data.size();
+  request->synchronous = true;
+  // Post the internal ack receive before the data can possibly arrive.
+  const std::uint32_t counter =
+      ssend_sent_[static_cast<std::size_t>(dst)]++;
+  request->ack = irecv(dst, ssend_ack_tag(counter), {});
+  send_queues_[static_cast<std::size_t>(dst)].push_back(request);
+  push_sends(dst);
+  return request;
+}
+
+Status Endpoint::ssend(int dst, int tag, std::span<const std::byte> data) {
+  return wait(issend(dst, tag, data));
+}
+
+void Endpoint::push_sends(int dst) {
+  auto& pending = send_queues_[static_cast<std::size_t>(dst)];
+  queue::SpscRing& ring = matrix_.ring(ctx_->acc(), dst, rank());
+  const std::size_t cell = matrix_.cell_payload();
+  while (!pending.empty()) {
+    Request& req = *pending.front();
+    const std::size_t total = req.send_data.size();
+    bool made_progress = false;
+    while (req.bytes_pushed < total || (total == 0 && !req.staged)) {
+      const std::size_t chunk =
+          std::min(cell, total - req.bytes_pushed);
+      const bool last = req.bytes_pushed + chunk == total;
+      queue::CellHeader header{};
+      header.src_rank = static_cast<std::uint64_t>(rank());
+      header.tag = static_cast<std::uint64_t>(req.tag);
+      header.total_bytes = total;
+      header.chunk_offset = req.bytes_pushed;
+      header.chunk_bytes = chunk;
+      header.flags = (last ? queue::kLastChunk : 0) |
+                     (req.synchronous ? queue::kSyncSend : 0);
+      if (!ring.try_enqueue(ctx_->acc(), header,
+                            req.send_data.subspan(req.bytes_pushed, chunk))) {
+        break;
+      }
+      made_progress = true;
+      req.bytes_pushed += chunk;
+      if (last) {
+        req.staged = true;
+        break;
+      }
+    }
+    if (made_progress) {
+      ctx_->doorbell().ring();
+    }
+    if (!req.staged) {
+      return;  // ring full; resume in a later progress() call
+    }
+    if (req.synchronous) {
+      // Completion comes with the receiver's match ack (progress()).
+      pending_ssends_.push_back(pending.front());
+    } else {
+      req.complete_ = true;
+    }
+    pending.pop_front();
+  }
+}
+
+void Endpoint::send_ssend_ack(int src, std::uint32_t counter) {
+  // Zero-byte internal message; its tag encodes the per-pair sequence.
+  const RequestPtr ack = isend(src, ssend_ack_tag(counter), {});
+  // Zero-byte sends stage immediately unless the ring is full; either way
+  // the send queue's progress machinery owns it now.
+  (void)ack;
+}
+
+// ---------- Receive path ----------
+
+RequestPtr Endpoint::irecv(int src, int tag, std::span<std::byte> buffer) {
+  CMPI_EXPECTS(src == kAnySource || (src >= 0 && src < nranks()));
+  CMPI_EXPECTS(tag == kAnyTag || tag >= 0);
+  ctx_->charge_mpi_overhead();
+  auto request = std::make_shared<Request>();
+  request->kind = Request::Kind::kRecv;
+  request->peer = src;
+  request->tag = tag;
+  request->recv_buffer = buffer;
+  if (!match_unexpected(*request)) {
+    posted_recvs_.push_back(request);
+  }
+  return request;
+}
+
+Result<RecvInfo> Endpoint::recv(int src, int tag,
+                                std::span<std::byte> buffer) {
+  const RequestPtr request = irecv(src, tag, buffer);
+  const Status status = wait(request);
+  if (!status.is_ok()) {
+    return status;
+  }
+  return request->info();
+}
+
+bool Endpoint::match_unexpected(Request& request) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    UnexpectedMsg& msg = **it;
+    if (!msg.full() ||
+        !tags_match(request.peer, request.tag, msg.source, msg.tag)) {
+      continue;
+    }
+    const std::size_t copy = std::min(msg.total, request.recv_buffer.size());
+    // One extra host copy — the cost of an unexpected arrival, same as in
+    // MPICH. The CXL-side copy was already charged when the chunk was
+    // drained.
+    if (copy > 0) {
+      std::memcpy(request.recv_buffer.data(), msg.data.data(), copy);
+      ctx_->clock().advance(
+          static_cast<double>(copy) /
+          ctx_->device().timing().params().local_mem_bytes_per_ns);
+    }
+    const bool truncated = msg.total > request.recv_buffer.size();
+    complete_recv(request, msg.source, msg.tag, copy,
+                  truncated
+                      ? status::truncated("message larger than recv buffer")
+                      : Status::ok());
+    if (msg.synchronous) {
+      // The sender's Ssend may complete now: the message is matched.
+      send_ssend_ack(msg.source, msg.ssend_counter);
+    }
+    unexpected_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void Endpoint::complete_recv(Request& request, int src, int tag,
+                             std::size_t bytes, Status status) {
+  if (!is_internal_tag(tag)) {
+    ++stats_.messages_received;
+    stats_.bytes_received += bytes;
+  }
+  request.info_.source = src;
+  request.info_.tag = tag;
+  request.info_.bytes = bytes;
+  request.result_ = std::move(status);
+  request.complete_ = true;
+}
+
+void Endpoint::drain_source(int src) {
+  queue::SpscRing& ring = matrix_.ring(ctx_->acc(), rank(), src);
+  Assembly& assembly = assembly_[static_cast<std::size_t>(src)];
+  bool drained_any = false;
+  for (;;) {
+    const std::optional<queue::CellHeader> header = ring.peek(ctx_->acc());
+    if (!header.has_value()) {
+      break;
+    }
+    const int tag = static_cast<int>(header->tag);
+    if (!assembly.active) {
+      // First chunk of a new message: match against posted receives.
+      assembly.active = true;
+      assembly.total = header->total_bytes;
+      assembly.received = 0;
+      assembly.truncated = false;
+      assembly.request = nullptr;
+      assembly.unexpected = nullptr;
+      assembly.synchronous = (header->flags & queue::kSyncSend) != 0;
+      if (assembly.synchronous) {
+        // Arrival order mirrors the sender's issend order (FIFO ring).
+        assembly.ssend_counter =
+            ssend_seen_[static_cast<std::size_t>(src)]++;
+      }
+      auto posted = std::find_if(
+          posted_recvs_.begin(), posted_recvs_.end(), [&](const RequestPtr& r) {
+            return tags_match(r->peer, r->tag, src, tag);
+          });
+      if (posted != posted_recvs_.end()) {
+        assembly.request = posted->get();
+        assembly.request->matched = true;
+        // Keep the shared_ptr alive through assembly.
+        assembly.unexpected = nullptr;
+        matched_keepalive_.push_back(*posted);
+        posted_recvs_.erase(posted);
+      } else {
+        auto msg = std::make_shared<UnexpectedMsg>();
+        if (!is_internal_tag(tag)) {
+          ++stats_.unexpected_messages;
+        }
+        msg->source = src;
+        msg->tag = tag;
+        msg->total = header->total_bytes;
+        msg->data.resize(header->total_bytes);
+        msg->synchronous = assembly.synchronous;
+        msg->ssend_counter = assembly.ssend_counter;
+        assembly.unexpected = msg;
+        unexpected_.push_back(msg);
+      }
+    }
+
+    // Deliver this chunk.
+    queue::CellHeader consumed{};
+    if (assembly.request != nullptr) {
+      std::span<std::byte> buffer = assembly.request->recv_buffer;
+      if (header->chunk_offset + header->chunk_bytes <= buffer.size()) {
+        ring.try_dequeue(ctx_->acc(), consumed,
+                         buffer.subspan(header->chunk_offset,
+                                        header->chunk_bytes));
+      } else {
+        // Truncation: consume through a scratch buffer, keep what fits.
+        scratch_.resize(header->chunk_bytes);
+        ring.try_dequeue(ctx_->acc(), consumed, scratch_);
+        assembly.truncated = true;
+        if (header->chunk_offset < buffer.size()) {
+          const std::size_t fits = buffer.size() - header->chunk_offset;
+          std::memcpy(buffer.data() + header->chunk_offset, scratch_.data(),
+                      fits);
+        }
+      }
+    } else {
+      ring.try_dequeue(
+          ctx_->acc(), consumed,
+          std::span<std::byte>(assembly.unexpected->data)
+              .subspan(header->chunk_offset, header->chunk_bytes));
+      assembly.unexpected->received += header->chunk_bytes;
+    }
+    assembly.received += header->chunk_bytes;
+    drained_any = true;
+
+    if ((header->flags & queue::kLastChunk) != 0) {
+      CMPI_ASSERT(assembly.received == assembly.total);
+      if (assembly.request != nullptr) {
+        Request& req = *assembly.request;
+        complete_recv(
+            req, src, tag,
+            std::min(assembly.total, req.recv_buffer.size()),
+            assembly.truncated
+                ? status::truncated("message larger than recv buffer")
+                : Status::ok());
+        std::erase_if(matched_keepalive_, [&](const RequestPtr& r) {
+          return r.get() == &req;
+        });
+        if (assembly.synchronous) {
+          send_ssend_ack(src, assembly.ssend_counter);
+        }
+      } else {
+        // The unexpected message is now complete: a posted wildcard may
+        // have been waiting for it.
+        auto posted = std::find_if(
+            posted_recvs_.begin(), posted_recvs_.end(),
+            [&](const RequestPtr& r) {
+              return tags_match(r->peer, r->tag, src, tag);
+            });
+        if (posted != posted_recvs_.end()) {
+          RequestPtr req = *posted;
+          posted_recvs_.erase(posted);
+          const bool found = match_unexpected(*req);
+          CMPI_ASSERT(found);
+        }
+      }
+      assembly = Assembly{};
+    }
+  }
+  if (drained_any) {
+    ctx_->doorbell().ring();
+  }
+}
+
+// ---------- Progress / completion ----------
+
+void Endpoint::progress() {
+  for (int src = 0; src < nranks(); ++src) {
+    if (src != rank()) {
+      drain_source(src);
+    }
+  }
+  for (int dst = 0; dst < nranks(); ++dst) {
+    if (!send_queues_[static_cast<std::size_t>(dst)].empty()) {
+      push_sends(dst);
+    }
+  }
+  // Synchronous sends complete once their match ack arrived.
+  std::erase_if(pending_ssends_, [](const RequestPtr& req) {
+    if (req->ack != nullptr && req->ack->complete_) {
+      req->complete_ = true;
+      return true;
+    }
+    return false;
+  });
+}
+
+bool Endpoint::test(const RequestPtr& request) {
+  CMPI_EXPECTS(request != nullptr);
+  ctx_->charge_mpi_overhead();
+  if (request->complete_) {
+    return true;
+  }
+  progress();
+  return request->complete_;
+}
+
+Status Endpoint::wait(const RequestPtr& request) {
+  CMPI_EXPECTS(request != nullptr);
+  ctx_->charge_mpi_overhead();
+  const double entered = ctx_->clock().now();
+  while (!request->complete_) {
+    progress();
+    if (request->complete_) {
+      break;
+    }
+    ctx_->doorbell().wait_once();
+  }
+  stats_.wait_ns += ctx_->clock().now() - entered;
+  return request->result_;
+}
+
+Status Endpoint::wait_all(std::span<const RequestPtr> requests) {
+  Status first_error;
+  for (const RequestPtr& r : requests) {
+    const Status s = wait(r);
+    if (!s.is_ok() && first_error.is_ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+RecvInfo Endpoint::probe(int src, int tag) {
+  std::optional<RecvInfo> found;
+  ctx_->doorbell().wait_until([&] {
+    found = iprobe(src, tag);
+    return found.has_value();
+  });
+  return *found;
+}
+
+Status Endpoint::sendrecv(int dst, int send_tag,
+                          std::span<const std::byte> out, int src,
+                          int recv_tag, std::span<std::byte> in,
+                          RecvInfo* info) {
+  const RequestPtr send_req = isend(dst, send_tag, out);
+  const RequestPtr recv_req = irecv(src, recv_tag, in);
+  const Status send_status = wait(send_req);
+  const Status recv_status = wait(recv_req);
+  if (info != nullptr) {
+    *info = recv_req->info();
+  }
+  return send_status.is_ok() ? recv_status : send_status;
+}
+
+std::optional<RecvInfo> Endpoint::iprobe(int src, int tag) {
+  ctx_->charge_mpi_overhead();
+  progress();
+  for (const auto& msg : unexpected_) {
+    if (tags_match(src, tag, msg->source, msg->tag)) {
+      RecvInfo info;
+      info.source = msg->source;
+      info.tag = msg->tag;
+      info.bytes = msg->total;
+      return info;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cmpi::p2p

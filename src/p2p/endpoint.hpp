@@ -1,0 +1,201 @@
+// Two-sided MPI communication over CXL SHM (paper §3.3).
+//
+// An Endpoint is one rank's view of the pairwise SPSC ring matrix plus the
+// MPI-level machinery MPICH layers on top of its shared-memory channel:
+//
+//   * tag matching with MPI_ANY_SOURCE / MPI_ANY_TAG wildcards,
+//   * posted-receive queue and unexpected-message queue,
+//   * blocking send/recv and nonblocking isend/irecv + test/wait,
+//   * a progress engine that drains incoming rings (into posted buffers
+//     when matched, into unexpected buffers otherwise) and pushes pending
+//     outbound chunks when rings have space,
+//   * chunking: a message larger than one cell's payload travels as
+//     consecutive cells (§4.3) — FIFO per ring keeps chunks contiguous.
+//
+// MPI semantics notes: a send completes when its buffer has been fully
+// copied into cells (local completion, like MPICH eager); message order is
+// preserved per (sender, receiver, tag-match) pair; receive buffers must
+// stay valid until wait/test reports completion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "queue/queue_matrix.hpp"
+#include "runtime/universe.hpp"
+
+namespace cmpi::p2p {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completion information of a receive (MPI_Status equivalent).
+struct RecvInfo {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+/// Per-endpoint communication statistics (user traffic; internal
+/// synchronous-send acks are excluded). Times are virtual nanoseconds.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  /// Messages that arrived before a matching receive was posted.
+  std::uint64_t unexpected_messages = 0;
+  /// Virtual time spent inside wait()/wait_all().
+  double wait_ns = 0;
+};
+
+/// Nonblocking operation handle. Created by isend/irecv; completed by the
+/// progress engine; interrogated with test/wait.
+class Request {
+ public:
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] const Status& result() const noexcept { return result_; }
+  [[nodiscard]] const RecvInfo& info() const noexcept { return info_; }
+
+ private:
+  friend class Endpoint;
+  enum class Kind { kSend, kRecv };
+
+  Kind kind = Kind::kSend;
+  // send fields
+  int peer = kAnySource;  // send: dst; recv: src filter
+  int tag = kAnyTag;
+  std::span<const std::byte> send_data{};
+  std::size_t bytes_pushed = 0;
+  bool staged = false;               // all chunks enqueued into cells
+  bool synchronous = false;          // Ssend: wait for the receiver's ack
+  std::shared_ptr<Request> ack;      // internal ack receive (Ssend only)
+  // recv fields
+  std::span<std::byte> recv_buffer{};
+  bool matched = false;
+  // common
+  bool complete_ = false;
+  Status result_;
+  RecvInfo info_;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+class Endpoint {
+ public:
+  /// Collective construction: every rank of the universe calls this during
+  /// initialization. Rank 0 creates and formats the ring matrix in the
+  /// arena; everyone else opens it; the §3.4 barrier closes the epoch.
+  static Endpoint create(runtime::RankCtx& ctx);
+
+  // --- Blocking operations ---
+  /// MPI_Send: blocks until the message is fully staged into cells.
+  Status send(int dst, int tag, std::span<const std::byte> data);
+  /// MPI_Recv: blocks until a matching message has fully arrived.
+  Result<RecvInfo> recv(int src, int tag, std::span<std::byte> buffer);
+
+  /// MPI_Ssend: blocks until the receiver has matched the message (not
+  /// just until the data is staged into cells).
+  Status ssend(int dst, int tag, std::span<const std::byte> data);
+
+  // --- Nonblocking operations ---
+  RequestPtr isend(int dst, int tag, std::span<const std::byte> data);
+  /// MPI_Issend: completes only after the receiver matched the message.
+  RequestPtr issend(int dst, int tag, std::span<const std::byte> data);
+  RequestPtr irecv(int src, int tag, std::span<std::byte> buffer);
+
+  /// MPI_Test: advance progress; true if the request finished.
+  bool test(const RequestPtr& request);
+  /// MPI_Wait: block until the request finishes; returns its status.
+  Status wait(const RequestPtr& request);
+  /// MPI_Waitall.
+  Status wait_all(std::span<const RequestPtr> requests);
+
+  /// MPI_Iprobe: is a matching message available (fully or partially
+  /// arrived)? Does not consume it.
+  std::optional<RecvInfo> iprobe(int src, int tag);
+
+  /// MPI_Probe: block until a matching message is available; returns its
+  /// envelope without consuming it.
+  RecvInfo probe(int src, int tag);
+
+  /// MPI_Sendrecv: simultaneous exchange without deadlock.
+  Status sendrecv(int dst, int send_tag, std::span<const std::byte> out,
+                  int src, int recv_tag, std::span<std::byte> in,
+                  RecvInfo* info = nullptr);
+
+  /// Pump the progress engine once (drain rings, push pending sends).
+  void progress();
+
+  /// Cumulative communication statistics for this rank.
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] int rank() const noexcept { return ctx_->rank(); }
+  [[nodiscard]] int nranks() const noexcept { return ctx_->nranks(); }
+
+ private:
+  Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix);
+
+  /// A message that arrived (fully or partially) with no matching posted
+  /// receive yet.
+  struct UnexpectedMsg {
+    int source;
+    int tag;
+    std::size_t total = 0;
+    std::size_t received = 0;
+    std::vector<std::byte> data;
+    bool synchronous = false;        // sender awaits a match ack
+    std::uint32_t ssend_counter = 0;
+    [[nodiscard]] bool full() const noexcept { return received == total; }
+  };
+
+  /// Per-source assembly state: where the chunks of the in-flight incoming
+  /// message are being delivered.
+  struct Assembly {
+    bool active = false;
+    Request* request = nullptr;                  // matched posted recv
+    std::shared_ptr<UnexpectedMsg> unexpected;   // or unexpected buffer
+    std::size_t total = 0;
+    std::size_t received = 0;
+    bool truncated = false;
+    bool synchronous = false;
+    std::uint32_t ssend_counter = 0;
+  };
+
+  void send_ssend_ack(int src, std::uint32_t counter);
+
+  static bool tags_match(int posted_src, int posted_tag, int src, int tag) {
+    return (posted_src == kAnySource || posted_src == src) &&
+           (posted_tag == kAnyTag || posted_tag == tag);
+  }
+
+  void drain_source(int src);
+  void push_sends(int dst);
+  bool match_unexpected(Request& request);
+  void complete_recv(Request& request, int src, int tag, std::size_t bytes,
+                     Status status);
+
+  runtime::RankCtx* ctx_;
+  queue::QueueMatrix matrix_;
+  std::vector<Assembly> assembly_;                  // per source
+  std::vector<std::deque<RequestPtr>> send_queues_; // per destination
+  std::vector<std::uint32_t> ssend_sent_;           // per destination
+  std::vector<std::uint32_t> ssend_seen_;           // per source
+  std::deque<RequestPtr> posted_recvs_;             // in post order
+  std::deque<std::shared_ptr<UnexpectedMsg>> unexpected_;
+  /// Keeps matched-but-incomplete posted receives alive while their chunks
+  /// stream in (the assembly holds a raw pointer).
+  std::vector<RequestPtr> matched_keepalive_;
+  /// Synchronous sends fully staged into cells, awaiting the match ack.
+  std::vector<RequestPtr> pending_ssends_;
+  CommStats stats_;
+  std::vector<std::byte> scratch_;  // truncated-chunk staging
+};
+
+}  // namespace cmpi::p2p

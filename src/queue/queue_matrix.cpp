@@ -1,0 +1,76 @@
+#include "queue/queue_matrix.hpp"
+
+namespace cmpi::queue {
+
+std::size_t QueueMatrix::footprint(int nranks, std::size_t cells,
+                                   std::size_t cell_payload) noexcept {
+  const std::size_t stride =
+      align_up(SpscRing::footprint(cells, cell_payload), kCacheLineSize);
+  return static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks) *
+         stride;
+}
+
+QueueMatrix::QueueMatrix(std::uint64_t base, int nranks, std::size_t cells,
+                         std::size_t cell_payload)
+    : base_(base),
+      nranks_(nranks),
+      cells_(cells),
+      cell_payload_(cell_payload),
+      ring_stride_(
+          align_up(SpscRing::footprint(cells, cell_payload), kCacheLineSize)),
+      views_(static_cast<std::size_t>(nranks) *
+             static_cast<std::size_t>(nranks)) {}
+
+Result<QueueMatrix> QueueMatrix::create(arena::Arena& arena,
+                                        cxlsim::Accessor& acc, int nranks,
+                                        std::size_t cells,
+                                        std::size_t cell_payload) {
+  if (nranks <= 0) {
+    return status::invalid_argument("nranks must be positive");
+  }
+  auto handle = arena.create(kObjectName,
+                             footprint(nranks, cells, cell_payload));
+  if (!handle.is_ok()) {
+    return handle.status();
+  }
+  QueueMatrix matrix(handle.value().pool_offset, nranks, cells, cell_payload);
+  for (int r = 0; r < nranks; ++r) {
+    for (int s = 0; s < nranks; ++s) {
+      SpscRing::format(acc, matrix.ring_base(r, s), cells, cell_payload);
+    }
+  }
+  return matrix;
+}
+
+Result<QueueMatrix> QueueMatrix::open(arena::Arena& arena,
+                                      cxlsim::Accessor& acc, int nranks) {
+  auto handle = arena.open(kObjectName);
+  if (!handle.is_ok()) {
+    return handle.status();
+  }
+  // Ring geometry is read from the first ring's constants.
+  const SpscRing probe = SpscRing::attach(acc, handle.value().pool_offset);
+  return QueueMatrix(handle.value().pool_offset, nranks, probe.capacity(),
+                     probe.cell_payload());
+}
+
+std::uint64_t QueueMatrix::ring_base(int receiver, int sender) const {
+  CMPI_EXPECTS(receiver >= 0 && receiver < nranks_);
+  CMPI_EXPECTS(sender >= 0 && sender < nranks_);
+  return base_ + (static_cast<std::uint64_t>(receiver) *
+                      static_cast<std::uint64_t>(nranks_) +
+                  static_cast<std::uint64_t>(sender)) *
+                     ring_stride_;
+}
+
+SpscRing& QueueMatrix::ring(cxlsim::Accessor& acc, int receiver, int sender) {
+  auto& view = views_[static_cast<std::size_t>(receiver) *
+                          static_cast<std::size_t>(nranks_) +
+                      static_cast<std::size_t>(sender)];
+  if (!view.has_value()) {
+    view.emplace(SpscRing::attach(acc, ring_base(receiver, sender)));
+  }
+  return *view;
+}
+
+}  // namespace cmpi::queue

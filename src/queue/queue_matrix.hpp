@@ -1,0 +1,67 @@
+// The pairwise message-queue matrix (paper §3.3).
+//
+// One SPSC ring per ordered (sender, receiver) pair, laid out contiguously
+// inside a single CXL SHM Arena object so any rank can locate any ring from
+// the object's base address and the pair's index — the same "contiguous
+// layout + local arithmetic" trick the paper uses for windows and queues.
+// Index: ring(receiver, sender) = receiver * nranks + sender.
+//
+// The bootstrap rank creates and formats the object; everyone else opens
+// it by name (the paper broadcasts the name; our ranks share the constant).
+// Each rank keeps its own QueueMatrix instance because ring views cache
+// producer/consumer counters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arena/arena.hpp"
+#include "queue/spsc_ring.hpp"
+
+namespace cmpi::queue {
+
+class QueueMatrix {
+ public:
+  static constexpr const char* kObjectName = "cmpi_pt2pt_queue_matrix";
+
+  /// Bytes the whole matrix occupies.
+  static std::size_t footprint(int nranks, std::size_t cells,
+                               std::size_t cell_payload) noexcept;
+
+  /// Root path: create the arena object and format every ring.
+  static Result<QueueMatrix> create(arena::Arena& arena,
+                                    cxlsim::Accessor& acc, int nranks,
+                                    std::size_t cells,
+                                    std::size_t cell_payload);
+
+  /// Non-root path: open the existing object.
+  static Result<QueueMatrix> open(arena::Arena& arena, cxlsim::Accessor& acc,
+                                  int nranks);
+
+  /// Ring this rank produces into, toward `to` (caller must be the only
+  /// producer, i.e. `from` == own rank; the matrix does not check).
+  SpscRing& ring(cxlsim::Accessor& acc, int receiver, int sender);
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] std::size_t cell_payload() const noexcept {
+    return cell_payload_;
+  }
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+
+ private:
+  QueueMatrix(std::uint64_t base, int nranks, std::size_t cells,
+              std::size_t cell_payload);
+
+  [[nodiscard]] std::uint64_t ring_base(int receiver, int sender) const;
+
+  std::uint64_t base_;
+  int nranks_;
+  std::size_t cells_;
+  std::size_t cell_payload_;
+  std::size_t ring_stride_;
+  /// Lazily attached ring views (nranks^2, most never touched).
+  std::vector<std::optional<SpscRing>> views_;
+};
+
+}  // namespace cmpi::queue

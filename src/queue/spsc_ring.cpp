@@ -1,0 +1,120 @@
+#include "queue/spsc_ring.hpp"
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+
+namespace cmpi::queue {
+
+void SpscRing::format(cxlsim::Accessor& acc, std::uint64_t base,
+                      std::size_t cells, std::size_t cell_payload) {
+  CMPI_EXPECTS(is_aligned(base, kCacheLineSize));
+  CMPI_EXPECTS(cells >= 2);
+  CMPI_EXPECTS(cell_payload >= kCacheLineSize);
+  CMPI_EXPECTS(is_aligned(cell_payload, kCacheLineSize));
+  acc.publish_flag(base + kTailOffset, 0);
+  acc.publish_flag(base + kHeadOffset, 0);
+  acc.nt_store_u64(base + kConstOffset, cells);
+  acc.nt_store_u64(base + kConstOffset + 8, cell_payload);
+}
+
+SpscRing SpscRing::attach(cxlsim::Accessor& acc, std::uint64_t base) {
+  const std::uint64_t cells = acc.nt_load_u64(base + kConstOffset);
+  const std::uint64_t cell_payload = acc.nt_load_u64(base + kConstOffset + 8);
+  CMPI_ENSURES(cells >= 2);
+  CMPI_ENSURES(cell_payload >= kCacheLineSize);
+  return SpscRing(base, cells, cell_payload);
+}
+
+bool SpscRing::can_enqueue(cxlsim::Accessor& acc) {
+  if (tail_local_ - peer_head_ < cells_) {
+    return true;
+  }
+  const auto head = acc.peek_flag(base_ + kHeadOffset);
+  if (head.value != peer_head_) {
+    acc.clock().advance(acc.device().timing().params().nt_load_latency);
+    peer_head_ = head.value;
+    if (tail_local_ - peer_head_ < cells_) {
+      // The producer was blocked on this specific cell being freed:
+      // absorb the consumer's per-cell release stamp.
+      const std::uint64_t freed = acc.nt_load_u64(
+          cell_base(tail_local_) + offsetof(CellHeader, freed_stamp));
+      acc.clock().observe(std::bit_cast<simtime::Ns>(freed));
+    }
+  }
+  return tail_local_ - peer_head_ < cells_;
+}
+
+bool SpscRing::try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
+                           std::span<const std::byte> payload) {
+  CMPI_EXPECTS(payload.size() <= cell_payload_);
+  CMPI_EXPECTS(header.chunk_bytes == payload.size());
+  if (!can_enqueue(acc)) {
+    return false;
+  }
+  const std::uint64_t cell = cell_base(tail_local_);
+  // Payload first, then drain, so the header's per-cell stamp covers it.
+  if (!payload.empty()) {
+    acc.bulk_write(cell + sizeof(CellHeader), payload);
+  }
+  acc.sfence();
+  CellHeader stamped = header;
+  stamped.stamp = std::bit_cast<std::uint64_t>(acc.clock().now());
+  acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&stamped),
+                      sizeof(CellHeader)});
+  ++tail_local_;
+  acc.publish_flag(base_ + kTailOffset, tail_local_);
+  return true;
+}
+
+bool SpscRing::can_dequeue(cxlsim::Accessor& acc) {
+  if (peer_tail_ != head_local_) {
+    return true;
+  }
+  const auto tail = acc.peek_flag(base_ + kTailOffset);
+  if (tail.value != peer_tail_) {
+    // Charge the flag read, but take causality from the per-cell stamp at
+    // dequeue time — the tail stamp reflects only the newest publish.
+    acc.clock().advance(
+        acc.device().timing().params().nt_load_latency);
+    peer_tail_ = tail.value;
+  }
+  return peer_tail_ != head_local_;
+}
+
+std::optional<CellHeader> SpscRing::peek(cxlsim::Accessor& acc) {
+  if (!can_dequeue(acc)) {
+    return std::nullopt;
+  }
+  CellHeader header{};
+  acc.nt_load(cell_base(head_local_),
+              {reinterpret_cast<std::byte*>(&header), sizeof(CellHeader)});
+  acc.clock().observe(std::bit_cast<simtime::Ns>(header.stamp));
+  return header;
+}
+
+bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
+                           std::span<std::byte> payload_out) {
+  if (!can_dequeue(acc)) {
+    return false;
+  }
+  const std::uint64_t cell = cell_base(head_local_);
+  acc.nt_load(cell, {reinterpret_cast<std::byte*>(&header_out),
+                     sizeof(CellHeader)});
+  acc.clock().observe(std::bit_cast<simtime::Ns>(header_out.stamp));
+  CMPI_ASSERT(header_out.chunk_bytes <= cell_payload_);
+  if (!payload_out.empty()) {
+    CMPI_EXPECTS(payload_out.size() >= header_out.chunk_bytes);
+    acc.bulk_read(cell + sizeof(CellHeader),
+                  payload_out.subspan(0, header_out.chunk_bytes));
+  }
+  // Release stamp for a producer blocked on this very cell.
+  acc.node_cache().nt_store_u64(
+      cell + offsetof(CellHeader, freed_stamp),
+      std::bit_cast<std::uint64_t>(acc.clock().now()));
+  ++head_local_;
+  acc.publish_flag(base_ + kHeadOffset, head_local_);
+  return true;
+}
+
+}  // namespace cmpi::queue

@@ -1,0 +1,130 @@
+// Single-Producer Single-Consumer message ring in CXL SHM (paper §3.3).
+//
+// MPICH's shared-memory channel uses MPSC/MPMC receive queues whose
+// lock-free implementations need atomic RMW — which the pooled CXL device
+// cannot provide across heads. cMPI's answer is a matrix of SPSC rings,
+// one per (sender, receiver) pair: with exactly one producer and one
+// consumer, head and tail are single-writer words and plain NT
+// stores/loads (plus flushes for payload) suffice.
+//
+// Ring layout in CXL SHM (every section cacheline-separated so the
+// producer-written and consumer-written lines never false-share):
+//
+//   +0    tail flag  (producer publishes: count of cells ever enqueued)
+//   +64   head flag  (consumer publishes: count of cells ever dequeued)
+//   +128  u64 capacity, u64 cell_payload  (constants, set at format)
+//   +192  cells: capacity * (64-byte header + cell_payload)
+//
+// Cell header (64 B):
+//   u64 src_rank, u64 tag, u64 total_bytes, u64 chunk_offset,
+//   u64 chunk_bytes, u64 flags (bit0: last chunk), u64 stamp, u64 reserved
+//
+// `stamp` is the producer's virtual time when THIS cell's payload was
+// durable in the pool; `freed_stamp` is the consumer's time when it
+// finished with the cell. Each side absorbs the *per-cell* stamp of the
+// cell it touches, never the head/tail flag's stamp: the flags only carry
+// the newest publish time, and absorbing that would serialize an in-flight
+// pipeline into batch-lockstep and halve streaming throughput.
+//
+// A message larger than cell_payload is split into consecutive cells
+// (§4.3); the SPSC FIFO guarantees chunks arrive in order and contiguously.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/align.hpp"
+#include "cxlsim/accessor.hpp"
+
+namespace cmpi::queue {
+
+/// On-pool cell header.
+struct CellHeader {
+  std::uint64_t src_rank;
+  std::uint64_t tag;
+  std::uint64_t total_bytes;   ///< size of the whole message
+  std::uint64_t chunk_offset;  ///< offset of this chunk within the message
+  std::uint64_t chunk_bytes;   ///< payload bytes in this cell
+  std::uint64_t flags;         ///< kLastChunk
+  std::uint64_t stamp;        ///< producer vtime bits (set by the ring)
+  std::uint64_t freed_stamp;  ///< consumer vtime bits when the cell freed
+};
+static_assert(sizeof(CellHeader) == kCacheLineSize);
+
+inline constexpr std::uint64_t kLastChunk = 1;
+/// The message is a synchronous send: the receiver acknowledges the match
+/// (MPI_Ssend semantics, implemented in the p2p layer).
+inline constexpr std::uint64_t kSyncSend = 2;
+
+class SpscRing {
+ public:
+  /// Bytes one ring occupies.
+  static constexpr std::size_t footprint(std::size_t cells,
+                                         std::size_t cell_payload) noexcept {
+    return kCellsOffset + cells * (sizeof(CellHeader) + cell_payload);
+  }
+
+  /// One-time initialization (bootstrap rank).
+  static void format(cxlsim::Accessor& acc, std::uint64_t base,
+                     std::size_t cells, std::size_t cell_payload);
+
+  /// Attach a view (producer or consumer side).
+  static SpscRing attach(cxlsim::Accessor& acc, std::uint64_t base);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_; }
+  [[nodiscard]] std::size_t cell_payload() const noexcept {
+    return cell_payload_;
+  }
+
+  // ---- Producer side ----
+  /// True if a cell is free. Peeking is time-free; the head stamp is
+  /// absorbed when a previously-full ring drains (try_enqueue success after
+  /// observing space).
+  [[nodiscard]] bool can_enqueue(cxlsim::Accessor& acc);
+
+  /// Enqueue one chunk. Returns false (and does nothing) if the ring is
+  /// full. `payload.size()` must be <= cell_payload.
+  bool try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
+                   std::span<const std::byte> payload);
+
+  // ---- Consumer side ----
+  /// True if a cell is available to dequeue.
+  [[nodiscard]] bool can_dequeue(cxlsim::Accessor& acc);
+
+  /// Peek the header of the next cell without consuming it. Returns
+  /// nullopt when empty. Charges header-read time only on a fresh cell.
+  std::optional<CellHeader> peek(cxlsim::Accessor& acc);
+
+  /// Dequeue the next cell into `payload_out` (must be >= chunk_bytes of
+  /// the peeked header; pass empty to discard). Returns false when empty.
+  bool try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
+                   std::span<std::byte> payload_out);
+
+ private:
+  static constexpr std::uint64_t kTailOffset = 0;
+  static constexpr std::uint64_t kHeadOffset = kCacheLineSize;
+  static constexpr std::uint64_t kConstOffset = 2 * kCacheLineSize;
+  static constexpr std::uint64_t kCellsOffset = 3 * kCacheLineSize;
+
+  SpscRing(std::uint64_t base, std::size_t cells, std::size_t cell_payload)
+      : base_(base), cells_(cells), cell_payload_(cell_payload) {}
+
+  [[nodiscard]] std::uint64_t cell_base(std::uint64_t index) const noexcept {
+    return base_ + kCellsOffset +
+           (index % cells_) * (sizeof(CellHeader) + cell_payload_);
+  }
+
+  std::uint64_t base_;
+  std::size_t cells_;
+  std::size_t cell_payload_;
+  // Producer- and consumer-local cached counters. Each side only trusts its
+  // own counter plus the peer's published flag.
+  std::uint64_t tail_local_ = 0;  // producer: cells enqueued
+  std::uint64_t head_local_ = 0;  // consumer: cells dequeued
+  std::uint64_t peer_head_ = 0;   // producer's last view of head
+  std::uint64_t peer_tail_ = 0;   // consumer's last view of tail
+};
+
+}  // namespace cmpi::queue

@@ -1,0 +1,65 @@
+// Functional wake-up channel for rank threads.
+//
+// Virtual time handles *modeled* waiting (clocks jump via flag stamps); this
+// doorbell handles *wall-clock* waiting so that spin loops don't burn the
+// (single) host core. Every protocol-level flag publication rings it; a
+// waiting rank re-checks its predicate on each ring. A timeout re-check
+// guards against lost wake-ups from writers outside the doorbell's scope
+// (e.g. forked processes).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cmpi::runtime {
+
+class Doorbell {
+ public:
+  /// Wake all current waiters.
+  void ring() noexcept {
+    {
+      std::lock_guard lock(mutex_);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until `pred()` is true, re-evaluating after every ring (and at
+  /// least every millisecond).
+  template <typename Pred>
+  void wait_until(Pred pred) {
+    if (pred()) {
+      return;
+    }
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      const std::uint64_t seen = generation_;
+      lock.unlock();
+      if (pred()) {
+        return;
+      }
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [&] { return generation_ != seen; });
+    }
+  }
+
+  /// Block until the next ring (or ~1 ms), whichever comes first. For
+  /// callers whose predicate requires running their own progress engine
+  /// between checks.
+  void wait_once() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t seen = generation_;
+    cv_.wait_for(lock, std::chrono::milliseconds(1),
+                 [&] { return generation_ != seen; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace cmpi::runtime

@@ -1,0 +1,30 @@
+#include "runtime/seq_barrier.hpp"
+
+namespace cmpi::runtime {
+
+void SeqBarrier::format(cxlsim::Accessor& acc, std::uint64_t base,
+                        std::size_t ranks) {
+  CMPI_EXPECTS(is_aligned(base, kCacheLineSize));
+  for (std::size_t r = 0; r < ranks; ++r) {
+    acc.publish_flag(base + r * kCacheLineSize, 0);
+  }
+}
+
+void SeqBarrier::enter(cxlsim::Accessor& acc, Doorbell& doorbell) {
+  ++sequence_;
+  acc.publish_flag(slot(my_rank_), sequence_);
+  doorbell.ring();
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    if (r == my_rank_) {
+      continue;
+    }
+    cxlsim::Accessor::FlagValue seen{};
+    doorbell.wait_until([&] {
+      seen = acc.peek_flag(slot(r));
+      return seen.value >= sequence_;
+    });
+    acc.absorb_flag(seen);
+  }
+}
+
+}  // namespace cmpi::runtime

@@ -1,0 +1,63 @@
+// Sequence-number barrier over CXL SHM (paper §3.4, "initialization
+// barrier").
+//
+// The classic sense-reversing barrier needs an atomic increment on a shared
+// counter — unavailable across CXL heads. cMPI's refactored barrier instead
+// gives each rank its own slot in a shared barrier array: a rank entering
+// the barrier increments a private sequence number, publishes it to its
+// slot, and spin-waits until every other slot is >= its own sequence
+// number. Single-writer slots need no atomicity; the timestamped flag in
+// each slot also propagates virtual time, so a barrier correctly
+// synchronizes rank clocks (the slowest rank's time wins).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/align.hpp"
+#include "cxlsim/accessor.hpp"
+#include "runtime/doorbell.hpp"
+
+namespace cmpi::runtime {
+
+class SeqBarrier {
+ public:
+  /// Bytes of CXL SHM for `ranks` slots (one cacheline each).
+  static constexpr std::size_t footprint(std::size_t ranks) noexcept {
+    return ranks * kCacheLineSize;
+  }
+
+  /// One-time zeroing of the slots (bootstrap, before any enter()).
+  static void format(cxlsim::Accessor& acc, std::uint64_t base,
+                     std::size_t ranks);
+
+  /// View for one rank. `base` must match format's. The rank's local
+  /// sequence number is restored from its own slot, so a re-attached view
+  /// (e.g. a new Universe::run epoch over the same pool) stays in step
+  /// with the persistent barrier array.
+  SeqBarrier(cxlsim::Accessor& acc, std::uint64_t base, std::size_t ranks,
+             std::size_t my_rank)
+      : base_(base), ranks_(ranks), my_rank_(my_rank) {
+    CMPI_EXPECTS(my_rank < ranks);
+    sequence_ = acc.peek_flag(slot(my_rank)).value;
+  }
+
+  /// Enter the barrier and block until all ranks have entered it at least
+  /// as many times.
+  void enter(cxlsim::Accessor& acc, Doorbell& doorbell);
+
+  /// Number of times this rank has entered the barrier.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return sequence_; }
+
+ private:
+  [[nodiscard]] std::uint64_t slot(std::size_t rank) const noexcept {
+    return base_ + rank * kCacheLineSize;
+  }
+
+  std::uint64_t base_;
+  std::size_t ranks_;
+  std::size_t my_rank_;
+  std::uint64_t sequence_ = 0;  // local, per §3.4
+};
+
+}  // namespace cmpi::runtime

@@ -1,0 +1,113 @@
+#include "runtime/universe.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace cmpi::runtime {
+
+namespace {
+thread_local RankCtx* tls_ctx = nullptr;
+}  // namespace
+
+RankCtx* RankCtx::current() noexcept { return tls_ctx; }
+
+Universe::Universe(const UniverseConfig& config) : config_(config) {
+  CMPI_EXPECTS(config.nodes > 0);
+  CMPI_EXPECTS(config.ranks_per_node > 0);
+  CMPI_EXPECTS(config.cell_payload >= kCacheLineSize);
+  CMPI_EXPECTS(is_aligned(config.cell_payload, kCacheLineSize));
+  CMPI_EXPECTS(config.ring_cells >= 2);
+
+  // Every rank must have a bakery-lock slot in the arena.
+  config_.arena_params.max_participants =
+      std::max<std::size_t>(config_.arena_params.max_participants,
+                            config_.nranks());
+
+  device_ = check_ok(cxlsim::DaxDevice::create(
+      config_.pool_size, std::max(4u, config_.nodes), config_.timing));
+  if (config_.uncachable_pool) {
+    check_ok(device_->set_cacheability(0, device_->size(),
+                                       cxlsim::Cacheability::kUncachable));
+  }
+  node_caches_.reserve(config_.nodes);
+  for (unsigned n = 0; n < config_.nodes; ++n) {
+    node_caches_.push_back(
+        std::make_unique<cxlsim::CacheSim>(*device_, config_.cache_geometry));
+  }
+
+  const std::uint64_t barrier_end =
+      kBarrierBase + SeqBarrier::footprint(config_.nranks());
+  arena_base_ = align_up(barrier_end, 4096);
+  CMPI_EXPECTS(arena_base_ + arena::Arena::metadata_footprint(
+                                 config_.arena_params) <
+               device_->size());
+
+  // Bootstrap with a scratch accessor: format the barrier array and the
+  // arena. Bootstrap state is flushed out of the scratch cache so every
+  // node starts clean.
+  simtime::VClock boot_clock;
+  cxlsim::CacheSim boot_cache(*device_, {.sets = 64, .ways = 4});
+  cxlsim::Accessor boot(*device_, boot_cache, boot_clock);
+  SeqBarrier::format(boot, kBarrierBase, config_.nranks());
+  check_ok(arena::Arena::format(boot, arena_base_,
+                                device_->size() - arena_base_,
+                                /*participant=*/0, config_.arena_params));
+  boot_cache.writeback_all();
+  log_info("universe: %u nodes x %u ranks, pool %zu MiB, arena at %#lx",
+           config_.nodes, config_.ranks_per_node, device_->size() >> 20,
+           static_cast<unsigned long>(arena_base_));
+}
+
+void Universe::run(const std::function<void(RankCtx&)>& fn) {
+  const unsigned nranks = config_.nranks();
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (unsigned r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankCtx ctx;
+      ctx.rank_ = static_cast<int>(r);
+      ctx.nranks_ = static_cast<int>(nranks);
+      ctx.node_ = static_cast<int>(r / config_.ranks_per_node);
+      ctx.doorbell_ = &doorbell_;
+      ctx.device_ = device_.get();
+      ctx.config_ = &config_;
+      ctx.acc_ = std::make_unique<cxlsim::Accessor>(
+          *device_, *node_caches_[static_cast<std::size_t>(ctx.node_)],
+          ctx.clock_);
+      try {
+        ctx.arena_ = std::make_unique<arena::Arena>(
+            check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r)));
+        ctx.init_barrier_ = std::make_unique<SeqBarrier>(
+            *ctx.acc_, kBarrierBase, nranks, r);
+        tls_ctx = &ctx;
+        fn(ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        // Wake any ranks blocked on this one.
+        doorbell_.ring();
+      }
+      tls_ctx = nullptr;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Leave the pool coherent for the next run() or for inspection.
+  for (auto& cache : node_caches_) {
+    cache->writeback_all();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace cmpi::runtime

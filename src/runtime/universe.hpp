@@ -1,0 +1,141 @@
+// The simulated MPI universe: a CXL pooled-memory device, N nodes (each a
+// private cache-coherence domain), and ranks running as threads pinned to
+// nodes. Equivalent to the paper's testbed of dual-socket servers attached
+// to Niagara 2.0 — scaled by configuration instead of hardware.
+//
+// Pool layout (all cMPI-visible state lives in the pool, like the real
+// system's dax device):
+//
+//   [0, 4 KiB)      bootstrap page (universe magic + geometry echo)
+//   [4 KiB, ...)    initialization-barrier slot array (§3.4)
+//   [arena_base, )  CXL SHM Arena — every queue/window/flag object
+//
+// Universe::run(fn) launches one thread per rank, builds each rank's
+// context (accessor over the node cache, virtual clock, attached arena)
+// and calls fn. Exceptions in any rank are re-thrown after join.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arena/arena.hpp"
+#include "common/units.hpp"
+#include "cxlsim/accessor.hpp"
+#include "cxlsim/cache_sim.hpp"
+#include "cxlsim/dax_device.hpp"
+#include "runtime/doorbell.hpp"
+#include "runtime/seq_barrier.hpp"
+#include "simtime/vclock.hpp"
+
+namespace cmpi::runtime {
+
+struct UniverseConfig {
+  unsigned nodes = 2;
+  unsigned ranks_per_node = 1;
+  std::size_t pool_size = 64_MiB;
+  arena::Arena::Params arena_params{
+      .levels = 10, .level1_buckets = 1009, .max_participants = 64};
+  cxlsim::CxlTimingParams timing{};
+  cxlsim::CacheSim::Geometry cache_geometry{};
+  /// Fixed software cost charged per MPI-level call (argument checking,
+  /// request bookkeeping) — the residual MPICH overhead.
+  simtime::Ns mpi_call_overhead = 800;
+  /// Payload capacity of one message cell (§4.3; MPICH default 16 KiB, the
+  /// paper's tuned value 64 KiB).
+  std::size_t cell_payload = 16_KiB;
+  /// Cells per pairwise SPSC ring.
+  std::size_t ring_cells = 8;
+  /// §3.5's rejected alternative to software coherence: mark the whole
+  /// pool uncachable via MTRR. Correct but drastically slower past the
+  /// PCIe MPS (see bench/ablation_coherence_mode and Fig. 11).
+  bool uncachable_pool = false;
+
+  [[nodiscard]] unsigned nranks() const noexcept {
+    return nodes * ranks_per_node;
+  }
+};
+
+class Universe;
+
+/// Everything one rank thread needs. Owned by the Universe; valid only for
+/// the duration of the rank function.
+class RankCtx {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] int node() const noexcept { return node_; }
+
+  [[nodiscard]] cxlsim::Accessor& acc() noexcept { return *acc_; }
+  [[nodiscard]] simtime::VClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Doorbell& doorbell() noexcept { return *doorbell_; }
+  [[nodiscard]] arena::Arena& arena() noexcept { return *arena_; }
+  [[nodiscard]] cxlsim::DaxDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const UniverseConfig& config() const noexcept {
+    return *config_;
+  }
+
+  /// Enter the cross-node initialization barrier (§3.4).
+  void barrier() {
+    init_barrier_->enter(*acc_, *doorbell_);
+  }
+
+  /// Charge the fixed per-call MPI software overhead.
+  void charge_mpi_overhead() noexcept {
+    clock_.advance(config_->mpi_call_overhead);
+  }
+
+  /// The context of the calling rank thread (nullptr outside Universe::run).
+  static RankCtx* current() noexcept;
+
+ private:
+  friend class Universe;
+  RankCtx() = default;
+
+  int rank_ = 0;
+  int nranks_ = 0;
+  int node_ = 0;
+  simtime::VClock clock_;
+  std::unique_ptr<cxlsim::Accessor> acc_;
+  std::unique_ptr<arena::Arena> arena_;
+  std::unique_ptr<SeqBarrier> init_barrier_;
+  Doorbell* doorbell_ = nullptr;
+  cxlsim::DaxDevice* device_ = nullptr;
+  const UniverseConfig* config_ = nullptr;
+};
+
+class Universe {
+ public:
+  explicit Universe(const UniverseConfig& config);
+
+  /// Launch one thread per rank and run `fn` in each. Blocks until all
+  /// ranks return; the first rank exception (if any) is re-thrown.
+  void run(const std::function<void(RankCtx&)>& fn);
+
+  [[nodiscard]] cxlsim::DaxDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const UniverseConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t arena_base() const noexcept {
+    return arena_base_;
+  }
+  [[nodiscard]] Doorbell& doorbell() noexcept { return doorbell_; }
+
+  /// Node cache of a given node id (tests/teardown).
+  [[nodiscard]] cxlsim::CacheSim& node_cache(int node) noexcept {
+    return *node_caches_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  static constexpr std::uint64_t kBarrierBase = 4096;
+
+  UniverseConfig config_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::vector<std::unique_ptr<cxlsim::CacheSim>> node_caches_;
+  Doorbell doorbell_;
+  std::uint64_t arena_base_ = 0;
+};
+
+}  // namespace cmpi::runtime

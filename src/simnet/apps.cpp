@@ -1,0 +1,273 @@
+#include "simnet/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace cmpi::simnet {
+
+// The paper configures SimGrid with interconnect-level latency/bandwidth
+// (its miniAMR discussion compares "16 us vs 18 us" — the raw Table 1
+// numbers, not the MPI-level OSU latencies). We do the same, using the
+// Table 1 rows this repository's bench/table1_interconnects reproduces.
+TransportProfile cxl_shm_profile() {
+  return {"CXL SHM", 2200, 9.5};  // flushed access latency / bandwidth
+}
+
+TransportProfile tcp_cx6dx_profile() {
+  return {"TCP over Mellanox CX-6 Dx", 18000, 11.5};
+}
+
+TransportProfile tcp_ethernet_profile() {
+  return {"TCP over Ethernet", 16000, 0.1178};
+}
+
+namespace {
+
+/// Topology + instrumented communication helpers shared by the skeletons.
+class Cluster {
+ public:
+  Cluster(SimEngine& engine, const ClusterConfig& config)
+      : engine_(engine),
+        config_(config),
+        nranks_(config.nodes * config.ranks_per_node),
+        comm_ns_(static_cast<std::size_t>(nranks_), 0.0) {
+    // One uplink per node: the paper's platform gives every host its own
+    // CXL port (Fig. 1, "bandwidth fairness") and every server one NIC,
+    // so a node's egress bandwidth is the shared resource.
+    uplinks_.reserve(static_cast<std::size_t>(config.nodes));
+    for (int node = 0; node < config.nodes; ++node) {
+      uplinks_.push_back(engine.make_link(
+          config.transport.inter_latency,
+          config.transport.inter_bytes_per_ns));
+    }
+    intra_links_.reserve(static_cast<std::size_t>(config.nodes));
+    for (int node = 0; node < config.nodes; ++node) {
+      intra_links_.push_back(engine.make_link(config.intra_latency,
+                                              config.intra_bytes_per_ns));
+    }
+  }
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] int node_of(int rank) const noexcept {
+    return rank / config_.ranks_per_node;
+  }
+
+  Link* link_between(int src, int dst) {
+    const int a = node_of(src);
+    const int b = node_of(dst);
+    if (a == b) {
+      return intra_links_[static_cast<std::size_t>(a)];
+    }
+    return uplinks_[static_cast<std::size_t>(a)];
+  }
+
+  /// Compute for `flops` floating-point operations.
+  void compute(SimProcess& self, double flops) {
+    self.delay(flops / config_.flops_per_ns_per_rank);
+  }
+
+  /// Instrumented simultaneous exchange with `peer`.
+  void sendrecv(SimProcess& self, int peer, std::size_t bytes, int tag) {
+    const simtime::Ns before = self.now();
+    self.send(peer, tag, bytes, link_between(self.id(), peer));
+    (void)self.recv(peer, tag);
+    comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
+  }
+
+  /// Instrumented recursive-doubling allreduce of `bytes` (power-of-two
+  /// rank counts, which the study's 8-per-node configurations satisfy).
+  void allreduce(SimProcess& self, std::size_t bytes, int tag_base) {
+    const simtime::Ns before = self.now();
+    for (int mask = 1; mask < nranks_; mask <<= 1) {
+      const int partner = self.id() ^ mask;
+      if (partner < nranks_) {
+        self.send(partner, tag_base + mask, bytes,
+                  link_between(self.id(), partner));
+        (void)self.recv(partner, tag_base + mask);
+      }
+    }
+    comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
+  }
+
+  [[nodiscard]] double average_comm_ns() const {
+    double sum = 0;
+    for (const double c : comm_ns_) {
+      sum += c;
+    }
+    return sum / static_cast<double>(comm_ns_.size());
+  }
+
+ private:
+  SimEngine& engine_;
+  ClusterConfig config_;
+  int nranks_;
+  std::vector<Link*> uplinks_;
+  std::vector<Link*> intra_links_;
+  std::vector<double> comm_ns_;
+};
+
+/// Deterministic per-(rank, step) compute jitter: real applications are
+/// never perfectly balanced, and the resulting neighbor-wait time is a
+/// transport-independent component of measured communication time — the
+/// reason the paper's miniAMR transport deltas are a few percent despite
+/// order-of-magnitude latency differences.
+double jitter(int rank, int step, double amplitude) {
+  const std::uint64_t h = hash_u64(static_cast<std::uint64_t>(rank) << 32 |
+                                   static_cast<std::uint64_t>(step));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + amplitude * (2.0 * unit - 1.0);
+}
+
+/// Heavy-tailed multiplier (mean ~1.3, max ~3.7): the block-refinement
+/// imbalance of an AMR code.
+double heavy_jitter(int rank, int step) {
+  const std::uint64_t h = hash_u64(static_cast<std::uint64_t>(rank) << 32 |
+                                   static_cast<std::uint64_t>(step));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 0.7 + 3.0 * unit * unit * unit * unit;
+}
+
+}  // namespace
+
+AppResult run_cg(const ClusterConfig& cluster_config, const CgParams& params) {
+  SimEngine engine;
+  Cluster cluster(engine, cluster_config);
+  const int n = cluster.nranks();
+
+  // NPB CG processor grid: npcols x nprows, npcols >= nprows.
+  int log2n = 0;
+  while ((1 << (log2n + 1)) <= n) {
+    ++log2n;
+  }
+  CMPI_EXPECTS((1 << log2n) == n);  // 8 ranks/node keeps this a power of 2
+  const int npcols = 1 << ((log2n + 1) / 2);
+  const int nprows = n / npcols;
+
+  // Effective nonzeros after NPB's makea fill-in; sized so class D does
+  // ~0.8 GFLOP per inner iteration (matching published operation counts).
+  const double nnz =
+      static_cast<double>(params.na) * params.nonzer * 12.7;
+  const double flops_per_inner =
+      2.0 * nnz / n + 10.0 * static_cast<double>(params.na) / n;
+  const std::size_t reduce_bytes =
+      static_cast<std::size_t>(params.na) / static_cast<std::size_t>(n) * 8;
+
+  for (int r = 0; r < n; ++r) {
+    engine.spawn([&, r](SimProcess& self) {
+      const int row = r / npcols;
+      const int col = r % npcols;
+      for (int outer = 0; outer < params.outer_iters; ++outer) {
+        for (int inner = 0; inner < params.inner_iters; ++inner) {
+          // SpMV + vector updates (with mild load imbalance).
+          cluster.compute(self, flops_per_inner * jitter(r, inner, 0.05));
+          // Row-wise partial-vector reduction: log2(npcols) exchanges.
+          for (int mask = 1; mask < npcols; mask <<= 1) {
+            const int partner = row * npcols + (col ^ mask);
+            cluster.sendrecv(self, partner, reduce_bytes, 100 + mask);
+          }
+          // Transpose exchange of the rank's vector segment. The partner
+          // function must be an involution so both sides pair up: matrix
+          // transpose for square grids, a half-row swap for rectangular
+          // ones (stand-in for NPB's exch_proc).
+          if (npcols != nprows) {
+            const int partner = row * npcols + (col ^ (npcols / 2));
+            cluster.sendrecv(self, partner, reduce_bytes, 200);
+          } else if (col != row) {
+            cluster.sendrecv(self, col * npcols + row, reduce_bytes, 200);
+          }
+          // Two dot-product allreduces (rho, alpha denominators).
+          cluster.allreduce(self, 8, 300);
+          cluster.allreduce(self, 8, 600);
+        }
+      }
+    });
+  }
+  AppResult result;
+  result.total_time = engine.run();
+  result.comm_time = cluster.average_comm_ns();
+  return result;
+}
+
+AppResult run_miniamr(const ClusterConfig& cluster_config,
+                      const MiniAmrParams& params) {
+  SimEngine engine;
+  Cluster cluster(engine, cluster_config);
+  const int n = cluster.nranks();
+
+  // Nearly-cubic 3D rank grid.
+  int px = 1;
+  int py = 1;
+  int pz = 1;
+  int remaining = n;
+  while (remaining % 2 == 0) {
+    if (px <= py && px <= pz) {
+      px *= 2;
+    } else if (py <= pz) {
+      py *= 2;
+    } else {
+      pz *= 2;
+    }
+    remaining /= 2;
+  }
+  CMPI_EXPECTS(remaining == 1);
+
+  // Face halo message: blocks on the face x block-face cells x exchanged
+  // variables. With the paper's block size of 4, faces are tiny and every
+  // transport is latency-bound per message.
+  const double blocks_per_face =
+      std::cbrt(static_cast<double>(params.blocks_per_rank));
+  const std::size_t face_bytes = static_cast<std::size_t>(
+      blocks_per_face * blocks_per_face * params.block_size *
+      params.block_size * params.comm_vars * 8);
+  // Stencil update over all stages of a timestep: fixed per-rank work
+  // regardless of node count (each process owns a constant number of
+  // blocks, §4.4).
+  const double cells = static_cast<double>(params.blocks_per_rank) *
+                       params.block_size * params.block_size *
+                       params.block_size;
+  const double flops_per_step =
+      cells * params.variables * params.flops_per_cell_var;
+
+  for (int r = 0; r < n; ++r) {
+    engine.spawn([&, r](SimProcess& self) {
+      const int x = r % px;
+      const int y = (r / px) % py;
+      const int z = r / (px * py);
+      for (int step = 0; step < params.timesteps; ++step) {
+        // AMR refinement makes load heavy-tailed: most measured "MPI
+        // time" is waiting for slower neighbors, which is what keeps the
+        // paper's transport deltas at a few percent (§4.4).
+        cluster.compute(self, flops_per_step * heavy_jitter(r, step));
+        // Six-direction halo exchange (non-periodic boundaries).
+        const int neighbors[6] = {
+            x > 0 ? r - 1 : -1,
+            x + 1 < px ? r + 1 : -1,
+            y > 0 ? r - px : -1,
+            y + 1 < py ? r + px : -1,
+            z > 0 ? r - px * py : -1,
+            z + 1 < pz ? r + px * py : -1,
+        };
+        for (int d = 0; d < 6; ++d) {
+          if (neighbors[d] >= 0) {
+            // Tag by axis (d/2): the two sides of one face exchange use
+            // the same tag, and the (src, dst) pair disambiguates the
+            // +/- directions.
+            cluster.sendrecv(self, neighbors[d], face_bytes, 1000 + d / 2);
+          }
+        }
+        if ((step + 1) % params.summary_every == 0) {
+          cluster.allreduce(self, 8 * params.variables, 2000);
+        }
+      }
+    });
+  }
+  AppResult result;
+  result.total_time = engine.run();
+  result.comm_time = cluster.average_comm_ns();
+  return result;
+}
+
+}  // namespace cmpi::simnet

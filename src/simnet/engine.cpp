@@ -1,0 +1,191 @@
+#include "simnet/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace cmpi::simnet {
+
+namespace {
+/// Thrown inside process threads when the engine is destroyed early.
+struct Aborted {};
+}  // namespace
+
+// ---------------- SimProcess ----------------
+
+simtime::Ns SimProcess::now() const noexcept { return engine_->now_; }
+
+void SimProcess::delay(simtime::Ns dt) {
+  CMPI_EXPECTS(dt >= 0);
+  engine_->schedule_wake(*this, engine_->now_ + dt);
+  std::unique_lock lock(mutex_);
+  engine_->park(*this, lock);
+}
+
+void SimProcess::send(int dst, int tag, std::size_t bytes, Link* link) {
+  const simtime::Ns delivered =
+      link != nullptr ? link->transit(engine_->now_, bytes) : engine_->now_;
+  engine_->mail_[{dst, id_, tag}].push_back(
+      SimEngine::Msg{id_, tag, bytes, delivered});
+  engine_->schedule_delivery(dst, delivered);
+}
+
+std::size_t SimProcess::recv(int src, int tag) {
+  auto& queue = engine_->mail_[{id_, src, tag}];
+  if (!queue.empty()) {
+    const SimEngine::Msg msg = queue.front();
+    queue.pop_front();
+    if (msg.delivered > engine_->now_) {
+      // Arrived in the simulated future: wait for it.
+      engine_->schedule_wake(*this, msg.delivered);
+      std::unique_lock lock(mutex_);
+      engine_->park(*this, lock);
+    }
+    return msg.bytes;
+  }
+  // Nothing queued: park until a matching delivery.
+  engine_->recv_waiters_[id_] = this;
+  engine_->recv_filters_[id_] = {src, tag};
+  std::unique_lock lock(mutex_);
+  engine_->park(*this, lock);
+  // The engine moved the matched message into pending_.
+  return pending_bytes_;
+}
+
+// ---------------- SimEngine ----------------
+
+SimEngine::~SimEngine() {
+  // Wake any still-parked processes so their threads can exit.
+  aborting_ = true;
+  for (auto& process : processes_) {
+    std::lock_guard lock(process->mutex_);
+    process->runnable_ = true;
+    process->cv_.notify_all();
+  }
+  for (auto& thread : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+}
+
+Link* SimEngine::make_link(simtime::Ns latency, double bytes_per_ns) {
+  links_.push_back(std::make_unique<Link>(latency, bytes_per_ns));
+  return links_.back().get();
+}
+
+int SimEngine::spawn(std::function<void(SimProcess&)> fn) {
+  CMPI_EXPECTS(!started_);
+  const int id = static_cast<int>(processes_.size());
+  auto process = std::make_unique<SimProcess>();
+  process->engine_ = this;
+  process->id_ = id;
+  processes_.push_back(std::move(process));
+  bodies_.push_back(std::move(fn));
+  return id;
+}
+
+void SimEngine::schedule_wake(SimProcess& process, simtime::Ns at) {
+  events_.push(Event{at, seq_++, Event::Kind::kWake, &process, -1});
+}
+
+void SimEngine::schedule_delivery(int dst, simtime::Ns at) {
+  events_.push(Event{at, seq_++, Event::Kind::kDelivery, nullptr, dst});
+}
+
+void SimEngine::park(SimProcess& process, std::unique_lock<std::mutex>& lock) {
+  process.runnable_ = false;
+  {
+    std::lock_guard engine_lock(engine_mutex_);
+    control_with_engine_ = true;
+  }
+  engine_cv_.notify_all();
+  process.cv_.wait(lock, [&] { return process.runnable_; });
+  if (aborting_) {
+    throw Aborted{};
+  }
+}
+
+void SimEngine::resume(SimProcess& process) {
+  {
+    std::lock_guard engine_lock(engine_mutex_);
+    control_with_engine_ = false;
+  }
+  {
+    std::lock_guard lock(process.mutex_);
+    process.runnable_ = true;
+  }
+  process.cv_.notify_all();
+  std::unique_lock engine_lock(engine_mutex_);
+  engine_cv_.wait(engine_lock, [&] { return control_with_engine_; });
+}
+
+simtime::Ns SimEngine::run() {
+  CMPI_EXPECTS(!started_);
+  started_ = true;
+  // Launch process threads, parked until their first wake event.
+  threads_.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    SimProcess* process = processes_[i].get();
+    auto body = bodies_[i];
+    threads_.emplace_back([this, process, body] {
+      {
+        std::unique_lock lock(process->mutex_);
+        process->cv_.wait(lock, [&] { return process->runnable_; });
+      }
+      if (!aborting_) {
+        try {
+          body(*process);
+        } catch (const Aborted&) {
+          // engine teardown
+        }
+      }
+      process->finished_ = true;
+      {
+        std::lock_guard engine_lock(engine_mutex_);
+        control_with_engine_ = true;
+      }
+      engine_cv_.notify_all();
+    });
+    schedule_wake(*process, 0);
+  }
+
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+    if (event.kind == Event::Kind::kWake) {
+      if (!event.process->finished_) {
+        resume(*event.process);
+      }
+      continue;
+    }
+    // Delivery: wake the dst's parked receiver if a matching message is
+    // now available.
+    const auto waiter = recv_waiters_.find(event.dst);
+    if (waiter == recv_waiters_.end()) {
+      continue;  // receiver not parked; recv() will find the message
+    }
+    SimProcess* process = waiter->second;
+    const auto [src, tag] = recv_filters_.at(event.dst);
+    auto& queue = mail_[{event.dst, src, tag}];
+    if (queue.empty() || queue.front().delivered > now_) {
+      continue;
+    }
+    process->pending_bytes_ = queue.front().bytes;
+    queue.pop_front();
+    recv_waiters_.erase(waiter);
+    recv_filters_.erase(event.dst);
+    resume(*process);
+  }
+  // Every process must have run to completion; a parked leftover means a
+  // mismatched send/recv pairing in the model — fail loudly, not silently.
+  for (const auto& process : processes_) {
+    if (!process->finished_) {
+      log_error("simnet: process %d deadlocked (unmatched recv)",
+                process->id_);
+      CMPI_ASSERT(process->finished_);
+    }
+  }
+  return now_;
+}
+
+}  // namespace cmpi::simnet

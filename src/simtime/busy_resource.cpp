@@ -1,0 +1,59 @@
+#include "simtime/busy_resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmpi::simtime {
+
+void BusyResource::advance_base(std::int64_t new_base) {
+  // Clear slots that wrap around into the new window region.
+  while (base_slot_ < new_base) {
+    slot_used(base_slot_) = 0.0;
+    ++base_slot_;
+  }
+}
+
+Ns BusyResource::reserve(Ns ready, std::size_t bytes) {
+  CMPI_EXPECTS(ready >= 0);
+  if (bytes == 0) {
+    return ready;
+  }
+  double need = uncontended_cost(bytes);  // service nanoseconds
+  std::lock_guard lock(mutex_);
+
+  std::int64_t slot = static_cast<std::int64_t>(ready / kSlotNs);
+  // Reservations older than the window land at its start (bounded error;
+  // only reachable under pathological thread skew).
+  slot = std::max(slot, base_slot_);
+
+  Ns completion = ready;
+  for (;;) {
+    const Ns slot_start = static_cast<Ns>(slot) * kSlotNs;
+    if (slot >= base_slot_ + static_cast<std::int64_t>(kWindowSlots)) {
+      // Slide the window forward, retiring the oldest slots.
+      advance_base(slot - static_cast<std::int64_t>(kWindowSlots) + 1);
+    }
+    double& used = slot_used(slot);
+    const Ns begin = std::max({ready, slot_start + used});
+    const Ns slot_end = slot_start + kSlotNs;
+    if (begin < slot_end) {
+      const double take = std::min(need, slot_end - begin);
+      used += take;
+      need -= take;
+      completion = begin + take;
+      if (need <= 0) {
+        break;
+      }
+    }
+    ++slot;
+  }
+  return completion;
+}
+
+void BusyResource::reset() {
+  std::lock_guard lock(mutex_);
+  std::fill(slots_.begin(), slots_.end(), 0.0);
+  base_slot_ = 0;
+}
+
+}  // namespace cmpi::simtime

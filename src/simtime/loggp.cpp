@@ -1,0 +1,31 @@
+#include "simtime/loggp.hpp"
+
+#include "common/align.hpp"
+
+namespace cmpi::simtime {
+
+Ns LogGPModel::sender_cpu_cost(std::size_t bytes) const noexcept {
+  const std::size_t segments =
+      bytes == 0 ? 1 : ceil_div(bytes, params_.mtu);
+  return params_.send_overhead +
+         static_cast<Ns>(segments) * params_.per_segment_overhead;
+}
+
+Ns LogGPModel::zero_load_latency(std::size_t bytes) const noexcept {
+  return sender_cpu_cost(bytes) + params_.wire_latency +
+         wire_.uncontended_cost(bytes) + params_.recv_overhead;
+}
+
+MessageTiming LogGPModel::send(Ns send_time, std::size_t bytes) {
+  MessageTiming t{};
+  const Ns injected = send_time + sender_cpu_cost(bytes);
+  // The sender CPU is free once packetization hands off to the NIC, but it
+  // may not inject the next message before the per-message gap elapses.
+  t.sender_done = injected + params_.per_message_gap;
+  const Ns wire_done = wire_.reserve(injected, bytes);
+  t.delivered = wire_done + params_.wire_latency;
+  t.receiver_done = t.delivered + params_.recv_overhead;
+  return t;
+}
+
+}  // namespace cmpi::simtime

@@ -1,0 +1,69 @@
+// LogGP-style network cost model (Alexandrov et al.), extended with MTU
+// segmentation cost to capture TCP's CPU-side packetization. Used by the
+// fabric baselines (TCP over Ethernet / Mellanox, RoCEv2, InfiniBand).
+//
+// A message of k bytes sent at sender virtual time t costs:
+//   sender CPU:   o_s + ceil(k / mtu) * o_seg          (charged to sender)
+//   wire:         FCFS reservation of k bytes on the shared wire resource
+//   delivery:     wire completion + L
+//   receiver CPU: o_r                                  (charged to receiver)
+// NIC-offloaded paths (RoCE/IB and, after packetization, TCP on a SmartNIC)
+// keep the CPU free while the wire streams — which is why the paper's TCP
+// baselines keep scaling with process count while the CPU-driven CXL copy
+// path does not (§4.2).
+#pragma once
+
+#include <cstddef>
+
+#include "simtime/busy_resource.hpp"
+#include "simtime/vclock.hpp"
+
+namespace cmpi::simtime {
+
+struct LogGPParams {
+  Ns wire_latency = 0;          ///< L: propagation + switch latency
+  Ns send_overhead = 0;         ///< o_s: fixed per-message CPU cost, sender
+  Ns recv_overhead = 0;         ///< o_r: fixed per-message CPU cost, receiver
+  Ns per_message_gap = 0;       ///< g: minimum injection spacing per sender
+  double wire_bytes_per_ns = 1;  ///< 1/G: shared wire bandwidth
+  std::size_t mtu = 1500;       ///< segmentation unit
+  Ns per_segment_overhead = 0;  ///< CPU cost per MTU segment (packetization)
+};
+
+/// Result of pushing one message through the model.
+struct MessageTiming {
+  Ns sender_done;    ///< sender CPU free again (may inject next message)
+  Ns delivered;      ///< data visible at receiver NIC (+L after wire)
+  Ns receiver_done;  ///< receiver CPU done processing (delivered + o_r)
+};
+
+/// Shared-state LogGP evaluator. One instance per physical link; safe to
+/// call from multiple rank threads (the wire is a BusyResource).
+class LogGPModel {
+ public:
+  explicit LogGPModel(const LogGPParams& params)
+      : params_(params), wire_(params.wire_bytes_per_ns) {
+    CMPI_EXPECTS(params.mtu > 0);
+    CMPI_EXPECTS(params.wire_bytes_per_ns > 0);
+  }
+
+  /// Cost of injecting `bytes` at sender time `send_time`.
+  MessageTiming send(Ns send_time, std::size_t bytes);
+
+  /// Sender-side CPU cost only (packetization), without wire effects.
+  [[nodiscard]] Ns sender_cpu_cost(std::size_t bytes) const noexcept;
+
+  /// Zero-load end-to-end latency for `bytes` (no contention, no queueing).
+  [[nodiscard]] Ns zero_load_latency(std::size_t bytes) const noexcept;
+
+  [[nodiscard]] const LogGPParams& params() const noexcept { return params_; }
+
+  /// Drop queued wire history (benchmark iteration boundaries).
+  void reset() { wire_.reset(); }
+
+ private:
+  const LogGPParams params_;
+  BusyResource wire_;
+};
+
+}  // namespace cmpi::simtime

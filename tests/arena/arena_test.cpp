@@ -1,0 +1,276 @@
+#include "arena/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/units.hpp"
+
+namespace cmpi::arena {
+namespace {
+
+class ArenaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = check_ok(cxlsim::DaxDevice::create(16_MiB));
+    cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    acc_ = std::make_unique<cxlsim::Accessor>(*device_, *cache_, clock_);
+  }
+
+  Arena::Params small_params() {
+    Arena::Params p;
+    p.levels = 4;
+    p.level1_buckets = 61;
+    p.max_participants = 8;
+    return p;
+  }
+
+  Arena make_arena() {
+    return check_ok(
+        Arena::format(*acc_, 0, 4_MiB, /*participant=*/0, small_params()));
+  }
+
+  simtime::VClock clock_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::unique_ptr<cxlsim::CacheSim> cache_;
+  std::unique_ptr<cxlsim::Accessor> acc_;
+};
+
+TEST_F(ArenaTest, FormatAndAttach) {
+  Arena a = make_arena();
+  EXPECT_EQ(a.index().levels(), 4u);
+  Arena b = check_ok(Arena::attach(*acc_, 0, 1));
+  EXPECT_EQ(b.index().levels(), 4u);
+  EXPECT_EQ(b.objects_offset(), a.objects_offset());
+}
+
+TEST_F(ArenaTest, AttachToUnformattedBaseFails) {
+  EXPECT_EQ(Arena::attach(*acc_, 8_MiB, 0).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ArenaTest, CreateReturnsAlignedObject) {
+  Arena a = make_arena();
+  const auto handle = check_ok(a.create("queue_0", 100));
+  EXPECT_EQ(handle.size, 100u);
+  EXPECT_TRUE(is_aligned(handle.arena_offset, kCacheLineSize));
+  EXPECT_EQ(handle.pool_offset, a.base() + handle.arena_offset);
+  EXPECT_GE(handle.arena_offset, a.objects_offset());
+}
+
+TEST_F(ArenaTest, CreateDuplicateFails) {
+  Arena a = make_arena();
+  auto h = check_ok(a.create("dup", 64));
+  EXPECT_EQ(a.create("dup", 64).status().code(), ErrorCode::kAlreadyExists);
+  check_ok(a.destroy(h));
+}
+
+TEST_F(ArenaTest, OpenFindsCreatedObject) {
+  Arena a = make_arena();
+  const auto created = check_ok(a.create("rma_window", 4096));
+  auto opened = check_ok(a.open("rma_window"));
+  EXPECT_EQ(opened.arena_offset, created.arena_offset);
+  EXPECT_EQ(opened.size, 4096u);
+}
+
+TEST_F(ArenaTest, OpenMissingObjectFails) {
+  Arena a = make_arena();
+  EXPECT_EQ(a.open("ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ArenaTest, OpenFromAnotherNodeSeesObject) {
+  Arena a = make_arena();
+  check_ok(a.create("shared", 256));
+
+  // A different node: own cache, own accessor, attach to same base.
+  simtime::VClock clock_b;
+  cxlsim::CacheSim cache_b(*device_);
+  cxlsim::Accessor acc_b(*device_, cache_b, clock_b);
+  Arena b = check_ok(Arena::attach(acc_b, 0, 1));
+  const auto handle = check_ok(b.open("shared"));
+  EXPECT_EQ(handle.size, 256u);
+}
+
+TEST_F(ArenaTest, DestroyMakesNameReusableAndReclaimsSpace) {
+  Arena a = make_arena();
+  const std::uint64_t before = a.free_bytes();
+  auto h = check_ok(a.create("temp", 1000));
+  EXPECT_LT(a.free_bytes(), before);
+  check_ok(a.destroy(h));
+  EXPECT_EQ(a.free_bytes(), before);
+  EXPECT_EQ(a.open("temp").status().code(), ErrorCode::kNotFound);
+  auto h2 = check_ok(a.create("temp", 1000));  // name reusable
+  check_ok(a.destroy(h2));
+}
+
+TEST_F(ArenaTest, CloseDropsReference) {
+  Arena a = make_arena();
+  auto h = check_ok(a.create("obj", 64));
+  auto h2 = check_ok(a.open("obj"));
+  check_ok(a.close(h2));
+  EXPECT_EQ(a.close(h2).code(), ErrorCode::kClosed);  // double close
+  check_ok(a.destroy(h));
+}
+
+TEST_F(ArenaTest, DestroyTwiceFails) {
+  Arena a = make_arena();
+  auto h = check_ok(a.create("obj", 64));
+  auto h2 = check_ok(a.open("obj"));
+  check_ok(a.destroy(h));
+  EXPECT_EQ(a.destroy(h2).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ArenaTest, RejectsBadNames) {
+  Arena a = make_arena();
+  EXPECT_EQ(a.create("", 64).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(a.create(std::string(Arena::kMaxNameLen + 1, 'x'), 64)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(a.create("ok", 0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ArenaTest, MaxLengthNameWorks) {
+  Arena a = make_arena();
+  const std::string name(Arena::kMaxNameLen, 'n');
+  auto h = check_ok(a.create(name, 64));
+  auto o = check_ok(a.open(name));
+  EXPECT_EQ(o.arena_offset, h.arena_offset);
+}
+
+TEST_F(ArenaTest, ExhaustionReportsOutOfMemory) {
+  Arena a = make_arena();
+  std::vector<ObjectHandle> handles;
+  for (int i = 0;; ++i) {
+    auto r = a.create("big" + std::to_string(i), 1_MiB);
+    if (!r.is_ok()) {
+      EXPECT_EQ(r.status().code(), ErrorCode::kOutOfMemory);
+      break;
+    }
+    handles.push_back(std::move(r).value());
+    ASSERT_LT(i, 100) << "allocator never exhausted";
+  }
+  for (auto& h : handles) {
+    check_ok(a.destroy(h));
+  }
+}
+
+TEST_F(ArenaTest, HashCapacityExceededWhenAllLevelsTaken) {
+  // With 4 levels a name has 4 candidate slots; filling the arena with
+  // many names must eventually hit per-name capacity, not loop forever.
+  Arena::Params tiny;
+  tiny.levels = 2;
+  tiny.level1_buckets = 5;  // levels: 5 + 3 = 8 slots total
+  tiny.max_participants = 2;
+  Arena a = check_ok(Arena::format(*acc_, 8_MiB, 1_MiB, 0, tiny));
+  int created = 0;
+  bool saw_capacity = false;
+  for (int i = 0; i < 64 && !saw_capacity; ++i) {
+    auto r = a.create("o" + std::to_string(i), 64);
+    if (r.is_ok()) {
+      ++created;
+    } else {
+      EXPECT_EQ(r.status().code(), ErrorCode::kCapacityExceeded);
+      saw_capacity = true;
+    }
+  }
+  EXPECT_TRUE(saw_capacity);
+  EXPECT_LE(created, 8);
+  EXPECT_GT(created, 0);
+}
+
+TEST_F(ArenaTest, FreeListCoalescesAdjacentBlocks) {
+  Arena a = make_arena();
+  const std::uint64_t baseline = a.free_bytes();
+  auto h1 = check_ok(a.create("a", 64_KiB));
+  auto h2 = check_ok(a.create("b", 64_KiB));
+  auto h3 = check_ok(a.create("c", 64_KiB));
+  // Free middle, then left, then right: must coalesce back to one block
+  // able to satisfy the original span.
+  check_ok(a.destroy(h2));
+  check_ok(a.destroy(h1));
+  check_ok(a.destroy(h3));
+  EXPECT_EQ(a.free_bytes(), baseline);
+  auto big = check_ok(a.create("big", 192_KiB));
+  check_ok(a.destroy(big));
+}
+
+TEST_F(ArenaTest, ObjectDataSurvivesOtherAllocations) {
+  Arena a = make_arena();
+  auto h = check_ok(a.create("data", 128));
+  const std::byte payload[4] = {std::byte{0xAA}, std::byte{0xBB},
+                                std::byte{0xCC}, std::byte{0xDD}};
+  acc_->coherent_write(h.pool_offset, payload);
+  for (int i = 0; i < 20; ++i) {
+    auto t = check_ok(a.create("noise" + std::to_string(i), 4096));
+    check_ok(a.destroy(t));
+  }
+  std::byte got[4];
+  acc_->coherent_read(h.pool_offset, got);
+  EXPECT_EQ(std::memcmp(got, payload, 4), 0);
+}
+
+TEST_F(ArenaTest, UsedSlotsTracksLiveObjects) {
+  Arena a = make_arena();
+  EXPECT_EQ(a.used_slots(), 0u);
+  auto h1 = check_ok(a.create("x", 64));
+  auto h2 = check_ok(a.create("y", 64));
+  EXPECT_EQ(a.used_slots(), 2u);
+  check_ok(a.destroy(h1));
+  EXPECT_EQ(a.used_slots(), 1u);
+  check_ok(a.destroy(h2));
+}
+
+TEST_F(ArenaTest, TooSmallArenaRejected) {
+  Arena::Params p = small_params();
+  EXPECT_FALSE(Arena::format(*acc_, 0, 1024, 0, p).is_ok());
+}
+
+TEST_F(ArenaTest, MetadataFootprintIsConsistent) {
+  const auto p = small_params();
+  Arena a = make_arena();
+  EXPECT_GE(a.objects_offset(), Arena::metadata_footprint(p) -
+                                    kCacheLineSize);
+  EXPECT_LE(a.objects_offset(), Arena::metadata_footprint(p) +
+                                    kCacheLineSize);
+}
+
+TEST_F(ArenaTest, ConcurrentCreatesFromManyNodes) {
+  // Each thread is a rank on its own node creating distinct objects; all
+  // creations must succeed and be mutually visible afterwards.
+  Arena bootstrap = make_arena();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      simtime::VClock clock;
+      cxlsim::CacheSim cache(*device_);
+      cxlsim::Accessor acc(*device_, cache, clock);
+      Arena arena = check_ok(Arena::attach(acc, 0, t + 1));
+      for (int i = 0; i < kPerThread; ++i) {
+        check_ok(arena.create("t" + std::to_string(t) + "_" +
+                              std::to_string(i), 256));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(bootstrap.used_slots(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(bootstrap
+                      .open("t" + std::to_string(t) + "_" + std::to_string(i))
+                      .is_ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmpi::arena

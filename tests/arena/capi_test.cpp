@@ -1,0 +1,94 @@
+#include "arena/capi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace cmpi::arena {
+namespace {
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = check_ok(cxlsim::DaxDevice::create(8_MiB));
+    cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    acc_ = std::make_unique<cxlsim::Accessor>(*device_, *cache_, clock_);
+    Arena::Params p;
+    p.levels = 3;
+    p.level1_buckets = 31;
+    p.max_participants = 4;
+    arena_ = std::make_unique<Arena>(
+        check_ok(Arena::format(*acc_, 0, 2_MiB, 0, p)));
+    cxl_shm_set_context(arena_.get());
+  }
+
+  void TearDown() override { cxl_shm_set_context(nullptr); }
+
+  simtime::VClock clock_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::unique_ptr<cxlsim::CacheSim> cache_;
+  std::unique_ptr<cxlsim::Accessor> acc_;
+  std::unique_ptr<Arena> arena_;
+};
+
+TEST_F(CapiTest, InitRequiresContext) {
+  cxl_shm_set_context(nullptr);
+  EXPECT_EQ(cxl_shm_init(), -1);
+  EXPECT_NE(std::string(cxl_shm_last_error()).find("no arena context"),
+            std::string::npos);
+}
+
+TEST_F(CapiTest, CreateOpenCloseDestroyLifecycle) {
+  ASSERT_EQ(cxl_shm_init(), 0);
+
+  CxlShmObject* created = nullptr;
+  ASSERT_EQ(cxl_shm_create("msg_queue", 4096, &created), 0);
+  ASSERT_NE(created, nullptr);
+  EXPECT_EQ(cxl_shm_obj_size(created), 4096u);
+  EXPECT_GT(cxl_shm_obj_offset(created), 0u);
+
+  CxlShmObject* opened = nullptr;
+  ASSERT_EQ(cxl_shm_open("msg_queue", &opened), 0);
+  EXPECT_EQ(cxl_shm_obj_offset(opened), cxl_shm_obj_offset(created));
+  EXPECT_EQ(cxl_shm_close(opened), 0);
+
+  EXPECT_EQ(cxl_shm_destroy(created), 0);
+  CxlShmObject* missing = nullptr;
+  EXPECT_EQ(cxl_shm_open("msg_queue", &missing), -1);
+
+  EXPECT_EQ(cxl_shm_finalize(), 0);
+}
+
+TEST_F(CapiTest, OperationsBeforeInitFail) {
+  CxlShmObject* obj = nullptr;
+  EXPECT_EQ(cxl_shm_create("x", 64, &obj), -1);
+  EXPECT_EQ(cxl_shm_open("x", &obj), -1);
+}
+
+TEST_F(CapiTest, CreateDuplicateFails) {
+  ASSERT_EQ(cxl_shm_init(), 0);
+  CxlShmObject* a = nullptr;
+  ASSERT_EQ(cxl_shm_create("dup", 64, &a), 0);
+  CxlShmObject* b = nullptr;
+  EXPECT_EQ(cxl_shm_create("dup", 64, &b), -1);
+  EXPECT_NE(std::string(cxl_shm_last_error()).find("ALREADY_EXISTS"),
+            std::string::npos);
+  EXPECT_EQ(cxl_shm_destroy(a), 0);
+}
+
+TEST_F(CapiTest, NullArgumentsRejected) {
+  ASSERT_EQ(cxl_shm_init(), 0);
+  CxlShmObject* obj = nullptr;
+  EXPECT_EQ(cxl_shm_create(nullptr, 64, &obj), -1);
+  EXPECT_EQ(cxl_shm_create("x", 64, nullptr), -1);
+  EXPECT_EQ(cxl_shm_open(nullptr, &obj), -1);
+  EXPECT_EQ(cxl_shm_destroy(nullptr), -1);
+  EXPECT_EQ(cxl_shm_close(nullptr), -1);
+}
+
+TEST_F(CapiTest, FinalizeWithoutInitFails) {
+  EXPECT_EQ(cxl_shm_finalize(), -1);
+}
+
+}  // namespace
+}  // namespace cmpi::arena

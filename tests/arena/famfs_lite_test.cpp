@@ -1,0 +1,120 @@
+#include "arena/famfs_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arena/arena.hpp"
+#include "common/units.hpp"
+
+namespace cmpi::arena {
+namespace {
+
+class FamfsLiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = check_ok(cxlsim::DaxDevice::create(16_MiB));
+    master_cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    client_cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    master_acc_ = std::make_unique<cxlsim::Accessor>(*device_,
+                                                     *master_cache_,
+                                                     master_clock_);
+    client_acc_ = std::make_unique<cxlsim::Accessor>(*device_,
+                                                     *client_cache_,
+                                                     client_clock_);
+  }
+
+  simtime::VClock master_clock_;
+  simtime::VClock client_clock_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::unique_ptr<cxlsim::CacheSim> master_cache_;
+  std::unique_ptr<cxlsim::CacheSim> client_cache_;
+  std::unique_ptr<cxlsim::Accessor> master_acc_;
+  std::unique_ptr<cxlsim::Accessor> client_acc_;
+};
+
+TEST_F(FamfsLiteTest, MasterCreatesClientOpens) {
+  auto master = check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  const auto created = check_ok(master.create("shared_data", 4096));
+  EXPECT_EQ(created.size, 4096u);
+
+  auto client = check_ok(FamfsLite::attach_client(*client_acc_, 0));
+  const auto opened = check_ok(client.open("shared_data"));
+  EXPECT_EQ(opened.pool_offset, created.pool_offset);
+  EXPECT_EQ(opened.size, 4096u);
+}
+
+TEST_F(FamfsLiteTest, ClientCannotCreate) {
+  // The §3.1 restriction that disqualifies the famfs design for MPI: a
+  // non-master rank cannot create the SHM object it needs.
+  check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  auto client = check_ok(FamfsLite::attach_client(*client_acc_, 0));
+  const auto result = client.create("my_rma_window", 4096);
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(FamfsLiteTest, ClientCannotRemove) {
+  auto master = check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  check_ok(master.create("f", 64));
+  auto client = check_ok(FamfsLite::attach_client(*client_acc_, 0));
+  EXPECT_EQ(client.remove("f").code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(FamfsLiteTest, ArenaAllowsWhatFamfsForbids) {
+  // The same "client" rank CAN create objects in the CXL SHM Arena.
+  Arena::Params params;
+  params.levels = 3;
+  params.level1_buckets = 31;
+  params.max_participants = 4;
+  check_ok(Arena::format(*master_acc_, 0, 8_MiB, 0, params));
+  auto client_arena = check_ok(Arena::attach(*client_acc_, 0, 1));
+  EXPECT_TRUE(client_arena.create("my_rma_window", 4096).is_ok());
+}
+
+TEST_F(FamfsLiteTest, DataFlowsThroughFamfsFiles) {
+  auto master = check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  const auto file = check_ok(master.create("payload", 256));
+  const std::byte data[16] = {std::byte{0xAA}, std::byte{0xBB}};
+  master_acc_->coherent_write(file.pool_offset, data);
+
+  auto client = check_ok(FamfsLite::attach_client(*client_acc_, 0));
+  const auto opened = check_ok(client.open("payload"));
+  std::byte got[16] = {};
+  client_acc_->coherent_read(opened.pool_offset, got);
+  EXPECT_EQ(std::to_integer<int>(got[0]), 0xAA);
+  EXPECT_EQ(std::to_integer<int>(got[1]), 0xBB);
+}
+
+TEST_F(FamfsLiteTest, DuplicateAndMissingNames) {
+  auto master = check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  check_ok(master.create("dup", 64));
+  EXPECT_EQ(master.create("dup", 64).status().code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(master.open("ghost").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(master.remove("ghost").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FamfsLiteTest, RemoveFreesNameButNotSpace) {
+  auto master = check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  auto first = check_ok(master.create("temp", 4096));
+  check_ok(master.remove("temp"));
+  EXPECT_EQ(master.files_in_use(), 0u);
+  auto second = check_ok(master.create("temp", 4096));
+  // Append-only extents: the new file gets fresh space.
+  EXPECT_GT(second.pool_offset, first.pool_offset);
+}
+
+TEST_F(FamfsLiteTest, AttachWithoutFormatFails) {
+  EXPECT_EQ(FamfsLite::attach_client(*client_acc_, 8_MiB).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(FamfsLiteTest, TableCapacity) {
+  auto master = check_ok(FamfsLite::format_master(*master_acc_, 0, 8_MiB));
+  for (std::size_t i = 0; i < FamfsLite::kMaxFiles; ++i) {
+    check_ok(master.create("f" + std::to_string(i), 64));
+  }
+  EXPECT_EQ(master.create("overflow", 64).status().code(),
+            ErrorCode::kCapacityExceeded);
+}
+
+}  // namespace
+}  // namespace cmpi::arena

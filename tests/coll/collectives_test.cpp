@@ -1,0 +1,320 @@
+#include "coll/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace cmpi::coll {
+namespace {
+
+runtime::UniverseConfig config_for(unsigned nodes, unsigned per_node) {
+  runtime::UniverseConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = per_node;
+  cfg.pool_size = 64_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  return cfg;
+}
+
+/// Rank counts to sweep: powers of two and odd counts (fold-in/out paths).
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST_P(CollectivesTest, BarrierCompletes) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  std::atomic<int> entered{0};
+  std::atomic<bool> violated{false};
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    entered.fetch_add(1);
+    barrier(ep);
+    if (entered.load() != n) {
+      violated = true;
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CollectivesTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::uint32_t> data(50);
+      if (ctx.rank() == root) {
+        std::iota(data.begin(), data.end(),
+                  static_cast<std::uint32_t>(root * 1000));
+      }
+      bcast(ep, root, std::as_writable_bytes(std::span(data)));
+      std::vector<std::uint32_t> expected(50);
+      std::iota(expected.begin(), expected.end(),
+                static_cast<std::uint32_t>(root * 1000));
+      EXPECT_EQ(data, expected) << "root " << root;
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ReduceSumToEveryRoot) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    for (int root = 0; root < n; ++root) {
+      std::vector<double> values(8);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = ctx.rank() + static_cast<double>(i);
+      }
+      reduce(ep, root, values, ReduceOp::kSum);
+      if (ctx.rank() == root) {
+        const double rank_sum = n * (n - 1) / 2.0;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          EXPECT_DOUBLE_EQ(values[i], rank_sum + n * static_cast<double>(i));
+        }
+      }
+      barrier(ep);  // keep roots' rounds separated
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceSum) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<double> values{static_cast<double>(ctx.rank()), 1.0,
+                               ctx.rank() * 2.0};
+    allreduce(ep, values, ReduceOp::kSum);
+    const double rank_sum = n * (n - 1) / 2.0;
+    EXPECT_DOUBLE_EQ(values[0], rank_sum);
+    EXPECT_DOUBLE_EQ(values[1], n);
+    EXPECT_DOUBLE_EQ(values[2], 2 * rank_sum);
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceMinMaxInt64) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<std::int64_t> mn{ctx.rank() + 10};
+    allreduce(ep, mn, ReduceOp::kMin);
+    EXPECT_EQ(mn[0], 10);
+    std::vector<std::int64_t> mx{ctx.rank() + 10};
+    allreduce(ep, mx, ReduceOp::kMax);
+    EXPECT_EQ(mx[0], n - 1 + 10);
+  });
+}
+
+TEST_P(CollectivesTest, RingAllgather) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<std::uint64_t> mine{static_cast<std::uint64_t>(ctx.rank()),
+                                    static_cast<std::uint64_t>(ctx.rank()) *
+                                        7};
+    std::vector<std::uint64_t> all(2 * static_cast<std::size_t>(n));
+    allgather(ep, std::as_bytes(std::span(mine)),
+              std::as_writable_bytes(std::span(all)));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r)],
+                static_cast<std::uint64_t>(r));
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r) + 1],
+                static_cast<std::uint64_t>(r) * 7);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BruckAllgatherMatchesRing) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<std::uint64_t> mine{static_cast<std::uint64_t>(ctx.rank() * 3 + 1)};
+    std::vector<std::uint64_t> via_bruck(static_cast<std::size_t>(n));
+    allgather_bruck(ep, std::as_bytes(std::span(mine)),
+                    std::as_writable_bytes(std::span(via_bruck)));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(via_bruck[static_cast<std::size_t>(r)],
+                static_cast<std::uint64_t>(r * 3 + 1));
+    }
+  });
+}
+
+TEST_P(CollectivesTest, Alltoall) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    // send[i] = rank * 100 + i; after alltoall, recv[i] = i * 100 + rank.
+    std::vector<std::uint32_t> send(static_cast<std::size_t>(n));
+    std::vector<std::uint32_t> recv(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      send[static_cast<std::size_t>(i)] =
+          static_cast<std::uint32_t>(ctx.rank() * 100 + i);
+    }
+    alltoall(ep, std::as_bytes(std::span(send)),
+             std::as_writable_bytes(std::span(recv)), sizeof(std::uint32_t));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)],
+                static_cast<std::uint32_t>(i * 100 + ctx.rank()));
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ReduceScatter) {
+  const int n = GetParam();
+  if (n == 1) {
+    GTEST_SKIP() << "covered by the n==1 shortcut unit path";
+  }
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    constexpr std::size_t kBlock = 4;
+    // data[b][e] = rank + b * 10 + e.
+    std::vector<double> data(kBlock * static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      for (std::size_t e = 0; e < kBlock; ++e) {
+        data[static_cast<std::size_t>(b) * kBlock + e] =
+            ctx.rank() + b * 10.0 + static_cast<double>(e);
+      }
+    }
+    std::vector<double> out(kBlock);
+    reduce_scatter(ep, data, out, ReduceOp::kSum);
+    const double rank_sum = n * (n - 1) / 2.0;
+    for (std::size_t e = 0; e < kBlock; ++e) {
+      EXPECT_DOUBLE_EQ(out[e],
+                       rank_sum + n * (ctx.rank() * 10.0 +
+                                       static_cast<double>(e)))
+          << "elem " << e;
+    }
+  });
+}
+
+TEST_P(CollectivesTest, GatherToEveryRoot) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::uint64_t> mine{
+          static_cast<std::uint64_t>(ctx.rank() * 5 + 1),
+          static_cast<std::uint64_t>(ctx.rank())};
+      std::vector<std::uint64_t> all(2 * static_cast<std::size_t>(n));
+      gather(ep, root, std::as_bytes(std::span(mine)),
+             ctx.rank() == root ? std::as_writable_bytes(std::span(all))
+                                : std::span<std::byte>{});
+      if (ctx.rank() == root) {
+        for (int r = 0; r < n; ++r) {
+          EXPECT_EQ(all[2 * static_cast<std::size_t>(r)],
+                    static_cast<std::uint64_t>(r * 5 + 1));
+          EXPECT_EQ(all[2 * static_cast<std::size_t>(r) + 1],
+                    static_cast<std::uint64_t>(r));
+        }
+      }
+      barrier(ep);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ScatterFromEveryRoot) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::uint64_t> all;
+      if (ctx.rank() == root) {
+        for (int r = 0; r < n; ++r) {
+          all.push_back(static_cast<std::uint64_t>(root * 100 + r));
+        }
+      }
+      std::vector<std::uint64_t> mine(1);
+      scatter(ep, root,
+              ctx.rank() == root ? std::as_bytes(std::span(all))
+                                 : std::span<const std::byte>{},
+              std::as_writable_bytes(std::span(mine)));
+      EXPECT_EQ(mine[0], static_cast<std::uint64_t>(root * 100 + ctx.rank()));
+      barrier(ep);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, GatherScatterRoundTrip) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<double> mine{ctx.rank() * 1.5, ctx.rank() + 0.25};
+    std::vector<double> all(2 * static_cast<std::size_t>(n));
+    gather(ep, 0, std::as_bytes(std::span(mine)),
+           ctx.rank() == 0 ? std::as_writable_bytes(std::span(all))
+                           : std::span<std::byte>{});
+    std::vector<double> back(2);
+    scatter(ep, 0,
+            ctx.rank() == 0 ? std::as_bytes(std::span(all))
+                            : std::span<const std::byte>{},
+            std::as_writable_bytes(std::span(back)));
+    EXPECT_EQ(back, mine);
+  });
+}
+
+TEST_P(CollectivesTest, InclusiveScanSum) {
+  const int n = GetParam();
+  runtime::Universe universe(config_for(static_cast<unsigned>(n), 1));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<std::int64_t> v{ctx.rank() + 1, 10};
+    scan(ep, v, ReduceOp::kMin);
+    EXPECT_EQ(v[0], 1);   // min of 1..rank+1
+    EXPECT_EQ(v[1], 10);
+    std::vector<double> s{static_cast<double>(ctx.rank() + 1)};
+    scan(ep, s, ReduceOp::kSum);
+    const int r = ctx.rank() + 1;
+    EXPECT_DOUBLE_EQ(s[0], r * (r + 1) / 2.0);  // 1 + 2 + ... + (rank+1)
+  });
+}
+
+TEST(Collectives, LargePayloadAllreduce) {
+  runtime::Universe universe(config_for(2, 2));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    std::vector<double> values(8192, 1.0);  // 64 KiB, chunked transfers
+    allreduce(ep, values, ReduceOp::kSum);
+    for (const double v : values) {
+      ASSERT_DOUBLE_EQ(v, ctx.nranks());
+    }
+  });
+}
+
+TEST(Collectives, MixedSequenceStress) {
+  // Back-to-back different collectives must not cross-match.
+  runtime::Universe universe(config_for(2, 2));
+  universe.run([&](runtime::RankCtx& ctx) {
+    p2p::Endpoint ep = p2p::Endpoint::create(ctx);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<std::int64_t> v{ctx.rank() + round};
+      allreduce(ep, v, ReduceOp::kSum);
+      barrier(ep);
+      std::vector<std::uint64_t> mine{static_cast<std::uint64_t>(v[0])};
+      std::vector<std::uint64_t> all(static_cast<std::size_t>(ctx.nranks()));
+      allgather(ep, std::as_bytes(std::span(mine)),
+                std::as_writable_bytes(std::span(all)));
+      for (const auto x : all) {
+        const int n = ctx.nranks();
+        EXPECT_EQ(x, static_cast<std::uint64_t>(n * (n - 1) / 2 + n * round));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cmpi::coll

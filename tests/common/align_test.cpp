@@ -1,0 +1,74 @@
+#include "common/align.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi {
+namespace {
+
+TEST(Align, PowerOfTwoDetection) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_TRUE(is_pow2(kDaxAlignment));
+  EXPECT_FALSE(is_pow2(kDaxAlignment + 1));
+}
+
+TEST(Align, AlignUpBasics) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(Align, AlignDownBasics) {
+  EXPECT_EQ(align_down(0, 64), 0u);
+  EXPECT_EQ(align_down(63, 64), 0u);
+  EXPECT_EQ(align_down(64, 64), 64u);
+  EXPECT_EQ(align_down(127, 64), 64u);
+}
+
+TEST(Align, AlignedPredicate) {
+  EXPECT_TRUE(is_aligned(std::size_t{0}, 64));
+  EXPECT_TRUE(is_aligned(std::size_t{128}, 64));
+  EXPECT_FALSE(is_aligned(std::size_t{130}, 64));
+}
+
+TEST(Align, UpDownAgreeOnAlignedValues) {
+  for (std::size_t v = 0; v < 4096; v += 64) {
+    EXPECT_EQ(align_up(v, 64), v);
+    EXPECT_EQ(align_down(v, 64), v);
+  }
+}
+
+TEST(Align, CacheLinesSpannedZeroSize) {
+  EXPECT_EQ(cache_lines_spanned(0, 0), 0u);
+  EXPECT_EQ(cache_lines_spanned(100, 0), 0u);
+}
+
+TEST(Align, CacheLinesSpannedSingleLine) {
+  EXPECT_EQ(cache_lines_spanned(0, 1), 1u);
+  EXPECT_EQ(cache_lines_spanned(0, 64), 1u);
+  EXPECT_EQ(cache_lines_spanned(63, 1), 1u);
+}
+
+TEST(Align, CacheLinesSpannedStraddling) {
+  // One byte on each side of a line boundary.
+  EXPECT_EQ(cache_lines_spanned(63, 2), 2u);
+  // 64 bytes starting mid-line touch two lines.
+  EXPECT_EQ(cache_lines_spanned(32, 64), 2u);
+  EXPECT_EQ(cache_lines_spanned(0, 65), 2u);
+  EXPECT_EQ(cache_lines_spanned(0, 128), 2u);
+  EXPECT_EQ(cache_lines_spanned(1, 128), 3u);
+}
+
+TEST(Align, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 7), 0u);
+  EXPECT_EQ(ceil_div(1, 7), 1u);
+  EXPECT_EQ(ceil_div(7, 7), 1u);
+  EXPECT_EQ(ceil_div(8, 7), 2u);
+}
+
+}  // namespace
+}  // namespace cmpi

@@ -1,0 +1,74 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> extra) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  return check_ok(CliArgs::parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, StringFlag) {
+  const auto args = make({"--mode=cxl"});
+  EXPECT_EQ(args.get_string("mode", "tcp"), "cxl");
+  EXPECT_EQ(args.get_string("missing", "tcp"), "tcp");
+}
+
+TEST(Cli, IntFlag) {
+  const auto args = make({"--procs=32"});
+  EXPECT_EQ(args.get_int("procs", 2), 32);
+  EXPECT_EQ(args.get_int("iters", 100), 100);
+}
+
+TEST(Cli, SizeFlagWithSuffixes) {
+  const auto args = make({"--cell=64K", "--max=8M", "--raw=512"});
+  EXPECT_EQ(args.get_size("cell", 0), 64u * 1024);
+  EXPECT_EQ(args.get_size("max", 0), 8u * 1024 * 1024);
+  EXPECT_EQ(args.get_size("raw", 0), 512u);
+}
+
+TEST(Cli, BoolFlag) {
+  const auto args = make({"--verbose", "--csv=true", "--quiet=0"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("csv"));
+  EXPECT_FALSE(args.get_bool("quiet"));
+  EXPECT_FALSE(args.get_bool("absent"));
+  EXPECT_TRUE(args.get_bool("absent2", true));
+}
+
+TEST(Cli, MalformedArgumentIsError) {
+  const char* argv[] = {"prog", "procs=3"};
+  EXPECT_FALSE(CliArgs::parse(2, argv).is_ok());
+}
+
+TEST(Cli, UnusedFlagsReported) {
+  const auto args = make({"--known=1", "--typo=2"});
+  (void)args.get_int("known", 0);
+  const auto unused = args.unused_flags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ParseSize, Plain) {
+  EXPECT_EQ(check_ok(parse_size("0")), 0u);
+  EXPECT_EQ(check_ok(parse_size("123")), 123u);
+}
+
+TEST(ParseSize, Suffixes) {
+  EXPECT_EQ(check_ok(parse_size("1K")), 1024u);
+  EXPECT_EQ(check_ok(parse_size("2m")), 2u * 1024 * 1024);
+  EXPECT_EQ(check_ok(parse_size("1g")), 1024u * 1024 * 1024);
+}
+
+TEST(ParseSize, Malformed) {
+  EXPECT_FALSE(parse_size("").is_ok());
+  EXPECT_FALSE(parse_size("K").is_ok());
+  EXPECT_FALSE(parse_size("12x3").is_ok());
+  EXPECT_FALSE(parse_size("-5").is_ok());
+}
+
+}  // namespace
+}  // namespace cmpi

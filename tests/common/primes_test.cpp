@@ -1,0 +1,65 @@
+#include "common/primes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+}
+
+TEST(Primes, PaperLevelOnePrime) {
+  // §3.7: the level-1 slot cap of 200,000 rounds down to prime 199,999.
+  EXPECT_EQ(prev_prime(200000), 199999u);
+  EXPECT_TRUE(is_prime(199999));
+}
+
+TEST(Primes, PaperLevelTenPrime) {
+  // §3.7: levels 1-10 range 199,999 down to 199,873.
+  std::uint64_t p = 200000;
+  for (int level = 0; level < 10; ++level) {
+    p = prev_prime(p);
+    if (level < 9) {
+      --p;
+    }
+  }
+  EXPECT_EQ(p, 199873u);
+}
+
+TEST(Primes, PaperTotalSlots) {
+  // §3.7: 1,999,260 slots across all 10 levels.
+  std::uint64_t total = 0;
+  std::uint64_t p = 200000;
+  for (int level = 0; level < 10; ++level) {
+    p = prev_prime(p);
+    total += p;
+    --p;
+  }
+  EXPECT_EQ(total, 1999260u);
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(200000), 200003u);
+}
+
+TEST(Primes, PrevNextRoundTrip) {
+  for (std::uint64_t n : {10u, 100u, 1000u, 12345u}) {
+    const std::uint64_t p = prev_prime(n);
+    EXPECT_LE(p, n);
+    EXPECT_TRUE(is_prime(p));
+    EXPECT_EQ(next_prime(p), p);
+  }
+}
+
+}  // namespace
+}  // namespace cmpi

@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmpi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    hits[rng.next_below(8)]++;
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 700);  // each bucket near 1000
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_in(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.next_bool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace cmpi

@@ -1,0 +1,69 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = status::not_found("object 'x'");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: object 'x'");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(status::not_found("a"), status::not_found("b"));
+  EXPECT_FALSE(status::not_found("a") == status::closed("a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kOutOfMemory,
+        ErrorCode::kCapacityExceeded, ErrorCode::kClosed,
+        ErrorCode::kTruncated, ErrorCode::kUnsupported,
+        ErrorCode::kInternal}) {
+    EXPECT_FALSE(error_code_name(code).empty());
+    EXPECT_NE(error_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(17);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 17);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(status::out_of_memory("arena full"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kOutOfMemory);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, ValueOrPassesThrough) {
+  Result<int> ok(5);
+  EXPECT_EQ(ok.value_or(9), 5);
+}
+
+TEST(CheckOk, ReturnsValue) {
+  EXPECT_EQ(check_ok(Result<int>(3)), 3);
+}
+
+}  // namespace
+}  // namespace cmpi

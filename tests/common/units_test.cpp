@@ -1,0 +1,41 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi {
+namespace {
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(64_KiB, 65536u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(1_GiB, 1073741824u);
+}
+
+TEST(Units, FormatSizeUsesOsuLabels) {
+  EXPECT_EQ(format_size(1), "1");
+  EXPECT_EQ(format_size(512), "512");
+  EXPECT_EQ(format_size(1024), "1K");
+  EXPECT_EQ(format_size(65536), "64K");
+  EXPECT_EQ(format_size(8_MiB), "8M");
+}
+
+TEST(Units, FormatSizeNonRoundFallsBackToBytes) {
+  EXPECT_EQ(format_size(1500), "1500");
+}
+
+TEST(Units, FormatDurationPicksScale) {
+  EXPECT_EQ(format_duration_ns(100), "100.0 ns");
+  EXPECT_EQ(format_duration_ns(16000), "16.00 us");
+  EXPECT_EQ(format_duration_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(format_duration_ns(1.5e9), "1.500 s");
+}
+
+TEST(Units, FormatBandwidthPicksScale) {
+  EXPECT_EQ(format_bandwidth(117.8e6), "117.8 MB/s");
+  EXPECT_EQ(format_bandwidth(9.9e9), "9.90 GB/s");
+  EXPECT_EQ(format_bandwidth(500e3), "500.0 KB/s");
+}
+
+}  // namespace
+}  // namespace cmpi

@@ -1,0 +1,92 @@
+#include "cxlsim/dax_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/align.hpp"
+
+namespace cmpi::cxlsim {
+namespace {
+
+TEST(DaxDevice, CreateRoundsToDaxAlignment) {
+  auto device = check_ok(DaxDevice::create(1));
+  EXPECT_EQ(device->size(), kDaxAlignment);
+  auto device2 = check_ok(DaxDevice::create(kDaxAlignment + 1));
+  EXPECT_EQ(device2->size(), 2 * kDaxAlignment);
+}
+
+TEST(DaxDevice, RejectsZeroSize) {
+  EXPECT_FALSE(DaxDevice::create(0).is_ok());
+}
+
+TEST(DaxDevice, RejectsZeroHeads) {
+  EXPECT_FALSE(DaxDevice::create(1024, 0).is_ok());
+}
+
+TEST(DaxDevice, PoolIsZeroInitializedAndWritable) {
+  auto device = check_ok(DaxDevice::create(4096));
+  auto pool = device->pool();
+  EXPECT_EQ(std::to_integer<int>(pool[0]), 0);
+  EXPECT_EQ(std::to_integer<int>(pool[pool.size() - 1]), 0);
+  pool[123] = std::byte{0xAB};
+  EXPECT_EQ(std::to_integer<int>(device->pool()[123]), 0xAB);
+}
+
+TEST(DaxDevice, ExposesBackingFd) {
+  auto device = check_ok(DaxDevice::create(4096));
+  EXPECT_GE(device->fd(), 0);
+}
+
+TEST(DaxDevice, DefaultCacheabilityIsWriteBack) {
+  auto device = check_ok(DaxDevice::create(4096));
+  EXPECT_EQ(device->cacheability(0), Cacheability::kWriteBack);
+  EXPECT_EQ(device->cacheability(device->size() - 1),
+            Cacheability::kWriteBack);
+}
+
+TEST(DaxDevice, MtrrRangeMarksUncachable) {
+  auto device = check_ok(DaxDevice::create(4096));
+  check_ok(device->set_cacheability(4096, 8192, Cacheability::kUncachable));
+  EXPECT_EQ(device->cacheability(4095), Cacheability::kWriteBack);
+  EXPECT_EQ(device->cacheability(4096), Cacheability::kUncachable);
+  EXPECT_EQ(device->cacheability(4096 + 8191), Cacheability::kUncachable);
+  EXPECT_EQ(device->cacheability(4096 + 8192), Cacheability::kWriteBack);
+}
+
+TEST(DaxDevice, MtrrReprogramSameRangeReplaces) {
+  auto device = check_ok(DaxDevice::create(4096));
+  check_ok(device->set_cacheability(0, 4096, Cacheability::kUncachable));
+  check_ok(device->set_cacheability(0, 4096, Cacheability::kWriteBack));
+  EXPECT_EQ(device->cacheability(0), Cacheability::kWriteBack);
+}
+
+TEST(DaxDevice, MtrrRegisterFileIsBounded) {
+  auto device = check_ok(DaxDevice::create(kDaxAlignment));
+  for (std::size_t i = 0; i < MtrrTable::kMaxRanges; ++i) {
+    check_ok(device->set_cacheability(i * 4096, 4096,
+                                      Cacheability::kUncachable));
+  }
+  const Status overflow = device->set_cacheability(
+      MtrrTable::kMaxRanges * 4096, 4096, Cacheability::kUncachable);
+  EXPECT_EQ(overflow.code(), ErrorCode::kCapacityExceeded);
+}
+
+TEST(DaxDevice, MtrrRejectsOutOfRange) {
+  auto device = check_ok(DaxDevice::create(4096));
+  EXPECT_EQ(device
+                ->set_cacheability(device->size() - 64, 128,
+                                   Cacheability::kUncachable)
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(device->set_cacheability(0, 0, Cacheability::kUncachable).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(DaxDevice, HeadsAreReported) {
+  auto device = check_ok(DaxDevice::create(4096, 2));
+  EXPECT_EQ(device->heads(), 2u);
+}
+
+}  // namespace
+}  // namespace cmpi::cxlsim

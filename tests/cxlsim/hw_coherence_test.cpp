@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+
+#include <cstring>
+#include "common/units.hpp"
+#include "cxlsim/accessor.hpp"
+
+namespace cmpi::cxlsim {
+namespace {
+
+CxlTimingParams hw_params() {
+  CxlTimingParams p;
+  p.hw_coherence = true;
+  return p;
+}
+
+struct Node {
+  std::unique_ptr<CacheSim> cache;
+  simtime::VClock clock;
+  std::unique_ptr<Accessor> acc;
+};
+
+Node make_node(DaxDevice& device) {
+  Node n;
+  n.cache = std::make_unique<CacheSim>(device);
+  n.acc = std::make_unique<Accessor>(device, *n.cache, n.clock);
+  return n;
+}
+
+TEST(HwCoherence, RegistryTracksAttachedCaches) {
+  auto device = check_ok(DaxDevice::create(16_MiB));
+  EXPECT_EQ(device->attached_caches(), 0u);
+  {
+    CacheSim a(*device);
+    EXPECT_EQ(device->attached_caches(), 1u);
+    {
+      CacheSim b(*device);
+      EXPECT_EQ(device->attached_caches(), 2u);
+    }
+    EXPECT_EQ(device->attached_caches(), 1u);
+  }
+  EXPECT_EQ(device->attached_caches(), 0u);
+}
+
+TEST(HwCoherence, PlainStoreVisibleToPlainLoadAcrossNodes) {
+  auto device = check_ok(DaxDevice::create(16_MiB, 4, hw_params()));
+  Node a = make_node(*device);
+  Node b = make_node(*device);
+  // B caches the line while it is zero.
+  std::byte tmp[8];
+  b.acc->load(4096, tmp);
+  // A plain-stores (no flush anywhere): BI invalidates B's copy.
+  const std::byte data[8] = {std::byte{1}, std::byte{2}, std::byte{3},
+                             std::byte{4}, std::byte{5}, std::byte{6},
+                             std::byte{7}, std::byte{8}};
+  a.acc->store(4096, data);
+  // B's plain load misses (its copy was invalidated) and must see A's
+  // dirty data (BI read acquisition writes it back first).
+  std::byte got[8];
+  b.acc->load(4096, got);
+  EXPECT_EQ(std::memcmp(got, data, 8), 0);
+}
+
+TEST(HwCoherence, WithoutHwCoherenceTheSamePatternIsStale) {
+  auto device = check_ok(DaxDevice::create(16_MiB));  // sw coherence
+  Node a = make_node(*device);
+  Node b = make_node(*device);
+  std::byte tmp[8];
+  b.acc->load(4096, tmp);
+  const std::byte data[8] = {std::byte{9}};
+  a.acc->store(4096, data);
+  std::byte got[8];
+  b.acc->load(4096, got);
+  EXPECT_NE(std::to_integer<int>(got[0]), 9);  // stale, as §3.5 warns
+}
+
+TEST(HwCoherence, PingPongStaysCoherentManyRounds) {
+  auto device = check_ok(DaxDevice::create(16_MiB, 4, hw_params()));
+  Node a = make_node(*device);
+  Node b = make_node(*device);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    a.acc->store(8192, std::as_bytes(std::span(&i, 1)));
+    std::uint64_t got = 0;
+    b.acc->load(8192, std::as_writable_bytes(std::span(&got, 1)));
+    ASSERT_EQ(got, i);
+    const std::uint64_t reply = i * 3;
+    b.acc->store(8192, std::as_bytes(std::span(&reply, 1)));
+    std::uint64_t echoed = 0;
+    a.acc->load(8192, std::as_writable_bytes(std::span(&echoed, 1)));
+    ASSERT_EQ(echoed, reply);
+  }
+}
+
+TEST(HwCoherence, SnoopCostGrowsWithAttachedCaches) {
+  const auto handoff_cost = [](int extra_caches) {
+    auto device = check_ok(DaxDevice::create(16_MiB, 4, hw_params()));
+    std::vector<std::unique_ptr<CacheSim>> idle;
+    for (int i = 0; i < extra_caches; ++i) {
+      idle.push_back(std::make_unique<CacheSim>(*device));
+    }
+    Node a = make_node(*device);
+    const std::byte data[8] = {std::byte{1}};
+    a.acc->store(4096, data);
+    return a.clock.now();
+  };
+  const double small_domain = handoff_cost(0);
+  const double large_domain = handoff_cost(16);
+  EXPECT_GT(large_domain, small_domain + 10 * 250);  // ≥ per-cache snoops
+}
+
+TEST(HwCoherence, SoftwareModeChargesNoSnoops) {
+  auto device = check_ok(DaxDevice::create(16_MiB));
+  std::vector<std::unique_ptr<CacheSim>> idle;
+  for (int i = 0; i < 8; ++i) {
+    idle.push_back(std::make_unique<CacheSim>(*device));
+  }
+  Node a = make_node(*device);
+  const std::byte data[8] = {std::byte{1}};
+  a.acc->store(4096, data);
+  // Just the write-buffer cost; no per-cache term.
+  EXPECT_LT(a.clock.now(), 100.0);
+}
+
+}  // namespace
+}  // namespace cmpi::cxlsim

@@ -1,0 +1,111 @@
+#include "osu/drivers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/profiles.hpp"
+#include "queue/queue_matrix.hpp"
+
+namespace cmpi::osu {
+namespace {
+
+SweepParams quick_params(std::vector<std::size_t> sizes, int procs) {
+  SweepParams p;
+  p.sizes = std::move(sizes);
+  p.procs = procs;
+  p.iters = 4;
+  p.warmup = 1;
+  return p;
+}
+
+TEST(OsuDrivers, SizeLadderIsPowersOfTwo) {
+  const auto sizes = osu_sizes(1 << 20);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_EQ(sizes.back(), 1u << 20);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], 2 * sizes[i - 1]);
+  }
+}
+
+TEST(OsuDrivers, WindowAdaptsToSize) {
+  SweepParams p;
+  p.window_bytes = 1 << 20;
+  EXPECT_EQ(window_for(p, 1), 32);          // clamped high
+  EXPECT_EQ(window_for(p, 1 << 16), 16);    // 1 MiB / 64 KiB
+  EXPECT_EQ(window_for(p, 8 << 20), 2);     // clamped low
+}
+
+TEST(OsuDrivers, CxlLatencyInPaperBand) {
+  const auto lat = cxl_twosided_latency_us(quick_params({8}, 2));
+  ASSERT_EQ(lat.size(), 1u);
+  EXPECT_GT(lat[0], 2.0);
+  EXPECT_LT(lat[0], 40.0);
+}
+
+TEST(OsuDrivers, CxlOnesidedFasterThanTwosidedSmall) {
+  // One-sided put skips the cell copy-out; its small-message latency is
+  // at or below two-sided.
+  const auto one = cxl_onesided_latency_us(quick_params({8}, 2));
+  const auto two = cxl_twosided_latency_us(quick_params({8}, 2));
+  EXPECT_LT(one[0], two[0] * 1.5);
+}
+
+TEST(OsuDrivers, CxlBandwidthGrowsWithMessageSize) {
+  const auto bw = cxl_twosided_bw_mbps(quick_params({64, 4096, 65536}, 2));
+  EXPECT_LT(bw[0], bw[1]);
+  EXPECT_LT(bw[1], bw[2]);
+}
+
+TEST(OsuDrivers, CxlBandwidthScalesWithProcsUntilDeviceCap) {
+  const auto two = cxl_twosided_bw_mbps(quick_params({65536}, 2));
+  const auto eight = cxl_twosided_bw_mbps(quick_params({65536}, 8));
+  EXPECT_GT(eight[0], 1.8 * two[0]);
+  EXPECT_LT(eight[0], 9900.0);  // never beyond the device
+}
+
+TEST(OsuDrivers, NetLatencyMatchesProfileCalibration) {
+  const auto eth =
+      net_twosided_latency_us(fabric::tcp_ethernet(), quick_params({8}, 2));
+  EXPECT_GT(eth[0], 120.0);
+  EXPECT_LT(eth[0], 200.0);
+  const auto mlx =
+      net_twosided_latency_us(fabric::tcp_cx6dx(), quick_params({8}, 2));
+  EXPECT_GT(mlx[0], 40.0);
+  EXPECT_LT(mlx[0], 70.0);
+}
+
+TEST(OsuDrivers, NetEthernetBandwidthCapped) {
+  const auto bw = net_twosided_bw_mbps(fabric::tcp_ethernet(),
+                                       quick_params({1 << 20}, 4));
+  EXPECT_GT(bw[0], 80.0);
+  EXPECT_LT(bw[0], 125.0);  // 117.8 MB/s wire
+}
+
+TEST(OsuDrivers, NetOnesidedLatencyDominatedByProgressEmulation) {
+  const auto lat =
+      net_onesided_latency_us(fabric::tcp_cx6dx(), quick_params({8}, 2));
+  EXPECT_GT(lat[0], 400.0);
+  EXPECT_LT(lat[0], 900.0);
+}
+
+TEST(OsuDrivers, CxlBeatsEthernetEverywhere) {
+  const auto params = quick_params({8, 4096, 262144}, 2);
+  const auto cxl = cxl_twosided_bw_mbps(params);
+  const auto eth = net_twosided_bw_mbps(fabric::tcp_ethernet(), params);
+  for (std::size_t i = 0; i < params.sizes.size(); ++i) {
+    EXPECT_GT(cxl[i], eth[i]) << "size " << params.sizes[i];
+  }
+}
+
+TEST(OsuDrivers, BenchConfigSizesPoolGenerously) {
+  const auto params = quick_params({8 << 20}, 16);
+  const auto cfg = bench_universe_config(params);
+  EXPECT_EQ(cfg.nodes, 2u);
+  EXPECT_EQ(cfg.ranks_per_node, 8u);
+  EXPECT_GE(cfg.pool_size,
+            queue::QueueMatrix::footprint(16, params.ring_cells,
+                                          params.cell_payload));
+}
+
+}  // namespace
+}  // namespace cmpi::osu

@@ -1,0 +1,71 @@
+#include "osu/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cmpi::osu {
+namespace {
+
+TEST(FigureTable, StoresAndRetrieves) {
+  FigureTable table("t", "Size", "MB/s");
+  table.set("a", 64, 1.5);
+  table.set("a", 128, 3.0);
+  table.set("b", 64, 2.0);
+  EXPECT_DOUBLE_EQ(table.at("a", 64), 1.5);
+  EXPECT_DOUBLE_EQ(table.at("b", 64), 2.0);
+  EXPECT_EQ(table.rows(), (std::vector<std::size_t>{64, 128}));
+}
+
+TEST(FigureTable, RowsKeepInsertionOrder) {
+  FigureTable table("t", "Size", "us");
+  table.set("s", 1024, 1);
+  table.set("s", 1, 2);
+  table.set("s", 64, 3);
+  EXPECT_EQ(table.rows(), (std::vector<std::size_t>{1024, 1, 64}));
+}
+
+TEST(FigureTable, PrintContainsHeaderAndValues) {
+  FigureTable table("My Figure", "Size", "MB/s");
+  table.set("CXL", 1024, 123.4);
+  table.set("TCP", 1024, 5.678);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My Figure"), std::string::npos);
+  EXPECT_NE(text.find("CXL"), std::string::npos);
+  EXPECT_NE(text.find("1K"), std::string::npos);
+  EXPECT_NE(text.find("123.4"), std::string::npos);
+  EXPECT_NE(text.find("5.678"), std::string::npos);
+}
+
+TEST(FigureTable, PrintHandlesMissingCells) {
+  FigureTable table("t", "Size", "us");
+  table.set("a", 1, 1.0);
+  table.set("b", 2, 2.0);  // "a" missing at 2, "b" missing at 1
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("-"), std::string::npos);
+}
+
+TEST(FigureTable, CsvRoundTrips) {
+  FigureTable table("t", "Size", "MB/s");
+  table.set("a", 64, 1.5);
+  table.set("b", 64, 2.5);
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "Size,a,b\n64,1.5,2.5\n");
+}
+
+TEST(FigureTable, MaxRatio) {
+  FigureTable table("t", "Size", "MB/s");
+  table.set("fast", 1, 100);
+  table.set("fast", 2, 50);
+  table.set("slow", 1, 10);
+  table.set("slow", 2, 25);
+  EXPECT_DOUBLE_EQ(max_ratio(table, "fast", "slow"), 10.0);
+  EXPECT_DOUBLE_EQ(max_ratio(table, "slow", "fast"), 0.5);
+}
+
+}  // namespace
+}  // namespace cmpi::osu

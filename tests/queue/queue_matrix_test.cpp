@@ -1,0 +1,97 @@
+#include "queue/queue_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace cmpi::queue {
+namespace {
+
+class QueueMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = check_ok(cxlsim::DaxDevice::create(32_MiB));
+    cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    acc_ = std::make_unique<cxlsim::Accessor>(*device_, *cache_, clock_);
+    arena::Arena::Params p;
+    p.levels = 3;
+    p.level1_buckets = 31;
+    p.max_participants = 8;
+    arena_ = std::make_unique<arena::Arena>(
+        check_ok(arena::Arena::format(*acc_, 0, 16_MiB, 0, p)));
+  }
+
+  simtime::VClock clock_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::unique_ptr<cxlsim::CacheSim> cache_;
+  std::unique_ptr<cxlsim::Accessor> acc_;
+  std::unique_ptr<arena::Arena> arena_;
+};
+
+TEST_F(QueueMatrixTest, FootprintScalesQuadratically) {
+  const auto f2 = QueueMatrix::footprint(2, 4, 256);
+  const auto f4 = QueueMatrix::footprint(4, 4, 256);
+  EXPECT_EQ(f4, 4 * f2);
+}
+
+TEST_F(QueueMatrixTest, CreateThenOpenSeeSameGeometry) {
+  auto created = check_ok(QueueMatrix::create(*arena_, *acc_, 4, 4, 256));
+  auto opened = check_ok(QueueMatrix::open(*arena_, *acc_, 4));
+  EXPECT_EQ(opened.base(), created.base());
+  EXPECT_EQ(opened.cell_payload(), 256u);
+  EXPECT_EQ(opened.nranks(), 4);
+}
+
+TEST_F(QueueMatrixTest, OpenWithoutCreateFails) {
+  EXPECT_FALSE(QueueMatrix::open(*arena_, *acc_, 4).is_ok());
+}
+
+TEST_F(QueueMatrixTest, DoubleCreateFails) {
+  check_ok(QueueMatrix::create(*arena_, *acc_, 2, 4, 256));
+  EXPECT_EQ(QueueMatrix::create(*arena_, *acc_, 2, 4, 256).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(QueueMatrixTest, PairwiseRingsAreIndependent) {
+  auto matrix = check_ok(QueueMatrix::create(*arena_, *acc_, 3, 4, 256));
+  const std::byte payload[8] = {};
+  CellHeader h{};
+  h.chunk_bytes = 8;
+  h.total_bytes = 8;
+  h.flags = kLastChunk;
+
+  // Fill ring (receiver=1, sender=0) only.
+  h.tag = 100;
+  ASSERT_TRUE(matrix.ring(*acc_, 1, 0).try_enqueue(*acc_, h, payload));
+  // Other rings are unaffected.
+  EXPECT_FALSE(matrix.ring(*acc_, 0, 1).can_dequeue(*acc_));
+  EXPECT_FALSE(matrix.ring(*acc_, 2, 0).can_dequeue(*acc_));
+  EXPECT_FALSE(matrix.ring(*acc_, 1, 2).can_dequeue(*acc_));
+  EXPECT_TRUE(matrix.ring(*acc_, 1, 0).can_dequeue(*acc_));
+}
+
+TEST_F(QueueMatrixTest, AllPairsFunctional) {
+  constexpr int kRanks = 3;
+  auto writer = check_ok(QueueMatrix::create(*arena_, *acc_, kRanks, 2, 64));
+  auto reader = check_ok(QueueMatrix::open(*arena_, *acc_, kRanks));
+  for (int r = 0; r < kRanks; ++r) {
+    for (int s = 0; s < kRanks; ++s) {
+      if (r == s) {
+        continue;
+      }
+      CellHeader h{};
+      h.src_rank = static_cast<std::uint64_t>(s);
+      h.tag = static_cast<std::uint64_t>(r * 10 + s);
+      h.total_bytes = 0;
+      h.chunk_bytes = 0;
+      h.flags = kLastChunk;
+      ASSERT_TRUE(writer.ring(*acc_, r, s).try_enqueue(*acc_, h, {}));
+      CellHeader out{};
+      ASSERT_TRUE(reader.ring(*acc_, r, s).try_dequeue(*acc_, out, {}));
+      EXPECT_EQ(out.tag, static_cast<std::uint64_t>(r * 10 + s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmpi::queue

@@ -1,0 +1,218 @@
+#include "queue/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace cmpi::queue {
+namespace {
+
+class SpscRingTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kCells = 4;
+  static constexpr std::size_t kPayload = 256;
+
+  void SetUp() override {
+    device_ = check_ok(cxlsim::DaxDevice::create(8_MiB));
+    producer_cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    consumer_cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    producer_acc_ = std::make_unique<cxlsim::Accessor>(
+        *device_, *producer_cache_, producer_clock_);
+    consumer_acc_ = std::make_unique<cxlsim::Accessor>(
+        *device_, *consumer_cache_, consumer_clock_);
+    SpscRing::format(*producer_acc_, 0, kCells, kPayload);
+    producer_ = std::make_unique<SpscRing>(SpscRing::attach(*producer_acc_, 0));
+    consumer_ = std::make_unique<SpscRing>(SpscRing::attach(*consumer_acc_, 0));
+  }
+
+  static CellHeader header_for(std::span<const std::byte> payload,
+                               int tag = 0, bool last = true) {
+    CellHeader h{};
+    h.src_rank = 1;
+    h.tag = static_cast<std::uint64_t>(tag);
+    h.total_bytes = payload.size();
+    h.chunk_offset = 0;
+    h.chunk_bytes = payload.size();
+    h.flags = last ? kLastChunk : 0;
+    return h;
+  }
+
+  static std::vector<std::byte> pattern(std::size_t n, int seed) {
+    std::vector<std::byte> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::byte>((seed + 7 * i) & 0xFF);
+    }
+    return out;
+  }
+
+  simtime::VClock producer_clock_;
+  simtime::VClock consumer_clock_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::unique_ptr<cxlsim::CacheSim> producer_cache_;
+  std::unique_ptr<cxlsim::CacheSim> consumer_cache_;
+  std::unique_ptr<cxlsim::Accessor> producer_acc_;
+  std::unique_ptr<cxlsim::Accessor> consumer_acc_;
+  std::unique_ptr<SpscRing> producer_;
+  std::unique_ptr<SpscRing> consumer_;
+};
+
+TEST_F(SpscRingTest, AttachReadsGeometry) {
+  EXPECT_EQ(producer_->capacity(), kCells);
+  EXPECT_EQ(producer_->cell_payload(), kPayload);
+}
+
+TEST_F(SpscRingTest, EmptyRingHasNothingToDequeue) {
+  EXPECT_FALSE(consumer_->can_dequeue(*consumer_acc_));
+  CellHeader h{};
+  EXPECT_FALSE(consumer_->try_dequeue(*consumer_acc_, h, {}));
+  EXPECT_FALSE(consumer_->peek(*consumer_acc_).has_value());
+}
+
+TEST_F(SpscRingTest, SingleMessageRoundTrip) {
+  const auto payload = pattern(100, 3);
+  ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload, 42),
+                                     payload));
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  EXPECT_EQ(out.tag, 42u);
+  EXPECT_EQ(out.chunk_bytes, 100u);
+  EXPECT_EQ(out.src_rank, 1u);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), got.begin()));
+}
+
+TEST_F(SpscRingTest, FifoOrderPreserved) {
+  for (int i = 0; i < static_cast<int>(kCells); ++i) {
+    const auto payload = pattern(64, i);
+    ASSERT_TRUE(producer_->try_enqueue(*producer_acc_,
+                                       header_for(payload, i), payload));
+  }
+  for (int i = 0; i < static_cast<int>(kCells); ++i) {
+    CellHeader out{};
+    std::vector<std::byte> got(kPayload);
+    ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+    EXPECT_EQ(out.tag, static_cast<std::uint64_t>(i));
+    const auto expected = pattern(64, i);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+  }
+}
+
+TEST_F(SpscRingTest, FullRingRejectsEnqueue) {
+  const auto payload = pattern(16, 0);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload),
+                                       payload));
+  }
+  EXPECT_FALSE(producer_->can_enqueue(*producer_acc_));
+  EXPECT_FALSE(
+      producer_->try_enqueue(*producer_acc_, header_for(payload), payload));
+  // Draining one cell frees space.
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  EXPECT_TRUE(producer_->can_enqueue(*producer_acc_));
+}
+
+TEST_F(SpscRingTest, WrapAroundManyTimes) {
+  std::vector<std::byte> got(kPayload);
+  for (int i = 0; i < 100; ++i) {
+    const auto payload = pattern(32, i);
+    ASSERT_TRUE(producer_->try_enqueue(*producer_acc_,
+                                       header_for(payload, i), payload));
+    CellHeader out{};
+    ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+    EXPECT_EQ(out.tag, static_cast<std::uint64_t>(i));
+    const auto expected = pattern(32, i);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+  }
+}
+
+TEST_F(SpscRingTest, ZeroBytePayload) {
+  CellHeader h{};
+  h.src_rank = 0;
+  h.tag = 5;
+  h.total_bytes = 0;
+  h.chunk_bytes = 0;
+  h.flags = kLastChunk;
+  ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, h, {}));
+  CellHeader out{};
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, {}));
+  EXPECT_EQ(out.tag, 5u);
+  EXPECT_EQ(out.chunk_bytes, 0u);
+}
+
+TEST_F(SpscRingTest, PeekDoesNotConsume) {
+  const auto payload = pattern(10, 1);
+  ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload, 9),
+                                     payload));
+  const auto peeked = consumer_->peek(*consumer_acc_);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->tag, 9u);
+  // Still dequeueable.
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  EXPECT_EQ(out.tag, 9u);
+}
+
+TEST_F(SpscRingTest, TimestampPropagatesProducerTimeToConsumer) {
+  producer_clock_.advance(500000);
+  const auto payload = pattern(64, 2);
+  ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload),
+                                     payload));
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  EXPECT_GE(consumer_clock_.now(), 500000.0);
+}
+
+TEST_F(SpscRingTest, BackpressurePropagatesConsumerTimeToProducer) {
+  const auto payload = pattern(16, 0);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload),
+                                       payload));
+  }
+  // Consumer drains one cell late in virtual time.
+  consumer_clock_.advance(2e6);
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  // Producer blocked on a full ring observes the consumer's progress time.
+  ASSERT_TRUE(producer_->can_enqueue(*producer_acc_));
+  EXPECT_GE(producer_clock_.now(), 2e6);
+}
+
+TEST_F(SpscRingTest, ConcurrentProducerConsumerStress) {
+  constexpr int kMessages = 500;
+  std::thread producer_thread([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      const auto payload = pattern(128, i);
+      while (!producer_->try_enqueue(*producer_acc_, header_for(payload, i),
+                                     payload)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::thread consumer_thread([&] {
+    std::vector<std::byte> got(kPayload);
+    for (int i = 0; i < kMessages; ++i) {
+      CellHeader out{};
+      while (!consumer_->try_dequeue(*consumer_acc_, out, got)) {
+        std::this_thread::yield();
+      }
+      ASSERT_EQ(out.tag, static_cast<std::uint64_t>(i));
+      const auto expected = pattern(128, i);
+      ASSERT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()))
+          << "message " << i;
+    }
+  });
+  producer_thread.join();
+  consumer_thread.join();
+}
+
+}  // namespace
+}  // namespace cmpi::queue

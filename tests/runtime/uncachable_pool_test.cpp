@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/cmpi.hpp"
+
+namespace cmpi::runtime {
+namespace {
+
+UniverseConfig uc_config() {
+  UniverseConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.pool_size = 32_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  cfg.uncachable_pool = true;
+  return cfg;
+}
+
+TEST(UncachablePool, WholePoolIsMarkedUncachable) {
+  Universe universe(uc_config());
+  EXPECT_EQ(universe.device().cacheability(0),
+            cxlsim::Cacheability::kUncachable);
+  EXPECT_EQ(universe.device().cacheability(universe.device().size() - 1),
+            cxlsim::Cacheability::kUncachable);
+}
+
+TEST(UncachablePool, MessagePassingStaysCorrect) {
+  // §3.5: the uncachable pool is a *correct* coherence strategy — only
+  // slow. The whole two-sided path must still deliver intact data.
+  Universe universe(uc_config());
+  universe.run([](RankCtx& ctx) {
+    Session mpi(ctx);
+    std::vector<std::byte> data(3000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::byte>((i * 7) & 0xFF);
+    }
+    if (mpi.rank() == 0) {
+      check_ok(mpi.send(1, 0, data));
+    } else {
+      std::vector<std::byte> inbox(3000);
+      check_ok(mpi.recv(0, 0, inbox).status());
+      EXPECT_EQ(inbox, data);
+    }
+  });
+}
+
+TEST(UncachablePool, DrasticallySlowerBeyondMps) {
+  // §4.5: beyond the PCIe MPS, UC accesses cost milliseconds.
+  const auto latency_for = [](bool uncachable) {
+    UniverseConfig cfg = uc_config();
+    cfg.uncachable_pool = uncachable;
+    Universe universe(cfg);
+    double result = 0;
+    universe.run([&](RankCtx& ctx) {
+      Session mpi(ctx);
+      std::vector<std::byte> buffer(8192);  // > 2 KiB MPS
+      ctx.barrier();
+      const double start = ctx.clock().now();
+      if (mpi.rank() == 0) {
+        check_ok(mpi.send(1, 0, buffer));
+        check_ok(mpi.recv(1, 0, buffer).status());
+      } else {
+        check_ok(mpi.recv(0, 0, buffer).status());
+        check_ok(mpi.send(0, 0, buffer));
+      }
+      if (mpi.rank() == 0) {
+        result = ctx.clock().now() - start;
+      }
+    });
+    return result;
+  };
+  const double software = latency_for(false);
+  const double uncachable = latency_for(true);
+  EXPECT_GT(uncachable, 20 * software);
+}
+
+TEST(UncachablePool, OneSidedPutGetStillCorrect) {
+  Universe universe(uc_config());
+  universe.run([](RankCtx& ctx) {
+    Session mpi(ctx);
+    rma::Window win = mpi.create_window("uc_win", 1024);
+    win.fence();
+    const std::uint64_t value = 0xFEEDu + static_cast<std::uint64_t>(
+                                              mpi.rank());
+    win.put(1 - mpi.rank(), 0, std::as_bytes(std::span(&value, 1)));
+    win.fence();
+    std::uint64_t got = 0;
+    win.read_local(0, std::as_writable_bytes(std::span(&got, 1)));
+    EXPECT_EQ(got, 0xFEEDu + static_cast<std::uint64_t>(1 - mpi.rank()));
+    win.free();
+  });
+}
+
+}  // namespace
+}  // namespace cmpi::runtime

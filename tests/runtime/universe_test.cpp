@@ -1,0 +1,171 @@
+#include "runtime/universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cmpi::runtime {
+namespace {
+
+UniverseConfig small_config(unsigned nodes = 2, unsigned per_node = 2) {
+  UniverseConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = per_node;
+  cfg.pool_size = 32_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  return cfg;
+}
+
+TEST(Universe, RunsOneThreadPerRank) {
+  Universe universe(small_config(2, 2));
+  std::atomic<int> count{0};
+  std::array<std::atomic<bool>, 4> seen{};
+  universe.run([&](RankCtx& ctx) {
+    count.fetch_add(1);
+    seen[static_cast<std::size_t>(ctx.rank())] = true;
+    EXPECT_EQ(ctx.nranks(), 4);
+  });
+  EXPECT_EQ(count.load(), 4);
+  for (const auto& s : seen) {
+    EXPECT_TRUE(s.load());
+  }
+}
+
+TEST(Universe, BlockNodeMapping) {
+  Universe universe(small_config(2, 2));
+  universe.run([&](RankCtx& ctx) {
+    EXPECT_EQ(ctx.node(), ctx.rank() / 2);
+  });
+}
+
+TEST(Universe, CurrentContextIsThreadLocal) {
+  Universe universe(small_config(1, 2));
+  universe.run([&](RankCtx& ctx) {
+    EXPECT_EQ(RankCtx::current(), &ctx);
+  });
+  EXPECT_EQ(RankCtx::current(), nullptr);
+}
+
+TEST(Universe, EveryRankAttachesTheSameArena) {
+  Universe universe(small_config(2, 1));
+  std::atomic<std::uint64_t> offsets[2];
+  universe.run([&](RankCtx& ctx) {
+    offsets[ctx.rank()] = ctx.arena().objects_offset();
+  });
+  EXPECT_EQ(offsets[0].load(), offsets[1].load());
+}
+
+TEST(Universe, ArenaObjectsVisibleAcrossRanks) {
+  Universe universe(small_config(2, 1));
+  universe.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      check_ok(ctx.arena().create("bootstrap_obj", 4096));
+    }
+    ctx.barrier();
+    if (ctx.rank() == 1) {
+      const auto handle = check_ok(ctx.arena().open("bootstrap_obj"));
+      EXPECT_EQ(handle.size, 4096u);
+    }
+  });
+}
+
+TEST(Universe, RankExceptionPropagates) {
+  Universe universe(small_config(1, 2));
+  EXPECT_THROW(
+      universe.run([&](RankCtx& ctx) {
+        if (ctx.rank() == 1) {
+          throw std::runtime_error("rank 1 failed");
+        }
+      }),
+      std::runtime_error);
+}
+
+TEST(Universe, RunTwiceOnSameUniverse) {
+  Universe universe(small_config(2, 1));
+  for (int round = 0; round < 2; ++round) {
+    universe.run([&](RankCtx& ctx) {
+      // Names must not collide across rounds.
+      check_ok(ctx.arena().create(
+          "round" + std::to_string(round) + "_" + std::to_string(ctx.rank()),
+          64));
+    });
+  }
+}
+
+TEST(Universe, MpiOverheadCharged) {
+  Universe universe(small_config(1, 1));
+  universe.run([&](RankCtx& ctx) {
+    const double before = ctx.clock().now();
+    ctx.charge_mpi_overhead();
+    EXPECT_DOUBLE_EQ(ctx.clock().now() - before,
+                     ctx.config().mpi_call_overhead);
+  });
+}
+
+TEST(SeqBarrier, SynchronizesClocksToSlowest) {
+  Universe universe(small_config(2, 2));
+  universe.run([&](RankCtx& ctx) {
+    // Rank 2 is far ahead in virtual time.
+    if (ctx.rank() == 2) {
+      ctx.clock().advance(1e6);
+    }
+    ctx.barrier();
+    EXPECT_GE(ctx.clock().now(), 1e6);
+  });
+}
+
+TEST(SeqBarrier, ActsAsExecutionBarrier) {
+  Universe universe(small_config(2, 2));
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  for (int round = 0; round < 5; ++round) {
+    before = 0;
+    universe.run([&](RankCtx& ctx) {
+      before.fetch_add(1);
+      ctx.barrier();
+      if (before.load() != ctx.nranks()) {
+        violated = true;
+      }
+    });
+  }
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(SeqBarrier, ReusableManyTimes) {
+  Universe universe(small_config(2, 1));
+  universe.run([&](RankCtx& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      ctx.barrier();
+    }
+  });
+}
+
+TEST(Doorbell, WaitUntilReturnsWhenPredicateHolds) {
+  Doorbell bell;
+  bool flag = false;
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    flag = true;
+    bell.ring();
+  });
+  bell.wait_until([&] { return flag; });
+  setter.join();
+  EXPECT_TRUE(flag);
+}
+
+TEST(Doorbell, WaitOnceTimesOutWithoutRing) {
+  Doorbell bell;
+  const auto start = std::chrono::steady_clock::now();
+  bell.wait_once();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));
+}
+
+}  // namespace
+}  // namespace cmpi::runtime

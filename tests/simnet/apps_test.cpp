@@ -1,0 +1,105 @@
+#include "simnet/apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi::simnet {
+namespace {
+
+ClusterConfig cluster_for(int nodes, TransportProfile profile) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.transport = std::move(profile);
+  return cfg;
+}
+
+CgParams quick_cg() {
+  CgParams p;
+  p.outer_iters = 1;
+  return p;
+}
+
+MiniAmrParams quick_amr() {
+  MiniAmrParams p;
+  p.timesteps = 20;
+  return p;
+}
+
+TEST(SimnetApps, CgStrongScales) {
+  const AppResult two = run_cg(cluster_for(2, cxl_shm_profile()), quick_cg());
+  const AppResult eight =
+      run_cg(cluster_for(8, cxl_shm_profile()), quick_cg());
+  EXPECT_GT(two.total_time, 2.5 * eight.total_time);
+}
+
+TEST(SimnetApps, CgCommFractionIsSmall) {
+  // §4.4: communication is <15% of CG runtime on CXL and CX-6 Dx.
+  for (const auto& profile : {cxl_shm_profile(), tcp_cx6dx_profile()}) {
+    const AppResult r = run_cg(cluster_for(8, profile), quick_cg());
+    EXPECT_LT(r.comm_fraction(), 0.15) << profile.name;
+    EXPECT_GT(r.comm_fraction(), 0.0) << profile.name;
+  }
+}
+
+TEST(SimnetApps, CgCxlCommBeatsNetworkTransports) {
+  const double cxl =
+      run_cg(cluster_for(8, cxl_shm_profile()), quick_cg()).comm_time;
+  const double mlx =
+      run_cg(cluster_for(8, tcp_cx6dx_profile()), quick_cg()).comm_time;
+  const double eth =
+      run_cg(cluster_for(8, tcp_ethernet_profile()), quick_cg()).comm_time;
+  EXPECT_LT(cxl, mlx);
+  EXPECT_LT(mlx, eth);
+}
+
+TEST(SimnetApps, MiniAmrCommDominatesAndGrows) {
+  // §4.4: miniAMR is communication-dominated and its comm time grows with
+  // node count while computation stays fixed per rank.
+  const AppResult two =
+      run_miniamr(cluster_for(2, cxl_shm_profile()), quick_amr());
+  const AppResult sixteen =
+      run_miniamr(cluster_for(16, cxl_shm_profile()), quick_amr());
+  EXPECT_GT(two.comm_fraction(), 0.4);
+  EXPECT_GT(sixteen.comm_fraction(), two.comm_fraction());
+  EXPECT_GT(sixteen.comm_time, two.comm_time);
+}
+
+TEST(SimnetApps, MiniAmrTransportDeltasAreSmall) {
+  // §4.4: the transport only moves miniAMR totals by a few percent
+  // (imbalance waits dominate measured communication time).
+  const double cxl =
+      run_miniamr(cluster_for(8, cxl_shm_profile()), quick_amr()).total_time;
+  const double mlx =
+      run_miniamr(cluster_for(8, tcp_cx6dx_profile()), quick_amr())
+          .total_time;
+  EXPECT_LT(cxl, mlx);
+  EXPECT_LT((mlx - cxl) / cxl, 0.10);
+}
+
+TEST(SimnetApps, MiniAmrEthernetLosesAtScale) {
+  const double eth16 =
+      run_miniamr(cluster_for(16, tcp_ethernet_profile()), quick_amr())
+          .total_time;
+  const double mlx16 =
+      run_miniamr(cluster_for(16, tcp_cx6dx_profile()), quick_amr())
+          .total_time;
+  EXPECT_GT(eth16, mlx16);
+}
+
+TEST(SimnetApps, Deterministic) {
+  const AppResult a = run_cg(cluster_for(4, cxl_shm_profile()), quick_cg());
+  const AppResult b = run_cg(cluster_for(4, cxl_shm_profile()), quick_cg());
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.comm_time, b.comm_time);
+}
+
+TEST(SimnetApps, ProfilesMatchTable1) {
+  EXPECT_DOUBLE_EQ(tcp_ethernet_profile().inter_bytes_per_ns, 0.1178);
+  EXPECT_DOUBLE_EQ(tcp_cx6dx_profile().inter_bytes_per_ns, 11.5);
+  EXPECT_DOUBLE_EQ(tcp_ethernet_profile().inter_latency, 16000);
+  EXPECT_DOUBLE_EQ(tcp_cx6dx_profile().inter_latency, 18000);
+  EXPECT_LT(cxl_shm_profile().inter_latency,
+            tcp_ethernet_profile().inter_latency);
+}
+
+}  // namespace
+}  // namespace cmpi::simnet

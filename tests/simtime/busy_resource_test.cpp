@@ -1,0 +1,56 @@
+#include "simtime/busy_resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi::simtime {
+namespace {
+
+TEST(BusyResource, UncontendedCost) {
+  BusyResource wire(10.0);  // 10 bytes/ns
+  EXPECT_DOUBLE_EQ(wire.uncontended_cost(1000), 100.0);
+  EXPECT_DOUBLE_EQ(wire.uncontended_cost(0), 0.0);
+}
+
+TEST(BusyResource, IdleResourceServesImmediately) {
+  BusyResource wire(1.0);
+  EXPECT_DOUBLE_EQ(wire.reserve(50, 100), 150.0);
+}
+
+TEST(BusyResource, BackToBackRequestsQueue) {
+  BusyResource wire(1.0);
+  EXPECT_DOUBLE_EQ(wire.reserve(0, 100), 100.0);
+  // Arrives while busy: waits for the first transfer.
+  EXPECT_DOUBLE_EQ(wire.reserve(10, 100), 200.0);
+  // Arrives after the queue drained: no wait.
+  EXPECT_DOUBLE_EQ(wire.reserve(500, 100), 600.0);
+}
+
+TEST(BusyResource, SaturationEmergesFromQueueing) {
+  // N producers each sending one message at t=0 finish at N * service —
+  // aggregate bandwidth is capped at the resource rate.
+  BusyResource wire(2.0);
+  Ns last = 0;
+  constexpr int kProducers = 8;
+  constexpr std::size_t kBytes = 1000;
+  for (int i = 0; i < kProducers; ++i) {
+    last = wire.reserve(0, kBytes);
+  }
+  EXPECT_DOUBLE_EQ(last, kProducers * (kBytes / 2.0));
+  const double aggregate_rate = kProducers * kBytes / last;
+  EXPECT_DOUBLE_EQ(aggregate_rate, 2.0);
+}
+
+TEST(BusyResource, ResetClearsHistory) {
+  BusyResource wire(1.0);
+  (void)wire.reserve(0, 1000);
+  wire.reset();
+  EXPECT_DOUBLE_EQ(wire.reserve(0, 10), 10.0);
+}
+
+TEST(BusyResource, ZeroByteReservationIsFree) {
+  BusyResource wire(1.0);
+  EXPECT_DOUBLE_EQ(wire.reserve(42, 0), 42.0);
+}
+
+}  // namespace
+}  // namespace cmpi::simtime

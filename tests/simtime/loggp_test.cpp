@@ -1,0 +1,87 @@
+#include "simtime/loggp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi::simtime {
+namespace {
+
+LogGPParams ethernet_like() {
+  LogGPParams p;
+  p.wire_latency = 8000;
+  p.send_overhead = 4000;
+  p.recv_overhead = 4000;
+  p.wire_bytes_per_ns = 0.1178;  // 117.8 MB/s
+  p.mtu = 1500;
+  p.per_segment_overhead = 500;
+  return p;
+}
+
+TEST(LogGP, SenderCpuCostScalesWithSegments) {
+  LogGPModel model(ethernet_like());
+  // 1 segment.
+  EXPECT_DOUBLE_EQ(model.sender_cpu_cost(100), 4000 + 500);
+  // 3 segments (4000 bytes over 1500 MTU).
+  EXPECT_DOUBLE_EQ(model.sender_cpu_cost(4000), 4000 + 3 * 500);
+  // Zero-byte message still packetizes once.
+  EXPECT_DOUBLE_EQ(model.sender_cpu_cost(0), 4000 + 500);
+}
+
+TEST(LogGP, ZeroLoadLatencyComposition) {
+  LogGPModel model(ethernet_like());
+  const Ns expected = (4000 + 500) + 8000 + 100 / 0.1178 + 4000;
+  EXPECT_NEAR(model.zero_load_latency(100), expected, 1e-6);
+}
+
+TEST(LogGP, SendTimingOrdering) {
+  LogGPModel model(ethernet_like());
+  const MessageTiming t = model.send(0, 1000);
+  EXPECT_GT(t.delivered, t.sender_done);  // wire + latency dominate here
+  EXPECT_DOUBLE_EQ(t.receiver_done, t.delivered + 4000);
+}
+
+TEST(LogGP, WireIsSharedAcrossSenders) {
+  LogGPModel model(ethernet_like());
+  const MessageTiming a = model.send(0, 100000);
+  const MessageTiming b = model.send(0, 100000);
+  // Second message queues behind the first on the wire (within one
+  // capacity-slot of quantization).
+  EXPECT_GT(b.delivered, a.delivered);
+  EXPECT_NEAR(b.delivered - a.delivered, 100000 / 0.1178, 2100.0);
+}
+
+TEST(LogGP, PerMessageGapDelaysSender) {
+  LogGPParams p = ethernet_like();
+  p.per_message_gap = 2000;
+  LogGPModel model(p);
+  const MessageTiming t = model.send(0, 100);
+  EXPECT_DOUBLE_EQ(t.sender_done, 4000 + 500 + 2000);
+}
+
+TEST(LogGP, ResetDrainsWire) {
+  LogGPModel model(ethernet_like());
+  (void)model.send(0, 1000000);
+  model.reset();
+  const MessageTiming t = model.send(0, 100);
+  EXPECT_NEAR(t.delivered, model.zero_load_latency(100) - 4000, 1e-6);
+}
+
+TEST(LogGP, OffloadedNicBeatsSlowNicForLargeMessages) {
+  // A CX-6-Dx-like profile: higher per-message latency but ~100x the
+  // bandwidth of commodity Ethernet. The crossover the paper's figures
+  // show must emerge from the model.
+  LogGPParams mlx = ethernet_like();
+  mlx.wire_latency = 9000;
+  mlx.send_overhead = 4500;
+  mlx.recv_overhead = 4500;
+  mlx.wire_bytes_per_ns = 11.5;
+  LogGPModel slow(ethernet_like());
+  LogGPModel fast(mlx);
+  // Small message: commodity Ethernet's lower overheads win or tie.
+  EXPECT_LT(slow.zero_load_latency(8) / fast.zero_load_latency(8), 1.2);
+  // 1 MiB: the SmartNIC is far faster.
+  EXPECT_GT(slow.zero_load_latency(1 << 20) / fast.zero_load_latency(1 << 20),
+            10.0);
+}
+
+}  // namespace
+}  // namespace cmpi::simtime

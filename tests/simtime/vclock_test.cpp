@@ -1,0 +1,52 @@
+#include "simtime/vclock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi::simtime {
+namespace {
+
+TEST(VClock, StartsAtZero) {
+  VClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VClock, AdvanceAccumulates) {
+  VClock clock;
+  clock.advance(100);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 100.5);
+}
+
+TEST(VClock, ObserveTakesMax) {
+  VClock clock(50);
+  clock.observe(30);  // stale stamp: no effect
+  EXPECT_DOUBLE_EQ(clock.now(), 50);
+  clock.observe(80);  // remote completion in the future: jump
+  EXPECT_DOUBLE_EQ(clock.now(), 80);
+}
+
+TEST(VClock, MaxPlusPingPong) {
+  // Two ranks exchanging a message: latency accumulates along the
+  // critical path regardless of which side is "ahead".
+  VClock sender;
+  VClock receiver;
+  constexpr Ns kLatency = 790;
+  for (int i = 0; i < 4; ++i) {
+    sender.advance(kLatency);
+    receiver.observe(sender.now());
+    receiver.advance(kLatency);
+    sender.observe(receiver.now());
+  }
+  EXPECT_DOUBLE_EQ(sender.now(), 8 * kLatency);
+}
+
+TEST(VClock, ResetForIterationBoundaries) {
+  VClock clock(123);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0);
+  clock.reset(7);
+  EXPECT_DOUBLE_EQ(clock.now(), 7);
+}
+
+}  // namespace
+}  // namespace cmpi::simtime
