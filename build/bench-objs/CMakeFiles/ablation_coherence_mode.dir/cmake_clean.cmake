@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coherence_mode"
+  "../bench/ablation_coherence_mode.pdb"
+  "CMakeFiles/ablation_coherence_mode.dir/ablation_coherence_mode.cpp.o"
+  "CMakeFiles/ablation_coherence_mode.dir/ablation_coherence_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coherence_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

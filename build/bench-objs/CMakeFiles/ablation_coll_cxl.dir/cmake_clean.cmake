@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coll_cxl"
+  "../bench/ablation_coll_cxl.pdb"
+  "CMakeFiles/ablation_coll_cxl.dir/ablation_coll_cxl.cpp.o"
+  "CMakeFiles/ablation_coll_cxl.dir/ablation_coll_cxl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coll_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

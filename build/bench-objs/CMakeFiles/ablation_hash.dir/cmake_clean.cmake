@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hash"
+  "../bench/ablation_hash.pdb"
+  "CMakeFiles/ablation_hash.dir/ablation_hash.cpp.o"
+  "CMakeFiles/ablation_hash.dir/ablation_hash.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_coherence"
+  "../bench/fig11_coherence.pdb"
+  "CMakeFiles/fig11_coherence.dir/fig11_coherence.cpp.o"
+  "CMakeFiles/fig11_coherence.dir/fig11_coherence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_onesided_lat"
+  "../bench/fig6_onesided_lat.pdb"
+  "CMakeFiles/fig6_onesided_lat.dir/fig6_onesided_lat.cpp.o"
+  "CMakeFiles/fig6_onesided_lat.dir/fig6_onesided_lat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_onesided_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_onesided_lat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_twosided_bw"
+  "../bench/fig7_twosided_bw.pdb"
+  "CMakeFiles/fig7_twosided_bw.dir/fig7_twosided_bw.cpp.o"
+  "CMakeFiles/fig7_twosided_bw.dir/fig7_twosided_bw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_twosided_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_twosided_lat"
+  "../bench/fig8_twosided_lat.pdb"
+  "CMakeFiles/fig8_twosided_lat.dir/fig8_twosided_lat.cpp.o"
+  "CMakeFiles/fig8_twosided_lat.dir/fig8_twosided_lat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_twosided_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

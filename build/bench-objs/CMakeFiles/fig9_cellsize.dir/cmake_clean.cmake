@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_cellsize"
+  "../bench/fig9_cellsize.pdb"
+  "CMakeFiles/fig9_cellsize.dir/fig9_cellsize.cpp.o"
+  "CMakeFiles/fig9_cellsize.dir/fig9_cellsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cellsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_structures"
+  "../bench/gbench_structures.pdb"
+  "CMakeFiles/gbench_structures.dir/gbench_structures.cpp.o"
+  "CMakeFiles/gbench_structures.dir/gbench_structures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

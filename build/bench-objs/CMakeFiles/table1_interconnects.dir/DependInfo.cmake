@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_interconnects.cpp" "bench-objs/CMakeFiles/table1_interconnects.dir/table1_interconnects.cpp.o" "gcc" "bench-objs/CMakeFiles/table1_interconnects.dir/table1_interconnects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osu/CMakeFiles/cmpi_osu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/cmpi_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/cmpi_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cmpi_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/cmpi_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/cmpi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cmpi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arena/CMakeFiles/cmpi_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

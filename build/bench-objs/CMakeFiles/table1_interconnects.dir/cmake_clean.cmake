@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_interconnects"
+  "../bench/table1_interconnects.pdb"
+  "CMakeFiles/table1_interconnects.dir/table1_interconnects.cpp.o"
+  "CMakeFiles/table1_interconnects.dir/table1_interconnects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

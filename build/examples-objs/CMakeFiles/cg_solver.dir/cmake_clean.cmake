@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cg_solver"
+  "../examples/cg_solver.pdb"
+  "CMakeFiles/cg_solver.dir/cg_solver.cpp.o"
+  "CMakeFiles/cg_solver.dir/cg_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

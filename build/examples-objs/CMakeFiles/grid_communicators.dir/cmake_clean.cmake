@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/grid_communicators"
+  "../examples/grid_communicators.pdb"
+  "CMakeFiles/grid_communicators.dir/grid_communicators.cpp.o"
+  "CMakeFiles/grid_communicators.dir/grid_communicators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_communicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/halo_exchange"
+  "../examples/halo_exchange.pdb"
+  "CMakeFiles/halo_exchange.dir/halo_exchange.cpp.o"
+  "CMakeFiles/halo_exchange.dir/halo_exchange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

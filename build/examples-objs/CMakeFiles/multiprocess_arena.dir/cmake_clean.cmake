@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multiprocess_arena"
+  "../examples/multiprocess_arena.pdb"
+  "CMakeFiles/multiprocess_arena.dir/multiprocess_arena.cpp.o"
+  "CMakeFiles/multiprocess_arena.dir/multiprocess_arena.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/posix_style_api"
+  "../examples/posix_style_api.pdb"
+  "CMakeFiles/posix_style_api.dir/posix_style_api.cpp.o"
+  "CMakeFiles/posix_style_api.dir/posix_style_api.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_style_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simtime")
+subdirs("cxlsim")
+subdirs("arena")
+subdirs("queue")
+subdirs("runtime")
+subdirs("p2p")
+subdirs("rma")
+subdirs("coll")
+subdirs("fabric")
+subdirs("simnet")
+subdirs("osu")
+subdirs("core")

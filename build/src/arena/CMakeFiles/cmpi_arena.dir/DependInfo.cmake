@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arena/arena.cpp" "src/arena/CMakeFiles/cmpi_arena.dir/arena.cpp.o" "gcc" "src/arena/CMakeFiles/cmpi_arena.dir/arena.cpp.o.d"
+  "/root/repo/src/arena/bakery_lock.cpp" "src/arena/CMakeFiles/cmpi_arena.dir/bakery_lock.cpp.o" "gcc" "src/arena/CMakeFiles/cmpi_arena.dir/bakery_lock.cpp.o.d"
+  "/root/repo/src/arena/capi.cpp" "src/arena/CMakeFiles/cmpi_arena.dir/capi.cpp.o" "gcc" "src/arena/CMakeFiles/cmpi_arena.dir/capi.cpp.o.d"
+  "/root/repo/src/arena/famfs_lite.cpp" "src/arena/CMakeFiles/cmpi_arena.dir/famfs_lite.cpp.o" "gcc" "src/arena/CMakeFiles/cmpi_arena.dir/famfs_lite.cpp.o.d"
+  "/root/repo/src/arena/multilevel_hash.cpp" "src/arena/CMakeFiles/cmpi_arena.dir/multilevel_hash.cpp.o" "gcc" "src/arena/CMakeFiles/cmpi_arena.dir/multilevel_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

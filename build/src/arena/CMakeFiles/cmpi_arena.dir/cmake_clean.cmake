@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_arena.dir/arena.cpp.o"
+  "CMakeFiles/cmpi_arena.dir/arena.cpp.o.d"
+  "CMakeFiles/cmpi_arena.dir/bakery_lock.cpp.o"
+  "CMakeFiles/cmpi_arena.dir/bakery_lock.cpp.o.d"
+  "CMakeFiles/cmpi_arena.dir/capi.cpp.o"
+  "CMakeFiles/cmpi_arena.dir/capi.cpp.o.d"
+  "CMakeFiles/cmpi_arena.dir/famfs_lite.cpp.o"
+  "CMakeFiles/cmpi_arena.dir/famfs_lite.cpp.o.d"
+  "CMakeFiles/cmpi_arena.dir/multilevel_hash.cpp.o"
+  "CMakeFiles/cmpi_arena.dir/multilevel_hash.cpp.o.d"
+  "libcmpi_arena.a"
+  "libcmpi_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_coll.dir/collectives.cpp.o"
+  "CMakeFiles/cmpi_coll.dir/collectives.cpp.o.d"
+  "CMakeFiles/cmpi_coll.dir/cxl_collectives.cpp.o"
+  "CMakeFiles/cmpi_coll.dir/cxl_collectives.cpp.o.d"
+  "libcmpi_coll.a"
+  "libcmpi_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

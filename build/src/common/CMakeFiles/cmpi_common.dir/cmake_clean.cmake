@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_common.dir/cli.cpp.o"
+  "CMakeFiles/cmpi_common.dir/cli.cpp.o.d"
+  "CMakeFiles/cmpi_common.dir/log.cpp.o"
+  "CMakeFiles/cmpi_common.dir/log.cpp.o.d"
+  "CMakeFiles/cmpi_common.dir/status.cpp.o"
+  "CMakeFiles/cmpi_common.dir/status.cpp.o.d"
+  "CMakeFiles/cmpi_common.dir/units.cpp.o"
+  "CMakeFiles/cmpi_common.dir/units.cpp.o.d"
+  "libcmpi_common.a"
+  "libcmpi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

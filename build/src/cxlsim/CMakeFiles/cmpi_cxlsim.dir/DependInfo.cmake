@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxlsim/accessor.cpp" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/accessor.cpp.o" "gcc" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/accessor.cpp.o.d"
+  "/root/repo/src/cxlsim/cache_sim.cpp" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/cache_sim.cpp.o" "gcc" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/cxlsim/dax_device.cpp" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/dax_device.cpp.o" "gcc" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/dax_device.cpp.o.d"
+  "/root/repo/src/cxlsim/timing.cpp" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/timing.cpp.o" "gcc" "src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

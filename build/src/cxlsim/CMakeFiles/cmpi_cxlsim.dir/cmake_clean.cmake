@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_cxlsim.dir/accessor.cpp.o"
+  "CMakeFiles/cmpi_cxlsim.dir/accessor.cpp.o.d"
+  "CMakeFiles/cmpi_cxlsim.dir/cache_sim.cpp.o"
+  "CMakeFiles/cmpi_cxlsim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/cmpi_cxlsim.dir/dax_device.cpp.o"
+  "CMakeFiles/cmpi_cxlsim.dir/dax_device.cpp.o.d"
+  "CMakeFiles/cmpi_cxlsim.dir/timing.cpp.o"
+  "CMakeFiles/cmpi_cxlsim.dir/timing.cpp.o.d"
+  "libcmpi_cxlsim.a"
+  "libcmpi_cxlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_cxlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cmpi_cxlsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmpi_cxlsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_fabric.dir/net_fabric.cpp.o"
+  "CMakeFiles/cmpi_fabric.dir/net_fabric.cpp.o.d"
+  "CMakeFiles/cmpi_fabric.dir/profiles.cpp.o"
+  "CMakeFiles/cmpi_fabric.dir/profiles.cpp.o.d"
+  "libcmpi_fabric.a"
+  "libcmpi_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_osu.dir/drivers.cpp.o"
+  "CMakeFiles/cmpi_osu.dir/drivers.cpp.o.d"
+  "CMakeFiles/cmpi_osu.dir/report.cpp.o"
+  "CMakeFiles/cmpi_osu.dir/report.cpp.o.d"
+  "libcmpi_osu.a"
+  "libcmpi_osu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

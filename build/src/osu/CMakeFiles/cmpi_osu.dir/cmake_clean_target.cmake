@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmpi_osu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_p2p.dir/endpoint.cpp.o"
+  "CMakeFiles/cmpi_p2p.dir/endpoint.cpp.o.d"
+  "libcmpi_p2p.a"
+  "libcmpi_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/queue_matrix.cpp" "src/queue/CMakeFiles/cmpi_queue.dir/queue_matrix.cpp.o" "gcc" "src/queue/CMakeFiles/cmpi_queue.dir/queue_matrix.cpp.o.d"
+  "/root/repo/src/queue/spsc_ring.cpp" "src/queue/CMakeFiles/cmpi_queue.dir/spsc_ring.cpp.o" "gcc" "src/queue/CMakeFiles/cmpi_queue.dir/spsc_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arena/CMakeFiles/cmpi_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_queue.dir/queue_matrix.cpp.o"
+  "CMakeFiles/cmpi_queue.dir/queue_matrix.cpp.o.d"
+  "CMakeFiles/cmpi_queue.dir/spsc_ring.cpp.o"
+  "CMakeFiles/cmpi_queue.dir/spsc_ring.cpp.o.d"
+  "libcmpi_queue.a"
+  "libcmpi_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

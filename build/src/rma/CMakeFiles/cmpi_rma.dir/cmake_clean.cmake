@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_rma.dir/window.cpp.o"
+  "CMakeFiles/cmpi_rma.dir/window.cpp.o.d"
+  "libcmpi_rma.a"
+  "libcmpi_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

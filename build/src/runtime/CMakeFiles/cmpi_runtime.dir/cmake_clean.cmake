@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_runtime.dir/seq_barrier.cpp.o"
+  "CMakeFiles/cmpi_runtime.dir/seq_barrier.cpp.o.d"
+  "CMakeFiles/cmpi_runtime.dir/universe.cpp.o"
+  "CMakeFiles/cmpi_runtime.dir/universe.cpp.o.d"
+  "libcmpi_runtime.a"
+  "libcmpi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_simnet.dir/apps.cpp.o"
+  "CMakeFiles/cmpi_simnet.dir/apps.cpp.o.d"
+  "CMakeFiles/cmpi_simnet.dir/engine.cpp.o"
+  "CMakeFiles/cmpi_simnet.dir/engine.cpp.o.d"
+  "libcmpi_simnet.a"
+  "libcmpi_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simtime/busy_resource.cpp" "src/simtime/CMakeFiles/cmpi_simtime.dir/busy_resource.cpp.o" "gcc" "src/simtime/CMakeFiles/cmpi_simtime.dir/busy_resource.cpp.o.d"
+  "/root/repo/src/simtime/loggp.cpp" "src/simtime/CMakeFiles/cmpi_simtime.dir/loggp.cpp.o" "gcc" "src/simtime/CMakeFiles/cmpi_simtime.dir/loggp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_simtime.dir/busy_resource.cpp.o"
+  "CMakeFiles/cmpi_simtime.dir/busy_resource.cpp.o.d"
+  "CMakeFiles/cmpi_simtime.dir/loggp.cpp.o"
+  "CMakeFiles/cmpi_simtime.dir/loggp.cpp.o.d"
+  "libcmpi_simtime.a"
+  "libcmpi_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmpi_simtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arena/arena_test.cpp" "tests/CMakeFiles/arena_test.dir/arena/arena_test.cpp.o" "gcc" "tests/CMakeFiles/arena_test.dir/arena/arena_test.cpp.o.d"
+  "/root/repo/tests/arena/bakery_lock_test.cpp" "tests/CMakeFiles/arena_test.dir/arena/bakery_lock_test.cpp.o" "gcc" "tests/CMakeFiles/arena_test.dir/arena/bakery_lock_test.cpp.o.d"
+  "/root/repo/tests/arena/capi_test.cpp" "tests/CMakeFiles/arena_test.dir/arena/capi_test.cpp.o" "gcc" "tests/CMakeFiles/arena_test.dir/arena/capi_test.cpp.o.d"
+  "/root/repo/tests/arena/famfs_lite_test.cpp" "tests/CMakeFiles/arena_test.dir/arena/famfs_lite_test.cpp.o" "gcc" "tests/CMakeFiles/arena_test.dir/arena/famfs_lite_test.cpp.o.d"
+  "/root/repo/tests/arena/multilevel_hash_test.cpp" "tests/CMakeFiles/arena_test.dir/arena/multilevel_hash_test.cpp.o" "gcc" "tests/CMakeFiles/arena_test.dir/arena/multilevel_hash_test.cpp.o.d"
+  "/root/repo/tests/arena/paper_scale_test.cpp" "tests/CMakeFiles/arena_test.dir/arena/paper_scale_test.cpp.o" "gcc" "tests/CMakeFiles/arena_test.dir/arena/paper_scale_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arena/CMakeFiles/cmpi_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

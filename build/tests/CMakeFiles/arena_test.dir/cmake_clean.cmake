@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arena_test.dir/arena/arena_test.cpp.o"
+  "CMakeFiles/arena_test.dir/arena/arena_test.cpp.o.d"
+  "CMakeFiles/arena_test.dir/arena/bakery_lock_test.cpp.o"
+  "CMakeFiles/arena_test.dir/arena/bakery_lock_test.cpp.o.d"
+  "CMakeFiles/arena_test.dir/arena/capi_test.cpp.o"
+  "CMakeFiles/arena_test.dir/arena/capi_test.cpp.o.d"
+  "CMakeFiles/arena_test.dir/arena/famfs_lite_test.cpp.o"
+  "CMakeFiles/arena_test.dir/arena/famfs_lite_test.cpp.o.d"
+  "CMakeFiles/arena_test.dir/arena/multilevel_hash_test.cpp.o"
+  "CMakeFiles/arena_test.dir/arena/multilevel_hash_test.cpp.o.d"
+  "CMakeFiles/arena_test.dir/arena/paper_scale_test.cpp.o"
+  "CMakeFiles/arena_test.dir/arena/paper_scale_test.cpp.o.d"
+  "arena_test"
+  "arena_test.pdb"
+  "arena_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cxlsim/accessor_test.cpp" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/accessor_test.cpp.o" "gcc" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/accessor_test.cpp.o.d"
+  "/root/repo/tests/cxlsim/cache_sim_test.cpp" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/cache_sim_test.cpp.o" "gcc" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/cache_sim_test.cpp.o.d"
+  "/root/repo/tests/cxlsim/dax_device_test.cpp" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/dax_device_test.cpp.o" "gcc" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/dax_device_test.cpp.o.d"
+  "/root/repo/tests/cxlsim/hw_coherence_test.cpp" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/hw_coherence_test.cpp.o" "gcc" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/hw_coherence_test.cpp.o.d"
+  "/root/repo/tests/cxlsim/timing_test.cpp" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/timing_test.cpp.o" "gcc" "tests/CMakeFiles/cxlsim_test.dir/cxlsim/timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cxlsim/CMakeFiles/cmpi_cxlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlsim_test.dir/cxlsim/accessor_test.cpp.o"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/accessor_test.cpp.o.d"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/cache_sim_test.cpp.o"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/cache_sim_test.cpp.o.d"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/dax_device_test.cpp.o"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/dax_device_test.cpp.o.d"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/hw_coherence_test.cpp.o"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/hw_coherence_test.cpp.o.d"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/timing_test.cpp.o"
+  "CMakeFiles/cxlsim_test.dir/cxlsim/timing_test.cpp.o.d"
+  "cxlsim_test"
+  "cxlsim_test.pdb"
+  "cxlsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

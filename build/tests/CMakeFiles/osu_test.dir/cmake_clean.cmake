@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osu_test.dir/osu/drivers_test.cpp.o"
+  "CMakeFiles/osu_test.dir/osu/drivers_test.cpp.o.d"
+  "CMakeFiles/osu_test.dir/osu/report_test.cpp.o"
+  "CMakeFiles/osu_test.dir/osu/report_test.cpp.o.d"
+  "osu_test"
+  "osu_test.pdb"
+  "osu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_test.dir/p2p/endpoint_test.cpp.o"
+  "CMakeFiles/p2p_test.dir/p2p/endpoint_test.cpp.o.d"
+  "CMakeFiles/p2p_test.dir/p2p/fuzz_test.cpp.o"
+  "CMakeFiles/p2p_test.dir/p2p/fuzz_test.cpp.o.d"
+  "CMakeFiles/p2p_test.dir/p2p/ssend_test.cpp.o"
+  "CMakeFiles/p2p_test.dir/p2p/ssend_test.cpp.o.d"
+  "p2p_test"
+  "p2p_test.pdb"
+  "p2p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

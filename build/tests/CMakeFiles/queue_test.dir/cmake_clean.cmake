@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_test.dir/queue/coherence_violation_test.cpp.o"
+  "CMakeFiles/queue_test.dir/queue/coherence_violation_test.cpp.o.d"
+  "CMakeFiles/queue_test.dir/queue/queue_matrix_test.cpp.o"
+  "CMakeFiles/queue_test.dir/queue/queue_matrix_test.cpp.o.d"
+  "CMakeFiles/queue_test.dir/queue/spsc_ring_test.cpp.o"
+  "CMakeFiles/queue_test.dir/queue/spsc_ring_test.cpp.o.d"
+  "queue_test"
+  "queue_test.pdb"
+  "queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simtime/busy_resource_test.cpp" "tests/CMakeFiles/simtime_test.dir/simtime/busy_resource_test.cpp.o" "gcc" "tests/CMakeFiles/simtime_test.dir/simtime/busy_resource_test.cpp.o.d"
+  "/root/repo/tests/simtime/loggp_test.cpp" "tests/CMakeFiles/simtime_test.dir/simtime/loggp_test.cpp.o" "gcc" "tests/CMakeFiles/simtime_test.dir/simtime/loggp_test.cpp.o.d"
+  "/root/repo/tests/simtime/order_insensitivity_test.cpp" "tests/CMakeFiles/simtime_test.dir/simtime/order_insensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/simtime_test.dir/simtime/order_insensitivity_test.cpp.o.d"
+  "/root/repo/tests/simtime/vclock_test.cpp" "tests/CMakeFiles/simtime_test.dir/simtime/vclock_test.cpp.o" "gcc" "tests/CMakeFiles/simtime_test.dir/simtime/vclock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simtime/CMakeFiles/cmpi_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

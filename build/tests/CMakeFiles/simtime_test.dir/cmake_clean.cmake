@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtime_test.dir/simtime/busy_resource_test.cpp.o"
+  "CMakeFiles/simtime_test.dir/simtime/busy_resource_test.cpp.o.d"
+  "CMakeFiles/simtime_test.dir/simtime/loggp_test.cpp.o"
+  "CMakeFiles/simtime_test.dir/simtime/loggp_test.cpp.o.d"
+  "CMakeFiles/simtime_test.dir/simtime/order_insensitivity_test.cpp.o"
+  "CMakeFiles/simtime_test.dir/simtime/order_insensitivity_test.cpp.o.d"
+  "CMakeFiles/simtime_test.dir/simtime/vclock_test.cpp.o"
+  "CMakeFiles/simtime_test.dir/simtime/vclock_test.cpp.o.d"
+  "simtime_test"
+  "simtime_test.pdb"
+  "simtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

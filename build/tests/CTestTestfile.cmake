@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simtime_test[1]_include.cmake")
+include("/root/repo/build/tests/cxlsim_test[1]_include.cmake")
+include("/root/repo/build/tests/arena_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/osu_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
