@@ -65,7 +65,7 @@ double spsc_matrix_rate(int senders) {
   for (int s = 0; s < senders; ++s) {
     threads.emplace_back([&, s] {
       auto node = make_node(*device);
-      auto ring = queue::SpscRing::attach(*node->acc, 4096 + s * stride);
+      auto ring = check_ok(queue::SpscRing::attach(*node->acc, 4096 + s * stride));
       for (int m = 0; m < kMessagesPerSender; ++m) {
         while (!ring.try_enqueue(*node->acc, header_for(s, kPayload),
                                  payload)) {
@@ -79,7 +79,8 @@ double spsc_matrix_rate(int senders) {
     auto node = make_node(*device);
     std::vector<queue::SpscRing> rings;
     for (int s = 0; s < senders; ++s) {
-      rings.push_back(queue::SpscRing::attach(*node->acc, 4096 + s * stride));
+      rings.push_back(
+          check_ok(queue::SpscRing::attach(*node->acc, 4096 + s * stride)));
     }
     std::vector<std::byte> out(kPayload);
     int received = 0;

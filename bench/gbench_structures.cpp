@@ -92,8 +92,8 @@ void BM_SpscRingRoundTrip(benchmark::State& state) {
   cxlsim::Accessor consumer_acc(*device, cache_b, clock_b);
   queue::SpscRing::format(producer_acc, 0, 8,
                           static_cast<std::size_t>(state.range(0)));
-  auto producer = queue::SpscRing::attach(producer_acc, 0);
-  auto consumer = queue::SpscRing::attach(consumer_acc, 0);
+  auto producer = check_ok(queue::SpscRing::attach(producer_acc, 0));
+  auto consumer = check_ok(queue::SpscRing::attach(consumer_acc, 0));
   const std::vector<std::byte> payload(
       static_cast<std::size_t>(state.range(0)), std::byte{1});
   std::vector<std::byte> out(payload.size());

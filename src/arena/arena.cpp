@@ -5,6 +5,7 @@
 #include "common/align.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
+#include "cxlsim/coherence_checker.hpp"
 
 namespace cmpi::arena {
 
@@ -250,8 +251,13 @@ Result<ObjectHandle> Arena::open(std::string_view name) {
   }
   const std::uint64_t name_hash = hash_string(name);
   // Lock-free probe (paper: lookups are parallel). The refcount bump takes
-  // the lock and re-validates.
-  const Probe where = probe(name, name_hash);
+  // the lock and re-validates, so racing a locked writer's transient dirty
+  // window is benign — tell the coherence checker to tolerate it.
+  Probe where;
+  {
+    cxlsim::CoherenceChecker::ToleranceScope tolerate_optimistic_probe;
+    where = probe(name, name_hash);
+  }
   if (!where.found.has_value()) {
     return status::not_found("object '" + std::string(name) + "' not found");
   }

@@ -43,6 +43,13 @@ class BakeryLock {
   void lock(cxlsim::Accessor& acc, std::size_t participant) const;
 
   /// Release. Precondition: `participant` holds the lock.
+  ///
+  /// Releasing is a publish point: data written inside the critical
+  /// section becomes visible to the next holder via the `number` flag
+  /// hand-off. Callers that want the coherence checker to recognize that
+  /// payload must annotate it on their Accessor (annotate_publish_range)
+  /// before calling unlock() — as rma::Window::unlock does for its
+  /// passive-epoch puts.
   void unlock(cxlsim::Accessor& acc, std::size_t participant) const;
 
   /// Try to acquire without waiting behind other tickets. Returns false if

@@ -26,6 +26,7 @@
 
 #include "coll/collectives.hpp"
 #include "core/communicator.hpp"
+#include "cxlsim/coherence_checker.hpp"
 #include "p2p/endpoint.hpp"
 #include "rma/window.hpp"
 #include "runtime/universe.hpp"
@@ -152,6 +153,15 @@ class Session {
   /// Cumulative two-sided communication statistics for this rank.
   [[nodiscard]] const p2p::CommStats& stats() const noexcept {
     return endpoint_.stats();
+  }
+
+  /// Coherence-protocol violations recorded so far across the whole
+  /// universe (0 when the checker is disabled; see
+  /// UniverseConfig::coherence_check and docs/INTERNALS.md §6). Lets a
+  /// program or test assert mid-run that its pool traffic is clean.
+  [[nodiscard]] std::uint64_t coherence_violations() const noexcept {
+    const cxlsim::CoherenceChecker* chk = ctx_->device().checker();
+    return chk == nullptr ? 0 : chk->total_violations();
   }
 
   // ---- Communicators (MPI_Comm_split) ----

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/align.hpp"
+#include "cxlsim/coherence_checker.hpp"
 
 namespace cmpi::cxlsim {
 
@@ -99,6 +100,7 @@ void Accessor::charge_flush(const CacheSim::FlushResult& result,
         /*is_read=*/false);
     pending_drain_ =
         std::max(pending_drain_, done + p.line_write_latency);
+    writes_since_fence_ = true;
   }
 }
 
@@ -120,6 +122,7 @@ void Accessor::clwb(std::uint64_t offset, std::size_t size) {
 void Accessor::sfence() {
   clock_.advance(device_.timing().params().fence_cost);
   clock_.observe(pending_drain_);
+  writes_since_fence_ = false;
 }
 
 void Accessor::lfence() {
@@ -152,6 +155,7 @@ void Accessor::nt_store(std::uint64_t offset, std::span<const std::byte> src) {
     const simtime::Ns done = device_.timing().reserve_device(
         clock_.now(), src.size(), /*is_read=*/false);
     pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
+    writes_since_fence_ = true;
     clock_.advance(static_cast<simtime::Ns>(lines_of(offset, src.size())) *
                    p.cache_hit_latency);
   }
@@ -176,6 +180,9 @@ std::uint64_t Accessor::nt_load_u64(std::uint64_t offset) {
 
 void Accessor::nt_store_u64(std::uint64_t offset, std::uint64_t value) {
   clock_.advance(device_.timing().params().nt_store_latency);
+  if (CoherenceChecker* chk = device_.checker()) {
+    chk->on_flag_store(&cache_, offset, /*fenced=*/!writes_since_fence_);
+  }
   cache_.nt_store_u64(offset, value);
 }
 
@@ -200,6 +207,7 @@ void Accessor::bulk_write(std::uint64_t offset,
   const simtime::Ns done =
       device_.timing().reserve_device(start, src.size(), /*is_read=*/false);
   pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
+  writes_since_fence_ = true;
   cache_.nt_store(offset, src);
 }
 
@@ -224,8 +232,21 @@ void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst) {
   cache_.nt_load(offset, dst);
 }
 
+void Accessor::annotate_publish_range(std::uint64_t offset,
+                                      std::size_t size) {
+  if (device_.checker() != nullptr && size > 0) {
+    publish_ranges_.emplace_back(offset, size);
+  }
+}
+
 void Accessor::publish_flag(std::uint64_t offset, std::uint64_t value) {
   CMPI_EXPECTS(is_aligned(offset, sizeof(std::uint64_t)));
+  if (CoherenceChecker* chk = device_.checker()) {
+    // Check the annotated payload BEFORE the internal sfence: a dirty
+    // payload line here means the publish would race its own data.
+    chk->on_publish(&cache_, offset, publish_ranges_);
+  }
+  publish_ranges_.clear();
   sfence();  // release: all prior writes are covered by the stamp
   // Stamp first, value second: a reader that sees the new value (acquire)
   // is guaranteed to see at least this stamp.

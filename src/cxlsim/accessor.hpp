@@ -24,6 +24,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "cxlsim/cache_sim.hpp"
 #include "cxlsim/dax_device.hpp"
@@ -96,6 +98,13 @@ class Accessor {
   /// rank's clock. Call exactly once per observed transition.
   void absorb_flag(const FlagValue& flag);
 
+  /// Coherence-checker hint: declare that the NEXT publish_flag covers
+  /// `[offset, offset + size)` as payload (the reader will consume that
+  /// range after observing the flag). The checker verifies the range is
+  /// clean in the publisher's cache at publish time ("torn publish"
+  /// detection). No-op when checking is off; never affects timing.
+  void annotate_publish_range(std::uint64_t offset, std::size_t size);
+
   [[nodiscard]] simtime::VClock& clock() noexcept { return clock_; }
   [[nodiscard]] DaxDevice& device() noexcept { return device_; }
   [[nodiscard]] CacheSim& node_cache() noexcept { return cache_; }
@@ -113,6 +122,14 @@ class Accessor {
   /// Latest device completion stamp of writes this rank issued but has not
   /// yet fenced (flush write-backs, NT stores, bulk writes).
   simtime::Ns pending_drain_ = 0;
+  /// Functional mirror of pending_drain_ for the coherence checker: true
+  /// while this rank has issued writes (flush write-backs, bulk/NT stores)
+  /// not yet covered by an sfence. Unlike the timing predicate it does not
+  /// depend on where the virtual clock happens to sit.
+  bool writes_since_fence_ = false;
+  /// Payload ranges accumulated by annotate_publish_range, consumed by the
+  /// next publish_flag.
+  std::vector<std::pair<std::uint64_t, std::size_t>> publish_ranges_;
 };
 
 }  // namespace cmpi::cxlsim

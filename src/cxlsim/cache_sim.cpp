@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/hash.hpp"
+#include "cxlsim/coherence_checker.hpp"
 
 namespace cmpi::cxlsim {
 
@@ -38,6 +39,9 @@ void CacheSim::external_invalidate(std::uint64_t line_offset) {
   if (Line* line = find_line(line_offset); line != nullptr) {
     writeback_line(*line);
     line->valid = false;
+    if (CoherenceChecker* chk = device_.checker()) {
+      chk->on_invalidate(this, line_offset);
+    }
   }
 }
 
@@ -82,6 +86,9 @@ void CacheSim::writeback_line(Line& line) {
     pool_write(line.tag, {line.data, kCacheLineSize});
     line.dirty = false;
     ++stats_.writebacks;
+    if (CoherenceChecker* chk = device_.checker()) {
+      chk->on_writeback(this, line.tag);
+    }
   }
 }
 
@@ -101,6 +108,9 @@ CacheSim::Line& CacheSim::fill_line(std::uint64_t line_offset) {
   if (victim->valid) {
     writeback_line(*victim);
     ++stats_.evictions;
+    if (CoherenceChecker* chk = device_.checker()) {
+      chk->on_invalidate(this, victim->tag);
+    }
   }
   victim->tag = line_offset;
   victim->valid = true;
@@ -123,10 +133,14 @@ void CacheSim::read(std::uint64_t offset, std::span<std::byte> dst) {
     const std::size_t chunk =
         std::min(dst.size() - done, kCacheLineSize - in_line);
     Line* line = find_line(line_offset);
-    if (line != nullptr) {
+    const bool hit = line != nullptr;
+    if (hit) {
       ++stats_.hits;
     } else {
       line = &fill_line(line_offset);
+    }
+    if (CoherenceChecker* chk = device_.checker()) {
+      chk->on_cached_read(this, line_offset, hit);
     }
     std::memcpy(dst.data() + done, line->data + in_line, chunk);
     done += chunk;
@@ -154,6 +168,9 @@ void CacheSim::write(std::uint64_t offset, std::span<const std::byte> src) {
     }
     std::memcpy(line->data + in_line, src.data() + done, chunk);
     line->dirty = true;
+    if (CoherenceChecker* chk = device_.checker()) {
+      chk->on_cached_write(this, line_offset);
+    }
     done += chunk;
   }
 }
@@ -188,6 +205,9 @@ CacheSim::FlushResult CacheSim::clflush(std::uint64_t offset,
         ++result.lines_written_back;
       }
       line->valid = false;
+      if (CoherenceChecker* chk = device_.checker()) {
+        chk->on_invalidate(this, at);
+      }
     }
   }
   return result;
@@ -225,10 +245,16 @@ void CacheSim::nt_store(std::uint64_t offset, std::span<const std::byte> src) {
       if (Line* line = find_line(at); line != nullptr) {
         writeback_line(*line);
         line->valid = false;
+        if (CoherenceChecker* chk = device_.checker()) {
+          chk->on_invalidate(this, at);
+        }
       }
     }
   }
   pool_write(offset, src);
+  if (CoherenceChecker* chk = device_.checker()) {
+    chk->on_pool_write(this, offset, src.size());
+  }
 }
 
 void CacheSim::nt_load(std::uint64_t offset, std::span<std::byte> dst) {
@@ -236,6 +262,9 @@ void CacheSim::nt_load(std::uint64_t offset, std::span<std::byte> dst) {
   bi_acquire_range(offset, dst.size(), /*for_write=*/false);
   std::lock_guard lock(mutex_);
   pool_read(offset, dst);
+  if (CoherenceChecker* chk = device_.checker()) {
+    chk->on_pool_read(this, offset, dst.size());
+  }
   if (dst.empty()) {
     return;
   }
@@ -260,7 +289,11 @@ std::uint64_t CacheSim::nt_load_u64(std::uint64_t offset) {
   CMPI_EXPECTS(offset + sizeof(std::uint64_t) <= device_.size());
   const auto* cell = reinterpret_cast<const std::atomic<std::uint64_t>*>(
       device_.pool().data() + offset);
-  return cell->load(std::memory_order_acquire);
+  const std::uint64_t value = cell->load(std::memory_order_acquire);
+  if (CoherenceChecker* chk = device_.checker()) {
+    chk->on_pool_read_u64(this, offset);
+  }
+  return value;
 }
 
 void CacheSim::nt_store_u64(std::uint64_t offset, std::uint64_t value) {
@@ -269,21 +302,32 @@ void CacheSim::nt_store_u64(std::uint64_t offset, std::uint64_t value) {
   auto* cell = reinterpret_cast<std::atomic<std::uint64_t>*>(
       device_.pool().data() + offset);
   cell->store(value, std::memory_order_release);
+  if (CoherenceChecker* chk = device_.checker()) {
+    chk->on_pool_write_u64(this, offset);
+  }
 }
 
 void CacheSim::writeback_all() {
   std::lock_guard lock(mutex_);
+  CoherenceChecker* chk = device_.checker();
   for (Line& line : lines_) {
     if (line.valid) {
       writeback_line(line);
       line.valid = false;
+      if (chk != nullptr) {
+        chk->on_invalidate(this, line.tag);
+      }
     }
   }
 }
 
 void CacheSim::drop_all() {
   std::lock_guard lock(mutex_);
+  CoherenceChecker* chk = device_.checker();
   for (Line& line : lines_) {
+    if (line.valid && chk != nullptr) {
+      chk->on_invalidate(this, line.tag);
+    }
     line.valid = false;
     line.dirty = false;
   }

@@ -4,11 +4,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 
 #include "common/log.hpp"
 #include "cxlsim/cache_sim.hpp"
+#include "cxlsim/coherence_checker.hpp"
 
 #if defined(__linux__)
 #include <sys/syscall.h>
@@ -86,9 +88,14 @@ Result<std::unique_ptr<DaxDevice>> DaxDevice::create(
 
   log_info("cxlsim: created pooled device: %zu MiB, %u heads",
            pool_size >> 20, heads);
-  return std::unique_ptr<DaxDevice>(
+  auto device = std::unique_ptr<DaxDevice>(
       new DaxDevice(pool_fd, static_cast<std::byte*>(pool_base), pool_size,
                     ctrl_fd, ctrl, heads, timing));
+  if (const char* env = std::getenv("CMPI_COHERENCE_CHECK");
+      env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    device->enable_coherence_checker();
+  }
+  return device;
 }
 
 DaxDevice::DaxDevice(int pool_fd, std::byte* pool_base, std::size_t size,
@@ -138,12 +145,24 @@ Status DaxDevice::set_cacheability(std::uint64_t offset, std::uint64_t size,
   return Status::ok();
 }
 
+CoherenceChecker& DaxDevice::enable_coherence_checker() {
+  if (checker_ == nullptr) {
+    checker_ = std::make_unique<CoherenceChecker>();
+  }
+  return *checker_;
+}
+
+void DaxDevice::disable_coherence_checker() { checker_.reset(); }
+
 void DaxDevice::register_cache(CacheSim* cache) {
   std::lock_guard lock(cache_registry_mutex_);
   caches_.push_back(cache);
 }
 
 void DaxDevice::unregister_cache(CacheSim* cache) {
+  if (checker_ != nullptr) {
+    checker_->on_cache_detached(cache);
+  }
   std::lock_guard lock(cache_registry_mutex_);
   std::erase(caches_, cache);
 }

@@ -35,6 +35,7 @@
 namespace cmpi::cxlsim {
 
 class CacheSim;
+class CoherenceChecker;
 
 /// Cacheability attribute of a physical range, as programmed via MTRRs in
 /// the paper's §3.5 study.
@@ -113,6 +114,19 @@ class DaxDevice {
   /// BI shared acquisition: dirty peers write back (and keep the line).
   void bi_read_acquire(std::uint64_t line_offset, CacheSim* self);
 
+  // --- Coherence-protocol checking (see coherence_checker.hpp) ---
+  /// Attach a checker (idempotent). Enable before any pool traffic: lines
+  /// cached earlier are tracked conservatively but without version history.
+  /// Also enabled automatically by create() when the CMPI_COHERENCE_CHECK
+  /// environment variable is set to anything but "0" (how the test suite
+  /// turns it on globally).
+  CoherenceChecker& enable_coherence_checker();
+  void disable_coherence_checker();
+  /// The attached checker, or nullptr when checking is off (the default).
+  [[nodiscard]] CoherenceChecker* checker() const noexcept {
+    return checker_.get();
+  }
+
   /// Serialize a bulk pool copy against other bulk copies. Process-shared.
   /// u64-sized flag accesses use lock-free atomics instead and do not take
   /// this lock.
@@ -147,6 +161,7 @@ class DaxDevice {
   CxlTimingModel timing_;
   mutable std::mutex cache_registry_mutex_;
   std::vector<CacheSim*> caches_;
+  std::unique_ptr<CoherenceChecker> checker_;
 };
 
 }  // namespace cmpi::cxlsim

@@ -135,6 +135,9 @@ void Endpoint::push_sends(int dst) {
     if (!req.staged) {
       return;  // ring full; resume in a later progress() call
     }
+    // All chunks are in cells now; drop the reference to the caller's
+    // buffer so a completed request cannot dangle into freed memory.
+    req.send_data = {};
     if (req.synchronous) {
       // Completion comes with the receiver's match ack (progress()).
       pending_ssends_.push_back(pending.front());
@@ -223,6 +226,7 @@ void Endpoint::complete_recv(Request& request, int src, int tag,
   request.info_.bytes = bytes;
   request.result_ = std::move(status);
   request.complete_ = true;
+  request.recv_buffer = {};  // done with the caller's buffer
 }
 
 void Endpoint::drain_source(int src) {
@@ -357,14 +361,34 @@ void Endpoint::progress() {
       push_sends(dst);
     }
   }
-  // Synchronous sends complete once their match ack arrived.
+  // Synchronous sends complete once their match ack arrived. Drop the
+  // internal ack request with the pending entry — a completed Ssend held
+  // by the caller must not pin endpoint bookkeeping.
   std::erase_if(pending_ssends_, [](const RequestPtr& req) {
     if (req->ack != nullptr && req->ack->complete_) {
+      req->ack.reset();
       req->complete_ = true;
       return true;
     }
     return false;
   });
+  // Defensive sweep: a matched receive is normally unpinned the moment its
+  // last chunk completes it (drain_source), but nothing else guarantees
+  // that, so keep the invariant "no completed request lingers" here too.
+  std::erase_if(matched_keepalive_,
+                [](const RequestPtr& req) { return req->complete_; });
+}
+
+Endpoint::DebugQueueSizes Endpoint::debug_queue_sizes() const noexcept {
+  DebugQueueSizes sizes;
+  sizes.posted_recvs = posted_recvs_.size();
+  sizes.unexpected = unexpected_.size();
+  sizes.matched_keepalive = matched_keepalive_.size();
+  sizes.pending_ssends = pending_ssends_.size();
+  for (const auto& queue : send_queues_) {
+    sizes.send_queued += queue.size();
+  }
+  return sizes;
 }
 
 bool Endpoint::test(const RequestPtr& request) {

@@ -136,6 +136,18 @@ class Endpoint {
   /// Cumulative communication statistics for this rank.
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
 
+  /// Sizes of the internal bookkeeping containers. Test hook: soak tests
+  /// assert these stay bounded over many messages (completed requests must
+  /// not accumulate in the endpoint).
+  struct DebugQueueSizes {
+    std::size_t posted_recvs = 0;
+    std::size_t unexpected = 0;
+    std::size_t matched_keepalive = 0;
+    std::size_t pending_ssends = 0;
+    std::size_t send_queued = 0;  // across all destinations
+  };
+  [[nodiscard]] DebugQueueSizes debug_queue_sizes() const noexcept;
+
   [[nodiscard]] int rank() const noexcept { return ctx_->rank(); }
   [[nodiscard]] int nranks() const noexcept { return ctx_->nranks(); }
 

@@ -49,9 +49,12 @@ Result<QueueMatrix> QueueMatrix::open(arena::Arena& arena,
     return handle.status();
   }
   // Ring geometry is read from the first ring's constants.
-  const SpscRing probe = SpscRing::attach(acc, handle.value().pool_offset);
-  return QueueMatrix(handle.value().pool_offset, nranks, probe.capacity(),
-                     probe.cell_payload());
+  auto probe = SpscRing::attach(acc, handle.value().pool_offset);
+  if (!probe.is_ok()) {
+    return probe.status();
+  }
+  return QueueMatrix(handle.value().pool_offset, nranks,
+                     probe.value().capacity(), probe.value().cell_payload());
 }
 
 std::uint64_t QueueMatrix::ring_base(int receiver, int sender) const {
@@ -68,7 +71,9 @@ SpscRing& QueueMatrix::ring(cxlsim::Accessor& acc, int receiver, int sender) {
                           static_cast<std::size_t>(nranks_) +
                       static_cast<std::size_t>(sender)];
   if (!view.has_value()) {
-    view.emplace(SpscRing::attach(acc, ring_base(receiver, sender)));
+    // The geometry was validated when the matrix was created/opened; a
+    // failure here means the pool was corrupted underneath us.
+    view.emplace(check_ok(SpscRing::attach(acc, ring_base(receiver, sender))));
   }
   return *view;
 }

@@ -3,14 +3,17 @@
 #include <bit>
 #include <cstddef>
 #include <cstring>
+#include <string>
 
 namespace cmpi::queue {
 
 void SpscRing::format(cxlsim::Accessor& acc, std::uint64_t base,
                       std::size_t cells, std::size_t cell_payload) {
   CMPI_EXPECTS(is_aligned(base, kCacheLineSize));
-  CMPI_EXPECTS(cells >= 2);
-  CMPI_EXPECTS(cell_payload >= kCacheLineSize);
+  CMPI_EXPECTS(cells >= 2 && cells <= kMaxCells);
+  CMPI_EXPECTS(std::has_single_bit(cells));
+  CMPI_EXPECTS(cell_payload >= kCacheLineSize &&
+               cell_payload <= kMaxCellPayload);
   CMPI_EXPECTS(is_aligned(cell_payload, kCacheLineSize));
   acc.publish_flag(base + kTailOffset, 0);
   acc.publish_flag(base + kHeadOffset, 0);
@@ -18,11 +21,34 @@ void SpscRing::format(cxlsim::Accessor& acc, std::uint64_t base,
   acc.nt_store_u64(base + kConstOffset + 8, cell_payload);
 }
 
-SpscRing SpscRing::attach(cxlsim::Accessor& acc, std::uint64_t base) {
+Result<SpscRing> SpscRing::attach(cxlsim::Accessor& acc, std::uint64_t base) {
+  if (!is_aligned(base, kCacheLineSize)) {
+    return status::invalid_argument("ring base is not cacheline-aligned");
+  }
+  if (base + kCellsOffset > acc.device().size()) {
+    return status::invalid_argument("ring base outside the pool");
+  }
   const std::uint64_t cells = acc.nt_load_u64(base + kConstOffset);
   const std::uint64_t cell_payload = acc.nt_load_u64(base + kConstOffset + 8);
-  CMPI_ENSURES(cells >= 2);
-  CMPI_ENSURES(cell_payload >= kCacheLineSize);
+  if (cells < 2 || cells > kMaxCells ||
+      !std::has_single_bit(cells)) {
+    return status::invalid_argument(
+        "ring constants corrupt: cells=" + std::to_string(cells) +
+        " (want a power of two in [2, " + std::to_string(kMaxCells) + "])");
+  }
+  if (cell_payload < kCacheLineSize || cell_payload > kMaxCellPayload ||
+      !is_aligned(cell_payload, kCacheLineSize)) {
+    return status::invalid_argument(
+        "ring constants corrupt: cell_payload=" + std::to_string(cell_payload) +
+        " (want a cacheline multiple in [64, " +
+        std::to_string(kMaxCellPayload) + "])");
+  }
+  if (base + footprint(cells, cell_payload) > acc.device().size()) {
+    return status::invalid_argument(
+        "ring footprint exceeds the pool: base=" + std::to_string(base) +
+        " cells=" + std::to_string(cells) +
+        " cell_payload=" + std::to_string(cell_payload));
+  }
   return SpscRing(base, cells, cell_payload);
 }
 
@@ -63,6 +89,9 @@ bool SpscRing::try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
   acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&stamped),
                       sizeof(CellHeader)});
   ++tail_local_;
+  // Coherence-checker hint: the tail publish covers this cell (header +
+  // payload); the consumer reads it after observing the flag.
+  acc.annotate_publish_range(cell, sizeof(CellHeader) + payload.size());
   acc.publish_flag(base_ + kTailOffset, tail_local_);
   return true;
 }
@@ -83,6 +112,11 @@ bool SpscRing::can_dequeue(cxlsim::Accessor& acc) {
 }
 
 std::optional<CellHeader> SpscRing::peek(cxlsim::Accessor& acc) {
+  if (peeked_.has_value()) {
+    // Same unconsumed cell as the previous peek: time-free re-read (the
+    // header cannot change until we consume the cell).
+    return peeked_;
+  }
   if (!can_dequeue(acc)) {
     return std::nullopt;
   }
@@ -90,18 +124,25 @@ std::optional<CellHeader> SpscRing::peek(cxlsim::Accessor& acc) {
   acc.nt_load(cell_base(head_local_),
               {reinterpret_cast<std::byte*>(&header), sizeof(CellHeader)});
   acc.clock().observe(std::bit_cast<simtime::Ns>(header.stamp));
-  return header;
+  peeked_ = header;
+  return peeked_;
 }
 
 bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
                            std::span<std::byte> payload_out) {
-  if (!can_dequeue(acc)) {
+  if (peeked_.has_value()) {
+    // peek() already charged the header read for this cell.
+    header_out = *peeked_;
+    peeked_.reset();
+  } else if (!can_dequeue(acc)) {
     return false;
+  } else {
+    acc.nt_load(cell_base(head_local_),
+                {reinterpret_cast<std::byte*>(&header_out),
+                 sizeof(CellHeader)});
+    acc.clock().observe(std::bit_cast<simtime::Ns>(header_out.stamp));
   }
   const std::uint64_t cell = cell_base(head_local_);
-  acc.nt_load(cell, {reinterpret_cast<std::byte*>(&header_out),
-                     sizeof(CellHeader)});
-  acc.clock().observe(std::bit_cast<simtime::Ns>(header_out.stamp));
   CMPI_ASSERT(header_out.chunk_bytes <= cell_payload_);
   if (!payload_out.empty()) {
     CMPI_EXPECTS(payload_out.size() >= header_out.chunk_bytes);
@@ -113,8 +154,21 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
       cell + offsetof(CellHeader, freed_stamp),
       std::bit_cast<std::uint64_t>(acc.clock().now()));
   ++head_local_;
+  // The head publish covers no cached payload (the freed stamp above is an
+  // NT store), so no annotate_publish_range is needed here.
   acc.publish_flag(base_ + kHeadOffset, head_local_);
   return true;
+}
+
+void SpscRing::debug_rebase_counters(cxlsim::Accessor& acc,
+                                     std::uint64_t count) {
+  acc.publish_flag(base_ + kTailOffset, count);
+  acc.publish_flag(base_ + kHeadOffset, count);
+  tail_local_ = count;
+  head_local_ = count;
+  peer_head_ = count;
+  peer_tail_ = count;
+  peeked_.reset();
 }
 
 }  // namespace cmpi::queue

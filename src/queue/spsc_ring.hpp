@@ -36,6 +36,7 @@
 #include <span>
 
 #include "common/align.hpp"
+#include "common/status.hpp"
 #include "cxlsim/accessor.hpp"
 
 namespace cmpi::queue {
@@ -66,12 +67,21 @@ class SpscRing {
     return kCellsOffset + cells * (sizeof(CellHeader) + cell_payload);
   }
 
+  /// Geometry limits. `cells` must be a power of two: the ring indices are
+  /// free-running u64 counters and `index % cells` stays contiguous across
+  /// the 2^64 wraparound only when cells divides 2^64.
+  static constexpr std::size_t kMaxCells = std::size_t{1} << 20;
+  static constexpr std::size_t kMaxCellPayload = std::size_t{1} << 30;
+
   /// One-time initialization (bootstrap rank).
   static void format(cxlsim::Accessor& acc, std::uint64_t base,
                      std::size_t cells, std::size_t cell_payload);
 
-  /// Attach a view (producer or consumer side).
-  static SpscRing attach(cxlsim::Accessor& acc, std::uint64_t base);
+  /// Attach a view (producer or consumer side). Validates the on-pool
+  /// geometry constants (range, alignment, device bounds) and fails with a
+  /// Status for a corrupted or mis-formatted ring — cell_base arithmetic
+  /// on garbage constants would index out of bounds.
+  static Result<SpscRing> attach(cxlsim::Accessor& acc, std::uint64_t base);
 
   [[nodiscard]] std::size_t capacity() const noexcept { return cells_; }
   [[nodiscard]] std::size_t cell_payload() const noexcept {
@@ -94,13 +104,21 @@ class SpscRing {
   [[nodiscard]] bool can_dequeue(cxlsim::Accessor& acc);
 
   /// Peek the header of the next cell without consuming it. Returns
-  /// nullopt when empty. Charges header-read time only on a fresh cell.
+  /// nullopt when empty. Charges header-read time only on a fresh cell:
+  /// the header is cached until the cell is consumed, so iprobe/probe
+  /// polling loops re-peeking the same cell advance virtual time by zero.
   std::optional<CellHeader> peek(cxlsim::Accessor& acc);
 
   /// Dequeue the next cell into `payload_out` (must be >= chunk_bytes of
   /// the peeked header; pass empty to discard). Returns false when empty.
   bool try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
                    std::span<std::byte> payload_out);
+
+  /// Test hook: re-base both the shared flags and this view's local
+  /// counters to `count`, as if `count` cells had already flowed through
+  /// the ring. Call on an idle ring, on every attached view, with the same
+  /// value (used to exercise the 2^64 index wraparound).
+  void debug_rebase_counters(cxlsim::Accessor& acc, std::uint64_t count);
 
  private:
   static constexpr std::uint64_t kTailOffset = 0;
@@ -125,6 +143,9 @@ class SpscRing {
   std::uint64_t head_local_ = 0;  // consumer: cells dequeued
   std::uint64_t peer_head_ = 0;   // producer's last view of head
   std::uint64_t peer_tail_ = 0;   // consumer's last view of tail
+  /// Header of the not-yet-consumed cell at head_local_, cached by peek()
+  /// so repeated polls of the same cell are time-free.
+  std::optional<CellHeader> peeked_;
 };
 
 }  // namespace cmpi::queue

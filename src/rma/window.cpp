@@ -160,11 +160,29 @@ std::uint64_t Window::complete_flag(int target, int origin) const {
 
 // ---------- Data operations ----------
 
+void Window::note_epoch_put(std::uint64_t offset, std::size_t size) {
+  if (size == 0 || ctx_->device().checker() == nullptr) {
+    return;
+  }
+  if (epoch_puts_.size() < kMaxEpochPutRanges) {
+    epoch_puts_.emplace_back(offset, size);
+  }
+}
+
+void Window::annotate_epoch_puts() {
+  for (const auto& [offset, size] : epoch_puts_) {
+    ctx_->acc().annotate_publish_range(offset, size);
+  }
+  epoch_puts_.clear();
+}
+
 void Window::put(int target, std::uint64_t disp,
                  std::span<const std::byte> data) {
   CMPI_EXPECTS(disp + data.size() <= win_size_);
   ctx_->charge_mpi_overhead();
-  ctx_->acc().bulk_write(segment_offset(target) + disp, data);
+  const std::uint64_t at = segment_offset(target) + disp;
+  ctx_->acc().bulk_write(at, data);
+  note_epoch_put(at, data.size());
 }
 
 void Window::get(int target, std::uint64_t disp, std::span<std::byte> out) {
@@ -199,6 +217,7 @@ void Window::accumulate(int target, std::uint64_t disp,
   // Element-wise combine cost on the CPU (~1 ns per element).
   ctx_->clock().advance(static_cast<double>(values.size()) * 1.0);
   ctx_->acc().bulk_write(at, std::as_bytes(std::span(current)));
+  note_epoch_put(at, values.size() * sizeof(double));
 }
 
 void Window::get_accumulate(int target, std::uint64_t disp,
@@ -228,6 +247,7 @@ void Window::get_accumulate(int target, std::uint64_t disp,
   }
   ctx_->clock().advance(static_cast<double>(values.size()) * 1.0);
   ctx_->acc().bulk_write(at, std::as_bytes(std::span(updated)));
+  note_epoch_put(at, values.size() * sizeof(double));
 }
 
 std::uint64_t Window::fetch_and_op_u64(int target, std::uint64_t disp,
@@ -292,6 +312,9 @@ void Window::start(std::span<const int> targets) {
 
 void Window::complete(std::span<const int> targets) {
   ctx_->charge_mpi_overhead();
+  // The first complete flag's publish covers every put of this epoch; the
+  // checker verifies none of the payload is still dirty in our cache.
+  annotate_epoch_puts();
   ctx_->acc().sfence();  // drain puts of this access epoch
   for (const int target : targets) {
     CMPI_EXPECTS(target >= 0 && target < nranks());
@@ -316,6 +339,8 @@ void Window::wait(std::span<const int> origins) {
 
 void Window::fence() {
   ctx_->charge_mpi_overhead();
+  // The barrier's arrival publish covers this epoch's puts.
+  annotate_epoch_puts();
   ctx_->acc().sfence();
   fence_barrier_.enter(ctx_->acc(), ctx_->doorbell());
 }
@@ -330,6 +355,8 @@ void Window::lock(int target) {
 void Window::unlock(int target) {
   CMPI_EXPECTS(target >= 0 && target < nranks());
   ctx_->charge_mpi_overhead();
+  // The lock-release publish covers the epoch's puts.
+  annotate_epoch_puts();
   ctx_->acc().sfence();  // puts complete before the lock releases
   target_locks_[static_cast<std::size_t>(target)].unlock(
       ctx_->acc(), static_cast<std::size_t>(rank()));

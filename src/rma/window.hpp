@@ -138,6 +138,10 @@ class Window {
   static std::size_t footprint(int nranks, std::size_t win_size) noexcept;
 
  private:
+  /// Cap on coherence-checker payload hints kept per epoch; past it the
+  /// epoch is only partially annotated (a hint, not a correctness issue).
+  static constexpr std::size_t kMaxEpochPutRanges = 256;
+
   Window(runtime::RankCtx& ctx, std::string name, std::uint64_t base,
          std::size_t win_size, arena::ObjectHandle handle, int group_rank,
          int group_size, std::function<void()> group_barrier);
@@ -145,6 +149,11 @@ class Window {
   [[nodiscard]] std::uint64_t post_flag(int origin, int target) const;
   [[nodiscard]] std::uint64_t complete_flag(int target, int origin) const;
   void wait_count_at_least(std::uint64_t flag_offset, std::uint64_t target);
+  /// Record a put/accumulate destination range for the coherence checker.
+  void note_epoch_put(std::uint64_t offset, std::size_t size);
+  /// Hand the recorded ranges to the accessor as the payload of the next
+  /// epoch-closing publish, then forget them.
+  void annotate_epoch_puts();
 
   runtime::RankCtx* ctx_;
   std::string name_;
@@ -166,6 +175,9 @@ class Window {
   std::vector<std::uint64_t> starts_seen_;     // per target
   std::vector<std::uint64_t> completes_made_;  // per target
   std::vector<std::uint64_t> waits_seen_;      // per origin
+  // Destination ranges written this access epoch (coherence-checker hints:
+  // the epoch-closing publish in complete/fence/unlock covers them).
+  std::vector<std::pair<std::uint64_t, std::size_t>> epoch_puts_;
 };
 
 }  // namespace cmpi::rma

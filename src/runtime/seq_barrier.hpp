@@ -44,6 +44,13 @@ class SeqBarrier {
 
   /// Enter the barrier and block until all ranks have entered it at least
   /// as many times.
+  ///
+  /// The barrier publishes only its own slot flag; it is also the publish
+  /// point for any payload the caller wrote before entering (e.g. a
+  /// Window fence epoch). Callers that want the coherence checker to
+  /// recognize such payload must annotate it on their Accessor
+  /// (annotate_publish_range) before calling enter() — the slot's
+  /// publish_flag then both flushes and vouches for those ranges.
   void enter(cxlsim::Accessor& acc, Doorbell& doorbell);
 
   /// Number of times this rank has entered the barrier.

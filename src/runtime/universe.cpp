@@ -1,10 +1,13 @@
 #include "runtime/universe.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/log.hpp"
+#include "cxlsim/coherence_checker.hpp"
 
 namespace cmpi::runtime {
 
@@ -21,6 +24,10 @@ Universe::Universe(const UniverseConfig& config) : config_(config) {
   CMPI_EXPECTS(is_aligned(config.cell_payload, kCacheLineSize));
   CMPI_EXPECTS(config.ring_cells >= 2);
 
+  // The rings require a power-of-two cell count (index wraparound);
+  // accept any requested geometry and round up.
+  config_.ring_cells = std::bit_ceil(config_.ring_cells);
+
   // Every rank must have a bakery-lock slot in the arena.
   config_.arena_params.max_participants =
       std::max<std::size_t>(config_.arena_params.max_participants,
@@ -28,6 +35,14 @@ Universe::Universe(const UniverseConfig& config) : config_(config) {
 
   device_ = check_ok(cxlsim::DaxDevice::create(
       config_.pool_size, std::max(4u, config_.nodes), config_.timing));
+  // Settle coherence checking before any pool traffic (kAuto keeps
+  // whatever the CMPI_COHERENCE_CHECK environment variable selected in
+  // DaxDevice::create).
+  if (config_.coherence_check == CoherenceChecking::kEnabled) {
+    device_->enable_coherence_checker();
+  } else if (config_.coherence_check == CoherenceChecking::kDisabled) {
+    device_->disable_coherence_checker();
+  }
   if (config_.uncachable_pool) {
     check_ok(device_->set_cacheability(0, device_->size(),
                                        cxlsim::Cacheability::kUncachable));
@@ -80,6 +95,7 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       ctx.acc_ = std::make_unique<cxlsim::Accessor>(
           *device_, *node_caches_[static_cast<std::size_t>(ctx.node_)],
           ctx.clock_);
+      cxlsim::CoherenceChecker::set_current_rank(static_cast<int>(r));
       try {
         ctx.arena_ = std::make_unique<arena::Arena>(
             check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r)));
@@ -104,6 +120,26 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
   // Leave the pool coherent for the next run() or for inspection.
   for (auto& cache : node_caches_) {
     cache->writeback_all();
+  }
+  // Surface protocol violations the checker recorded during this run.
+  if (cxlsim::CoherenceChecker* chk = device_->checker();
+      chk != nullptr && chk->total_violations() > 0) {
+    log_warn("universe: coherence checker recorded %s",
+             chk->summary_string().c_str());
+    const auto violations = chk->violations();
+    const std::size_t shown = std::min<std::size_t>(violations.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& v = violations[i];
+      log_warn("universe:   [%.*s] rank %d @%#llx (%s): %s",
+               static_cast<int>(
+                   cxlsim::CoherenceChecker::kind_name(v.kind).size()),
+               cxlsim::CoherenceChecker::kind_name(v.kind).data(), v.rank,
+               static_cast<unsigned long long>(v.offset), v.op,
+               v.detail.c_str());
+    }
+    if (violations.size() > shown) {
+      log_warn("universe:   ... %zu more", violations.size() - shown);
+    }
   }
   if (first_error) {
     std::rethrow_exception(first_error);

@@ -32,6 +32,13 @@
 
 namespace cmpi::runtime {
 
+/// Tri-state for the coherence-protocol checker (cxlsim/coherence_checker).
+enum class CoherenceChecking {
+  kAuto,      ///< follow the CMPI_COHERENCE_CHECK environment variable
+  kEnabled,   ///< always interpose the checker
+  kDisabled,  ///< never interpose, even if the environment asks for it
+};
+
 struct UniverseConfig {
   unsigned nodes = 2;
   unsigned ranks_per_node = 1;
@@ -46,12 +53,19 @@ struct UniverseConfig {
   /// Payload capacity of one message cell (§4.3; MPICH default 16 KiB, the
   /// paper's tuned value 64 KiB).
   std::size_t cell_payload = 16_KiB;
-  /// Cells per pairwise SPSC ring.
+  /// Cells per pairwise SPSC ring. Rounded up to a power of two at
+  /// Universe construction (the ring's free-running u64 indices need
+  /// cells to divide 2^64 so `index % cells` survives wraparound).
   std::size_t ring_cells = 8;
   /// §3.5's rejected alternative to software coherence: mark the whole
   /// pool uncachable via MTRR. Correct but drastically slower past the
   /// PCIe MPS (see bench/ablation_coherence_mode and Fig. 11).
   bool uncachable_pool = false;
+  /// Coherence-protocol checking (off by default; the test suite turns it
+  /// on for every test via CMPI_COHERENCE_CHECK=1). When enabled, every
+  /// missing flush/fence/invalidate in a protocol layer is recorded and
+  /// summarized at the end of run(); see Universe::coherence_checker().
+  CoherenceChecking coherence_check = CoherenceChecking::kAuto;
 
   [[nodiscard]] unsigned nranks() const noexcept {
     return nodes * ranks_per_node;
@@ -126,6 +140,12 @@ class Universe {
   /// Node cache of a given node id (tests/teardown).
   [[nodiscard]] cxlsim::CacheSim& node_cache(int node) noexcept {
     return *node_caches_[static_cast<std::size_t>(node)];
+  }
+
+  /// The coherence checker, or nullptr when checking is off. Violations
+  /// accumulate across run() calls; tests assert on summary().total().
+  [[nodiscard]] cxlsim::CoherenceChecker* coherence_checker() noexcept {
+    return device_->checker();
   }
 
  private:

@@ -32,7 +32,7 @@ class CoherenceViolationTest : public ::testing::Test {
                                                    *consumer_cache_,
                                                    consumer_clock_);
     SpscRing::format(*producer_, 0, kCells, kPayload);
-    ring_ = std::make_unique<SpscRing>(SpscRing::attach(*consumer_, 0));
+    ring_ = std::make_unique<SpscRing>(check_ok(SpscRing::attach(*consumer_, 0)));
   }
 
   CellHeader header_for(std::size_t bytes) {
@@ -118,7 +118,7 @@ TEST_F(CoherenceViolationTest, ConsumerCachedReadsWouldGoStaleAcrossReuse) {
 TEST_F(CoherenceViolationTest, CorrectRingSurvivesCellReuseManyTimes) {
   // Control experiment: the real protocol re-uses every cell repeatedly
   // with no staleness (contrast with the violations above).
-  auto producer_ring = SpscRing::attach(*producer_, 0);
+  auto producer_ring = check_ok(SpscRing::attach(*producer_, 0));
   std::vector<std::byte> out(kPayload);
   for (int i = 0; i < 40; ++i) {
     const std::vector<std::byte> payload(kPayload,

@@ -25,8 +25,10 @@ class SpscRingTest : public ::testing::Test {
     consumer_acc_ = std::make_unique<cxlsim::Accessor>(
         *device_, *consumer_cache_, consumer_clock_);
     SpscRing::format(*producer_acc_, 0, kCells, kPayload);
-    producer_ = std::make_unique<SpscRing>(SpscRing::attach(*producer_acc_, 0));
-    consumer_ = std::make_unique<SpscRing>(SpscRing::attach(*consumer_acc_, 0));
+    producer_ = std::make_unique<SpscRing>(
+        check_ok(SpscRing::attach(*producer_acc_, 0)));
+    consumer_ = std::make_unique<SpscRing>(
+        check_ok(SpscRing::attach(*consumer_acc_, 0)));
   }
 
   static CellHeader header_for(std::span<const std::byte> payload,
@@ -157,6 +159,119 @@ TEST_F(SpscRingTest, PeekDoesNotConsume) {
   std::vector<std::byte> got(kPayload);
   ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
   EXPECT_EQ(out.tag, 9u);
+}
+
+TEST_F(SpscRingTest, RepeatedPeekOfSameCellIsTimeFree) {
+  const auto payload = pattern(10, 1);
+  ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload, 9),
+                                     payload));
+  // First peek charges the header read (and absorbs the producer stamp).
+  const auto first = consumer_->peek(*consumer_acc_);
+  ASSERT_TRUE(first.has_value());
+  const double after_first = consumer_clock_.now();
+  EXPECT_GT(after_first, 0.0);
+  // An iprobe/probe polling loop re-peeks the same unconsumed cell many
+  // times; every re-peek must return the cached header and advance virtual
+  // time by exactly zero.
+  for (int i = 0; i < 100; ++i) {
+    const auto again = consumer_->peek(*consumer_acc_);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->tag, first->tag);
+    EXPECT_EQ(again->stamp, first->stamp);
+  }
+  EXPECT_EQ(consumer_clock_.now(), after_first);
+  // Consuming the cell invalidates the cached header; the next message is
+  // peeked (and charged) fresh.
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  EXPECT_FALSE(consumer_->peek(*consumer_acc_).has_value());
+  const auto next = pattern(12, 2);
+  ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(next, 10),
+                                     next));
+  const auto fresh = consumer_->peek(*consumer_acc_);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->tag, 10u);
+}
+
+TEST_F(SpscRingTest, IndexWraparoundAtUint64Max) {
+  // Free-running u64 counters cross 2^64 mid-traffic. Rebase both views
+  // near the top and stream enough messages to wrap several times around
+  // both the ring and the counter space.
+  const std::uint64_t start = std::uint64_t{0} - 3 * kCells - 1;
+  producer_->debug_rebase_counters(*producer_acc_, start);
+  consumer_->debug_rebase_counters(*consumer_acc_, start);
+  std::vector<std::byte> got(kPayload);
+  for (int i = 0; i < static_cast<int>(8 * kCells); ++i) {
+    const auto payload = pattern(48, i);
+    ASSERT_TRUE(producer_->try_enqueue(*producer_acc_,
+                                       header_for(payload, i), payload))
+        << "message " << i;
+    CellHeader out{};
+    ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got))
+        << "message " << i;
+    EXPECT_EQ(out.tag, static_cast<std::uint64_t>(i));
+    const auto expected = pattern(48, i);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()))
+        << "message " << i;
+  }
+}
+
+TEST_F(SpscRingTest, IndexWraparoundWithFullRingBackpressure) {
+  // Wrap the counters while exercising the full/empty arithmetic:
+  // tail - head must stay correct across the discontinuity.
+  const std::uint64_t start = std::uint64_t{0} - kCells + 1;
+  producer_->debug_rebase_counters(*producer_acc_, start);
+  consumer_->debug_rebase_counters(*consumer_acc_, start);
+  const auto payload = pattern(16, 0);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_TRUE(producer_->try_enqueue(*producer_acc_, header_for(payload),
+                                       payload));
+  }
+  // Ring full exactly as tail_local_ wrapped past zero.
+  EXPECT_FALSE(producer_->can_enqueue(*producer_acc_));
+  CellHeader out{};
+  std::vector<std::byte> got(kPayload);
+  ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  EXPECT_TRUE(producer_->can_enqueue(*producer_acc_));
+  for (std::size_t i = 1; i < kCells; ++i) {
+    ASSERT_TRUE(consumer_->try_dequeue(*consumer_acc_, out, got));
+  }
+  EXPECT_FALSE(consumer_->can_dequeue(*consumer_acc_));
+}
+
+TEST_F(SpscRingTest, AttachRejectsCorruptGeometry) {
+  // Corrupt the on-pool constants the way a buggy peer or reused arena
+  // block would, and check attach() fails with a Status instead of
+  // arithmetic on garbage.
+  constexpr std::uint64_t kConstAt = 128;  // documented layout: +128
+  // Non-power-of-two cell count.
+  producer_acc_->nt_store_u64(kConstAt, 3);
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 0).is_ok());
+  // Zero / out-of-range cell count.
+  producer_acc_->nt_store_u64(kConstAt, 0);
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 0).is_ok());
+  producer_acc_->nt_store_u64(kConstAt, SpscRing::kMaxCells * 2);
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 0).is_ok());
+  // Restore cells, corrupt payload: unaligned, then absurdly large.
+  producer_acc_->nt_store_u64(kConstAt, kCells);
+  producer_acc_->nt_store_u64(kConstAt + 8, 100);
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 0).is_ok());
+  producer_acc_->nt_store_u64(kConstAt + 8, SpscRing::kMaxCellPayload + 64);
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 0).is_ok());
+  // Geometry valid per-field but footprint exceeding the device.
+  producer_acc_->nt_store_u64(kConstAt, 1 << 16);
+  producer_acc_->nt_store_u64(kConstAt + 8, 1 << 20);
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 0).is_ok());
+  // Unaligned base is rejected before any pool read.
+  EXPECT_FALSE(SpscRing::attach(*consumer_acc_, 8).is_ok());
+  // Base beyond the device is rejected before reading the constants.
+  EXPECT_FALSE(
+      SpscRing::attach(*consumer_acc_, device_->size() - 64).is_ok());
+  // Restoring the real geometry makes attach succeed again.
+  producer_acc_->nt_store_u64(kConstAt, kCells);
+  producer_acc_->nt_store_u64(kConstAt + 8, kPayload);
+  EXPECT_TRUE(SpscRing::attach(*consumer_acc_, 0).is_ok());
 }
 
 TEST_F(SpscRingTest, TimestampPropagatesProducerTimeToConsumer) {

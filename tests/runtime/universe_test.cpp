@@ -148,15 +148,15 @@ TEST(SeqBarrier, ReusableManyTimes) {
 
 TEST(Doorbell, WaitUntilReturnsWhenPredicateHolds) {
   Doorbell bell;
-  bool flag = false;
+  std::atomic<bool> flag{false};
   std::thread setter([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    flag = true;
+    flag.store(true);
     bell.ring();
   });
-  bell.wait_until([&] { return flag; });
+  bell.wait_until([&] { return flag.load(); });
   setter.join();
-  EXPECT_TRUE(flag);
+  EXPECT_TRUE(flag.load());
 }
 
 TEST(Doorbell, WaitOnceTimesOutWithoutRing) {
