@@ -71,7 +71,7 @@ int child_main(cxlsim::DaxDevice& device) {
   // Locked read-modify-write on a shared counter: no atomics, just the
   // bakery lock over plain CXL SHM accesses.
   auto counter = check_ok(arena_obj.open(kCounterName));
-  const auto lock = arena::BakeryLock::attach(node.acc, kLockOffset);
+  const auto lock = check_ok(arena::BakeryLock::attach(node.acc, kLockOffset));
   for (int i = 0; i < 1000; ++i) {
     arena::BakeryLock::Guard guard(lock, node.acc, 1);
     std::uint64_t value = 0;
@@ -124,7 +124,8 @@ int main() {
 
   // Contend on the counter with the child.
   for (int i = 0; i < 1000; ++i) {
-    const auto lock = arena::BakeryLock::attach(node.acc, kLockOffset);
+    const auto lock =
+        check_ok(arena::BakeryLock::attach(node.acc, kLockOffset));
     arena::BakeryLock::Guard guard(lock, node.acc, 0);
     std::uint64_t value = 0;
     node.acc.coherent_read(counter.pool_offset,

@@ -123,9 +123,13 @@ Result<Arena> Arena::attach(cxlsim::Accessor& acc, std::uint64_t base,
   if (!index.is_ok()) {
     return index.status();
   }
-  const BakeryLock lock_view = BakeryLock::attach(acc, base + header.lock_offset);
+  Result<BakeryLock> lock_view =
+      BakeryLock::attach(acc, base + header.lock_offset);
+  if (!lock_view.is_ok()) {
+    return lock_view.status();
+  }
   return Arena(acc, base, participant, header, std::move(index).value(),
-               lock_view);
+               std::move(lock_view).value());
 }
 
 Arena::Arena(cxlsim::Accessor& acc, std::uint64_t base,

@@ -1,5 +1,6 @@
 #include "arena/bakery_lock.hpp"
 
+#include <string>
 #include <thread>
 
 namespace cmpi::arena {
@@ -12,8 +13,10 @@ constexpr std::uint64_t kChoosingSet = 1;
 BakeryLock BakeryLock::format(cxlsim::Accessor& acc, std::uint64_t base,
                               std::size_t max_participants) {
   CMPI_EXPECTS(max_participants > 0);
+  CMPI_EXPECTS(max_participants <= kMaxAttachParticipants);
   CMPI_EXPECTS(is_aligned(base, kCacheLineSize));
   acc.nt_store_u64(base, max_participants);
+  acc.nt_store_u64(base + kMagicOffset, kMagic);
   BakeryLock lock(base, max_participants);
   for (std::size_t p = 0; p < max_participants; ++p) {
     acc.publish_flag(lock.slot(p) + kChoosingOffset, kFlagClear);
@@ -22,9 +25,27 @@ BakeryLock BakeryLock::format(cxlsim::Accessor& acc, std::uint64_t base,
   return lock;
 }
 
-BakeryLock BakeryLock::attach(cxlsim::Accessor& acc, std::uint64_t base) {
+Result<BakeryLock> BakeryLock::attach(cxlsim::Accessor& acc,
+                                      std::uint64_t base) {
+  if (!is_aligned(base, kCacheLineSize)) {
+    return status::invalid_argument(
+        "bakery attach: base " + std::to_string(base) +
+        " is not cacheline-aligned");
+  }
+  const std::uint64_t magic = acc.nt_load_u64(base + kMagicOffset);
+  if (magic != kMagic) {
+    return status::invalid_argument(
+        "bakery attach: no lock formatted at offset " + std::to_string(base) +
+        " (magic " + std::to_string(magic) + ", want " +
+        std::to_string(kMagic) + ")");
+  }
   const std::uint64_t n = acc.nt_load_u64(base);
-  CMPI_ENSURES(n > 0);
+  if (n == 0 || n > kMaxAttachParticipants) {
+    return status::invalid_argument(
+        "bakery attach: header at offset " + std::to_string(base) +
+        " claims " + std::to_string(n) + " participants (valid: 1.." +
+        std::to_string(kMaxAttachParticipants) + ")");
+  }
   return BakeryLock(base, static_cast<std::size_t>(n));
 }
 
@@ -69,6 +90,86 @@ void BakeryLock::lock(cxlsim::Accessor& acc, std::size_t participant) const {
       std::this_thread::yield();
     }
   }
+  acc.fault_sync_point("lock-acquired");
+}
+
+Status BakeryLock::lock_for(cxlsim::Accessor& acc, std::size_t participant,
+                            std::chrono::milliseconds timeout,
+                            const DeadPredicate& peer_dead,
+                            const std::function<void()>& beat) const {
+  CMPI_EXPECTS(participant < max_participants_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Doorway, as in lock(): the scan is bounded, only the waits below can
+  // block.
+  acc.publish_flag(slot(participant) + kChoosingOffset, kChoosingSet);
+  std::uint64_t max_ticket = 0;
+  for (std::size_t j = 0; j < max_participants_; ++j) {
+    const auto number = acc.peek_flag(slot(j) + kNumberOffset);
+    max_ticket = std::max(max_ticket, number.value);
+  }
+  const std::uint64_t my_ticket = max_ticket + 1;
+  acc.publish_flag(slot(participant) + kNumberOffset, my_ticket);
+  acc.publish_flag(slot(participant) + kChoosingOffset, kFlagClear);
+
+  // Shared cleanup for the timeout path: withdraw our own ticket so later
+  // acquirers don't wait behind a caller that gave up.
+  const auto give_up = [&](std::size_t stuck_behind) {
+    acc.publish_flag(slot(participant) + kNumberOffset, kFlagClear);
+    return status::timed_out(
+        "bakery lock_for: participant " + std::to_string(participant) +
+        " gave up waiting behind participant " +
+        std::to_string(stuck_behind));
+  };
+  const auto wait_tick = [&](std::size_t j) -> bool {
+    // Returns whether the dead participant's slots were just broken (the
+    // caller should re-peek rather than yield).
+    if (peer_dead && peer_dead(j)) {
+      // Break the dead participant's doorway and ticket. Its rank is
+      // fenced off (sticky verdict), so these slots have no writer left;
+      // clearing them is what lets the bakery queue drain past a crash.
+      acc.publish_flag(slot(j) + kChoosingOffset, kFlagClear);
+      acc.publish_flag(slot(j) + kNumberOffset, kFlagClear);
+      return true;
+    }
+    if (beat) {
+      beat();
+    }
+    std::this_thread::yield();
+    return false;
+  };
+
+  for (std::size_t j = 0; j < max_participants_; ++j) {
+    if (j == participant) {
+      continue;
+    }
+    for (;;) {
+      const auto choosing = acc.peek_flag(slot(j) + kChoosingOffset);
+      if (choosing.value == kFlagClear) {
+        acc.absorb_flag(choosing);
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return give_up(j);
+      }
+      wait_tick(j);
+    }
+    for (;;) {
+      const auto number = acc.peek_flag(slot(j) + kNumberOffset);
+      const bool j_waits_behind =
+          number.value == kFlagClear || number.value > my_ticket ||
+          (number.value == my_ticket && j > participant);
+      if (j_waits_behind) {
+        acc.absorb_flag(number);
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return give_up(j);
+      }
+      wait_tick(j);
+    }
+  }
+  acc.fault_sync_point("lock-acquired");
+  return Status::ok();
 }
 
 bool BakeryLock::try_lock(cxlsim::Accessor& acc,

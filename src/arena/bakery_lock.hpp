@@ -16,10 +16,13 @@
 // its own Accessor. Participants are dense ids in [0, max_participants).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "common/align.hpp"
+#include "common/status.hpp"
 #include "cxlsim/accessor.hpp"
 
 namespace cmpi::arena {
@@ -36,11 +39,35 @@ class BakeryLock {
   static BakeryLock format(cxlsim::Accessor& acc, std::uint64_t base,
                            std::size_t max_participants);
 
-  /// Attach to an already-formatted lock.
-  static BakeryLock attach(cxlsim::Accessor& acc, std::uint64_t base);
+  /// Attach to an already-formatted lock. Validates the on-pool header
+  /// (magic word + participant-count range) and returns kInvalidArgument
+  /// describing the mismatch when `base` does not hold a formatted lock —
+  /// a wrong base offset otherwise manifests as a silent hang inside
+  /// lock() against garbage tickets.
+  static Result<BakeryLock> attach(cxlsim::Accessor& acc, std::uint64_t base);
 
   /// Acquire for `participant`. Blocks (yielding) until the lock is held.
   void lock(cxlsim::Accessor& acc, std::size_t participant) const;
+
+  /// Judges whether a participant id belongs to a dead rank (see
+  /// runtime::FailureDetector; the caller owns the participant-to-rank
+  /// mapping). Consulted while waiting behind that participant.
+  using DeadPredicate = std::function<bool(std::size_t)>;
+
+  /// Deadline- and failure-aware acquire. Waits at most `timeout`; while
+  /// blocked behind a participant that `peer_dead` judges dead, BREAKS the
+  /// dead holder's doorway/ticket by clearing its choosing and number
+  /// slots — the one sanctioned violation of the single-writer discipline,
+  /// sound because a dead verdict is sticky (the fenced-off rank never
+  /// writes again). `beat`, when non-empty, is invoked each wait iteration
+  /// so the caller stays visibly alive (FailureDetector::beat is
+  /// throttled; pass it directly). Returns kTimedOut if the deadline
+  /// expires (own slots are cleaned up first — the caller holds nothing),
+  /// Status::ok once the lock is held.
+  [[nodiscard]] Status lock_for(cxlsim::Accessor& acc, std::size_t participant,
+                                std::chrono::milliseconds timeout,
+                                const DeadPredicate& peer_dead,
+                                const std::function<void()>& beat = {}) const;
 
   /// Release. Precondition: `participant` holds the lock.
   ///
@@ -82,6 +109,12 @@ class BakeryLock {
  private:
   static constexpr std::size_t kHeaderBytes = kCacheLineSize;
   static constexpr std::size_t kSlotBytes = kCacheLineSize;
+  // Header cacheline: participant count at +0, magic word at +8.
+  static constexpr std::size_t kMagicOffset = 8;
+  static constexpr std::uint64_t kMagic = 0x62616b6572796c6bULL;  // "bakerylk"
+  /// Sanity ceiling for the attach-time participant-count check (far above
+  /// any real universe; a corrupt header mostly reads as huge garbage).
+  static constexpr std::uint64_t kMaxAttachParticipants = 65536;
   // Within a slot: choosing flag at +0, number flag at +16 (both
   // timestamped 16-byte flags).
   static constexpr std::size_t kChoosingOffset = 0;

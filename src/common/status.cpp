@@ -24,6 +24,12 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "UNSUPPORTED";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kTimedOut:
+      return "TIMED_OUT";
+    case ErrorCode::kPeerFailed:
+      return "PEER_FAILED";
+    case ErrorCode::kDataPoisoned:
+      return "DATA_POISONED";
   }
   return "UNKNOWN";
 }

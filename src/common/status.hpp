@@ -25,6 +25,9 @@ enum class ErrorCode {
   kTruncated,         ///< receive buffer smaller than the incoming message
   kUnsupported,       ///< operation not supported by the (simulated) device
   kInternal,          ///< invariant failure surfaced as a recoverable error
+  kTimedOut,          ///< deadline expired before the operation completed
+  kPeerFailed,        ///< a peer rank crashed or stopped responding
+  kDataPoisoned,      ///< read touched a poisoned (media-error) range
 };
 
 /// Human-readable name for an error code.
@@ -129,6 +132,15 @@ inline Status unsupported(std::string msg) {
 }
 inline Status internal(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status timed_out(std::string msg) {
+  return {ErrorCode::kTimedOut, std::move(msg)};
+}
+inline Status peer_failed(std::string msg) {
+  return {ErrorCode::kPeerFailed, std::move(msg)};
+}
+inline Status data_poisoned(std::string msg) {
+  return {ErrorCode::kDataPoisoned, std::move(msg)};
 }
 
 }  // namespace status

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "coll/collectives.hpp"
 #include "core/communicator.hpp"
@@ -78,6 +80,26 @@ class Session {
   Status wait(const RequestPtr& r) { return endpoint_.wait(r); }
   Status wait_all(std::span<const RequestPtr> rs) {
     return endpoint_.wait_all(rs);
+  }
+
+  // ---- Deadline- and failure-aware variants (liveness layer) ----
+  // Return kPeerFailed when the watched peer's heartbeat lease expires,
+  // kTimedOut when the deadline passes with peers still alive; see
+  // p2p::Endpoint for the cancellation semantics.
+  Status wait_for(const RequestPtr& r, std::chrono::milliseconds timeout) {
+    return endpoint_.wait_for(r, timeout);
+  }
+  Result<RecvInfo> recv_for(int src, int tag, std::span<std::byte> buffer,
+                            std::chrono::milliseconds timeout) {
+    return endpoint_.recv_for(src, tag, buffer, timeout);
+  }
+  Status send_for(int dst, int tag, std::span<const std::byte> data,
+                  std::chrono::milliseconds timeout) {
+    return endpoint_.send_for(dst, tag, data, timeout);
+  }
+  Status ssend_for(int dst, int tag, std::span<const std::byte> data,
+                   std::chrono::milliseconds timeout) {
+    return endpoint_.ssend_for(dst, tag, data, timeout);
   }
   std::optional<RecvInfo> iprobe(int src, int tag) {
     return endpoint_.iprobe(src, tag);
@@ -162,6 +184,21 @@ class Session {
   [[nodiscard]] std::uint64_t coherence_violations() const noexcept {
     const cxlsim::CoherenceChecker* chk = ctx_->device().checker();
     return chk == nullptr ? 0 : chk->total_violations();
+  }
+
+  /// Ranks this session knows to have failed: scripted crashes recorded by
+  /// the fault injector plus peers this rank's failure detector declared
+  /// dead. Sorted, deduplicated. Empty in a healthy universe.
+  [[nodiscard]] std::vector<int> failed_ranks() const {
+    std::vector<int> out;
+    if (const cxlsim::FaultInjector* fi = ctx_->device().fault_injector()) {
+      out = fi->crashed_ranks();
+    }
+    const auto detected = ctx_->failure_detector().failed_ranks();
+    out.insert(out.end(), detected.begin(), detected.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
   }
 
   // ---- Communicators (MPI_Comm_split) ----

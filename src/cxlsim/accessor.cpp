@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/align.hpp"
 #include "cxlsim/coherence_checker.hpp"
@@ -32,6 +33,7 @@ simtime::Ns bi_line_cost(DaxDevice& device) noexcept {
 }  // namespace
 
 void Accessor::store(std::uint64_t offset, std::span<const std::byte> src) {
+  fault_access(offset, src.size(), /*is_read=*/false);
   const auto& p = device_.timing().params();
   if (is_uncachable(offset)) {
     cache_.nt_store(offset, src);
@@ -46,6 +48,7 @@ void Accessor::store(std::uint64_t offset, std::span<const std::byte> src) {
 }
 
 void Accessor::load(std::uint64_t offset, std::span<std::byte> dst) {
+  fault_access(offset, dst.size(), /*is_read=*/true);
   const auto& p = device_.timing().params();
   if (is_uncachable(offset)) {
     cache_.nt_load(offset, dst);
@@ -57,14 +60,17 @@ void Accessor::load(std::uint64_t offset, std::span<std::byte> dst) {
   const auto after = cache_.stats();
   const auto misses = after.misses - before.misses;
   const auto hits = after.hits - before.hits;
-  // Under hardware coherence every miss is also a BI snoop round.
+  // Under hardware coherence every miss is also a BI snoop round. A
+  // degraded link (fault injection) stretches the fill, not the hit.
   clock_.advance(static_cast<simtime::Ns>(misses) *
-                     (p.line_fill_latency + bi_line_cost(device_)) +
+                     (p.line_fill_latency * fault_latency_multiplier() +
+                      bi_line_cost(device_)) +
                  static_cast<simtime::Ns>(hits) * p.cache_hit_latency);
 }
 
 void Accessor::memset(std::uint64_t offset, std::byte value,
                       std::size_t size) {
+  fault_access(offset, size, /*is_read=*/false);
   const auto& p = device_.timing().params();
   if (is_uncachable(offset)) {
     // One UC op for the whole range: the regime (write-combining vs TLP
@@ -91,15 +97,17 @@ void Accessor::charge_flush(const CacheSim::FlushResult& result,
   if (result.lines_touched == 0) {
     return;
   }
+  // A degraded link (fault injection) stretches the write-back drain.
+  const double link = fault_latency_multiplier();
   clock_.advance(p.flush_base +
                  static_cast<simtime::Ns>(result.lines_touched) *
-                     per_line_cost);
+                     per_line_cost * link);
   if (result.lines_written_back > 0) {
     const simtime::Ns done = device_.timing().reserve_device(
         clock_.now(), result.lines_written_back * kCacheLineSize,
         /*is_read=*/false);
     pending_drain_ =
-        std::max(pending_drain_, done + p.line_write_latency);
+        std::max(pending_drain_, done + p.line_write_latency * link);
     writes_since_fence_ = true;
   }
 }
@@ -147,6 +155,7 @@ void Accessor::coherent_read(std::uint64_t offset, std::span<std::byte> dst) {
 }
 
 void Accessor::nt_store(std::uint64_t offset, std::span<const std::byte> src) {
+  fault_access(offset, src.size(), /*is_read=*/false);
   const auto& p = device_.timing().params();
   cache_.nt_store(offset, src);
   if (src.size() <= sizeof(std::uint64_t)) {
@@ -162,6 +171,7 @@ void Accessor::nt_store(std::uint64_t offset, std::span<const std::byte> src) {
 }
 
 void Accessor::nt_load(std::uint64_t offset, std::span<std::byte> dst) {
+  fault_access(offset, dst.size(), /*is_read=*/true);
   const auto& p = device_.timing().params();
   cache_.nt_load(offset, dst);
   if (dst.size() <= sizeof(std::uint64_t)) {
@@ -174,11 +184,13 @@ void Accessor::nt_load(std::uint64_t offset, std::span<std::byte> dst) {
 }
 
 std::uint64_t Accessor::nt_load_u64(std::uint64_t offset) {
+  fault_access(offset, sizeof(std::uint64_t), /*is_read=*/true);
   clock_.advance(device_.timing().params().nt_load_latency);
   return cache_.nt_load_u64(offset);
 }
 
 void Accessor::nt_store_u64(std::uint64_t offset, std::uint64_t value) {
+  fault_access(offset, sizeof(std::uint64_t), /*is_read=*/false);
   clock_.advance(device_.timing().params().nt_store_latency);
   if (CoherenceChecker* chk = device_.checker()) {
     chk->on_flag_store(&cache_, offset, /*fenced=*/!writes_since_fence_);
@@ -191,6 +203,7 @@ void Accessor::bulk_write(std::uint64_t offset,
   if (src.empty()) {
     return;
   }
+  fault_access(offset, src.size(), /*is_read=*/false);
   if (is_uncachable(offset)) {
     // UC region: no streaming, no write-combining past the MPS (§4.5).
     cache_.nt_store(offset, src);
@@ -215,6 +228,7 @@ void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst) {
   if (dst.empty()) {
     return;
   }
+  fault_access(offset, dst.size(), /*is_read=*/true);
   if (is_uncachable(offset)) {
     cache_.nt_load(offset, dst);
     clock_.advance(device_.timing().uncached_cost(dst.size()));
@@ -241,6 +255,7 @@ void Accessor::annotate_publish_range(std::uint64_t offset,
 
 void Accessor::publish_flag(std::uint64_t offset, std::uint64_t value) {
   CMPI_EXPECTS(is_aligned(offset, sizeof(std::uint64_t)));
+  fault_access(offset, kFlagBytes, /*is_read=*/false);
   if (CoherenceChecker* chk = device_.checker()) {
     // Check the annotated payload BEFORE the internal sfence: a dirty
     // payload line here means the publish would race its own data.
@@ -258,6 +273,9 @@ void Accessor::publish_flag(std::uint64_t offset, std::uint64_t value) {
 
 Accessor::FlagValue Accessor::peek_flag(std::uint64_t offset) {
   CMPI_EXPECTS(is_aligned(offset, sizeof(std::uint64_t)));
+  // Poll read: poison still surfaces, but polling is not counted toward
+  // crash-at-Nth schedules (iteration counts are wall-clock dependent).
+  fault_poll_read(offset, kFlagBytes);
   FlagValue out;
   out.value = cache_.nt_load_u64(offset);
   out.stamp = std::bit_cast<simtime::Ns>(
@@ -268,6 +286,16 @@ Accessor::FlagValue Accessor::peek_flag(std::uint64_t offset) {
 void Accessor::absorb_flag(const FlagValue& flag) {
   clock_.advance(device_.timing().params().nt_load_latency);
   clock_.observe(flag.stamp);
+}
+
+Status Accessor::take_poison_status(std::string_view context) {
+  if (!poison_seen_) {
+    return Status::ok();
+  }
+  poison_seen_ = false;
+  return status::data_poisoned(
+      std::string(context) + ": read touched poisoned pool offset " +
+      std::to_string(poison_offset_));
 }
 
 }  // namespace cmpi::cxlsim

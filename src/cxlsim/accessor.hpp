@@ -24,11 +24,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "cxlsim/cache_sim.hpp"
 #include "cxlsim/dax_device.hpp"
+#include "cxlsim/fault_injector.hpp"
 #include "simtime/vclock.hpp"
 
 namespace cmpi::cxlsim {
@@ -105,6 +107,28 @@ class Accessor {
   /// detection). No-op when checking is off; never affects timing.
   void annotate_publish_range(std::uint64_t offset, std::size_t size);
 
+  // --- Fault injection (see fault_injector.hpp) ---
+  /// Report a named sync point to the fault injector (no-op when no plan
+  /// is installed). Protocol layers call this at scripted kill locations:
+  /// "barrier-enter", "lock-acquired", "window-put", ... May throw
+  /// RankCrashed on the scripted rank.
+  void fault_sync_point(std::string_view point) {
+    if (FaultInjector* fi = device_.fault_injector()) {
+      fi->on_sync_point(point);
+    }
+  }
+
+  /// Whether any read this Accessor performed since the last
+  /// take_poison_status touched a poisoned range (sticky; cleared by
+  /// take_poison_status). Always false when no fault plan is installed.
+  [[nodiscard]] bool poison_pending() const noexcept { return poison_seen_; }
+
+  /// Consume the sticky poison flag: returns kDataPoisoned naming the
+  /// first poisoned offset when set (and clears it), Status::ok otherwise.
+  /// The §3.5 discipline for media errors: check after reading a range
+  /// whose integrity the caller must vouch for.
+  Status take_poison_status(std::string_view context);
+
   [[nodiscard]] simtime::VClock& clock() noexcept { return clock_; }
   [[nodiscard]] DaxDevice& device() noexcept { return device_; }
   [[nodiscard]] CacheSim& node_cache() noexcept { return cache_; }
@@ -115,6 +139,34 @@ class Accessor {
   }
   void charge_flush(const CacheSim::FlushResult& result,
                     simtime::Ns per_line_cost);
+
+  /// Fault hook at the top of every data operation: counts the access for
+  /// crash-at-Nth scheduling (may throw RankCrashed) and, on reads, tags
+  /// poison overlap. Polling reads (peek_flag) check poison but are not
+  /// counted — their iteration count is wall-clock dependent, and crash
+  /// schedules must stay deterministic.
+  void fault_access(std::uint64_t offset, std::size_t size, bool is_read) {
+    if (FaultInjector* fi = device_.fault_injector()) {
+      fi->on_access();
+      if (is_read && fi->check_poison(offset, size) && !poison_seen_) {
+        poison_seen_ = true;
+        poison_offset_ = offset;
+      }
+    }
+  }
+  void fault_poll_read(std::uint64_t offset, std::size_t size) {
+    if (FaultInjector* fi = device_.fault_injector()) {
+      if (fi->check_poison(offset, size) && !poison_seen_) {
+        poison_seen_ = true;
+        poison_offset_ = offset;
+      }
+    }
+  }
+  /// Degraded-link multiplier on flush write-back / line-fill latencies.
+  [[nodiscard]] double fault_latency_multiplier() const noexcept {
+    const FaultInjector* fi = device_.fault_injector();
+    return fi == nullptr ? 1.0 : fi->latency_multiplier();
+  }
 
   DaxDevice& device_;
   CacheSim& cache_;
@@ -130,6 +182,10 @@ class Accessor {
   /// Payload ranges accumulated by annotate_publish_range, consumed by the
   /// next publish_flag.
   std::vector<std::pair<std::uint64_t, std::size_t>> publish_ranges_;
+  /// Sticky media-error flag: a read touched a poisoned range (fault
+  /// injection); consumed by take_poison_status.
+  bool poison_seen_ = false;
+  std::uint64_t poison_offset_ = 0;
 };
 
 }  // namespace cmpi::cxlsim

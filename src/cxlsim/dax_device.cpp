@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "cxlsim/cache_sim.hpp"
 #include "cxlsim/coherence_checker.hpp"
+#include "cxlsim/fault_injector.hpp"
 
 #if defined(__linux__)
 #include <sys/syscall.h>
@@ -153,6 +154,13 @@ CoherenceChecker& DaxDevice::enable_coherence_checker() {
 }
 
 void DaxDevice::disable_coherence_checker() { checker_.reset(); }
+
+FaultInjector& DaxDevice::install_fault_plan(FaultPlan plan) {
+  fault_injector_ = std::make_unique<FaultInjector>(std::move(plan));
+  return *fault_injector_;
+}
+
+void DaxDevice::clear_fault_plan() { fault_injector_.reset(); }
 
 void DaxDevice::register_cache(CacheSim* cache) {
   std::lock_guard lock(cache_registry_mutex_);

@@ -36,6 +36,8 @@ namespace cmpi::cxlsim {
 
 class CacheSim;
 class CoherenceChecker;
+class FaultInjector;
+struct FaultPlan;
 
 /// Cacheability attribute of a physical range, as programmed via MTRRs in
 /// the paper's §3.5 study.
@@ -127,6 +129,18 @@ class DaxDevice {
     return checker_.get();
   }
 
+  // --- Fault injection (see fault_injector.hpp) ---
+  /// Install a fault plan (replacing any earlier one). Install before the
+  /// pool traffic the plan targets; typically done by Universe from
+  /// UniverseConfig::fault_plan.
+  FaultInjector& install_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  /// The attached injector, or nullptr when no plan is installed (the
+  /// default — a plan-free device pays one pointer compare per access).
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return fault_injector_.get();
+  }
+
   /// Serialize a bulk pool copy against other bulk copies. Process-shared.
   /// u64-sized flag accesses use lock-free atomics instead and do not take
   /// this lock.
@@ -162,6 +176,7 @@ class DaxDevice {
   mutable std::mutex cache_registry_mutex_;
   std::vector<CacheSim*> caches_;
   std::unique_ptr<CoherenceChecker> checker_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace cmpi::cxlsim

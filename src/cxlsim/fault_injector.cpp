@@ -1,0 +1,173 @@
+#include "cxlsim/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace cmpi::cxlsim {
+
+namespace {
+thread_local int tls_fault_rank = -1;
+}  // namespace
+
+void FaultInjector::set_current_rank(int rank) noexcept {
+  tls_fault_rank = rank;
+}
+
+int FaultInjector::current_rank() noexcept { return tls_fault_rank; }
+
+std::string_view FaultInjector::kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kCrash:
+      return "crash";
+    case Kind::kPoisonedRead:
+      return "poisoned-read";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), sync_counts_(plan_.crash_at_sync.size(), 0) {}
+
+void FaultInjector::record(Kind kind, int rank, std::uint64_t offset,
+                           std::string detail) {
+  ++by_kind_[static_cast<std::size_t>(kind)];
+  if (log_.size() < kMaxStoredEvents) {
+    log_.push_back(Event{kind, rank, offset, std::move(detail)});
+  }
+}
+
+void FaultInjector::on_access() {
+  const int rank = tls_fault_rank;
+  if (rank < 0) {
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= access_counts_.size()) {
+    access_counts_.resize(r + 1, 0);
+  }
+  if (r < crashed_.size() && crashed_[r]) {
+    return;  // already dead; destructor-path accesses must not re-throw
+  }
+  const std::uint64_t count = ++access_counts_[r];
+  for (const FaultPlan::CrashAtAccess& fault : plan_.crash_at_access) {
+    if (fault.rank == rank && fault.nth == count) {
+      if (r >= crashed_.size()) {
+        crashed_.resize(r + 1, false);
+      }
+      crashed_[r] = true;
+      const std::string where =
+          "pool access #" + std::to_string(count);
+      record(Kind::kCrash, rank, count, where);
+      lock.unlock();
+      throw RankCrashed(rank, where);
+    }
+  }
+}
+
+void FaultInjector::on_sync_point(std::string_view point) {
+  const int rank = tls_fault_rank;
+  if (rank < 0) {
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  const auto r = static_cast<std::size_t>(rank);
+  if (r < crashed_.size() && crashed_[r]) {
+    return;
+  }
+  for (std::size_t i = 0; i < plan_.crash_at_sync.size(); ++i) {
+    const FaultPlan::CrashAtSync& fault = plan_.crash_at_sync[i];
+    if (fault.rank != rank || fault.point != point) {
+      continue;
+    }
+    if (++sync_counts_[i] != fault.occurrence) {
+      continue;
+    }
+    if (r >= crashed_.size()) {
+      crashed_.resize(r + 1, false);
+    }
+    crashed_[r] = true;
+    const std::string where = "sync point '" + fault.point + "' (arrival " +
+                              std::to_string(fault.occurrence) + ")";
+    record(Kind::kCrash, rank, 0, where);
+    lock.unlock();
+    throw RankCrashed(rank, where);
+  }
+}
+
+bool FaultInjector::check_poison(std::uint64_t offset, std::size_t size) {
+  if (size == 0 || plan_.poison.empty()) {
+    return false;
+  }
+  for (const FaultPlan::PoisonRange& range : plan_.poison) {
+    if (offset < range.offset + range.size && range.offset < offset + size) {
+      std::lock_guard lock(mutex_);
+      record(Kind::kPoisonedRead, tls_fault_rank, offset,
+             "read [" + std::to_string(offset) + ", " +
+                 std::to_string(offset + size) + ") overlaps poison at " +
+                 std::to_string(range.offset));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> FaultInjector::crashed_ranks() const {
+  std::lock_guard lock(mutex_);
+  std::vector<int> out;
+  for (std::size_t r = 0; r < crashed_.size(); ++r) {
+    if (crashed_[r]) {
+      out.push_back(static_cast<int>(r));
+    }
+  }
+  return out;
+}
+
+bool FaultInjector::rank_crashed(int rank) const {
+  std::lock_guard lock(mutex_);
+  const auto r = static_cast<std::size_t>(rank);
+  return rank >= 0 && r < crashed_.size() && crashed_[r];
+}
+
+std::uint64_t FaultInjector::total_events() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t n : by_kind_) {
+    sum += n;
+  }
+  return sum;
+}
+
+std::uint64_t FaultInjector::count(Kind kind) const {
+  std::lock_guard lock(mutex_);
+  return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<FaultInjector::Event> FaultInjector::events() const {
+  std::lock_guard lock(mutex_);
+  return log_;
+}
+
+std::string FaultInjector::summary_string() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : by_kind_) {
+    total += n;
+  }
+  std::string out = std::to_string(total) + " fault";
+  if (total != 1) {
+    out += 's';
+  }
+  out += " fired (";
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    if (k > 0) {
+      out += ", ";
+    }
+    out += kind_name(static_cast<Kind>(k));
+    out += ' ';
+    out += std::to_string(by_kind_[k]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace cmpi::cxlsim

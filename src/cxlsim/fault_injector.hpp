@@ -1,0 +1,167 @@
+// Scriptable fault injection for the simulated CXL pool.
+//
+// The paper's platform is a shared pooled-memory device: a crashed host
+// leaves its bakery-lock slots, barrier flags and half-written ring cells
+// behind in the pool forever, and media errors surface as poisoned lines
+// (cf. CXLMemSim and the pooled-memory failure taxonomy in Jain et al.).
+// The injector reproduces those behaviours in the simulator so the
+// detection/recovery layers above (runtime::FailureDetector, the
+// deadline-aware blocking variants) can be tested deterministically:
+//
+//   * crash faults — a rank dies at its Nth pool access, or when it
+//     reaches a named sync point ("barrier-enter", "lock-acquired",
+//     "window-put", ...). The rank thread unwinds via a RankCrashed
+//     exception that Universe::run catches at the rank boundary and
+//     reports (it is NOT re-thrown: a simulated host crash is an observed
+//     event, not a test error),
+//   * poisoned ranges — reads overlapping a poisoned byte range are
+//     recorded and surfaced to the layer above as ErrorCode::kDataPoisoned
+//     (see Accessor::take_poison_status),
+//   * degraded link — a latency multiplier applied to flush write-backs
+//     and line fills, modeling a CXL link that renegotiated to a lower
+//     speed.
+//
+// Like the CoherenceChecker, the injector is an interposition layer owned
+// by the DaxDevice: Accessor calls its hooks only under a null-check, so a
+// universe with no fault plan pays a single pointer compare per access —
+// nothing else changes. Faults are attributed to ranks via the same
+// thread-local rank id scheme (set_current_rank).
+//
+// Thread model: hooks are called from rank threads; the injector has its
+// own mutex and never calls back into caches or accessors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmpi::cxlsim {
+
+/// Thrown on the faulted rank's thread when its scripted crash fires.
+/// Universe::run catches it at the rank boundary, records the death and
+/// does not re-throw; any other catcher should treat it the same way.
+class RankCrashed : public std::runtime_error {
+ public:
+  RankCrashed(int rank, const std::string& where)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " crashed (injected) at " + where),
+        rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// A scripted set of faults, installed before the pool traffic it targets
+/// (typically via UniverseConfig::fault_plan).
+struct FaultPlan {
+  /// Kill `rank` when it makes its `nth` pool access (1-based; every
+  /// Accessor operation that touches the pool counts as one access).
+  struct CrashAtAccess {
+    int rank = -1;
+    std::uint64_t nth = 1;
+  };
+  /// Kill `rank` when it reaches the `occurrence`-th arrival (1-based) at
+  /// the named sync point. Layers report sync points via
+  /// Accessor::fault_sync_point; see docs/INTERNALS.md for the names.
+  struct CrashAtSync {
+    int rank = -1;
+    std::string point;
+    std::uint64_t occurrence = 1;
+  };
+  /// Reads overlapping [offset, offset + size) observe poison.
+  struct PoisonRange {
+    std::uint64_t offset = 0;
+    std::size_t size = 0;
+  };
+
+  std::vector<CrashAtAccess> crash_at_access;
+  std::vector<CrashAtSync> crash_at_sync;
+  std::vector<PoisonRange> poison;
+  /// Multiplier (>= 1.0) on flush write-back and line-fill latencies.
+  double degraded_link_multiplier = 1.0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return crash_at_access.empty() && crash_at_sync.empty() &&
+           poison.empty() && degraded_link_multiplier == 1.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  enum class Kind : std::uint8_t {
+    kCrash = 0,
+    kPoisonedRead = 1,
+  };
+  static constexpr std::size_t kKindCount = 2;
+
+  /// Short stable name for an event kind ("crash", "poisoned-read").
+  static std::string_view kind_name(Kind kind) noexcept;
+
+  /// One injected fault that actually fired.
+  struct Event {
+    Kind kind = Kind::kCrash;
+    int rank = -1;             ///< rank the fault hit
+    std::uint64_t offset = 0;  ///< pool offset (poison) or access count
+    std::string detail;        ///< human-readable specifics
+  };
+
+  /// Events beyond this many are counted but not stored.
+  static constexpr std::size_t kMaxStoredEvents = 1024;
+
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Tag the calling thread with its MPI rank for fault targeting.
+  /// Universe::run does this for every rank thread; standalone tests call
+  /// it manually. -1 (the default) means "not a rank thread" — no crash
+  /// fault ever targets it.
+  static void set_current_rank(int rank) noexcept;
+  [[nodiscard]] static int current_rank() noexcept;
+
+  // --- Accessor hooks ---
+  /// Count one pool access by the calling rank; throws RankCrashed when
+  /// the rank's scripted access-count crash fires.
+  void on_access();
+  /// A named sync point reached by the calling rank; throws RankCrashed
+  /// when the rank's scripted sync-point crash fires.
+  void on_sync_point(std::string_view point);
+  /// A read of [offset, offset + size): returns true (and records the
+  /// event) when the range overlaps poison.
+  [[nodiscard]] bool check_poison(std::uint64_t offset, std::size_t size);
+  /// Latency multiplier for flush write-backs and line fills (1.0 when no
+  /// degraded-link fault is scripted).
+  [[nodiscard]] double latency_multiplier() const noexcept {
+    return plan_.degraded_link_multiplier;
+  }
+
+  // --- Results ---
+  /// Ranks whose scripted crash fired, ascending.
+  [[nodiscard]] std::vector<int> crashed_ranks() const;
+  [[nodiscard]] bool rank_crashed(int rank) const;
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint64_t count(Kind kind) const;
+  /// Stored events (up to kMaxStoredEvents), in firing order.
+  [[nodiscard]] std::vector<Event> events() const;
+  /// One-line report, e.g. "2 faults fired (crash 1, poisoned-read 1)".
+  [[nodiscard]] std::string summary_string() const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void record(Kind kind, int rank, std::uint64_t offset, std::string detail);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> access_counts_;  // per rank, grown on demand
+  std::vector<std::uint64_t> sync_counts_;    // per CrashAtSync plan entry
+  std::vector<bool> crashed_;                 // per rank, grown on demand
+  std::vector<Event> log_;
+  std::uint64_t by_kind_[kKindCount] = {0, 0};
+};
+
+}  // namespace cmpi::cxlsim

@@ -201,10 +201,13 @@ bool Endpoint::match_unexpected(Request& request) {
           ctx_->device().timing().params().local_mem_bytes_per_ns);
     }
     const bool truncated = msg.total > request.recv_buffer.size();
-    complete_recv(request, msg.source, msg.tag, copy,
-                  truncated
-                      ? status::truncated("message larger than recv buffer")
-                      : Status::ok());
+    Status delivery = Status::ok();
+    if (!msg.data_error.is_ok()) {
+      delivery = msg.data_error;  // poison recorded at drain time
+    } else if (truncated) {
+      delivery = status::truncated("message larger than recv buffer");
+    }
+    complete_recv(request, msg.source, msg.tag, copy, std::move(delivery));
     if (msg.synchronous) {
       // The sender's Ssend may complete now: the message is matched.
       send_ssend_ack(msg.source, msg.ssend_counter);
@@ -299,12 +302,22 @@ void Endpoint::drain_source(int src) {
                       fits);
         }
       }
-    } else {
+    } else if (assembly.unexpected != nullptr) {
       ring.try_dequeue(
           ctx_->acc(), consumed,
           std::span<std::byte>(assembly.unexpected->data)
               .subspan(header->chunk_offset, header->chunk_bytes));
       assembly.unexpected->received += header->chunk_bytes;
+    } else {
+      // Detached: the matched receive was cancelled (deadline/failure)
+      // mid-assembly. Keep the FIFO coherent by consuming and discarding
+      // the rest of the message.
+      scratch_.resize(header->chunk_bytes);
+      ring.try_dequeue(ctx_->acc(), consumed, scratch_);
+    }
+    if (ctx_->acc().poison_pending() && assembly.data_error.is_ok()) {
+      assembly.data_error = ctx_->acc().take_poison_status(
+          "recv payload from rank " + std::to_string(src));
     }
     assembly.received += header->chunk_bytes;
     drained_any = true;
@@ -313,19 +326,23 @@ void Endpoint::drain_source(int src) {
       CMPI_ASSERT(assembly.received == assembly.total);
       if (assembly.request != nullptr) {
         Request& req = *assembly.request;
-        complete_recv(
-            req, src, tag,
-            std::min(assembly.total, req.recv_buffer.size()),
-            assembly.truncated
-                ? status::truncated("message larger than recv buffer")
-                : Status::ok());
+        Status delivery = Status::ok();
+        if (!assembly.data_error.is_ok()) {
+          delivery = assembly.data_error;
+        } else if (assembly.truncated) {
+          delivery = status::truncated("message larger than recv buffer");
+        }
+        complete_recv(req, src, tag,
+                      std::min(assembly.total, req.recv_buffer.size()),
+                      std::move(delivery));
         std::erase_if(matched_keepalive_, [&](const RequestPtr& r) {
           return r.get() == &req;
         });
         if (assembly.synchronous) {
           send_ssend_ack(src, assembly.ssend_counter);
         }
-      } else {
+      } else if (assembly.unexpected != nullptr) {
+        assembly.unexpected->data_error = assembly.data_error;
         // The unexpected message is now complete: a posted wildcard may
         // have been waiting for it.
         auto posted = std::find_if(
@@ -340,6 +357,8 @@ void Endpoint::drain_source(int src) {
           CMPI_ASSERT(found);
         }
       }
+      // (Detached assemblies complete silently — the message was consumed
+      // on behalf of a cancelled receive.)
       assembly = Assembly{};
     }
   }
@@ -425,6 +444,139 @@ Status Endpoint::wait_all(std::span<const RequestPtr> requests) {
     }
   }
   return first_error;
+}
+
+Status Endpoint::check_request_liveness(const Request& request) {
+  const int peer = request.peer;
+  if (peer == kAnySource) {
+    return Status::ok();  // no single peer to watch
+  }
+  runtime::FailureDetector& detector = ctx_->failure_detector();
+  if (!detector.dead(ctx_->acc(), peer)) {
+    return Status::ok();
+  }
+  if (request.kind == Request::Kind::kRecv) {
+    return status::peer_failed(
+        request.matched
+            ? "recv: rank " + std::to_string(peer) + " died mid-message"
+            : "recv: rank " + std::to_string(peer) +
+                  " died before sending a match");
+  }
+  return status::peer_failed(
+      request.staged
+          ? "send: rank " + std::to_string(peer) +
+                " died before acknowledging the match"
+          : "send: rank " + std::to_string(peer) +
+                " died with its receive ring full");
+}
+
+bool Endpoint::cancel_request(const RequestPtr& request, Status verdict) {
+  Request& req = *request;
+  const bool peer_dead = verdict.code() == ErrorCode::kPeerFailed;
+  if (req.kind == Request::Kind::kRecv) {
+    std::erase_if(posted_recvs_,
+                  [&](const RequestPtr& r) { return r.get() == &req; });
+    if (req.matched) {
+      // Detach the half-delivered assembly; if the producer is still
+      // alive, drain_source discards the remaining chunks into scratch.
+      for (Assembly& a : assembly_) {
+        if (a.request == &req) {
+          a.request = nullptr;
+        }
+      }
+      std::erase_if(matched_keepalive_,
+                    [&](const RequestPtr& r) { return r.get() == &req; });
+    }
+  } else {
+    auto& queue = send_queues_[static_cast<std::size_t>(req.peer)];
+    const auto queued = std::find_if(
+        queue.begin(), queue.end(),
+        [&](const RequestPtr& r) { return r.get() == &req; });
+    if (queued != queue.end()) {
+      if (req.bytes_pushed > 0 && !req.staged && !peer_dead) {
+        // Chunks already sit in the ring: withdrawing would desynchronize
+        // the live consumer's assembly. The deadline verdict stands, but
+        // the request must stay pending.
+        return false;
+      }
+      queue.erase(queued);
+    }
+    if (req.synchronous) {
+      std::erase_if(pending_ssends_,
+                    [&](const RequestPtr& r) { return r.get() == &req; });
+      if (req.ack != nullptr) {
+        // Withdraw the internal ack receive with its Ssend.
+        std::erase_if(posted_recvs_, [&](const RequestPtr& r) {
+          return r.get() == req.ack.get();
+        });
+        req.ack->complete_ = true;
+        req.ack.reset();
+      }
+    }
+  }
+  req.send_data = {};
+  req.recv_buffer = {};
+  req.result_ = std::move(verdict);
+  req.complete_ = true;
+  return true;
+}
+
+Status Endpoint::wait_for(const RequestPtr& request,
+                          std::chrono::milliseconds timeout) {
+  CMPI_EXPECTS(request != nullptr);
+  ctx_->charge_mpi_overhead();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const double entered = ctx_->clock().now();
+  runtime::FailureDetector& detector = ctx_->failure_detector();
+  while (!request->complete_) {
+    progress();
+    if (request->complete_) {
+      break;
+    }
+    detector.beat(ctx_->acc());
+    Status alive = check_request_liveness(*request);
+    if (!alive.is_ok()) {
+      // A dead peer cancels unconditionally — there is no live consumer
+      // left for a partially-staged send to corrupt.
+      cancel_request(request, std::move(alive));
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      Status timed = status::timed_out(
+          (request->kind == Request::Kind::kRecv ? "recv" : "send") +
+          std::string(" involving rank ") + std::to_string(request->peer) +
+          " missed its deadline");
+      if (!cancel_request(request, timed)) {
+        stats_.wait_ns += ctx_->clock().now() - entered;
+        return timed;  // request left pending (see header)
+      }
+      break;
+    }
+    ctx_->doorbell().wait_once();
+  }
+  stats_.wait_ns += ctx_->clock().now() - entered;
+  return request->result_;
+}
+
+Result<RecvInfo> Endpoint::recv_for(int src, int tag,
+                                    std::span<std::byte> buffer,
+                                    std::chrono::milliseconds timeout) {
+  const RequestPtr request = irecv(src, tag, buffer);
+  const Status status = wait_for(request, timeout);
+  if (!status.is_ok()) {
+    return status;
+  }
+  return request->info();
+}
+
+Status Endpoint::send_for(int dst, int tag, std::span<const std::byte> data,
+                          std::chrono::milliseconds timeout) {
+  return wait_for(isend(dst, tag, data), timeout);
+}
+
+Status Endpoint::ssend_for(int dst, int tag, std::span<const std::byte> data,
+                           std::chrono::milliseconds timeout) {
+  return wait_for(issend(dst, tag, data), timeout);
 }
 
 RecvInfo Endpoint::probe(int src, int tag) {

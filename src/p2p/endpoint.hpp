@@ -18,6 +18,7 @@
 // stay valid until wait/test reports completion.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -117,6 +118,32 @@ class Endpoint {
   /// MPI_Waitall.
   Status wait_all(std::span<const RequestPtr> requests);
 
+  // --- Deadline- and failure-aware blocking (liveness layer) ---
+  //
+  // The plain blocking calls above trust every peer to stay alive; these
+  // variants beat this rank's heartbeat while waiting, watch the peer's
+  // lease, and never outlive their deadline. On failure the request is
+  // cancelled as cleanly as the wire allows (see each case below) and the
+  // verdict is recorded as the request's result:
+  //   * kPeerFailed — the specific peer the request depends on is dead
+  //     (never returned for a kAnySource receive: no single peer to blame),
+  //   * kTimedOut — deadline expired with every watched peer still alive.
+  // One cancellation is NOT clean: a send whose chunks are partially
+  // staged into the ring cannot be withdrawn without corrupting the FIFO
+  // for the (live) consumer; wait_for then returns kTimedOut but leaves
+  // the request pending (wait on it again, or let the universe tear down).
+  Status wait_for(const RequestPtr& request, std::chrono::milliseconds timeout);
+  /// Deadline recv: a timed-out posted receive is withdrawn (the caller's
+  /// buffer is released; chunks of a half-arrived match are discarded).
+  Result<RecvInfo> recv_for(int src, int tag, std::span<std::byte> buffer,
+                            std::chrono::milliseconds timeout);
+  /// Deadline send (completes on full staging, like send).
+  Status send_for(int dst, int tag, std::span<const std::byte> data,
+                  std::chrono::milliseconds timeout);
+  /// Deadline ssend: kPeerFailed when the receiver dies before matching.
+  Status ssend_for(int dst, int tag, std::span<const std::byte> data,
+                   std::chrono::milliseconds timeout);
+
   /// MPI_Iprobe: is a matching message available (fully or partially
   /// arrived)? Does not consume it.
   std::optional<RecvInfo> iprobe(int src, int tag);
@@ -164,6 +191,8 @@ class Endpoint {
     std::vector<std::byte> data;
     bool synchronous = false;        // sender awaits a match ack
     std::uint32_t ssend_counter = 0;
+    /// Media error recorded while chunks were drained (kDataPoisoned).
+    Status data_error;
     [[nodiscard]] bool full() const noexcept { return received == total; }
   };
 
@@ -178,6 +207,8 @@ class Endpoint {
     bool truncated = false;
     bool synchronous = false;
     std::uint32_t ssend_counter = 0;
+    /// Media error recorded while chunks were drained (kDataPoisoned).
+    Status data_error;
   };
 
   void send_ssend_ack(int src, std::uint32_t counter);
@@ -192,6 +223,14 @@ class Endpoint {
   bool match_unexpected(Request& request);
   void complete_recv(Request& request, int src, int tag, std::size_t bytes,
                      Status status);
+  /// kPeerFailed when the one peer `request` depends on is dead, ok
+  /// otherwise (kAnySource receives depend on no single peer).
+  Status check_request_liveness(const Request& request);
+  /// Withdraw `request` from the endpoint's bookkeeping and complete it
+  /// with `verdict`. Returns false (leaving the request pending) only for
+  /// the partially-staged-send case, where withdrawal would corrupt the
+  /// ring FIFO for a live consumer.
+  bool cancel_request(const RequestPtr& request, Status verdict);
 
   runtime::RankCtx* ctx_;
   queue::QueueMatrix matrix_;

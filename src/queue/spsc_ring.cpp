@@ -154,10 +154,15 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
       cell + offsetof(CellHeader, freed_stamp),
       std::bit_cast<std::uint64_t>(acc.clock().now()));
   ++head_local_;
+  mid_message_ = (header_out.flags & kLastChunk) == 0;
   // The head publish covers no cached payload (the freed stamp above is an
   // NT store), so no annotate_publish_range is needed here.
   acc.publish_flag(base_ + kHeadOffset, head_local_);
   return true;
+}
+
+bool SpscRing::abandoned_mid_message(cxlsim::Accessor& acc) {
+  return mid_message_ && !can_dequeue(acc);
 }
 
 void SpscRing::debug_rebase_counters(cxlsim::Accessor& acc,
@@ -169,6 +174,7 @@ void SpscRing::debug_rebase_counters(cxlsim::Accessor& acc,
   peer_head_ = count;
   peer_tail_ = count;
   peeked_.reset();
+  mid_message_ = false;
 }
 
 }  // namespace cmpi::queue

@@ -114,6 +114,14 @@ class SpscRing {
   bool try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
                    std::span<std::byte> payload_out);
 
+  /// Consumer-side crash symptom: the last dequeued cell was a non-final
+  /// chunk of a multi-cell message and no successor cell has arrived — the
+  /// message sits half-written in the ring. On its own this only means the
+  /// producer is slow; the p2p layer combines it with the failure
+  /// detector's verdict on the producer to decide that the message is
+  /// abandoned and the assembled prefix must be discarded.
+  [[nodiscard]] bool abandoned_mid_message(cxlsim::Accessor& acc);
+
   /// Test hook: re-base both the shared flags and this view's local
   /// counters to `count`, as if `count` cells had already flowed through
   /// the ring. Call on an idle ring, on every attached view, with the same
@@ -146,6 +154,9 @@ class SpscRing {
   /// Header of the not-yet-consumed cell at head_local_, cached by peek()
   /// so repeated polls of the same cell are time-free.
   std::optional<CellHeader> peeked_;
+  /// Consumer-side: the most recently dequeued cell lacked kLastChunk, so
+  /// the next cell is owed as part of the same message.
+  bool mid_message_ = false;
 };
 
 }  // namespace cmpi::queue

@@ -124,8 +124,8 @@ Window::Window(runtime::RankCtx& ctx, std::string name, std::uint64_t base,
   data_offset_ = l.data;
   target_locks_.reserve(static_cast<std::size_t>(group_size));
   for (int t = 0; t < group_size; ++t) {
-    target_locks_.push_back(arena::BakeryLock::attach(
-        ctx.acc(), locks_offset_ + t * lock_stride_));
+    target_locks_.push_back(check_ok(arena::BakeryLock::attach(
+        ctx.acc(), locks_offset_ + t * lock_stride_)));
   }
 }
 
@@ -180,6 +180,7 @@ void Window::put(int target, std::uint64_t disp,
                  std::span<const std::byte> data) {
   CMPI_EXPECTS(disp + data.size() <= win_size_);
   ctx_->charge_mpi_overhead();
+  ctx_->acc().fault_sync_point("window-put");
   const std::uint64_t at = segment_offset(target) + disp;
   ctx_->acc().bulk_write(at, data);
   note_epoch_put(at, data.size());
@@ -350,6 +351,21 @@ void Window::lock(int target) {
   ctx_->charge_mpi_overhead();
   target_locks_[static_cast<std::size_t>(target)].lock(
       ctx_->acc(), static_cast<std::size_t>(rank()));
+}
+
+Status Window::lock_for(int target, std::chrono::milliseconds timeout) {
+  CMPI_EXPECTS(target >= 0 && target < nranks());
+  ctx_->charge_mpi_overhead();
+  runtime::FailureDetector& detector = ctx_->failure_detector();
+  cxlsim::Accessor& acc = ctx_->acc();
+  return target_locks_[static_cast<std::size_t>(target)].lock_for(
+      acc, static_cast<std::size_t>(rank()), timeout,
+      [&](std::size_t participant) {
+        // Bakery participants are group ranks; the detector judges world
+        // ranks. The two coincide for world-spanning windows (see header).
+        return detector.dead(acc, static_cast<int>(participant));
+      },
+      [&] { detector.beat(acc); });
 }
 
 void Window::unlock(int target) {

@@ -29,6 +29,7 @@
 //   [data_offset]       segments: nranks * win_size
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -116,6 +117,16 @@ class Window {
 
   // --- Passive target (Lock/Unlock, §3.4) ---
   void lock(int target);
+  /// Deadline- and failure-aware lock: beats the caller's heartbeat while
+  /// queued, and if a participant ahead of it is declared dead by the
+  /// failure detector, BREAKS the dead holder's bakery ticket and acquires
+  /// the lock (arena::BakeryLock::lock_for). Returns kTimedOut if every
+  /// contender stayed alive past the deadline. Caveat: the liveness
+  /// mapping assumes group ranks equal world ranks, which holds for
+  /// world-spanning windows (Window::create); for create_grouped windows
+  /// with reordered members the dead-holder check is conservative (it may
+  /// misattribute liveness and fall back to kTimedOut).
+  [[nodiscard]] Status lock_for(int target, std::chrono::milliseconds timeout);
   void unlock(int target);
   /// MPI_Win_lock_all / unlock_all: acquire every target's lock (in rank
   /// order, so concurrent lock_all callers cannot deadlock).

@@ -17,6 +17,17 @@ namespace cmpi::runtime {
 
 class Doorbell {
  public:
+  /// `recheck` bounds how long a waiter can miss an out-of-scope wake-up
+  /// (and therefore the granularity of failure-detector lease checks made
+  /// from wait loops). The 1 ms default matches the historical constant.
+  explicit Doorbell(std::chrono::milliseconds recheck =
+                        std::chrono::milliseconds(1)) noexcept
+      : recheck_(recheck) {}
+
+  [[nodiscard]] std::chrono::milliseconds recheck_interval() const noexcept {
+    return recheck_;
+  }
+
   /// Wake all current waiters.
   void ring() noexcept {
     {
@@ -27,7 +38,7 @@ class Doorbell {
   }
 
   /// Block until `pred()` is true, re-evaluating after every ring (and at
-  /// least every millisecond).
+  /// least every recheck interval).
   template <typename Pred>
   void wait_until(Pred pred) {
     if (pred()) {
@@ -41,25 +52,53 @@ class Doorbell {
         return;
       }
       lock.lock();
-      cv_.wait_for(lock, std::chrono::milliseconds(1),
-                   [&] { return generation_ != seen; });
+      cv_.wait_for(lock, recheck_, [&] { return generation_ != seen; });
     }
   }
 
-  /// Block until the next ring (or ~1 ms), whichever comes first. For
-  /// callers whose predicate requires running their own progress engine
-  /// between checks.
+  /// Deadline overload: block until `pred()` is true or `deadline` passes.
+  /// Returns whether the predicate was satisfied — false means the
+  /// deadline expired with the predicate still false (the caller maps this
+  /// to ErrorCode::kTimedOut). The predicate is always evaluated at least
+  /// once, and once more after the deadline (a last-instant ring between
+  /// the final check and the deadline must not be lost).
+  template <typename Pred>
+  [[nodiscard]] bool wait_until(
+      Pred pred, std::chrono::steady_clock::time_point deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      const std::uint64_t seen = generation_;
+      lock.unlock();
+      if (pred()) {
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return pred();
+      }
+      lock.lock();
+      const auto next = std::min(
+          deadline, std::chrono::steady_clock::now() + recheck_);
+      cv_.wait_until(lock, next, [&] { return generation_ != seen; });
+    }
+  }
+
+  /// Block until the next ring (or one recheck interval), whichever comes
+  /// first. For callers whose predicate requires running their own
+  /// progress engine between checks.
   void wait_once() {
     std::unique_lock lock(mutex_);
     const std::uint64_t seen = generation_;
-    cv_.wait_for(lock, std::chrono::milliseconds(1),
-                 [&] { return generation_ != seen; });
+    cv_.wait_for(lock, recheck_, [&] { return generation_ != seen; });
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
   std::uint64_t generation_ = 0;
+  std::chrono::milliseconds recheck_;
 };
 
 }  // namespace cmpi::runtime

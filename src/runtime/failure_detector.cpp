@@ -1,0 +1,85 @@
+#include "runtime/failure_detector.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace cmpi::runtime {
+
+void FailureDetector::format(cxlsim::Accessor& acc, std::uint64_t base,
+                             std::size_t ranks) {
+  for (std::size_t r = 0; r < ranks; ++r) {
+    acc.publish_flag(base + r * kCacheLineSize, 0);
+  }
+}
+
+FailureDetector::FailureDetector(std::uint64_t base, std::size_t ranks,
+                                 std::size_t my_rank,
+                                 std::chrono::milliseconds lease)
+    : base_(base),
+      ranks_(ranks),
+      my_rank_(my_rank),
+      lease_(lease),
+      // Beat at lease/8 so a healthy waiter refreshes its slot several
+      // times per lease even with scheduling jitter; floor of 1 ms keeps
+      // tiny test leases from spinning the publish path.
+      beat_interval_(std::max(lease / 8, std::chrono::milliseconds(1))),
+      peers_(ranks) {
+  CMPI_EXPECTS(my_rank < ranks);
+  CMPI_EXPECTS(lease.count() > 0);
+}
+
+void FailureDetector::beat(cxlsim::Accessor& acc) {
+  const auto now = Clock::now();
+  if (ever_beat_ && now - last_beat_ < beat_interval_) {
+    return;
+  }
+  ever_beat_ = true;
+  last_beat_ = now;
+  acc.publish_flag(slot(my_rank_), ++my_counter_);
+}
+
+bool FailureDetector::dead(cxlsim::Accessor& acc, int rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_ ||
+      static_cast<std::size_t>(rank) == my_rank_) {
+    return false;
+  }
+  PeerState& peer = peers_[static_cast<std::size_t>(rank)];
+  if (peer.dead) {
+    return true;
+  }
+  const std::uint64_t seen = acc.peek_flag(slot(static_cast<std::size_t>(rank))).value;
+  const auto now = Clock::now();
+  if (!peer.observed || seen != peer.value) {
+    // First look, or the counter advanced: (re)start the lease.
+    peer.observed = true;
+    peer.value = seen;
+    peer.changed = now;
+    return false;
+  }
+  if (now - peer.changed > lease_) {
+    peer.dead = true;
+  }
+  return peer.dead;
+}
+
+Status FailureDetector::check_peer(cxlsim::Accessor& acc, int rank) {
+  if (dead(acc, rank)) {
+    return status::peer_failed("rank " + std::to_string(rank) +
+                               " missed its heartbeat lease");
+  }
+  return Status::ok();
+}
+
+std::vector<int> FailureDetector::failed_ranks() const {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    if (peers_[r].dead) {
+      out.push_back(static_cast<int>(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace cmpi::runtime

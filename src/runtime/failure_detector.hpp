@@ -1,0 +1,100 @@
+// Heartbeat-based failure detection over the CXL pool.
+//
+// A crashed host cannot be observed directly through pooled memory — it
+// simply stops writing. Detection therefore follows the classic lease
+// scheme, built from the same single-writer no-RMW discipline as the
+// sequence barrier (§3.4): every rank owns one heartbeat cacheline in the
+// pool and publishes a monotonically increasing counter into it; a peer
+// whose counter has not advanced for a full lease (wall-clock) is declared
+// dead. Verdicts are sticky — a pooled-memory host that missed its lease
+// is fenced off by software even if it later resumes (its locks may
+// already have been broken; see BakeryLock::lock_for).
+//
+// Heartbeats are written from the deadline-aware blocking loops
+// (Endpoint::wait_for, BakeryLock::lock_for via its beat callback, ...),
+// throttled to a fraction of the lease so a blocked-but-alive rank stays
+// visibly alive without flooding the pool. Plain (deadline-free) blocking
+// calls neither beat nor check: the liveness layer is pay-for-use, and a
+// universe that never supplies a deadline runs byte-identically to one
+// built before this layer existed.
+//
+// Detection latency is ~lease; the lease must comfortably exceed the
+// doorbell re-check interval (which bounds how often waiters get to beat)
+// and any scheduling hiccup of a healthy rank thread.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/status.hpp"
+#include "cxlsim/accessor.hpp"
+
+namespace cmpi::runtime {
+
+class FailureDetector {
+ public:
+  /// Bytes of CXL SHM for `ranks` heartbeat slots (one cacheline each).
+  static constexpr std::size_t footprint(std::size_t ranks) noexcept {
+    return ranks * kCacheLineSize;
+  }
+
+  /// One-time zeroing of the slots (bootstrap, before any beat()).
+  static void format(cxlsim::Accessor& acc, std::uint64_t base,
+                     std::size_t ranks);
+
+  /// View for one rank. `base` must match format's.
+  FailureDetector(std::uint64_t base, std::size_t ranks, std::size_t my_rank,
+                  std::chrono::milliseconds lease);
+
+  /// Publish this rank's heartbeat if at least lease/8 has elapsed since
+  /// the previous publish (call freely from wait loops; almost always a
+  /// no-op). The publish is a plain single-writer flag — no RMW.
+  void beat(cxlsim::Accessor& acc);
+
+  /// Liveness verdict for `rank`. A peer is declared dead when its
+  /// heartbeat counter has not advanced for a full lease since this
+  /// detector first observed it. Sticky: once dead, always dead. A rank is
+  /// never its own peer (always alive), and out-of-range ids are alive.
+  [[nodiscard]] bool dead(cxlsim::Accessor& acc, int rank);
+
+  /// Status form of the verdict: kPeerFailed naming the rank, or ok.
+  Status check_peer(cxlsim::Accessor& acc, int rank);
+
+  /// Ranks this detector has declared dead, ascending.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  [[nodiscard]] std::chrono::milliseconds lease() const noexcept {
+    return lease_;
+  }
+  [[nodiscard]] std::size_t ranks() const noexcept { return ranks_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] std::uint64_t slot(std::size_t rank) const noexcept {
+    return base_ + rank * kCacheLineSize;
+  }
+
+  /// Last observation of one peer's heartbeat.
+  struct PeerState {
+    std::uint64_t value = 0;
+    Clock::time_point changed{};
+    bool observed = false;
+    bool dead = false;
+  };
+
+  std::uint64_t base_;
+  std::size_t ranks_;
+  std::size_t my_rank_;
+  std::chrono::milliseconds lease_;
+  std::chrono::milliseconds beat_interval_;
+  std::uint64_t my_counter_ = 0;
+  Clock::time_point last_beat_{};
+  bool ever_beat_ = false;
+  std::vector<PeerState> peers_;
+};
+
+}  // namespace cmpi::runtime

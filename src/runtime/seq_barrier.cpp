@@ -11,6 +11,7 @@ void SeqBarrier::format(cxlsim::Accessor& acc, std::uint64_t base,
 }
 
 void SeqBarrier::enter(cxlsim::Accessor& acc, Doorbell& doorbell) {
+  acc.fault_sync_point("barrier-enter");
   ++sequence_;
   acc.publish_flag(slot(my_rank_), sequence_);
   doorbell.ring();
@@ -25,6 +26,50 @@ void SeqBarrier::enter(cxlsim::Accessor& acc, Doorbell& doorbell) {
     });
     acc.absorb_flag(seen);
   }
+}
+
+Status SeqBarrier::enter_for(cxlsim::Accessor& acc, Doorbell& doorbell,
+                             FailureDetector& detector,
+                             std::chrono::milliseconds timeout) {
+  acc.fault_sync_point("barrier-enter");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  ++sequence_;
+  acc.publish_flag(slot(my_rank_), sequence_);
+  doorbell.ring();
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    if (r == my_rank_) {
+      continue;
+    }
+    cxlsim::Accessor::FlagValue seen{};
+    bool peer_dead = false;
+    const bool arrived = doorbell.wait_until(
+        [&] {
+          detector.beat(acc);
+          seen = acc.peek_flag(slot(r));
+          if (seen.value >= sequence_) {
+            return true;
+          }
+          if (detector.dead(acc, static_cast<int>(r))) {
+            peer_dead = true;
+            return true;  // stop waiting; reported below
+          }
+          return false;
+        },
+        deadline);
+    if (peer_dead) {
+      return status::peer_failed(
+          "barrier: rank " + std::to_string(r) +
+          " died before entering epoch " + std::to_string(sequence_));
+    }
+    if (!arrived) {
+      return status::timed_out(
+          "barrier: rank " + std::to_string(r) +
+          " missing from epoch " + std::to_string(sequence_) +
+          " at the deadline");
+    }
+    acc.absorb_flag(seen);
+  }
+  return Status::ok();
 }
 
 }  // namespace cmpi::runtime

@@ -11,12 +11,15 @@
 // synchronizes rank clocks (the slowest rank's time wins).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "common/status.hpp"
 #include "cxlsim/accessor.hpp"
 #include "runtime/doorbell.hpp"
+#include "runtime/failure_detector.hpp"
 
 namespace cmpi::runtime {
 
@@ -52,6 +55,17 @@ class SeqBarrier {
   /// (annotate_publish_range) before calling enter() — the slot's
   /// publish_flag then both flushes and vouches for those ranges.
   void enter(cxlsim::Accessor& acc, Doorbell& doorbell);
+
+  /// Deadline- and failure-aware enter: publishes this rank's arrival,
+  /// then waits at most `timeout` for the peers, beating the caller's
+  /// heartbeat while waiting. Returns kPeerFailed naming the first peer
+  /// the detector declares dead, kTimedOut if the deadline expires with
+  /// peers still missing, Status::ok otherwise. On failure the barrier
+  /// epoch is torn — this rank has entered but not synchronized — so the
+  /// caller must abandon the collective operation, not retry the wait.
+  [[nodiscard]] Status enter_for(cxlsim::Accessor& acc, Doorbell& doorbell,
+                                 FailureDetector& detector,
+                                 std::chrono::milliseconds timeout);
 
   /// Number of times this rank has entered the barrier.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return sequence_; }

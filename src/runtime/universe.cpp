@@ -17,12 +17,15 @@ thread_local RankCtx* tls_ctx = nullptr;
 
 RankCtx* RankCtx::current() noexcept { return tls_ctx; }
 
-Universe::Universe(const UniverseConfig& config) : config_(config) {
+Universe::Universe(const UniverseConfig& config)
+    : config_(config), doorbell_(config.doorbell_recheck) {
   CMPI_EXPECTS(config.nodes > 0);
   CMPI_EXPECTS(config.ranks_per_node > 0);
   CMPI_EXPECTS(config.cell_payload >= kCacheLineSize);
   CMPI_EXPECTS(is_aligned(config.cell_payload, kCacheLineSize));
   CMPI_EXPECTS(config.ring_cells >= 2);
+  CMPI_EXPECTS(config.failure_lease.count() > 0);
+  CMPI_EXPECTS(config.doorbell_recheck.count() > 0);
 
   // The rings require a power-of-two cell count (index wraparound);
   // accept any requested geometry and round up.
@@ -55,22 +58,33 @@ Universe::Universe(const UniverseConfig& config) : config_(config) {
 
   const std::uint64_t barrier_end =
       kBarrierBase + SeqBarrier::footprint(config_.nranks());
-  arena_base_ = align_up(barrier_end, 4096);
+  // Heartbeat slots ride in the same reserved region as the barrier; the
+  // arena still starts at the next 4 KiB boundary (offset 8 KiB for any
+  // geometry up to 32 ranks, so pre-liveness pool layouts are unchanged).
+  hb_base_ = barrier_end;
+  arena_base_ = align_up(
+      hb_base_ + FailureDetector::footprint(config_.nranks()), 4096);
   CMPI_EXPECTS(arena_base_ + arena::Arena::metadata_footprint(
                                  config_.arena_params) <
                device_->size());
 
-  // Bootstrap with a scratch accessor: format the barrier array and the
-  // arena. Bootstrap state is flushed out of the scratch cache so every
-  // node starts clean.
+  // Bootstrap with a scratch accessor: format the barrier array, the
+  // heartbeat slots and the arena. Bootstrap state is flushed out of the
+  // scratch cache so every node starts clean.
   simtime::VClock boot_clock;
   cxlsim::CacheSim boot_cache(*device_, {.sets = 64, .ways = 4});
   cxlsim::Accessor boot(*device_, boot_cache, boot_clock);
   SeqBarrier::format(boot, kBarrierBase, config_.nranks());
+  FailureDetector::format(boot, hb_base_, config_.nranks());
   check_ok(arena::Arena::format(boot, arena_base_,
                                 device_->size() - arena_base_,
                                 /*participant=*/0, config_.arena_params));
   boot_cache.writeback_all();
+  // Install the fault plan only after bootstrap so formatting traffic is
+  // never counted toward crash-at-Nth schedules or flagged as poisoned.
+  if (!config_.fault_plan.empty()) {
+    device_->install_fault_plan(config_.fault_plan);
+  }
   log_info("universe: %u nodes x %u ranks, pool %zu MiB, arena at %#lx",
            config_.nodes, config_.ranks_per_node, device_->size() >> 20,
            static_cast<unsigned long>(arena_base_));
@@ -96,13 +110,25 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
           *device_, *node_caches_[static_cast<std::size_t>(ctx.node_)],
           ctx.clock_);
       cxlsim::CoherenceChecker::set_current_rank(static_cast<int>(r));
+      cxlsim::FaultInjector::set_current_rank(static_cast<int>(r));
       try {
         ctx.arena_ = std::make_unique<arena::Arena>(
             check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r)));
         ctx.init_barrier_ = std::make_unique<SeqBarrier>(
             *ctx.acc_, kBarrierBase, nranks, r);
+        ctx.detector_ = std::make_unique<FailureDetector>(
+            hb_base_, nranks, r, config_.failure_lease);
         tls_ctx = &ctx;
         fn(ctx);
+      } catch (const cxlsim::RankCrashed& crash) {
+        // Scripted fault, not a bug: the rank's "host" died. It stops
+        // beating its heartbeat and never reaches another sync point; the
+        // survivors detect it via their leases. Recorded by the injector,
+        // reported in teardown — deliberately NOT re-thrown as the run's
+        // error.
+        log_warn("universe: rank %d crashed (fault injection): %s",
+                 crash.rank(), crash.what());
+        doorbell_.ring();
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error) {
@@ -110,6 +136,21 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
         }
         // Wake any ranks blocked on this one.
         doorbell_.ring();
+      }
+      // Fold this rank's liveness verdicts into the universe-level record
+      // (survives the RankCtx, which dies with the thread).
+      if (ctx.detector_ != nullptr) {
+        const auto dead = ctx.detector_->failed_ranks();
+        if (!dead.empty()) {
+          std::lock_guard lock(failures_mutex_);
+          for (int d : dead) {
+            if (std::find(detected_failures_.begin(),
+                          detected_failures_.end(),
+                          d) == detected_failures_.end()) {
+              detected_failures_.push_back(d);
+            }
+          }
+        }
       }
       tls_ctx = nullptr;
     });
@@ -141,9 +182,49 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       log_warn("universe:   ... %zu more", violations.size() - shown);
     }
   }
+  // Surface injected faults the same way.
+  if (cxlsim::FaultInjector* fi = device_->fault_injector();
+      fi != nullptr && fi->total_events() > 0) {
+    log_warn("universe: fault injector fired: %s",
+             fi->summary_string().c_str());
+    const auto events = fi->events();
+    const std::size_t shown = std::min<std::size_t>(events.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& e = events[i];
+      log_warn("universe:   [%.*s] rank %d @%#llx: %s",
+               static_cast<int>(
+                   cxlsim::FaultInjector::kind_name(e.kind).size()),
+               cxlsim::FaultInjector::kind_name(e.kind).data(), e.rank,
+               static_cast<unsigned long long>(e.offset), e.detail.c_str());
+    }
+    if (events.size() > shown) {
+      log_warn("universe:   ... %zu more", events.size() - shown);
+    }
+  }
+  {
+    std::lock_guard lock(failures_mutex_);
+    for (int d : detected_failures_) {
+      log_warn("universe: failure detector declared rank %d dead", d);
+    }
+  }
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+std::vector<int> Universe::failed_ranks() const {
+  std::vector<int> out;
+  if (const cxlsim::FaultInjector* fi = device_->fault_injector()) {
+    out = fi->crashed_ranks();
+  }
+  {
+    std::lock_guard lock(failures_mutex_);
+    out.insert(out.end(), detected_failures_.begin(),
+               detected_failures_.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace cmpi::runtime

@@ -8,17 +8,24 @@
 //
 //   [0, 4 KiB)      bootstrap page (universe magic + geometry echo)
 //   [4 KiB, ...)    initialization-barrier slot array (§3.4)
+//   [hb_base, ...)  heartbeat slots, one cacheline per rank (liveness)
 //   [arena_base, )  CXL SHM Arena — every queue/window/flag object
 //
 // Universe::run(fn) launches one thread per rank, builds each rank's
 // context (accessor over the node cache, virtual clock, attached arena)
-// and calls fn. Exceptions in any rank are re-thrown after join.
+// and calls fn. Exceptions in any rank are re-thrown after join — except
+// scripted rank crashes (cxlsim::RankCrashed from the fault injector),
+// which model a died host: the rank simply stops, the survivors keep
+// running, and the crash is reported in the teardown summary and via
+// failed_ranks() instead of being re-thrown.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "arena/arena.hpp"
@@ -27,6 +34,7 @@
 #include "cxlsim/cache_sim.hpp"
 #include "cxlsim/dax_device.hpp"
 #include "runtime/doorbell.hpp"
+#include "runtime/failure_detector.hpp"
 #include "runtime/seq_barrier.hpp"
 #include "simtime/vclock.hpp"
 
@@ -66,6 +74,17 @@ struct UniverseConfig {
   /// missing flush/fence/invalidate in a protocol layer is recorded and
   /// summarized at the end of run(); see Universe::coherence_checker().
   CoherenceChecking coherence_check = CoherenceChecking::kAuto;
+  /// Scripted fault plan (rank crashes, poisoned ranges, degraded link);
+  /// empty by default — no injector is installed and every hook stays a
+  /// null-check. See cxlsim/fault_injector.hpp.
+  cxlsim::FaultPlan fault_plan{};
+  /// Heartbeat lease for the per-rank failure detector: a peer whose
+  /// heartbeat counter does not advance for this long (wall-clock) is
+  /// declared dead by deadline-aware blocking calls.
+  std::chrono::milliseconds failure_lease{250};
+  /// Doorbell predicate re-check interval; bounds how stale a lease check
+  /// made from a wait loop can be. Must be well under failure_lease.
+  std::chrono::milliseconds doorbell_recheck{1};
 
   [[nodiscard]] unsigned nranks() const noexcept {
     return nodes * ranks_per_node;
@@ -87,6 +106,10 @@ class RankCtx {
   [[nodiscard]] Doorbell& doorbell() noexcept { return *doorbell_; }
   [[nodiscard]] arena::Arena& arena() noexcept { return *arena_; }
   [[nodiscard]] cxlsim::DaxDevice& device() noexcept { return *device_; }
+  /// This rank's heartbeat-lease failure detector (liveness layer).
+  [[nodiscard]] FailureDetector& failure_detector() noexcept {
+    return *detector_;
+  }
   [[nodiscard]] const UniverseConfig& config() const noexcept {
     return *config_;
   }
@@ -115,6 +138,7 @@ class RankCtx {
   std::unique_ptr<cxlsim::Accessor> acc_;
   std::unique_ptr<arena::Arena> arena_;
   std::unique_ptr<SeqBarrier> init_barrier_;
+  std::unique_ptr<FailureDetector> detector_;
   Doorbell* doorbell_ = nullptr;
   cxlsim::DaxDevice* device_ = nullptr;
   const UniverseConfig* config_ = nullptr;
@@ -148,6 +172,22 @@ class Universe {
     return device_->checker();
   }
 
+  /// The fault injector, or nullptr when config.fault_plan was empty.
+  /// Events accumulate across run() calls (like the coherence checker).
+  [[nodiscard]] cxlsim::FaultInjector* fault_injector() noexcept {
+    return device_->fault_injector();
+  }
+
+  /// Ranks known to have failed: scripted crashes recorded by the fault
+  /// injector plus peers declared dead by any rank's failure detector.
+  /// Sorted, deduplicated. Accumulates across run() calls.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  /// Base offset of the per-rank heartbeat slot array.
+  [[nodiscard]] std::uint64_t heartbeat_base() const noexcept {
+    return hb_base_;
+  }
+
  private:
   static constexpr std::uint64_t kBarrierBase = 4096;
 
@@ -155,7 +195,11 @@ class Universe {
   std::unique_ptr<cxlsim::DaxDevice> device_;
   std::vector<std::unique_ptr<cxlsim::CacheSim>> node_caches_;
   Doorbell doorbell_;
+  std::uint64_t hb_base_ = 0;
   std::uint64_t arena_base_ = 0;
+  /// Peers declared dead by rank detectors, merged at thread exit.
+  mutable std::mutex failures_mutex_;
+  std::vector<int> detected_failures_;
 };
 
 }  // namespace cmpi::runtime

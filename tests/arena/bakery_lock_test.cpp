@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -40,8 +41,69 @@ TEST_F(BakeryLockTest, FormatThenAttachSeesSameWidth) {
   Rank r = make_rank();
   const auto lock = BakeryLock::format(*r.acc, 0, 16);
   EXPECT_EQ(lock.max_participants(), 16u);
-  const auto attached = BakeryLock::attach(*r.acc, 0);
+  const auto attached = check_ok(BakeryLock::attach(*r.acc, 0));
   EXPECT_EQ(attached.max_participants(), 16u);
+}
+
+TEST_F(BakeryLockTest, AttachRejectsUnformattedPool) {
+  Rank r = make_rank();
+  const auto attached = BakeryLock::attach(*r.acc, 0);
+  ASSERT_FALSE(attached.is_ok());
+  EXPECT_EQ(attached.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BakeryLockTest, AttachRejectsMisalignedBase) {
+  Rank r = make_rank();
+  BakeryLock::format(*r.acc, 0, 4);
+  const auto attached = BakeryLock::attach(*r.acc, 8);
+  ASSERT_FALSE(attached.is_ok());
+  EXPECT_EQ(attached.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BakeryLockTest, AttachRejectsCorruptParticipantCount) {
+  Rank r = make_rank();
+  BakeryLock::format(*r.acc, 0, 4);
+  // Clobber the count but keep the magic: header recognized, geometry bad.
+  r.acc->nt_store_u64(0, 0);
+  const auto zero = BakeryLock::attach(*r.acc, 0);
+  ASSERT_FALSE(zero.is_ok());
+  EXPECT_EQ(zero.status().code(), ErrorCode::kInvalidArgument);
+  r.acc->nt_store_u64(0, std::uint64_t{1} << 40);
+  const auto huge = BakeryLock::attach(*r.acc, 0);
+  ASSERT_FALSE(huge.is_ok());
+  EXPECT_EQ(huge.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BakeryLockTest, LockForBreaksDeadHolder) {
+  Rank a = make_rank();
+  Rank b = make_rank();
+  const auto lock = BakeryLock::format(*a.acc, 0, 2);
+  // Participant 0 takes the lock and then "dies" holding it.
+  lock.lock(*a.acc, 0);
+  const Status st = lock.lock_for(
+      *b.acc, 1, std::chrono::milliseconds(500),
+      [](std::size_t p) { return p == 0; });
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  lock.unlock(*b.acc, 1);
+}
+
+TEST_F(BakeryLockTest, LockForTimesOutBehindLiveHolder) {
+  Rank a = make_rank();
+  Rank b = make_rank();
+  const auto lock = BakeryLock::format(*a.acc, 0, 2);
+  lock.lock(*a.acc, 0);
+  const Status st = lock.lock_for(
+      *b.acc, 1, std::chrono::milliseconds(50),
+      [](std::size_t) { return false; });
+  EXPECT_EQ(st.code(), ErrorCode::kTimedOut);
+  // The timed-out waiter withdrew its ticket: the holder can release and
+  // a later acquire succeeds immediately.
+  lock.unlock(*a.acc, 0);
+  const Status again = lock.lock_for(
+      *b.acc, 1, std::chrono::milliseconds(500),
+      [](std::size_t) { return false; });
+  ASSERT_TRUE(again.is_ok()) << again.to_string();
+  lock.unlock(*b.acc, 1);
 }
 
 TEST_F(BakeryLockTest, SingleParticipantLockUnlock) {

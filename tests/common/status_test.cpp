@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 namespace cmpi {
 namespace {
 
@@ -25,15 +27,45 @@ TEST(Status, EqualityComparesCodeOnly) {
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (const ErrorCode code :
-       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
-        ErrorCode::kAlreadyExists, ErrorCode::kOutOfMemory,
-        ErrorCode::kCapacityExceeded, ErrorCode::kClosed,
-        ErrorCode::kTruncated, ErrorCode::kUnsupported,
-        ErrorCode::kInternal}) {
-    EXPECT_FALSE(error_code_name(code).empty());
-    EXPECT_NE(error_code_name(code), "UNKNOWN");
+  // Exhaustive: walk the enum numerically from kOk until the first value
+  // error_code_name does not recognize, and require that every listed code
+  // appears in that range. Adding an ErrorCode without a name (or without
+  // updating this list) fails here.
+  const ErrorCode all[] = {
+      ErrorCode::kOk,           ErrorCode::kInvalidArgument,
+      ErrorCode::kNotFound,     ErrorCode::kAlreadyExists,
+      ErrorCode::kOutOfMemory,  ErrorCode::kCapacityExceeded,
+      ErrorCode::kClosed,       ErrorCode::kTruncated,
+      ErrorCode::kUnsupported,  ErrorCode::kInternal,
+      ErrorCode::kTimedOut,     ErrorCode::kPeerFailed,
+      ErrorCode::kDataPoisoned,
+  };
+  int named = 0;
+  for (int raw = 0;; ++raw) {
+    const auto name = error_code_name(static_cast<ErrorCode>(raw));
+    if (name == "UNKNOWN") {
+      break;
+    }
+    EXPECT_FALSE(name.empty());
+    ++named;
   }
+  EXPECT_EQ(named, static_cast<int>(std::size(all)))
+      << "error_code_name covers a different number of codes than this "
+         "test enumerates";
+  for (std::size_t i = 0; i < std::size(all); ++i) {
+    EXPECT_EQ(static_cast<int>(all[i]), static_cast<int>(i))
+        << "enum values must stay dense for the numeric walk above";
+    EXPECT_NE(error_code_name(all[i]), "UNKNOWN");
+  }
+}
+
+TEST(Status, FailureCodesRoundTripThroughFactories) {
+  EXPECT_EQ(status::timed_out("lease").code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(status::peer_failed("rank 1").code(), ErrorCode::kPeerFailed);
+  EXPECT_EQ(status::data_poisoned("line").code(), ErrorCode::kDataPoisoned);
+  EXPECT_EQ(status::timed_out("x").to_string(), "TIMED_OUT: x");
+  EXPECT_EQ(status::peer_failed("x").to_string(), "PEER_FAILED: x");
+  EXPECT_EQ(status::data_poisoned("x").to_string(), "DATA_POISONED: x");
 }
 
 TEST(Result, HoldsValue) {

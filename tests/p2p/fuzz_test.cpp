@@ -2,8 +2,18 @@
 // of messages (random sources, destinations, tags, sizes — including
 // zero-byte and multi-chunk) is executed by every rank; FIFO-per-(src,tag)
 // semantics determine exactly which payload each receive must deliver.
+//
+// The kill-schedule fuzz (P2pKillFuzz) adds fault injection: a seeded
+// choice of victim rank and pre-death traffic, with the victim crashed at
+// a sync point and every survivor required to observe kPeerFailed (or
+// kTimedOut) from its deadline-aware calls — never a hang. CI runs it
+// under several seeds; set CMPI_FAULT_SEED to add an environment-supplied
+// seed on top of the built-in parameterization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <map>
 #include <vector>
 
@@ -152,6 +162,123 @@ TEST(P2pFuzz, SendBuffersMayBeReusedAfterWait) {
       }
     }
   });
+}
+
+// ---------------------------------------------------------------------
+// Kill-schedule fuzz: one seeded victim dies mid-run; the survivors'
+// deadline-aware calls must classify the death, and survivor-to-survivor
+// traffic must be unaffected. The whole test runs under the suite's
+// per-test ctest TIMEOUT, so any reintroduced infinite wait fails fast.
+
+using namespace std::chrono_literals;
+
+// Built-in seeds parameterize the suite; CMPI_FAULT_SEED (the CI fault
+// matrix) shifts all of them so each matrix entry explores a fresh
+// schedule without changing the test list.
+std::uint64_t kill_seed(std::uint64_t param) {
+  if (const char* env = std::getenv("CMPI_FAULT_SEED")) {
+    return param + std::strtoull(env, nullptr, 10);
+  }
+  return param;
+}
+
+std::vector<std::byte> kill_payload(std::uint64_t seed, int survivor,
+                                    int tag, std::size_t size) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(survivor) << 32) ^
+          static_cast<std::uint64_t>(tag));
+  std::vector<std::byte> data(size);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_below(256));
+  }
+  return data;
+}
+
+class P2pKillFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, P2pKillFuzz,
+                         ::testing::Values(7u, 1311u, 90210u));
+
+TEST_P(P2pKillFuzz, SurvivorsObserveFailureNotHang) {
+  const std::uint64_t seed = kill_seed(GetParam());
+  Rng rng(seed);
+  constexpr int kRanks = 4;
+  const int victim =
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(kRanks)));
+  // Messages the victim fully stages to each survivor before dying: they
+  // must still be delivered (the data lives in the pool, not the host).
+  const int pre_death = static_cast<int>(rng.next_below(4));
+  const std::size_t msg_size = 1 + rng.next_below(8192);
+
+  runtime::UniverseConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 2;
+  cfg.pool_size = 64_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  cfg.failure_lease = 50ms;  // deadlines below are 100x longer
+  cfg.fault_plan.crash_at_sync.push_back(
+      {.rank = victim, .point = "test-kill", .occurrence = 1});
+  runtime::Universe universe(cfg);
+
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const int me = ctx.rank();
+    std::vector<int> survivors;
+    for (int r = 0; r < kRanks; ++r) {
+      if (r != victim) {
+        survivors.push_back(r);
+      }
+    }
+
+    if (me == victim) {
+      // Blocking send completes on full staging, so every pre-death
+      // message is durably in the rings before the crash fires.
+      for (const int s : survivors) {
+        for (int k = 0; k < pre_death; ++k) {
+          check_ok(ep.send(s, k, kill_payload(seed, s, k, msg_size)));
+        }
+      }
+      ctx.acc().fault_sync_point("test-kill");
+      FAIL() << "scripted crash did not fire for rank " << victim;
+    }
+
+    // Survivor: staged messages from the (possibly already dead) victim
+    // still arrive intact and in FIFO order.
+    for (int k = 0; k < pre_death; ++k) {
+      std::vector<std::byte> buf(msg_size);
+      const auto r = ep.recv_for(victim, k, buf, 10000ms);
+      ASSERT_TRUE(r.is_ok()) << r.status().message();
+      EXPECT_EQ(buf, kill_payload(seed, me, k, msg_size));
+    }
+    // A message the victim never sent: the lease (50 ms) classifies the
+    // death well inside the 10 s deadline. kTimedOut is tolerated only
+    // because a crash *during* the pre-death sends of another survivor's
+    // traffic is not this rank's lease to observe first.
+    std::vector<std::byte> buf(64);
+    const auto dead = ep.recv_for(victim, /*tag=*/99, buf, 10000ms);
+    ASSERT_FALSE(dead.is_ok());
+    EXPECT_TRUE(dead.status().code() == ErrorCode::kPeerFailed ||
+                dead.status().code() == ErrorCode::kTimedOut)
+        << dead.status().message();
+
+    // Survivor ring traffic is unaffected by the death: each survivor
+    // sends to the next survivor and receives from the previous one,
+    // all through the deadline-aware paths.
+    const std::size_t my_idx = static_cast<std::size_t>(
+        std::find(survivors.begin(), survivors.end(), me) -
+        survivors.begin());
+    const int next = survivors[(my_idx + 1) % survivors.size()];
+    const int prev =
+        survivors[(my_idx + survivors.size() - 1) % survivors.size()];
+    const auto out = kill_payload(seed, me, 500, 2048);
+    check_ok(ep.send_for(next, 500, out, 10000ms));
+    std::vector<std::byte> in(2048);
+    const auto r = ep.recv_for(prev, 500, in, 10000ms);
+    ASSERT_TRUE(r.is_ok()) << r.status().message();
+    EXPECT_EQ(in, kill_payload(seed, prev, 500, 2048));
+  });
+
+  EXPECT_EQ(universe.failed_ranks(), (std::vector<int>{victim}));
 }
 
 }  // namespace

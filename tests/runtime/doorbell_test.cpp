@@ -1,0 +1,73 @@
+// Doorbell unit tests: the configurable recheck interval and the
+// deadline overload that the liveness layer's *_for variants build on.
+#include "runtime/doorbell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cmpi::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Doorbell, RecheckIntervalIsConfigurable) {
+  EXPECT_EQ(Doorbell().recheck_interval(), 1ms);
+  EXPECT_EQ(Doorbell(7ms).recheck_interval(), 7ms);
+}
+
+TEST(Doorbell, DeadlineOverloadReturnsTrueWhenPredicateAlreadyHolds) {
+  Doorbell bell;
+  const bool ok = bell.wait_until([] { return true; },
+                                  std::chrono::steady_clock::now() + 5s);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Doorbell, DeadlineOverloadReturnsFalseAfterExpiry) {
+  Doorbell bell;
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok = bell.wait_until([] { return false; }, start + 50ms);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(ok);
+  EXPECT_GE(elapsed, 50ms);
+  // Bounded: it must not have waited anywhere near "forever".
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST(Doorbell, RingBeforeDeadlineWakesTheWaiter) {
+  Doorbell bell;
+  std::atomic<bool> flag{false};
+  std::thread ringer([&] {
+    std::this_thread::sleep_for(30ms);
+    flag = true;
+    bell.ring();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok =
+      bell.wait_until([&] { return flag.load(); }, start + 30s);
+  EXPECT_TRUE(ok);
+  // Satisfied by the ring, not by the (far) deadline.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 10s);
+  ringer.join();
+}
+
+TEST(Doorbell, RecheckIntervalBoundsMissedWakeups) {
+  // A predicate made true WITHOUT a ring (out-of-scope writer) is still
+  // noticed within roughly one recheck interval.
+  Doorbell bell(5ms);
+  std::atomic<bool> flag{false};
+  std::thread writer([&] {
+    std::this_thread::sleep_for(20ms);
+    flag = true;  // no ring()
+  });
+  const bool ok =
+      bell.wait_until([&] { return flag.load(); },
+                      std::chrono::steady_clock::now() + 30s);
+  EXPECT_TRUE(ok);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace cmpi::runtime
