@@ -39,7 +39,8 @@ std::uint64_t Arena::metadata_footprint(const Params& params) {
 
 Result<Arena> Arena::format(cxlsim::Accessor& acc, std::uint64_t base,
                             std::uint64_t size, std::size_t participant,
-                            const Params& params) {
+                            const Params& params,
+                            std::uint64_t incarnation) {
   if (!is_aligned(base, kCacheLineSize)) {
     return status::invalid_argument("arena base must be cacheline aligned");
   }
@@ -105,12 +106,61 @@ Result<Arena> Arena::format(cxlsim::Accessor& acc, std::uint64_t base,
            static_cast<unsigned long>(header.slots_total),
            static_cast<unsigned long>(header.levels),
            static_cast<unsigned long>(header.objects_size >> 20));
-  return Arena(acc, base, participant, header, std::move(index).value(),
-               lock_view);
+  return Arena(acc, base, participant, incarnation, header,
+               std::move(index).value(), lock_view);
+}
+
+Status Arena::validate_free_list(cxlsim::Accessor& acc, std::uint64_t base,
+                                 const Header& header) {
+  // Every free block is at least one cacheline, so a healthy list can
+  // never have more blocks than this; a walk longer than the bound has a
+  // cycle even if the address-order check were somehow defeated.
+  const std::uint64_t max_blocks = header.objects_size / kCacheLineSize;
+  // Lock-free scan: like open()'s optimistic probe, racing a locked
+  // writer's transient dirty window is benign (attach is a structural
+  // sanity check, not a consistency point).
+  cxlsim::CoherenceChecker::ToleranceScope tolerate_optimistic_scan;
+  std::uint64_t at = header.free_head;
+  std::uint64_t prev = 0;
+  std::uint64_t steps = 0;
+  while (at != 0) {
+    if (++steps > max_blocks) {
+      return status::corrupt_pool("free list longer than the object region "
+                                  "can hold: cycle suspected");
+    }
+    if (at < header.objects_offset ||
+        at + sizeof(FreeBlock) > header.objects_offset + header.objects_size ||
+        !is_aligned(at, kCacheLineSize)) {
+      return status::corrupt_pool("free block at " + std::to_string(at) +
+                                  " outside the object region");
+    }
+    if (at <= prev) {
+      // The list is address-ordered by construction; a backward or
+      // self-referencing link is a cycle or a torn write.
+      return status::corrupt_pool("free list not address-ordered at " +
+                                  std::to_string(at));
+    }
+    FreeBlock block{};
+    read_pod(acc, base + at, block);
+    if (block.magic != kFreeMagic) {
+      return status::corrupt_pool("free block at " + std::to_string(at) +
+                                  " has a bad magic");
+    }
+    if (block.size < kCacheLineSize ||
+        at + block.size > header.objects_offset + header.objects_size) {
+      return status::corrupt_pool("free block at " + std::to_string(at) +
+                                  " has an impossible size " +
+                                  std::to_string(block.size));
+    }
+    prev = at;
+    at = block.next;
+  }
+  return Status::ok();
 }
 
 Result<Arena> Arena::attach(cxlsim::Accessor& acc, std::uint64_t base,
-                            std::size_t participant) {
+                            std::size_t participant,
+                            std::uint64_t incarnation) {
   Header header{};
   read_pod(acc, base, header);
   if (header.magic != kHeaderMagic) {
@@ -118,6 +168,9 @@ Result<Arena> Arena::attach(cxlsim::Accessor& acc, std::uint64_t base,
   }
   if (header.version != kVersion) {
     return status::invalid_argument("arena version mismatch");
+  }
+  if (Status fsck = validate_free_list(acc, base, header); !fsck.is_ok()) {
+    return fsck;
   }
   auto index = MultilevelHash::create(header.levels, header.level1_buckets);
   if (!index.is_ok()) {
@@ -128,16 +181,17 @@ Result<Arena> Arena::attach(cxlsim::Accessor& acc, std::uint64_t base,
   if (!lock_view.is_ok()) {
     return lock_view.status();
   }
-  return Arena(acc, base, participant, header, std::move(index).value(),
-               std::move(lock_view).value());
+  return Arena(acc, base, participant, incarnation, header,
+               std::move(index).value(), std::move(lock_view).value());
 }
 
 Arena::Arena(cxlsim::Accessor& acc, std::uint64_t base,
-             std::size_t participant, const Header& header,
-             MultilevelHash index, BakeryLock lock_view)
+             std::size_t participant, std::uint64_t incarnation,
+             const Header& header, MultilevelHash index, BakeryLock lock_view)
     : acc_(&acc),
       base_(base),
       participant_(participant),
+      incarnation_(incarnation),
       slots_offset_(header.slots_offset),
       objects_offset_(header.objects_offset),
       objects_size_(header.objects_size),
@@ -212,7 +266,8 @@ ObjectHandle Arena::make_handle(std::string_view name, std::size_t slot_index,
   return handle;
 }
 
-Result<ObjectHandle> Arena::create(std::string_view name, std::uint64_t size) {
+Result<ObjectHandle> Arena::create(std::string_view name, std::uint64_t size,
+                                   Ownership ownership) {
   if (name.empty() || name.size() > kMaxNameLen) {
     return status::invalid_argument("object name must be 1.." +
                                     std::to_string(kMaxNameLen) + " chars");
@@ -244,6 +299,10 @@ Result<ObjectHandle> Arena::create(std::string_view name, std::uint64_t size) {
   slot.offset = offset.value();
   slot.size = size;
   slot.refcount = 1;
+  slot.owner_rank = ownership == Ownership::kShared
+                        ? kNoOwner
+                        : static_cast<std::uint64_t>(participant_);
+  slot.owner_incarnation = incarnation_;
   std::memcpy(slot.name, name.data(), name.size());
   write_slot(*where.first_free, slot);
   return make_handle(name, *where.first_free, slot);
@@ -398,6 +457,27 @@ std::uint64_t Arena::free_bytes() {
     at = block.next;
   }
   return total;
+}
+
+Arena::ScavengeStats Arena::scavenge_locked(std::size_t dead_participant,
+                                            std::uint64_t dead_incarnation) {
+  ScavengeStats stats;
+  const std::uint64_t dead = static_cast<std::uint64_t>(dead_participant);
+  for (std::size_t i = 0; i < index_.total_slots(); ++i) {
+    Slot slot = read_slot(i);
+    if (slot.status != kSlotUsed || slot.owner_rank != dead ||
+        slot.owner_incarnation > dead_incarnation) {
+      continue;
+    }
+    const std::uint64_t alloc_size = align_up(slot.size, kCacheLineSize);
+    slot.status = kSlotFree;
+    slot.refcount = 0;
+    write_slot(i, slot);
+    free_locked(slot.offset, alloc_size);
+    stats.bytes += alloc_size;
+    stats.slots += 1;
+  }
+  return stats;
 }
 
 std::uint64_t Arena::used_slots() {

@@ -48,6 +48,15 @@ struct ObjectHandle {
   bool open = false;
 };
 
+/// Who is responsible for an object's storage after a crash.
+/// * kOwned  — the object belongs to the creating participant; when that
+///             participant is convicted dead, PoolRecovery::scavenge frees
+///             the slot and its bytes.
+/// * kShared — communication infrastructure (queue matrix, RMA window)
+///             that must survive any single member's death; scavenge
+///             leaves it alone.
+enum class Ownership { kOwned, kShared };
+
 class Arena {
  public:
   struct Params {
@@ -58,18 +67,29 @@ class Arena {
 
   /// Format a fresh arena occupying [base, base + size) of the pool and
   /// attach to it. Exactly one caller formats; everyone else attaches.
+  /// `incarnation` stamps objects this participant creates (bumped by
+  /// Universe::respawn after a crash; 0 for standalone arenas).
   static Result<Arena> format(cxlsim::Accessor& acc, std::uint64_t base,
                               std::uint64_t size, std::size_t participant,
-                              const Params& params);
+                              const Params& params,
+                              std::uint64_t incarnation = 0);
 
-  /// Attach to an arena formatted by another rank/process.
+  /// Attach to an arena formatted by another rank/process. Validates the
+  /// on-pool free list with a bounded walk (block count can never exceed
+  /// objects_size / cacheline) and fails with kCorruptPool for a cyclic,
+  /// out-of-bounds or magic-less chain — an unbounded walk would hang on
+  /// exactly the corruption a crashed writer leaves behind.
   static Result<Arena> attach(cxlsim::Accessor& acc, std::uint64_t base,
-                              std::size_t participant);
+                              std::size_t participant,
+                              std::uint64_t incarnation = 0);
 
   /// Create a new named object of `size` bytes (rounded up to cacheline).
   /// Fails with kAlreadyExists, kCapacityExceeded (all hash levels taken
-  /// for this name) or kOutOfMemory (no free block).
-  Result<ObjectHandle> create(std::string_view name, std::uint64_t size);
+  /// for this name) or kOutOfMemory (no free block). kOwned objects are
+  /// reclaimed by scavenge when this participant dies; pass kShared for
+  /// infrastructure that must outlive any one member.
+  Result<ObjectHandle> create(std::string_view name, std::uint64_t size,
+                              Ownership ownership = Ownership::kOwned);
 
   /// Open an existing object by name. Lock-free probe; takes the lock only
   /// to bump the refcount.
@@ -96,6 +116,27 @@ class Arena {
   std::uint64_t free_bytes();
   /// Number of occupied metadata slots (full scan; test helper).
   std::uint64_t used_slots();
+
+  /// The lock serializing arena mutations. Exposed so PoolRecovery can
+  /// hold one critical section across reclamation + its recovery ledger.
+  [[nodiscard]] BakeryLock& shm_lock() noexcept { return lock_; }
+  [[nodiscard]] std::size_t participant() const noexcept {
+    return participant_;
+  }
+
+  /// What scavenge_locked reclaimed.
+  struct ScavengeStats {
+    std::uint64_t bytes = 0;  ///< object bytes returned to the free list
+    std::uint64_t slots = 0;  ///< metadata slots freed
+  };
+
+  /// Reclaim every kOwned object created by `dead_participant` under an
+  /// incarnation <= `dead_incarnation` (a respawned rank's newer objects
+  /// are left alone). Full slot-table walk; the CALLER must hold the
+  /// arena lock — PoolRecovery wraps this together with its exactly-once
+  /// ledger update in one critical section.
+  ScavengeStats scavenge_locked(std::size_t dead_participant,
+                                std::uint64_t dead_incarnation);
 
   /// Bytes of metadata overhead for a given Params and arena size
   /// (everything before shm_objects).
@@ -127,10 +168,15 @@ class Arena {
     std::uint64_t offset;  // from base
     std::uint64_t size;
     std::uint64_t refcount;
+    std::uint64_t owner_rank;         // kNoOwner for kShared objects
+    std::uint64_t owner_incarnation;  // creator's incarnation at create
     char name[kMaxNameLen + 1];
-    char pad[128 - 5 * sizeof(std::uint64_t) - (kMaxNameLen + 1)];
+    char pad[128 - 7 * sizeof(std::uint64_t) - (kMaxNameLen + 1)];
   };
   static_assert(sizeof(Slot) == 128);
+
+  /// owner_rank value marking an object nobody's death reclaims.
+  static constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
 
   struct FreeBlock {
     std::uint64_t magic;
@@ -140,12 +186,20 @@ class Arena {
 
   static constexpr std::uint64_t kHeaderMagic = 0x43584C4152454E41ULL;
   static constexpr std::uint64_t kFreeMagic = 0x46524545424C4BULL;
-  static constexpr std::uint64_t kVersion = 1;
+  // v2: Slot carries owner_rank + owner_incarnation for PoolRecovery.
+  static constexpr std::uint64_t kVersion = 2;
   static constexpr std::uint64_t kSlotUsed = 1;
   static constexpr std::uint64_t kSlotFree = 0;
 
   Arena(cxlsim::Accessor& acc, std::uint64_t base, std::size_t participant,
-        const Header& header, MultilevelHash index, BakeryLock lock_view);
+        std::uint64_t incarnation, const Header& header, MultilevelHash index,
+        BakeryLock lock_view);
+
+  /// Bounded structural scan of the free list (no lock; callers are either
+  /// the single format-time writer or attach, which tolerates a transient
+  /// dirty window the same way open()'s optimistic probe does).
+  static Status validate_free_list(cxlsim::Accessor& acc, std::uint64_t base,
+                                   const Header& header);
 
   // Raw pool IO for the fixed structures.
   Header read_header();
@@ -175,6 +229,7 @@ class Arena {
   cxlsim::Accessor* acc_;
   std::uint64_t base_;
   std::size_t participant_;
+  std::uint64_t incarnation_;
   std::uint64_t slots_offset_;
   std::uint64_t objects_offset_;
   std::uint64_t objects_size_;

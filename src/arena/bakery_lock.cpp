@@ -209,4 +209,23 @@ void BakeryLock::unlock(cxlsim::Accessor& acc, std::size_t participant) const {
   acc.publish_flag(slot(participant) + kNumberOffset, kFlagClear);
 }
 
+bool BakeryLock::participant_active(cxlsim::Accessor& acc,
+                                    std::size_t participant) const {
+  CMPI_EXPECTS(participant < max_participants_);
+  return acc.peek_flag(slot(participant) + kChoosingOffset).value !=
+             kFlagClear ||
+         acc.peek_flag(slot(participant) + kNumberOffset).value != kFlagClear;
+}
+
+bool BakeryLock::break_participant(cxlsim::Accessor& acc,
+                                   std::size_t participant) const {
+  CMPI_EXPECTS(participant < max_participants_);
+  const bool was_active = participant_active(acc, participant);
+  if (was_active) {
+    acc.publish_flag(slot(participant) + kChoosingOffset, kFlagClear);
+    acc.publish_flag(slot(participant) + kNumberOffset, kFlagClear);
+  }
+  return was_active;
+}
+
 }  // namespace cmpi::arena

@@ -84,6 +84,20 @@ class BakeryLock {
   [[nodiscard]] bool try_lock(cxlsim::Accessor& acc,
                               std::size_t participant) const;
 
+  /// Break a dead participant's doorway and ticket outright (the same
+  /// clearing lock_for performs while waiting behind a corpse, exposed for
+  /// PoolRecovery's scavenge pass — a stale ticket blocks every FUTURE
+  /// acquirer whose drawn ticket is larger, even ones that never wait
+  /// behind the dead rank directly). Only sound when the participant's
+  /// rank has a sticky dead verdict: its slots have no writer left.
+  /// Returns true when a ticket or doorway flag was actually standing.
+  bool break_participant(cxlsim::Accessor& acc, std::size_t participant) const;
+
+  /// True if `participant` currently advertises a drawn ticket or an open
+  /// doorway (peek only; for recovery accounting and tests).
+  [[nodiscard]] bool participant_active(cxlsim::Accessor& acc,
+                                        std::size_t participant) const;
+
   [[nodiscard]] std::size_t max_participants() const noexcept {
     return max_participants_;
   }

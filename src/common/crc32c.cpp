@@ -1,0 +1,73 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace cmpi {
+namespace detail {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+std::array<std::uint32_t, 8 * 256> build_table() noexcept {
+  std::array<std::uint32_t, 8 * 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = table[i];
+    for (std::size_t slice = 1; slice < 8; ++slice) {
+      crc = table[crc & 0xFFu] ^ (crc >> 8);
+      table[slice * 256 + i] = crc;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::uint32_t* crc32c_table() noexcept {
+  static const std::array<std::uint32_t, 8 * 256> table = build_table();
+  return table.data();
+}
+
+}  // namespace detail
+
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed) noexcept {
+  const std::uint32_t* table = detail::crc32c_table();
+  std::uint32_t crc = ~seed;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  // Slice-by-8 over the aligned middle.
+  while (n >= 8) {
+    std::uint32_t lo = crc;
+    lo ^= static_cast<std::uint32_t>(p[0]) |
+          (static_cast<std::uint32_t>(p[1]) << 8) |
+          (static_cast<std::uint32_t>(p[2]) << 16) |
+          (static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+    crc = table[7 * 256 + (lo & 0xFFu)] ^
+          table[6 * 256 + ((lo >> 8) & 0xFFu)] ^
+          table[5 * 256 + ((lo >> 16) & 0xFFu)] ^
+          table[4 * 256 + ((lo >> 24) & 0xFFu)] ^
+          table[3 * 256 + (hi & 0xFFu)] ^
+          table[2 * 256 + ((hi >> 8) & 0xFFu)] ^
+          table[1 * 256 + ((hi >> 16) & 0xFFu)] ^
+          table[0 * 256 + ((hi >> 24) & 0xFFu)];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(*p++)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace cmpi

@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli) over byte spans, used for end-to-end payload
+// integrity on staged message chunks: the sender stamps the checksum into
+// the ring cell header, the receiver verifies it after copying the chunk
+// out of the pool, and a mismatch (torn cell, media poison that slipped
+// past the device model, stray write) becomes a retryable NAK instead of
+// silent corruption.
+//
+// Software slice-by-8 implementation: no ISA dependence (the simulated
+// pool runs on whatever host builds the tests) and fast enough that the
+// checksum never shows up next to the modeled CXL latencies. The checksum
+// is host-side work only — it charges no virtual time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cmpi {
+
+namespace detail {
+/// Lazily built 8x256 lookup table for the Castagnoli polynomial
+/// (0x1EDC6F41, reflected 0x82F63B78).
+const std::uint32_t* crc32c_table() noexcept;
+}  // namespace detail
+
+/// CRC32C of `data`, continuing from `seed` (pass the previous result to
+/// checksum a message in chunks). The empty span returns `seed` unchanged.
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed = 0) noexcept;
+
+}  // namespace cmpi

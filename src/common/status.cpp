@@ -30,6 +30,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "PEER_FAILED";
     case ErrorCode::kDataPoisoned:
       return "DATA_POISONED";
+    case ErrorCode::kCorruptPool:
+      return "CORRUPT_POOL";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class ErrorCode {
   kTimedOut,          ///< deadline expired before the operation completed
   kPeerFailed,        ///< a peer rank crashed or stopped responding
   kDataPoisoned,      ///< read touched a poisoned (media-error) range
+  kCorruptPool,       ///< on-pool metadata failed a structural validity scan
 };
 
 /// Human-readable name for an error code.
@@ -141,6 +142,9 @@ inline Status peer_failed(std::string msg) {
 }
 inline Status data_poisoned(std::string msg) {
   return {ErrorCode::kDataPoisoned, std::move(msg)};
+}
+inline Status corrupt_pool(std::string msg) {
+  return {ErrorCode::kCorruptPool, std::move(msg)};
 }
 
 }  // namespace status

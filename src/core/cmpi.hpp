@@ -31,6 +31,7 @@
 #include "cxlsim/coherence_checker.hpp"
 #include "p2p/endpoint.hpp"
 #include "rma/window.hpp"
+#include "runtime/pool_recovery.hpp"
 #include "runtime/universe.hpp"
 
 namespace cmpi {
@@ -184,6 +185,41 @@ class Session {
   [[nodiscard]] std::uint64_t coherence_violations() const noexcept {
     const cxlsim::CoherenceChecker* chk = ctx_->device().checker();
     return chk == nullptr ? 0 : chk->total_violations();
+  }
+
+  // ---- Pool recovery (crash → scavenge → respawn) ----
+
+  /// Combined outcome of one Session-level scavenge pass.
+  struct RecoveryReport {
+    /// Pool-global half (arena slots, arena-lock ticket, barrier slot,
+    /// recovery ledger) — exactly-once across survivors.
+    runtime::PoolRecovery::ScavengeReport pool;
+    /// Endpoint-local half (this rank's inbound ring from the corpse,
+    /// abandoned assemblies, doomed requests) — every survivor's own.
+    p2p::Endpoint::PeerScavengeReport endpoint;
+  };
+
+  /// Reclaim everything a convicted-dead rank left behind, as seen from
+  /// this rank: runtime::PoolRecovery::scavenge for the shared pool state
+  /// (idempotent across survivors via the on-pool ledger) plus
+  /// p2p::Endpoint::scavenge_peer for this rank's endpoint state (every
+  /// survivor runs its own). Fails with kInvalidArgument when `dead_rank`
+  /// is not convicted, kTimedOut when the arena lock could not be won.
+  /// Windows are repaired separately (rma::Window::scavenge_peer) — the
+  /// session does not track window lifetimes.
+  Result<RecoveryReport> scavenge(
+      int dead_rank,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(1000)) {
+    runtime::PoolRecovery recovery(*ctx_);
+    Result<runtime::PoolRecovery::ScavengeReport> pool =
+        recovery.scavenge(dead_rank, timeout);
+    if (!pool.is_ok()) {
+      return pool.status();
+    }
+    RecoveryReport report;
+    report.pool = pool.value();
+    report.endpoint = endpoint_.scavenge_peer(dead_rank);
+    return report;
   }
 
   /// Ranks this session knows to have failed: scripted crashes recorded by

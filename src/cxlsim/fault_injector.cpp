@@ -25,7 +25,9 @@ std::string_view FaultInjector::kind_name(Kind kind) noexcept {
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), sync_counts_(plan_.crash_at_sync.size(), 0) {}
+    : plan_(std::move(plan)), sync_counts_(plan_.crash_at_sync.size(), 0) {
+  poison_possible_.store(!plan_.poison.empty(), std::memory_order_release);
+}
 
 void FaultInjector::record(Kind kind, int rank, std::uint64_t offset,
                            std::string detail) {
@@ -95,12 +97,15 @@ void FaultInjector::on_sync_point(std::string_view point) {
 }
 
 bool FaultInjector::check_poison(std::uint64_t offset, std::size_t size) {
-  if (size == 0 || plan_.poison.empty()) {
+  // Lock-free fast path for plans with no poison at all; once any range
+  // exists (scripted or runtime-added) the scan runs under the mutex so
+  // poison() can append ranges while traffic flows.
+  if (size == 0 || !poison_possible_.load(std::memory_order_acquire)) {
     return false;
   }
+  std::lock_guard lock(mutex_);
   for (const FaultPlan::PoisonRange& range : plan_.poison) {
     if (offset < range.offset + range.size && range.offset < offset + size) {
-      std::lock_guard lock(mutex_);
       record(Kind::kPoisonedRead, tls_fault_rank, offset,
              "read [" + std::to_string(offset) + ", " +
                  std::to_string(offset + size) + ") overlaps poison at " +
@@ -109,6 +114,20 @@ bool FaultInjector::check_poison(std::uint64_t offset, std::size_t size) {
     }
   }
   return false;
+}
+
+void FaultInjector::poison(std::uint64_t offset, std::size_t size) {
+  std::lock_guard lock(mutex_);
+  plan_.poison.push_back({offset, size});
+  poison_possible_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::absolve(int rank) {
+  std::lock_guard lock(mutex_);
+  const auto r = static_cast<std::size_t>(rank);
+  if (rank >= 0 && r < crashed_.size()) {
+    crashed_[r] = false;
+  }
 }
 
 std::vector<int> FaultInjector::crashed_ranks() const {

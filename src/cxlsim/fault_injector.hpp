@@ -31,6 +31,7 @@
 // own mutex and never calls back into caches or accessors.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -139,6 +140,19 @@ class FaultInjector {
     return plan_.degraded_link_multiplier;
   }
 
+  /// Forgive a rank's crash record (Universe::respawn): the rank's next
+  /// incarnation counts accesses from zero and is no longer reported by
+  /// crashed_ranks(). The event log keeps the original death. Scripted
+  /// one-shot crashes that already fired do not re-fire (access/sync
+  /// counters are NOT reset — the schedule positions were consumed).
+  void absolve(int rank);
+
+  /// Poison [offset, offset + size) at runtime. Plan-file poison ranges
+  /// must be known before the pool is laid out; this seam lets a test
+  /// target an address it computed after creation (e.g. one ring cell's
+  /// payload) while traffic is already flowing.
+  void poison(std::uint64_t offset, std::size_t size);
+
   // --- Results ---
   /// Ranks whose scripted crash fired, ascending.
   [[nodiscard]] std::vector<int> crashed_ranks() const;
@@ -156,6 +170,9 @@ class FaultInjector {
   void record(Kind kind, int rank, std::uint64_t offset, std::string detail);
 
   FaultPlan plan_;
+  /// True once any poison range exists (keeps the common no-poison read
+  /// path lock-free; see check_poison).
+  std::atomic<bool> poison_possible_{false};
   mutable std::mutex mutex_;
   std::vector<std::uint64_t> access_counts_;  // per rank, grown on demand
   std::vector<std::uint64_t> sync_counts_;    // per CrashAtSync plan entry

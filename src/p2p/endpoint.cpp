@@ -1,9 +1,11 @@
 #include "p2p/endpoint.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/log.hpp"
+#include "cxlsim/fault_injector.hpp"
 
 namespace cmpi::p2p {
 
@@ -11,9 +13,18 @@ Endpoint Endpoint::create(runtime::RankCtx& ctx) {
   const auto& cfg = ctx.config();
   std::optional<queue::QueueMatrix> matrix;
   if (ctx.rank() == 0) {
-    matrix = check_ok(queue::QueueMatrix::create(
-        ctx.arena(), ctx.acc(), ctx.nranks(), cfg.ring_cells,
-        cfg.cell_payload));
+    // Open-before-create: in a second Universe::run epoch over the same
+    // pool (crash → scavenge → respawn) the matrix already exists; its
+    // ring views re-attach at the published counters.
+    Result<queue::QueueMatrix> existing =
+        queue::QueueMatrix::open(ctx.arena(), ctx.acc(), ctx.nranks());
+    if (existing.is_ok()) {
+      matrix = std::move(existing).value();
+    } else {
+      matrix = check_ok(queue::QueueMatrix::create(
+          ctx.arena(), ctx.acc(), ctx.nranks(), cfg.ring_cells,
+          cfg.cell_payload));
+    }
   }
   ctx.barrier();  // §3.4: creation epoch closes before anyone opens
   if (ctx.rank() != 0) {
@@ -30,7 +41,9 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
       assembly_(static_cast<std::size_t>(ctx.nranks())),
       send_queues_(static_cast<std::size_t>(ctx.nranks())),
       ssend_sent_(static_cast<std::size_t>(ctx.nranks()), 0),
-      ssend_seen_(static_cast<std::size_t>(ctx.nranks()), 0) {}
+      ssend_seen_(static_cast<std::size_t>(ctx.nranks()), 0),
+      send_seq_(static_cast<std::size_t>(ctx.nranks()), 0),
+      staged_copies_(static_cast<std::size_t>(ctx.nranks())) {}
 
 namespace {
 /// Internal tag space for synchronous-send acknowledgements: per-pair
@@ -40,12 +53,68 @@ namespace {
 constexpr int kSsendAckBase = 1 << 23;
 constexpr std::uint32_t kSsendAckRange = 1u << 20;
 
+/// Retransmission control tags, above the ssend-ack range. Both carry a
+/// 4-byte payload: the msg_seq of the message they speak about.
+constexpr int kNakTag = kSsendAckBase + static_cast<int>(kSsendAckRange);
+constexpr int kRejectTag = kNakTag + 1;
+
 int ssend_ack_tag(std::uint32_t counter) {
   return kSsendAckBase + static_cast<int>(counter % kSsendAckRange);
 }
 
 bool is_internal_tag(int tag) { return tag >= kSsendAckBase; }
 }  // namespace
+
+Endpoint::~Endpoint() {
+  // A receiver can complete its last user-facing call with library
+  // control traffic (ssend acks, NAKs, retransmissions) still queued
+  // behind a momentarily full ring. The peer's blocking call is waiting
+  // on exactly that traffic — and is therefore draining its ring — so a
+  // short bounded flush always terminates when the peer is alive, and
+  // dropping the traffic instead would wedge the peer forever.
+  if (send_queues_.empty()) {
+    return;  // moved-from shell
+  }
+  const cxlsim::FaultInjector* injector = ctx_->device().fault_injector();
+  if (injector != nullptr && injector->rank_crashed(rank())) {
+    return;  // a corpse must not touch the pool during unwind
+  }
+  try {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    for (;;) {
+      const auto has_control = [](const auto& pending) {
+        return std::any_of(pending.begin(), pending.end(),
+                           [](const RequestPtr& r) {
+                             return is_internal_tag(r->tag) ||
+                                    (r->force_flags & queue::kRetransmit) != 0;
+                           });
+      };
+      bool control_pending = false;
+      for (int dst = 0; dst < nranks(); ++dst) {
+        auto& pending = send_queues_[static_cast<std::size_t>(dst)];
+        if (!has_control(pending) ||
+            (injector != nullptr && injector->rank_crashed(dst))) {
+          continue;  // abandoned user sends are the application's problem
+        }
+        push_sends(dst);
+        control_pending = control_pending || has_control(pending);
+      }
+      if (!control_pending) {
+        return;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        log_warn("endpoint teardown: control traffic still unstaged after "
+                 "1 s; peer gone — dropping it");
+        return;
+      }
+      ctx_->doorbell().wait_once();
+    }
+  } catch (...) {
+    // Best-effort: a fault-plan crash firing inside the flush (the
+    // injector has already recorded it) must not escape a destructor.
+  }
+}
 
 // ---------- Send path ----------
 
@@ -59,6 +128,7 @@ RequestPtr Endpoint::isend(int dst, int tag,
   request->peer = dst;
   request->tag = tag;
   request->send_data = data;
+  request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   if (!is_internal_tag(tag)) {
     ++stats_.messages_sent;
     stats_.bytes_sent += data.size();
@@ -82,6 +152,7 @@ RequestPtr Endpoint::issend(int dst, int tag,
   request->peer = dst;
   request->tag = tag;
   request->send_data = data;
+  request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
   request->synchronous = true;
@@ -111,19 +182,26 @@ void Endpoint::push_sends(int dst) {
           std::min(cell, total - req.bytes_pushed);
       const bool last = req.bytes_pushed + chunk == total;
       queue::CellHeader header{};
-      header.src_rank = static_cast<std::uint64_t>(rank());
-      header.tag = static_cast<std::uint64_t>(req.tag);
+      header.src_rank = static_cast<std::uint32_t>(rank());
+      header.src_incarnation = ctx_->incarnation();
+      header.tag = static_cast<std::uint32_t>(req.tag);
+      header.msg_seq = req.seq;
       header.total_bytes = total;
       header.chunk_offset = req.bytes_pushed;
-      header.chunk_bytes = chunk;
-      header.flags = (last ? queue::kLastChunk : 0) |
-                     (req.synchronous ? queue::kSyncSend : 0);
+      header.chunk_bytes = static_cast<std::uint32_t>(chunk);
+      header.flags = (last ? queue::kLastChunk : 0u) |
+                     (req.synchronous ? queue::kSyncSend : 0u) |
+                     req.force_flags;
       if (!ring.try_enqueue(ctx_->acc(), header,
                             req.send_data.subspan(req.bytes_pushed, chunk))) {
         break;
       }
       made_progress = true;
       req.bytes_pushed += chunk;
+      // Scripted kill location for the recovery tests: the chunk is
+      // durably in the ring but the message may be incomplete — exactly
+      // the partial state a host dying mid-send leaves behind.
+      ctx_->acc().fault_sync_point("p2p-chunk-staged");
       if (last) {
         req.staged = true;
         break;
@@ -135,6 +213,7 @@ void Endpoint::push_sends(int dst) {
     if (!req.staged) {
       return;  // ring full; resume in a later progress() call
     }
+    stage_for_retransmit(dst, req);
     // All chunks are in cells now; drop the reference to the caller's
     // buffer so a completed request cannot dangle into freed memory.
     req.send_data = {};
@@ -154,6 +233,175 @@ void Endpoint::send_ssend_ack(int src, std::uint32_t counter) {
   // Zero-byte sends stage immediately unless the ring is full; either way
   // the send queue's progress machinery owns it now.
   (void)ack;
+}
+
+// ---------- Payload integrity: NAK / retransmission ----------
+
+void Endpoint::stage_for_retransmit(int dst, const Request& req) {
+  // Only user payloads are staged: internal messages carry no data worth
+  // retransmitting, and a retransmission's copy is already staged. The
+  // copy is host-side bookkeeping (like a NIC retaining its DMA buffer)
+  // and charges no virtual time.
+  if (req.send_data.empty() || is_internal_tag(req.tag) ||
+      (req.force_flags & queue::kRetransmit) != 0) {
+    return;
+  }
+  auto& staged = staged_copies_[static_cast<std::size_t>(dst)];
+  StagedCopy copy;
+  copy.seq = req.seq;
+  copy.tag = req.tag;
+  copy.synchronous = req.synchronous;
+  copy.data.assign(req.send_data.begin(), req.send_data.end());
+  staged.push_back(std::move(copy));
+  while (staged.size() > kRetransmitStagingDepth) {
+    staged.pop_front();
+  }
+}
+
+void Endpoint::send_control(int dst, int tag, std::uint32_t seq) {
+  auto request = std::make_shared<Request>();
+  request->kind = Request::Kind::kSend;
+  request->peer = dst;
+  request->tag = tag;
+  request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
+  request->owned.resize(sizeof(seq));
+  std::memcpy(request->owned.data(), &seq, sizeof(seq));
+  request->send_data = request->owned;
+  send_queues_[static_cast<std::size_t>(dst)].push_back(std::move(request));
+  push_sends(dst);
+}
+
+void Endpoint::queue_retransmit(int dst, const StagedCopy& copy) {
+  auto request = std::make_shared<Request>();
+  request->kind = Request::Kind::kSend;
+  request->peer = dst;
+  request->tag = copy.tag;
+  request->seq = copy.seq;  // SAME sequence: the receiver keys retries on it
+  request->force_flags =
+      queue::kRetransmit | (copy.synchronous ? queue::kSyncSend : 0u);
+  // The request owns its payload: the staging entry may be evicted while
+  // this retransmission still sits in the send queue.
+  request->owned = copy.data;
+  request->send_data = request->owned;
+  send_queues_[static_cast<std::size_t>(dst)].push_back(std::move(request));
+  push_sends(dst);
+}
+
+void Endpoint::handle_control(int src, int tag,
+                              std::span<const std::byte> payload) {
+  if (payload.size() != sizeof(std::uint32_t)) {
+    return;  // damaged control message: drop (NAKing a NAK cannot converge)
+  }
+  std::uint32_t seq = 0;
+  std::memcpy(&seq, payload.data(), sizeof(seq));
+  if (tag == kNakTag) {
+    // The receiver saw a corrupt payload for our message `seq`.
+    auto& staged = staged_copies_[static_cast<std::size_t>(src)];
+    const auto it =
+        std::find_if(staged.begin(), staged.end(),
+                     [&](const StagedCopy& c) { return c.seq == seq; });
+    if (it == staged.end()) {
+      // Copy evicted: the data is unrecoverable on this side.
+      ctx_->recovery_counters().retransmit_rejects.fetch_add(1);
+      send_control(src, kRejectTag, seq);
+      return;
+    }
+    ctx_->recovery_counters().retransmits.fetch_add(1);
+    queue_retransmit(src, *it);
+    return;
+  }
+  // kRejectTag: our NAK cannot be served — surface kDataPoisoned to
+  // whoever is waiting for message `seq`.
+  const auto rit = retry_.find({src, seq});
+  if (rit == retry_.end()) {
+    return;
+  }
+  const RetryState retry = rit->second;
+  retry_.erase(rit);
+  Status verdict = status::data_poisoned(
+      "payload from rank " + std::to_string(src) +
+      " unrecoverable: sender's retransmit staging copy was evicted");
+  if (const RequestPtr req = retry.request.lock()) {
+    const auto posted =
+        std::find(posted_recvs_.begin(), posted_recvs_.end(), req);
+    if (posted != posted_recvs_.end()) {
+      posted_recvs_.erase(posted);
+      complete_recv(*req, src, retry.tag, 0, std::move(verdict));
+    }
+  } else if (const std::shared_ptr<UnexpectedMsg> msg =
+                 retry.unexpected.lock()) {
+    msg->received = msg->total;  // finalize: matchable, delivers the error
+    msg->retry_pending = false;
+    msg->data_error = std::move(verdict);
+  }
+}
+
+bool Endpoint::begin_retry(int src, int tag, Assembly& assembly) {
+  const auto key = std::make_pair(src, assembly.seq);
+  RetryState& retry = retry_[key];
+  if (retry.attempts >= kMaxRetransmits) {
+    retry_.erase(key);
+    return false;  // budget exhausted: the caller surfaces the error
+  }
+  ++retry.attempts;
+  retry.tag = tag;
+  retry.synchronous = assembly.synchronous;
+  retry.ssend_counter = assembly.ssend_counter;
+  if (assembly.request != nullptr) {
+    // Un-match: move the keepalive reference back to the HEAD of the
+    // posted queue so the retransmission finds the same request first.
+    const auto held = std::find_if(
+        matched_keepalive_.begin(), matched_keepalive_.end(),
+        [&](const RequestPtr& r) { return r.get() == assembly.request; });
+    CMPI_ASSERT(held != matched_keepalive_.end());
+    RequestPtr req = *held;
+    matched_keepalive_.erase(held);
+    req->matched = false;
+    retry.request = req;
+    retry.unexpected.reset();
+    posted_recvs_.push_front(std::move(req));
+  } else if (assembly.unexpected != nullptr) {
+    // Park the unexpected message: it stays queued (FIFO position kept)
+    // but is unmatchable until the retransmission rewrites it.
+    assembly.unexpected->retry_pending = true;
+    retry.unexpected = assembly.unexpected;
+    retry.request.reset();
+  }
+  send_control(src, kNakTag, assembly.seq);
+  ctx_->recovery_counters().naks_sent.fetch_add(1);
+  return true;
+}
+
+void Endpoint::attach_retransmit(int src, const queue::CellHeader& header,
+                                 Assembly& assembly) {
+  const auto it = retry_.find({src, header.msg_seq});
+  if (it == retry_.end()) {
+    // Unsolicited retransmission (we gave up, or the receive was
+    // cancelled): consume and discard via the detached path.
+    return;
+  }
+  RetryState& retry = it->second;
+  assembly.synchronous = retry.synchronous;
+  assembly.ssend_counter = retry.ssend_counter;
+  if (RequestPtr req = retry.request.lock()) {
+    const auto posted =
+        std::find(posted_recvs_.begin(), posted_recvs_.end(), req);
+    if (posted != posted_recvs_.end()) {
+      posted_recvs_.erase(posted);
+      req->matched = true;
+      assembly.request = req.get();
+      matched_keepalive_.push_back(std::move(req));
+      return;
+    }
+  }
+  if (std::shared_ptr<UnexpectedMsg> msg = retry.unexpected.lock()) {
+    msg->received = 0;  // the retransmission rewrites the buffer in place
+    msg->data_error = Status::ok();
+    assembly.unexpected = std::move(msg);
+    return;
+  }
+  // The waiting party vanished (cancelled receive): discard detached.
+  retry_.erase(it);
 }
 
 // ---------- Receive path ----------
@@ -186,7 +434,7 @@ Result<RecvInfo> Endpoint::recv(int src, int tag,
 bool Endpoint::match_unexpected(Request& request) {
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     UnexpectedMsg& msg = **it;
-    if (!msg.full() ||
+    if (!msg.full() || msg.retry_pending ||
         !tags_match(request.peer, request.tag, msg.source, msg.tag)) {
       continue;
     }
@@ -242,50 +490,103 @@ void Endpoint::drain_source(int src) {
       break;
     }
     const int tag = static_cast<int>(header->tag);
+    if (assembly.active &&
+        header->src_incarnation != assembly.src_incarnation) {
+      // The producer died mid-message and its next incarnation is already
+      // publishing into the same ring: the stale assembly's remaining
+      // chunks will never arrive. Abandon it (a matched receive fails with
+      // kPeerFailed; fenced/unexpected partials vanish silently) and treat
+      // this cell as a fresh message start.
+      if (assembly.request != nullptr) {
+        Request& req = *assembly.request;
+        complete_recv(req, src, req.tag, 0,
+                      status::peer_failed("recv: rank " +
+                                          std::to_string(src) +
+                                          " died mid-message"));
+        std::erase_if(matched_keepalive_,
+                      [&](const RequestPtr& r) { return r.get() == &req; });
+      }
+      if (assembly.unexpected != nullptr) {
+        std::erase_if(unexpected_,
+                      [&](const std::shared_ptr<UnexpectedMsg>& m) {
+                        return m.get() == assembly.unexpected.get();
+                      });
+      }
+      assembly = Assembly{};
+    }
     if (!assembly.active) {
       // First chunk of a new message: match against posted receives.
       assembly.active = true;
       assembly.total = header->total_bytes;
       assembly.received = 0;
+      assembly.seq = header->msg_seq;
+      assembly.src_incarnation = header->src_incarnation;
       assembly.truncated = false;
+      assembly.corrupt = false;
+      assembly.fenced = false;
+      assembly.control = false;
       assembly.request = nullptr;
       assembly.unexpected = nullptr;
+      assembly.data_error = Status::ok();
       assembly.synchronous = (header->flags & queue::kSyncSend) != 0;
-      if (assembly.synchronous) {
-        // Arrival order mirrors the sender's issend order (FIFO ring).
-        assembly.ssend_counter =
-            ssend_seen_[static_cast<std::size_t>(src)]++;
-      }
-      auto posted = std::find_if(
-          posted_recvs_.begin(), posted_recvs_.end(), [&](const RequestPtr& r) {
-            return tags_match(r->peer, r->tag, src, tag);
-          });
-      if (posted != posted_recvs_.end()) {
-        assembly.request = posted->get();
-        assembly.request->matched = true;
-        // Keep the shared_ptr alive through assembly.
-        assembly.unexpected = nullptr;
-        matched_keepalive_.push_back(*posted);
-        posted_recvs_.erase(posted);
+      if (header->src_incarnation != ctx_->incarnation(src)) {
+        // Incarnation fence: this message was published by a previous
+        // (dead) life of `src`. Consume and discard it whole — stale
+        // writes must not leak into the new epoch's traffic.
+        assembly.fenced = true;
+        ctx_->recovery_counters().stale_fenced.fetch_add(1);
+      } else if (tag == kNakTag || tag == kRejectTag) {
+        // Retransmission control traffic: consumed, acted on, never
+        // delivered to matching.
+        assembly.control = true;
+        assembly.control_data.assign(header->total_bytes, std::byte{0});
+      } else if ((header->flags & queue::kRetransmit) != 0) {
+        // Re-sent payload: reattach to whoever NAKed it (no new ssend
+        // counter — the original arrival already consumed one).
+        attach_retransmit(src, *header, assembly);
       } else {
-        auto msg = std::make_shared<UnexpectedMsg>();
-        if (!is_internal_tag(tag)) {
-          ++stats_.unexpected_messages;
+        if (assembly.synchronous) {
+          // Arrival order mirrors the sender's issend order (FIFO ring).
+          assembly.ssend_counter =
+              ssend_seen_[static_cast<std::size_t>(src)]++;
         }
-        msg->source = src;
-        msg->tag = tag;
-        msg->total = header->total_bytes;
-        msg->data.resize(header->total_bytes);
-        msg->synchronous = assembly.synchronous;
-        msg->ssend_counter = assembly.ssend_counter;
-        assembly.unexpected = msg;
-        unexpected_.push_back(msg);
+        auto posted = std::find_if(posted_recvs_.begin(), posted_recvs_.end(),
+                                   [&](const RequestPtr& r) {
+                                     return tags_match(r->peer, r->tag, src,
+                                                       tag);
+                                   });
+        if (posted != posted_recvs_.end()) {
+          assembly.request = posted->get();
+          assembly.request->matched = true;
+          // Keep the shared_ptr alive through assembly.
+          assembly.unexpected = nullptr;
+          matched_keepalive_.push_back(*posted);
+          posted_recvs_.erase(posted);
+        } else {
+          auto msg = std::make_shared<UnexpectedMsg>();
+          if (!is_internal_tag(tag)) {
+            ++stats_.unexpected_messages;
+          }
+          msg->source = src;
+          msg->tag = tag;
+          msg->total = header->total_bytes;
+          msg->data.resize(header->total_bytes);
+          msg->synchronous = assembly.synchronous;
+          msg->ssend_counter = assembly.ssend_counter;
+          assembly.unexpected = msg;
+          unexpected_.push_back(msg);
+        }
       }
     }
 
     // Deliver this chunk.
     queue::CellHeader consumed{};
-    if (assembly.request != nullptr) {
+    if (assembly.control) {
+      ring.try_dequeue(ctx_->acc(), consumed,
+                       std::span<std::byte>(assembly.control_data)
+                           .subspan(header->chunk_offset,
+                                    header->chunk_bytes));
+    } else if (assembly.request != nullptr) {
       std::span<std::byte> buffer = assembly.request->recv_buffer;
       if (header->chunk_offset + header->chunk_bytes <= buffer.size()) {
         ring.try_dequeue(ctx_->acc(), consumed,
@@ -310,10 +611,15 @@ void Endpoint::drain_source(int src) {
       assembly.unexpected->received += header->chunk_bytes;
     } else {
       // Detached: the matched receive was cancelled (deadline/failure)
-      // mid-assembly. Keep the FIFO coherent by consuming and discarding
-      // the rest of the message.
+      // mid-assembly, the message is incarnation-fenced, or a
+      // retransmission found no waiting party. Keep the FIFO coherent by
+      // consuming and discarding the rest of the message.
       scratch_.resize(header->chunk_bytes);
       ring.try_dequeue(ctx_->acc(), consumed, scratch_);
+    }
+    if (!ring.last_dequeue_intact()) {
+      assembly.corrupt = true;
+      ctx_->recovery_counters().crc_failures.fetch_add(1);
     }
     if (ctx_->acc().poison_pending() && assembly.data_error.is_ok()) {
       assembly.data_error = ctx_->acc().take_poison_status(
@@ -324,41 +630,74 @@ void Endpoint::drain_source(int src) {
 
     if ((header->flags & queue::kLastChunk) != 0) {
       CMPI_ASSERT(assembly.received == assembly.total);
-      if (assembly.request != nullptr) {
-        Request& req = *assembly.request;
-        Status delivery = Status::ok();
-        if (!assembly.data_error.is_ok()) {
-          delivery = assembly.data_error;
-        } else if (assembly.truncated) {
-          delivery = status::truncated("message larger than recv buffer");
+      const bool damaged = assembly.corrupt || !assembly.data_error.is_ok();
+      if (assembly.control) {
+        if (!damaged) {
+          handle_control(src, tag, assembly.control_data);
         }
-        complete_recv(req, src, tag,
-                      std::min(assembly.total, req.recv_buffer.size()),
-                      std::move(delivery));
-        std::erase_if(matched_keepalive_, [&](const RequestPtr& r) {
-          return r.get() == &req;
-        });
-        if (assembly.synchronous) {
-          send_ssend_ack(src, assembly.ssend_counter);
+        // A damaged control message is dropped: retransmitting NAKs of
+        // NAKs cannot converge, and the peer's next NAK retries anyway.
+      } else if (assembly.request != nullptr) {
+        if (damaged && begin_retry(src, tag, assembly)) {
+          // The request went back to the head of posted_recvs_; the
+          // retransmission (or a REJECT) completes it later.
+        } else {
+          Request& req = *assembly.request;
+          Status delivery = Status::ok();
+          if (!assembly.data_error.is_ok()) {
+            delivery = assembly.data_error;
+          } else if (assembly.corrupt) {
+            delivery = status::data_poisoned(
+                "payload from rank " + std::to_string(src) +
+                " still corrupt after " + std::to_string(kMaxRetransmits) +
+                " retransmissions");
+          } else if (assembly.truncated) {
+            delivery = status::truncated("message larger than recv buffer");
+          }
+          complete_recv(req, src, tag,
+                        std::min(assembly.total, req.recv_buffer.size()),
+                        std::move(delivery));
+          std::erase_if(matched_keepalive_, [&](const RequestPtr& r) {
+            return r.get() == &req;
+          });
+          retry_.erase({src, assembly.seq});
+          if (assembly.synchronous) {
+            send_ssend_ack(src, assembly.ssend_counter);
+          }
         }
       } else if (assembly.unexpected != nullptr) {
-        assembly.unexpected->data_error = assembly.data_error;
-        // The unexpected message is now complete: a posted wildcard may
-        // have been waiting for it.
-        auto posted = std::find_if(
-            posted_recvs_.begin(), posted_recvs_.end(),
-            [&](const RequestPtr& r) {
-              return tags_match(r->peer, r->tag, src, tag);
-            });
-        if (posted != posted_recvs_.end()) {
-          RequestPtr req = *posted;
-          posted_recvs_.erase(posted);
-          const bool found = match_unexpected(*req);
-          CMPI_ASSERT(found);
+        if (damaged && begin_retry(src, tag, assembly)) {
+          // Parked in unexpected_ with retry_pending; the retransmission
+          // rewrites it in place.
+        } else {
+          UnexpectedMsg& msg = *assembly.unexpected;
+          msg.retry_pending = false;
+          msg.data_error = assembly.data_error;
+          if (msg.data_error.is_ok() && assembly.corrupt) {
+            msg.data_error = status::data_poisoned(
+                "payload from rank " + std::to_string(src) +
+                " still corrupt after " + std::to_string(kMaxRetransmits) +
+                " retransmissions");
+          }
+          retry_.erase({src, assembly.seq});
+          // The unexpected message is now complete: a posted wildcard may
+          // have been waiting for it.
+          auto posted = std::find_if(
+              posted_recvs_.begin(), posted_recvs_.end(),
+              [&](const RequestPtr& r) {
+                return tags_match(r->peer, r->tag, src, tag);
+              });
+          if (posted != posted_recvs_.end()) {
+            RequestPtr req = *posted;
+            posted_recvs_.erase(posted);
+            const bool found = match_unexpected(*req);
+            CMPI_ASSERT(found);
+          }
         }
       }
-      // (Detached assemblies complete silently — the message was consumed
-      // on behalf of a cancelled receive.)
+      // (Detached and fenced assemblies complete silently — the message
+      // was consumed on behalf of a cancelled receive, or belongs to a
+      // dead incarnation.)
       assembly = Assembly{};
     }
   }
@@ -476,6 +815,12 @@ bool Endpoint::cancel_request(const RequestPtr& request, Status verdict) {
   if (req.kind == Request::Kind::kRecv) {
     std::erase_if(posted_recvs_,
                   [&](const RequestPtr& r) { return r.get() == &req; });
+    // A receive parked for retransmission is abandoned with its retry
+    // state; the retransmission (if any) drains detached.
+    std::erase_if(retry_, [&](const auto& entry) {
+      const auto waiting = entry.second.request.lock();
+      return waiting.get() == &req;
+    });
     if (req.matched) {
       // Detach the half-delivered assembly; if the producer is still
       // alive, drain_source discards the remaining chunks into scratch.
@@ -602,11 +947,106 @@ Status Endpoint::sendrecv(int dst, int send_tag,
   return send_status.is_ok() ? recv_status : send_status;
 }
 
+Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
+  CMPI_EXPECTS(dead_rank >= 0 && dead_rank < nranks() &&
+               dead_rank != rank());
+  const auto dead = static_cast<std::size_t>(dead_rank);
+  PeerScavengeReport report;
+
+  // Inbound: fsck the corpse's producer ring (this endpoint is its sole
+  // consumer) — half-written cells are detected and tombstoned, the head
+  // is republished so the next incarnation finds an empty ring.
+  queue::SpscRing& ring = matrix_.ring(ctx_->acc(), rank(), dead_rank);
+  const queue::SpscRing::ScavengeCounts counts =
+      ring.scavenge_producer(ctx_->acc());
+  report.cells_drained = counts.drained;
+  report.cells_torn = counts.torn;
+  ctx_->recovery_counters().ring_cells_tombstoned.fetch_add(counts.drained +
+                                                            counts.torn);
+
+  // The half-assembled inbound message (if any) is abandoned: its
+  // remaining chunks died with the producer.
+  Assembly& assembly = assembly_[dead];
+  if (assembly.active) {
+    if (assembly.request != nullptr) {
+      Request& req = *assembly.request;
+      complete_recv(req, dead_rank, req.tag, 0,
+                    status::peer_failed("recv: rank " +
+                                        std::to_string(dead_rank) +
+                                        " died mid-message"));
+      std::erase_if(matched_keepalive_,
+                    [&](const RequestPtr& r) { return r.get() == &req; });
+      ++report.requests_failed;
+    }
+    if (assembly.unexpected != nullptr) {
+      std::erase_if(unexpected_, [&](const std::shared_ptr<UnexpectedMsg>& m) {
+        return m.get() == assembly.unexpected.get();
+      });
+    }
+    assembly = Assembly{};
+  }
+  // Partial or retry-parked unexpected messages from the corpse can never
+  // complete; fully-arrived intact ones were sent before the death and
+  // stay deliverable.
+  std::erase_if(unexpected_, [&](const std::shared_ptr<UnexpectedMsg>& m) {
+    return m->source == dead_rank && (!m->full() || m->retry_pending);
+  });
+
+  // Outbound: nothing queued for the corpse will ever be consumed.
+  auto& pending = send_queues_[dead];
+  for (const RequestPtr& req : pending) {
+    if (!req->complete_) {
+      req->send_data = {};
+      req->result_ = status::peer_failed(
+          "send: rank " + std::to_string(dead_rank) + " died");
+      req->complete_ = true;
+      ++report.requests_failed;
+    }
+  }
+  pending.clear();
+  staged_copies_[dead].clear();
+  std::erase_if(pending_ssends_, [&](const RequestPtr& req) {
+    if (req->peer != dead_rank) {
+      return false;
+    }
+    if (req->ack != nullptr) {
+      std::erase_if(posted_recvs_, [&](const RequestPtr& r) {
+        return r.get() == req->ack.get();
+      });
+      req->ack->complete_ = true;
+      req->ack.reset();
+    }
+    req->result_ = status::peer_failed(
+        "ssend: rank " + std::to_string(dead_rank) +
+        " died before acknowledging the match");
+    req->complete_ = true;
+    ++report.requests_failed;
+    return true;
+  });
+  // Posted receives waiting on the corpse specifically cannot complete.
+  std::erase_if(posted_recvs_, [&](const RequestPtr& r) {
+    if (r->peer != dead_rank || r->complete_) {
+      return false;
+    }
+    complete_recv(*r, dead_rank, r->tag, 0,
+                  status::peer_failed("recv: rank " +
+                                      std::to_string(dead_rank) +
+                                      " died before sending a match"));
+    ++report.requests_failed;
+    return true;
+  });
+  // Retry state keyed to the corpse will never be served.
+  std::erase_if(retry_, [&](const auto& entry) {
+    return entry.first.first == dead_rank;
+  });
+  return report;
+}
+
 std::optional<RecvInfo> Endpoint::iprobe(int src, int tag) {
   ctx_->charge_mpi_overhead();
   progress();
   for (const auto& msg : unexpected_) {
-    if (tags_match(src, tag, msg->source, msg->tag)) {
+    if (!msg->retry_pending && tags_match(src, tag, msg->source, msg->tag)) {
       RecvInfo info;
       info.source = msg->source;
       info.tag = msg->tag;

@@ -16,15 +16,36 @@
 // copied into cells (local completion, like MPICH eager); message order is
 // preserved per (sender, receiver, tag-match) pair; receive buffers must
 // stay valid until wait/test reports completion.
+//
+// End-to-end payload integrity (recovery layer): every chunk carries a
+// CRC32C and a per-pair sequence number. A receiver that observes a
+// corrupt payload (CRC mismatch or a poisoned-line read) does not complete
+// the receive — it sends a NAK control message carrying the sequence
+// number, and the sender retransmits the message from a bounded staging
+// copy it kept after local completion (kRetransmit flag, same sequence
+// number, same tag). Retries are bounded (kMaxRetransmits); when the
+// sender's staging copy has been evicted it answers with a REJECT and the
+// receive surfaces kDataPoisoned. The protocol is NAK-only — no positive
+// acknowledgements — so a clean run pays nothing on the wire.
+// Retransmission may reorder a message relative to other same-tag traffic
+// from the same sender (as with any NAK protocol without resequencing).
+//
+// Incarnation fencing: chunks also carry the sender's incarnation number.
+// A message published by a previous incarnation of a since-respawned rank
+// is consumed and discarded whole at the match path (never delivered, never
+// acked) — late writes of the dead incarnation cannot leak into the new
+// epoch's traffic.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -77,6 +98,10 @@ class Request {
   bool staged = false;               // all chunks enqueued into cells
   bool synchronous = false;          // Ssend: wait for the receiver's ack
   std::shared_ptr<Request> ack;      // internal ack receive (Ssend only)
+  std::uint32_t seq = 0;             // per-(src,dst) message sequence
+  std::uint32_t force_flags = 0;     // extra CellHeader flags (retransmit)
+  std::vector<std::byte> owned;      // payload owned by the request itself
+                                     // (control messages, retransmissions)
   // recv fields
   std::span<std::byte> recv_buffer{};
   bool matched = false;
@@ -90,10 +115,30 @@ using RequestPtr = std::shared_ptr<Request>;
 
 class Endpoint {
  public:
+  /// Retransmissions of one message before the receiver gives up and
+  /// surfaces kDataPoisoned.
+  static constexpr int kMaxRetransmits = 3;
+  /// Completed sends (per destination) whose payloads stay staged for
+  /// possible retransmission; older copies are evicted.
+  static constexpr std::size_t kRetransmitStagingDepth = 8;
+
   /// Collective construction: every rank of the universe calls this during
   /// initialization. Rank 0 creates and formats the ring matrix in the
-  /// arena; everyone else opens it; the §3.4 barrier closes the epoch.
+  /// arena (or re-opens it if a previous epoch of this pool already built
+  /// it — a respawned universe run attaches to the surviving rings);
+  /// everyone else opens it; the §3.4 barrier closes the epoch.
   static Endpoint create(runtime::RankCtx& ctx);
+
+  /// Flushes library-generated control traffic (ssend acks, NAKs,
+  /// retransmissions) still queued behind a full ring — the peer's
+  /// blocking call is waiting on exactly that traffic, so dropping it
+  /// here would wedge the peer forever. Bounded; skipped entirely on a
+  /// crashed rank's unwind (a corpse must not touch the pool).
+  ~Endpoint();
+  Endpoint(Endpoint&&) = default;
+  Endpoint& operator=(Endpoint&&) = delete;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
 
   // --- Blocking operations ---
   /// MPI_Send: blocks until the message is fully staged into cells.
@@ -175,6 +220,32 @@ class Endpoint {
   };
   [[nodiscard]] DebugQueueSizes debug_queue_sizes() const noexcept;
 
+  /// What scavenge_peer reclaimed from this endpoint's view of a corpse.
+  struct PeerScavengeReport {
+    std::uint64_t cells_drained = 0;   ///< published ring cells discarded
+    std::uint64_t cells_torn = 0;      ///< cells failing generation/CRC
+    std::uint64_t requests_failed = 0; ///< requests completed kPeerFailed
+  };
+
+  /// Endpoint-local half of pool recovery (the pool-global half is
+  /// runtime::PoolRecovery; core::Session ties them together). Every
+  /// survivor runs this for itself against a convicted-dead peer:
+  /// drain/tombstone the corpse's inbound ring (half-written cells are
+  /// detected by generation + CRC and discarded), abandon the half-
+  /// assembled inbound message, fail outstanding requests that depend on
+  /// the corpse with kPeerFailed, and drop retransmit staging + retry
+  /// state keyed to it.
+  PeerScavengeReport scavenge_peer(int dead_rank);
+
+  /// Pool offset of the ring `sender` produces toward `receiver` (layout
+  /// arithmetic; lets fault-injection tests target specific cells).
+  [[nodiscard]] std::uint64_t debug_ring_base(int receiver, int sender) const {
+    return matrix_.ring_base(receiver, sender);
+  }
+  [[nodiscard]] std::size_t cell_payload() const noexcept {
+    return matrix_.cell_payload();
+  }
+
   [[nodiscard]] int rank() const noexcept { return ctx_->rank(); }
   [[nodiscard]] int nranks() const noexcept { return ctx_->nranks(); }
 
@@ -191,6 +262,10 @@ class Endpoint {
     std::vector<std::byte> data;
     bool synchronous = false;        // sender awaits a match ack
     std::uint32_t ssend_counter = 0;
+    /// The payload arrived corrupt and a retransmission was requested; the
+    /// message is not matchable until the retransmit lands (or a REJECT
+    /// finalizes it with kDataPoisoned).
+    bool retry_pending = false;
     /// Media error recorded while chunks were drained (kDataPoisoned).
     Status data_error;
     [[nodiscard]] bool full() const noexcept { return received == total; }
@@ -204,11 +279,37 @@ class Endpoint {
     std::shared_ptr<UnexpectedMsg> unexpected;   // or unexpected buffer
     std::size_t total = 0;
     std::size_t received = 0;
+    std::uint32_t seq = 0;          // sender's msg_seq (retry/NAK key)
+    std::uint32_t src_incarnation = 0;  // incarnation of the first chunk
     bool truncated = false;
     bool synchronous = false;
+    bool corrupt = false;           // a chunk failed the generation/CRC scan
+    bool fenced = false;            // stale incarnation: discard whole msg
+    bool control = false;           // NAK/REJECT: consumed, never delivered
     std::uint32_t ssend_counter = 0;
+    std::vector<std::byte> control_data;  // control message payload
     /// Media error recorded while chunks were drained (kDataPoisoned).
     Status data_error;
+  };
+
+  /// Sender-side staged copy of a locally-completed message, kept for
+  /// NAK-triggered retransmission (bounded per destination).
+  struct StagedCopy {
+    std::uint32_t seq = 0;
+    int tag = 0;
+    bool synchronous = false;
+    std::vector<std::byte> data;
+  };
+
+  /// Receiver-side state of a message awaiting retransmission, keyed by
+  /// (source rank, msg_seq).
+  struct RetryState {
+    int attempts = 0;       // NAKs sent so far for this message
+    int tag = 0;
+    bool synchronous = false;
+    std::uint32_t ssend_counter = 0;  // reused across retransmits
+    std::weak_ptr<Request> request;        // re-posted matched receive
+    std::weak_ptr<UnexpectedMsg> unexpected;  // or parked unexpected msg
   };
 
   void send_ssend_ack(int src, std::uint32_t counter);
@@ -221,6 +322,22 @@ class Endpoint {
   void drain_source(int src);
   void push_sends(int dst);
   bool match_unexpected(Request& request);
+  /// Keep a copy of a just-staged user payload for retransmission.
+  void stage_for_retransmit(int dst, const Request& request);
+  /// Queue a 4-byte NAK/REJECT control message carrying `seq`.
+  void send_control(int dst, int tag, std::uint32_t seq);
+  /// Sender side: act on an arrived NAK or REJECT.
+  void handle_control(int src, int tag, std::span<const std::byte> payload);
+  /// Sender side: re-send a staged copy (kRetransmit flag, original seq).
+  void queue_retransmit(int dst, const StagedCopy& copy);
+  /// Receiver side, at a corrupt last chunk: un-match / park the message,
+  /// send a NAK, and record retry state. False when the retry budget is
+  /// exhausted (caller surfaces the error instead).
+  bool begin_retry(int src, int tag, Assembly& assembly);
+  /// Receiver side, at a kRetransmit first chunk: attach the assembly to
+  /// the waiting request / parked unexpected message from the retry map.
+  void attach_retransmit(int src, const queue::CellHeader& header,
+                         Assembly& assembly);
   void complete_recv(Request& request, int src, int tag, std::size_t bytes,
                      Status status);
   /// kPeerFailed when the one peer `request` depends on is dead, ok
@@ -238,6 +355,10 @@ class Endpoint {
   std::vector<std::deque<RequestPtr>> send_queues_; // per destination
   std::vector<std::uint32_t> ssend_sent_;           // per destination
   std::vector<std::uint32_t> ssend_seen_;           // per source
+  std::vector<std::uint32_t> send_seq_;             // per destination
+  std::vector<std::deque<StagedCopy>> staged_copies_;  // per destination
+  /// Messages awaiting retransmission, keyed (source, msg_seq).
+  std::map<std::pair<int, std::uint32_t>, RetryState> retry_;
   std::deque<RequestPtr> posted_recvs_;             // in post order
   std::deque<std::shared_ptr<UnexpectedMsg>> unexpected_;
   /// Keeps matched-but-incomplete posted receives alive while their chunks

@@ -49,11 +49,13 @@ class QueueMatrix {
   }
   [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
 
+  /// Pool offset of one ring (layout arithmetic; public so recovery
+  /// tooling and fault-injection tests can target specific cells).
+  [[nodiscard]] std::uint64_t ring_base(int receiver, int sender) const;
+
  private:
   QueueMatrix(std::uint64_t base, int nranks, std::size_t cells,
               std::size_t cell_payload);
-
-  [[nodiscard]] std::uint64_t ring_base(int receiver, int sender) const;
 
   std::uint64_t base_;
   int nranks_;

@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "common/crc32c.hpp"
 
 namespace cmpi::queue {
 
@@ -49,7 +52,23 @@ Result<SpscRing> SpscRing::attach(cxlsim::Accessor& acc, std::uint64_t base) {
         " cells=" + std::to_string(cells) +
         " cell_payload=" + std::to_string(cell_payload));
   }
-  return SpscRing(base, cells, cell_payload);
+  SpscRing ring(base, cells, cell_payload);
+  // Resume from the published counters: a freshly formatted ring has both
+  // at zero, a re-attach (respawn / second run epoch) picks up exactly
+  // where the last published state left the FIFO.
+  const std::uint64_t tail = acc.peek_flag(base + kTailOffset).value;
+  const std::uint64_t head = acc.peek_flag(base + kHeadOffset).value;
+  if (tail - head > cells) {
+    return status::corrupt_pool(
+        "ring counters corrupt: tail=" + std::to_string(tail) +
+        " head=" + std::to_string(head) + " capacity=" +
+        std::to_string(cells));
+  }
+  ring.tail_local_ = tail;
+  ring.head_local_ = head;
+  ring.peer_head_ = head;
+  ring.peer_tail_ = tail;
+  return ring;
 }
 
 bool SpscRing::can_enqueue(cxlsim::Accessor& acc) {
@@ -85,6 +104,8 @@ bool SpscRing::try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
   }
   acc.sfence();
   CellHeader stamped = header;
+  stamped.generation = static_cast<std::uint32_t>(tail_local_);
+  stamped.payload_crc = crc32c(payload);
   stamped.stamp = std::bit_cast<std::uint64_t>(acc.clock().now());
   acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&stamped),
                       sizeof(CellHeader)});
@@ -144,10 +165,16 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
   }
   const std::uint64_t cell = cell_base(head_local_);
   CMPI_ASSERT(header_out.chunk_bytes <= cell_payload_);
+  last_intact_ =
+      header_out.generation == static_cast<std::uint32_t>(head_local_);
   if (!payload_out.empty()) {
     CMPI_EXPECTS(payload_out.size() >= header_out.chunk_bytes);
-    acc.bulk_read(cell + sizeof(CellHeader),
-                  payload_out.subspan(0, header_out.chunk_bytes));
+    const auto chunk = payload_out.subspan(0, header_out.chunk_bytes);
+    acc.bulk_read(cell + sizeof(CellHeader), chunk);
+    // End-to-end integrity: the CRC is over what we actually copied out,
+    // so corruption anywhere between the producer's staging copy and this
+    // read is caught here. Host-side work only — no virtual time charged.
+    last_intact_ = last_intact_ && crc32c(chunk) == header_out.payload_crc;
   }
   // Release stamp for a producer blocked on this very cell.
   acc.node_cache().nt_store_u64(
@@ -163,6 +190,52 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
 
 bool SpscRing::abandoned_mid_message(cxlsim::Accessor& acc) {
   return mid_message_ && !can_dequeue(acc);
+}
+
+SpscRing::ScavengeCounts SpscRing::scavenge_producer(cxlsim::Accessor& acc) {
+  ScavengeCounts counts;
+  std::vector<std::byte> scratch(cell_payload_);
+  while (can_dequeue(acc)) {
+    const std::uint64_t cell = cell_base(head_local_);
+    CellHeader header{};
+    if (peeked_.has_value()) {
+      header = *peeked_;
+      peeked_.reset();
+    } else {
+      acc.nt_load(cell, {reinterpret_cast<std::byte*>(&header),
+                         sizeof(CellHeader)});
+      acc.clock().observe(std::bit_cast<simtime::Ns>(header.stamp));
+    }
+    // Do not trust the header: a torn cell's chunk_bytes could index out
+    // of the cell. Validate generation first and clamp the payload walk.
+    const bool generation_ok =
+        header.generation == static_cast<std::uint32_t>(head_local_);
+    const bool bounds_ok = header.chunk_bytes <= cell_payload_;
+    bool intact = generation_ok && bounds_ok;
+    if (intact && header.chunk_bytes > 0) {
+      const auto chunk = std::span<std::byte>(scratch)
+                             .subspan(0, header.chunk_bytes);
+      acc.bulk_read(cell + sizeof(CellHeader), chunk);
+      intact = crc32c(chunk) == header.payload_crc;
+    }
+    counts.drained += 1;
+    counts.torn += intact ? 0 : 1;
+    acc.node_cache().nt_store_u64(
+        cell + offsetof(CellHeader, freed_stamp),
+        std::bit_cast<std::uint64_t>(acc.clock().now()));
+    ++head_local_;
+  }
+  mid_message_ = false;
+  last_intact_ = true;
+  if (counts.drained > 0) {
+    acc.publish_flag(base_ + kHeadOffset, head_local_);
+  }
+  if (acc.poison_pending()) {
+    // Poison encountered while draining a dead producer's cells is part of
+    // what scavenge discards — it must not leak into the next receive.
+    (void)acc.take_poison_status("ring scavenge");
+  }
+  return counts;
 }
 
 void SpscRing::debug_rebase_counters(cxlsim::Accessor& acc,

@@ -16,8 +16,18 @@
 //   +192  cells: capacity * (64-byte header + cell_payload)
 //
 // Cell header (64 B):
-//   u64 src_rank, u64 tag, u64 total_bytes, u64 chunk_offset,
-//   u64 chunk_bytes, u64 flags (bit0: last chunk), u64 stamp, u64 reserved
+//   u32 src_rank, u32 src_incarnation, u32 tag, u32 payload_crc,
+//   u64 total_bytes, u64 chunk_offset, u32 chunk_bytes,
+//   u32 flags (bit0: last chunk), u32 msg_seq, u32 generation,
+//   u64 stamp, u64 freed_stamp
+//
+// The recovery fields make every cell scannable after a crash:
+// `generation` is the low half of the free-running enqueue index, so a
+// cell whose generation disagrees with the slot it occupies is torn or
+// stale; `payload_crc` (CRC32C, stamped by the ring at enqueue, verified
+// at dequeue) catches payload corruption end to end; `src_incarnation`
+// lets the consumer fence out messages published by a dead incarnation of
+// the producer after a respawn (see runtime::PoolRecovery).
 //
 // `stamp` is the producer's virtual time when THIS cell's payload was
 // durable in the pool; `freed_stamp` is the consumer's time when it
@@ -43,21 +53,28 @@ namespace cmpi::queue {
 
 /// On-pool cell header.
 struct CellHeader {
-  std::uint64_t src_rank;
-  std::uint64_t tag;
+  std::uint32_t src_rank;
+  std::uint32_t src_incarnation;  ///< producer's incarnation at enqueue
+  std::uint32_t tag;
+  std::uint32_t payload_crc;   ///< CRC32C of the chunk payload (ring-stamped)
   std::uint64_t total_bytes;   ///< size of the whole message
   std::uint64_t chunk_offset;  ///< offset of this chunk within the message
-  std::uint64_t chunk_bytes;   ///< payload bytes in this cell
-  std::uint64_t flags;         ///< kLastChunk
+  std::uint32_t chunk_bytes;   ///< payload bytes in this cell
+  std::uint32_t flags;         ///< kLastChunk | kSyncSend | kRetransmit
+  std::uint32_t msg_seq;       ///< per-(src,dst) message sequence number
+  std::uint32_t generation;   ///< low half of the enqueue index (ring-stamped)
   std::uint64_t stamp;        ///< producer vtime bits (set by the ring)
   std::uint64_t freed_stamp;  ///< consumer vtime bits when the cell freed
 };
 static_assert(sizeof(CellHeader) == kCacheLineSize);
 
-inline constexpr std::uint64_t kLastChunk = 1;
+inline constexpr std::uint32_t kLastChunk = 1;
 /// The message is a synchronous send: the receiver acknowledges the match
 /// (MPI_Ssend semantics, implemented in the p2p layer).
-inline constexpr std::uint64_t kSyncSend = 2;
+inline constexpr std::uint32_t kSyncSend = 2;
+/// The message is a retransmission of an earlier sequence number (the
+/// receiver NAKed a corrupt payload; see p2p::Endpoint).
+inline constexpr std::uint32_t kRetransmit = 4;
 
 class SpscRing {
  public:
@@ -80,7 +97,11 @@ class SpscRing {
   /// Attach a view (producer or consumer side). Validates the on-pool
   /// geometry constants (range, alignment, device bounds) and fails with a
   /// Status for a corrupted or mis-formatted ring — cell_base arithmetic
-  /// on garbage constants would index out of bounds.
+  /// on garbage constants would index out of bounds. The view's local
+  /// counters are restored from the published head/tail flags, so a
+  /// re-attach (respawned rank, second Universe::run epoch) resumes
+  /// exactly at the published state: cells a crashed producer staged but
+  /// never published are simply lost, as a real crash would lose them.
   static Result<SpscRing> attach(cxlsim::Accessor& acc, std::uint64_t base);
 
   [[nodiscard]] std::size_t capacity() const noexcept { return cells_; }
@@ -122,18 +143,51 @@ class SpscRing {
   /// abandoned and the assembled prefix must be discarded.
   [[nodiscard]] bool abandoned_mid_message(cxlsim::Accessor& acc);
 
+  /// True when the payload copied out by the last try_dequeue matched the
+  /// header's CRC32C and the cell's generation matched its slot. A false
+  /// reading means the cell was torn or the payload corrupted in the pool;
+  /// the p2p layer turns this into a NAK + retransmission.
+  [[nodiscard]] bool last_dequeue_intact() const noexcept {
+    return last_intact_;
+  }
+
+  /// Free-running enqueue index of the producer view (the generation the
+  /// next enqueued cell will carry).
+  [[nodiscard]] std::uint64_t tail_index() const noexcept {
+    return tail_local_;
+  }
+  /// Free-running dequeue index of the consumer view.
+  [[nodiscard]] std::uint64_t head_index() const noexcept {
+    return head_local_;
+  }
+
+  /// Consumer-side tally from scavenge_producer().
+  struct ScavengeCounts {
+    std::uint64_t drained = 0;  ///< published cells consumed and discarded
+    std::uint64_t torn = 0;     ///< cells failing the generation/CRC scan
+  };
+
+  /// Survivor-side fsck of a dead producer's ring: consume every published
+  /// cell, validating generation + CRC without trusting the header (a torn
+  /// header cannot index out of bounds here), and publish the advanced
+  /// head so the ring is empty and reusable by the producer's next
+  /// incarnation. The consumer view stays coherent for subsequent traffic.
+  ScavengeCounts scavenge_producer(cxlsim::Accessor& acc);
+
   /// Test hook: re-base both the shared flags and this view's local
   /// counters to `count`, as if `count` cells had already flowed through
   /// the ring. Call on an idle ring, on every attached view, with the same
   /// value (used to exercise the 2^64 index wraparound).
   void debug_rebase_counters(cxlsim::Accessor& acc, std::uint64_t count);
 
- private:
+  // On-pool layout (public: recovery tooling and fault-injection tests
+  // compute cell addresses from these).
   static constexpr std::uint64_t kTailOffset = 0;
   static constexpr std::uint64_t kHeadOffset = kCacheLineSize;
   static constexpr std::uint64_t kConstOffset = 2 * kCacheLineSize;
   static constexpr std::uint64_t kCellsOffset = 3 * kCacheLineSize;
 
+ private:
   SpscRing(std::uint64_t base, std::size_t cells, std::size_t cell_payload)
       : base_(base), cells_(cells), cell_payload_(cell_payload) {}
 
@@ -157,6 +211,8 @@ class SpscRing {
   /// Consumer-side: the most recently dequeued cell lacked kLastChunk, so
   /// the next cell is owed as part of the same message.
   bool mid_message_ = false;
+  /// Consumer-side: generation/CRC verdict of the last dequeued cell.
+  bool last_intact_ = true;
 };
 
 }  // namespace cmpi::queue

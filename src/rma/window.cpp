@@ -4,6 +4,7 @@
 
 #include "common/align.hpp"
 #include "common/log.hpp"
+#include "runtime/seq_barrier.hpp"
 
 namespace cmpi::rma {
 
@@ -400,6 +401,22 @@ void Window::flush(int target) {
 void Window::flush_all() {
   ctx_->charge_mpi_overhead();
   ctx_->acc().sfence();
+}
+
+Window::PeerScavengeReport Window::scavenge_peer(int dead_group_rank) {
+  CMPI_EXPECTS(dead_group_rank >= 0 && dead_group_rank < group_size_ &&
+               dead_group_rank != group_rank_);
+  PeerScavengeReport report;
+  cxlsim::Accessor& acc = ctx_->acc();
+  const auto dead = static_cast<std::size_t>(dead_group_rank);
+  for (arena::BakeryLock& lock : target_locks_) {
+    if (lock.break_participant(acc, dead)) {
+      ++report.lock_tickets_broken;
+    }
+  }
+  report.fence_slot_forged = runtime::SeqBarrier::forge_slot(
+      acc, base_, static_cast<std::size_t>(group_size_), dead);
+  return report;
 }
 
 }  // namespace cmpi::rma

@@ -137,6 +137,22 @@ class Window {
   void flush(int target);
   void flush_all();
 
+  /// What scavenge_peer repaired in this window's synchronization state.
+  struct PeerScavengeReport {
+    std::uint64_t lock_tickets_broken = 0;  ///< standing bakery tickets
+    bool fence_slot_forged = false;         ///< barrier slot leveled up
+  };
+
+  /// Window-local half of pool recovery (see runtime::PoolRecovery for the
+  /// pool-global half): break the dead group member's standing bakery
+  /// tickets on every per-target window lock — a corpse's ticket blocks
+  /// all future acquirers with larger tickets — and forge its
+  /// fence-barrier slot level with the survivors so fences drain past it.
+  /// `dead_group_rank` is a rank within this window's group. Survivors'
+  /// PSCW counts toward the corpse are not rewritten: post/start epochs
+  /// are per-pair and simply stop advancing.
+  PeerScavengeReport scavenge_peer(int dead_group_rank);
+
   [[nodiscard]] std::size_t win_size() const noexcept { return win_size_; }
   /// Members of the window's group (the communicator that created it).
   [[nodiscard]] int nranks() const noexcept { return group_size_; }

@@ -31,12 +31,12 @@ FailureDetector::FailureDetector(std::uint64_t base, std::size_t ranks,
 }
 
 void FailureDetector::beat(cxlsim::Accessor& acc) {
-  const auto now = Clock::now();
-  if (ever_beat_ && now - last_beat_ < beat_interval_) {
+  const auto at = now();
+  if (ever_beat_ && at - last_beat_ < beat_interval_) {
     return;
   }
   ever_beat_ = true;
-  last_beat_ = now;
+  last_beat_ = at;
   acc.publish_flag(slot(my_rank_), ++my_counter_);
 }
 
@@ -50,15 +50,17 @@ bool FailureDetector::dead(cxlsim::Accessor& acc, int rank) {
     return true;
   }
   const std::uint64_t seen = acc.peek_flag(slot(static_cast<std::size_t>(rank))).value;
-  const auto now = Clock::now();
+  const auto at = now();
   if (!peer.observed || seen != peer.value) {
     // First look, or the counter advanced: (re)start the lease.
     peer.observed = true;
     peer.value = seen;
-    peer.changed = now;
+    peer.changed = at;
     return false;
   }
-  if (now - peer.changed > lease_) {
+  // Strictly greater: a heartbeat observed exactly at the lease edge
+  // still counts as alive (conviction requires a full lease of silence).
+  if (at - peer.changed > lease_) {
     peer.dead = true;
   }
   return peer.dead;

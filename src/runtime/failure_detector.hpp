@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/align.hpp"
@@ -71,8 +72,25 @@ class FailureDetector {
   }
   [[nodiscard]] std::size_t ranks() const noexcept { return ranks_; }
 
- private:
   using Clock = std::chrono::steady_clock;
+
+  /// Test seam: substitute the wall clock used for lease arithmetic. The
+  /// lease boundary ("exactly at the edge") cannot be pinned against the
+  /// real clock; tests inject a fake to hit it deterministically.
+  void debug_set_clock(std::function<Clock::time_point()> now_fn) {
+    now_fn_ = std::move(now_fn);
+  }
+
+  /// Reset one rank's heartbeat slot to zero (Universe::respawn, before
+  /// the rank's next incarnation starts beating). Survivor detectors keep
+  /// their sticky verdict on the OLD incarnation — only detectors created
+  /// after the respawn observe the slot fresh.
+  static void reset_slot(cxlsim::Accessor& acc, std::uint64_t base,
+                         std::size_t rank) {
+    acc.publish_flag(base + rank * kCacheLineSize, 0);
+  }
+
+ private:
 
   [[nodiscard]] std::uint64_t slot(std::size_t rank) const noexcept {
     return base_ + rank * kCacheLineSize;
@@ -91,10 +109,15 @@ class FailureDetector {
   std::size_t my_rank_;
   std::chrono::milliseconds lease_;
   std::chrono::milliseconds beat_interval_;
+  [[nodiscard]] Clock::time_point now() const {
+    return now_fn_ ? now_fn_() : Clock::now();
+  }
+
   std::uint64_t my_counter_ = 0;
   Clock::time_point last_beat_{};
   bool ever_beat_ = false;
   std::vector<PeerState> peers_;
+  std::function<Clock::time_point()> now_fn_;
 };
 
 }  // namespace cmpi::runtime

@@ -1,5 +1,7 @@
 #include "runtime/seq_barrier.hpp"
 
+#include <algorithm>
+
 namespace cmpi::runtime {
 
 void SeqBarrier::format(cxlsim::Accessor& acc, std::uint64_t base,
@@ -26,6 +28,25 @@ void SeqBarrier::enter(cxlsim::Accessor& acc, Doorbell& doorbell) {
     });
     acc.absorb_flag(seen);
   }
+}
+
+bool SeqBarrier::forge_slot(cxlsim::Accessor& acc, std::uint64_t base,
+                            std::size_t ranks, std::size_t dead_rank) {
+  CMPI_EXPECTS(dead_rank < ranks);
+  std::uint64_t max_seq = 0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    if (r == dead_rank) {
+      continue;
+    }
+    max_seq = std::max(max_seq,
+                       acc.peek_flag(base + r * kCacheLineSize).value);
+  }
+  const std::uint64_t dead_slot = base + dead_rank * kCacheLineSize;
+  if (acc.peek_flag(dead_slot).value >= max_seq) {
+    return false;
+  }
+  acc.publish_flag(dead_slot, max_seq);
+  return true;
 }
 
 Status SeqBarrier::enter_for(cxlsim::Accessor& acc, Doorbell& doorbell,

@@ -70,6 +70,16 @@ class SeqBarrier {
   /// Number of times this rank has entered the barrier.
   [[nodiscard]] std::uint64_t epoch() const noexcept { return sequence_; }
 
+  /// Recovery: release a dead rank's barrier occupancy by forging its slot
+  /// to the maximum sequence any survivor has published. Survivors then
+  /// never wait on the corpse, and a respawned rank (whose constructor
+  /// restores its sequence from this slot) rejoins in step with the
+  /// group. Sound for the same reason ticket-breaking is: the dead rank's
+  /// verdict is sticky, so its slot has no writer left. Returns true when
+  /// the slot actually lagged and was forged.
+  static bool forge_slot(cxlsim::Accessor& acc, std::uint64_t base,
+                         std::size_t ranks, std::size_t dead_rank);
+
  private:
   [[nodiscard]] std::uint64_t slot(std::size_t rank) const noexcept {
     return base_ + rank * kCacheLineSize;

@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "cxlsim/coherence_checker.hpp"
+#include "runtime/pool_recovery.hpp"
 
 namespace cmpi::runtime {
 
@@ -58,12 +59,14 @@ Universe::Universe(const UniverseConfig& config)
 
   const std::uint64_t barrier_end =
       kBarrierBase + SeqBarrier::footprint(config_.nranks());
-  // Heartbeat slots ride in the same reserved region as the barrier; the
-  // arena still starts at the next 4 KiB boundary (offset 8 KiB for any
-  // geometry up to 32 ranks, so pre-liveness pool layouts are unchanged).
+  // Heartbeat slots and the recovery ledger ride in the same reserved
+  // region as the barrier; the arena still starts at the next 4 KiB
+  // boundary (offset 8 KiB for any geometry up to 21 ranks, so most
+  // pre-liveness pool layouts are unchanged).
   hb_base_ = barrier_end;
+  recovery_base_ = hb_base_ + FailureDetector::footprint(config_.nranks());
   arena_base_ = align_up(
-      hb_base_ + FailureDetector::footprint(config_.nranks()), 4096);
+      recovery_base_ + PoolRecovery::footprint(config_.nranks()), 4096);
   CMPI_EXPECTS(arena_base_ + arena::Arena::metadata_footprint(
                                  config_.arena_params) <
                device_->size());
@@ -76,6 +79,7 @@ Universe::Universe(const UniverseConfig& config)
   cxlsim::Accessor boot(*device_, boot_cache, boot_clock);
   SeqBarrier::format(boot, kBarrierBase, config_.nranks());
   FailureDetector::format(boot, hb_base_, config_.nranks());
+  PoolRecovery::format(boot, recovery_base_, config_.nranks());
   check_ok(arena::Arena::format(boot, arena_base_,
                                 device_->size() - arena_base_,
                                 /*participant=*/0, config_.arena_params));
@@ -85,6 +89,10 @@ Universe::Universe(const UniverseConfig& config)
   if (!config_.fault_plan.empty()) {
     device_->install_fault_plan(config_.fault_plan);
   }
+  incarnations_.assign(config_.nranks(), 0);
+  rank_crashed_.assign(config_.nranks(), false);
+  node_dead_.assign(config_.nodes, false);
+  recovery_counters_ = std::make_unique<RecoveryCounters>();
   log_info("universe: %u nodes x %u ranks, pool %zu MiB, arena at %#lx",
            config_.nodes, config_.ranks_per_node, device_->size() >> 20,
            static_cast<unsigned long>(arena_base_));
@@ -106,6 +114,10 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       ctx.doorbell_ = &doorbell_;
       ctx.device_ = device_.get();
       ctx.config_ = &config_;
+      ctx.incarnations_ = &incarnations_;
+      ctx.recovery_counters_ = recovery_counters_.get();
+      ctx.barrier_base_ = kBarrierBase;
+      ctx.recovery_base_ = recovery_base_;
       ctx.acc_ = std::make_unique<cxlsim::Accessor>(
           *device_, *node_caches_[static_cast<std::size_t>(ctx.node_)],
           ctx.clock_);
@@ -113,7 +125,8 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       cxlsim::FaultInjector::set_current_rank(static_cast<int>(r));
       try {
         ctx.arena_ = std::make_unique<arena::Arena>(
-            check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r)));
+            check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r,
+                                          incarnations_[r])));
         ctx.init_barrier_ = std::make_unique<SeqBarrier>(
             *ctx.acc_, kBarrierBase, nranks, r);
         ctx.detector_ = std::make_unique<FailureDetector>(
@@ -128,6 +141,25 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
         // error.
         log_warn("universe: rank %d crashed (fault injection): %s",
                  crash.rank(), crash.what());
+        {
+          // When the last rank of a node dies the simulated host is gone:
+          // its private cache's dirty lines vanish with it. DROP them —
+          // writing them back would leak post-crash state into the pool.
+          std::lock_guard lock(failures_mutex_);
+          rank_crashed_[r] = true;
+          const auto node = static_cast<std::size_t>(ctx.node_);
+          bool all_dead = true;
+          for (unsigned rr = static_cast<unsigned>(node) *
+                             config_.ranks_per_node;
+               rr < (static_cast<unsigned>(node) + 1) * config_.ranks_per_node;
+               ++rr) {
+            all_dead = all_dead && rank_crashed_[rr];
+          }
+          if (all_dead) {
+            node_dead_[node] = true;
+            node_caches_[node]->drop_all();
+          }
+        }
         doorbell_.ring();
       } catch (...) {
         std::lock_guard lock(error_mutex);
@@ -158,9 +190,15 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
   for (auto& t : threads) {
     t.join();
   }
-  // Leave the pool coherent for the next run() or for inspection.
-  for (auto& cache : node_caches_) {
-    cache->writeback_all();
+  // Leave the pool coherent for the next run() or for inspection. Dead
+  // nodes' caches are dropped, not flushed: a crashed host never gets to
+  // write back its dirty lines.
+  for (std::size_t n = 0; n < node_caches_.size(); ++n) {
+    if (node_dead_[n]) {
+      node_caches_[n]->drop_all();
+    } else {
+      node_caches_[n]->writeback_all();
+    }
   }
   // Surface protocol violations the checker recorded during this run.
   if (cxlsim::CoherenceChecker* chk = device_->checker();
@@ -210,6 +248,50 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+void Universe::respawn(int rank) {
+  CMPI_EXPECTS(rank >= 0 && static_cast<unsigned>(rank) < config_.nranks());
+  const auto r = static_cast<std::size_t>(rank);
+  incarnations_[r] += 1;
+  if (cxlsim::FaultInjector* fi = device_->fault_injector()) {
+    fi->absolve(rank);
+  }
+  {
+    std::lock_guard lock(failures_mutex_);
+    detected_failures_.erase(std::remove(detected_failures_.begin(),
+                                         detected_failures_.end(), rank),
+                             detected_failures_.end());
+    rank_crashed_[r] = false;
+    node_dead_[r / config_.ranks_per_node] = false;
+  }
+  // Repair the rank's liveness and barrier slots with a scratch accessor
+  // (respawn runs between run() epochs; no rank threads are live). The
+  // heartbeat restarts from zero; the barrier slot is forged level with
+  // the survivors so the next incarnation — whose SeqBarrier constructor
+  // restores its sequence from this slot — rejoins in step even if no
+  // survivor ran a scavenge.
+  simtime::VClock clock;
+  cxlsim::CacheSim cache(*device_, {.sets = 64, .ways = 4});
+  cxlsim::Accessor acc(*device_, cache, clock);
+  FailureDetector::reset_slot(acc, hb_base_, r);
+  SeqBarrier::forge_slot(acc, kBarrierBase, config_.nranks(), r);
+  cache.writeback_all();
+  log_info("universe: rank %d respawned as incarnation %u", rank,
+           incarnations_[r]);
+}
+
+RecoveryStats Universe::recovery_stats() const {
+  const RecoveryCounters& c = *recovery_counters_;
+  RecoveryStats out;
+  out.crc_failures = c.crc_failures.load();
+  out.naks_sent = c.naks_sent.load();
+  out.retransmits = c.retransmits.load();
+  out.retransmit_rejects = c.retransmit_rejects.load();
+  out.stale_fenced = c.stale_fenced.load();
+  out.scavenges = c.scavenges.load();
+  out.ring_cells_tombstoned = c.ring_cells_tombstoned.load();
+  return out;
 }
 
 std::vector<int> Universe::failed_ranks() const {

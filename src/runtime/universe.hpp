@@ -20,6 +20,7 @@
 // failed_ranks() instead of being re-thrown.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -93,6 +94,31 @@ struct UniverseConfig {
 
 class Universe;
 
+/// Monotonic host-side counters for the recovery layer, shared by every
+/// rank of a Universe and accumulated across run() epochs. Incremented by
+/// the p2p retransmission path and PoolRecovery; snapshot via
+/// Universe::recovery_stats().
+struct RecoveryCounters {
+  std::atomic<std::uint64_t> crc_failures{0};   ///< chunks failing verify
+  std::atomic<std::uint64_t> naks_sent{0};      ///< receiver NAKs issued
+  std::atomic<std::uint64_t> retransmits{0};    ///< sender resends served
+  std::atomic<std::uint64_t> retransmit_rejects{0};  ///< staging evicted
+  std::atomic<std::uint64_t> stale_fenced{0};   ///< dead-incarnation msgs dropped
+  std::atomic<std::uint64_t> scavenges{0};      ///< scavenge passes performed
+  std::atomic<std::uint64_t> ring_cells_tombstoned{0};  ///< cells drained dead
+};
+
+/// Plain-value snapshot of RecoveryCounters.
+struct RecoveryStats {
+  std::uint64_t crc_failures = 0;
+  std::uint64_t naks_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmit_rejects = 0;
+  std::uint64_t stale_fenced = 0;
+  std::uint64_t scavenges = 0;
+  std::uint64_t ring_cells_tombstoned = 0;
+};
+
 /// Everything one rank thread needs. Owned by the Universe; valid only for
 /// the duration of the rank function.
 class RankCtx {
@@ -112,6 +138,31 @@ class RankCtx {
   }
   [[nodiscard]] const UniverseConfig& config() const noexcept {
     return *config_;
+  }
+
+  /// This rank's incarnation number: 0 for the first life, bumped by each
+  /// Universe::respawn. Stamped into every message cell so receivers can
+  /// fence out traffic published by a dead incarnation.
+  [[nodiscard]] std::uint32_t incarnation() const noexcept {
+    return (*incarnations_)[static_cast<std::size_t>(rank_)];
+  }
+  /// Current incarnation of any rank (what this universe expects live
+  /// traffic from `rank` to be stamped with).
+  [[nodiscard]] std::uint32_t incarnation(int rank) const noexcept {
+    return (*incarnations_)[static_cast<std::size_t>(rank)];
+  }
+
+  /// Base offset of the initialization-barrier slot array.
+  [[nodiscard]] std::uint64_t barrier_base() const noexcept {
+    return barrier_base_;
+  }
+  /// Base offset of the PoolRecovery ledger (epoch + per-rank stamps).
+  [[nodiscard]] std::uint64_t recovery_base() const noexcept {
+    return recovery_base_;
+  }
+  /// Shared recovery counters (see RecoveryCounters).
+  [[nodiscard]] RecoveryCounters& recovery_counters() noexcept {
+    return *recovery_counters_;
   }
 
   /// Enter the cross-node initialization barrier (§3.4).
@@ -142,6 +193,10 @@ class RankCtx {
   Doorbell* doorbell_ = nullptr;
   cxlsim::DaxDevice* device_ = nullptr;
   const UniverseConfig* config_ = nullptr;
+  const std::vector<std::uint32_t>* incarnations_ = nullptr;
+  RecoveryCounters* recovery_counters_ = nullptr;
+  std::uint64_t barrier_base_ = 0;
+  std::uint64_t recovery_base_ = 0;
 };
 
 class Universe {
@@ -187,6 +242,29 @@ class Universe {
   [[nodiscard]] std::uint64_t heartbeat_base() const noexcept {
     return hb_base_;
   }
+  /// Base offset of the PoolRecovery ledger.
+  [[nodiscard]] std::uint64_t recovery_base() const noexcept {
+    return recovery_base_;
+  }
+
+  /// Restart a crashed rank for the NEXT run() epoch under a bumped
+  /// incarnation: forgives the injector's crash record, withdraws the rank
+  /// from the detector-merged failure record, zeroes its heartbeat slot
+  /// and forges its barrier slot level with the survivors so it rejoins in
+  /// step. Stale pool state from the dead incarnation is fenced at the
+  /// endpoint match path via the incarnation stamp (and reclaimed by
+  /// PoolRecovery::scavenge if a survivor ran one). Must be called between
+  /// run() epochs — never while rank threads are live.
+  void respawn(int rank);
+
+  /// Current incarnation of a rank (0 until its first respawn).
+  [[nodiscard]] std::uint32_t incarnation(int rank) const {
+    return incarnations_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Snapshot of the recovery-layer counters (NAKs, retransmissions,
+  /// fenced stale messages, scavenges). Accumulates across run() epochs.
+  [[nodiscard]] RecoveryStats recovery_stats() const;
 
  private:
   static constexpr std::uint64_t kBarrierBase = 4096;
@@ -196,10 +274,19 @@ class Universe {
   std::vector<std::unique_ptr<cxlsim::CacheSim>> node_caches_;
   Doorbell doorbell_;
   std::uint64_t hb_base_ = 0;
+  std::uint64_t recovery_base_ = 0;
   std::uint64_t arena_base_ = 0;
   /// Peers declared dead by rank detectors, merged at thread exit.
   mutable std::mutex failures_mutex_;
   std::vector<int> detected_failures_;
+  /// Ranks whose threads unwound via RankCrashed (cleared by respawn).
+  std::vector<bool> rank_crashed_;
+  /// Nodes whose every rank has crashed: the "host" is dead, its private
+  /// cache must be DROPPED, never written back (a dead host's writeback
+  /// would leak post-crash state into the pool).
+  std::vector<bool> node_dead_;
+  std::vector<std::uint32_t> incarnations_;
+  std::unique_ptr<RecoveryCounters> recovery_counters_;
 };
 
 }  // namespace cmpi::runtime

@@ -272,5 +272,76 @@ TEST_F(ArenaTest, ConcurrentCreatesFromManyNodes) {
   }
 }
 
+// --- Free-list fsck on attach (bounded walk, kCorruptPool) -------------
+//
+// A host dying inside free_locked can leave a torn chain behind. attach's
+// bounded validate_free_list walk must refuse the arena instead of letting
+// the next allocator walk hang or wander out of the region. Each test
+// formats a healthy arena, corrupts the chain with non-temporal stores
+// (immediately visible, no cache involved) and attaches through a fresh
+// cold-cache accessor, like a node arriving after the crash.
+//
+// On-pool layout facts the corruptions rely on: Header::free_head is the
+// 11th u64 (byte 80); FreeBlock is {magic, size, next} at +0/+8/+16.
+
+class ArenaFsckTest : public ArenaTest {
+ protected:
+  static constexpr std::uint64_t kFreeHeadOffset = 80;
+
+  void SetUp() override {
+    ArenaTest::SetUp();
+    make_arena();  // formatted; the Arena view itself is not needed
+    cache_b_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    acc_b_ = std::make_unique<cxlsim::Accessor>(*device_, *cache_b_, clock_b_);
+    free_head_ = acc_b_->nt_load_u64(kFreeHeadOffset);
+    ASSERT_NE(free_head_, 0u) << "fresh arena must have a free block";
+  }
+
+  ErrorCode attach_code() {
+    return Arena::attach(*acc_b_, 0, /*participant=*/1).status().code();
+  }
+
+  simtime::VClock clock_b_;
+  std::unique_ptr<cxlsim::CacheSim> cache_b_;
+  std::unique_ptr<cxlsim::Accessor> acc_b_;
+  std::uint64_t free_head_ = 0;  // base-relative == pool offset (base 0)
+};
+
+TEST_F(ArenaFsckTest, AttachRejectsSelfReferencingChain) {
+  // next -> itself: the classic torn-coalesce loop. The address-order
+  // check (at <= prev) must catch it long before the step bound.
+  acc_b_->nt_store_u64(free_head_ + 16, free_head_);
+  EXPECT_EQ(attach_code(), ErrorCode::kCorruptPool);
+}
+
+TEST_F(ArenaFsckTest, AttachRejectsBadFreeBlockMagic) {
+  acc_b_->nt_store_u64(free_head_ + 0, 0x0BADF00DULL);
+  EXPECT_EQ(attach_code(), ErrorCode::kCorruptPool);
+}
+
+TEST_F(ArenaFsckTest, AttachRejectsHeadOutsideObjectRegion) {
+  Arena view = check_ok(Arena::attach(*acc_b_, 0, 1));
+  acc_b_->nt_store_u64(kFreeHeadOffset,
+                       view.objects_offset() + view.objects_size());
+  EXPECT_EQ(attach_code(), ErrorCode::kCorruptPool);
+}
+
+TEST_F(ArenaFsckTest, AttachRejectsImpossibleBlockSize) {
+  // A size that runs past the end of the object region.
+  acc_b_->nt_store_u64(free_head_ + 8, 64_MiB);
+  EXPECT_EQ(attach_code(), ErrorCode::kCorruptPool);
+}
+
+TEST_F(ArenaFsckTest, HealthyArenaStillAttaches) {
+  // Control: the fsck must not reject an intact chain, including after
+  // real allocator traffic fragments it.
+  Arena view = check_ok(Arena::attach(*acc_b_, 0, 1));
+  auto a = check_ok(view.create("frag_a", 4096));
+  auto b = check_ok(view.create("frag_b", 4096));
+  check_ok(view.destroy(a));  // hole before the tail block
+  EXPECT_TRUE(Arena::attach(*acc_b_, 0, 2).is_ok());
+  check_ok(view.destroy(b));
+}
+
 }  // namespace
 }  // namespace cmpi::arena

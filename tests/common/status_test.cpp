@@ -38,7 +38,7 @@ TEST(Status, AllCodesHaveNames) {
       ErrorCode::kClosed,       ErrorCode::kTruncated,
       ErrorCode::kUnsupported,  ErrorCode::kInternal,
       ErrorCode::kTimedOut,     ErrorCode::kPeerFailed,
-      ErrorCode::kDataPoisoned,
+      ErrorCode::kDataPoisoned, ErrorCode::kCorruptPool,
   };
   int named = 0;
   for (int raw = 0;; ++raw) {

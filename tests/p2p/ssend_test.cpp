@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "p2p/endpoint.hpp"
@@ -150,6 +152,64 @@ TEST(Ssend, MixedSendAndSsendTraffic) {
         check_ok(ep.recv(0, 0, inbox).status());
         EXPECT_EQ(std::to_integer<int>(inbox[0]), i);
       }
+    }
+  });
+}
+
+TEST(Ssend, AcksQueuedBehindFullRingSurviveReceiverTeardown) {
+  // Regression for a teardown liveness hole: a receiver that matches many
+  // ssends in one burst overflows the (small) ack ring, leaving acks
+  // queued in its endpoint. If the receiver then returns and its endpoint
+  // is destroyed without flushing them, the sender's wait blocks forever.
+  // The scenario is forced deterministically: all messages arrive as
+  // unexpected first (no acks yet), then the sender stops draining while
+  // the receiver matches all twelve back-to-back and immediately tears
+  // down — at most a ringful of acks can have left its queue.
+  runtime::UniverseConfig cfg = two_rank_config();
+  cfg.ring_cells = 4;
+  runtime::Universe universe(cfg);
+  constexpr int kCount = 12;
+  std::atomic<bool> all_buffered{false};
+  std::atomic<bool> receiver_done{false};
+
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    if (ctx.rank() == 0) {
+      std::vector<std::vector<std::byte>> buffers;
+      std::vector<RequestPtr> reqs;
+      for (int i = 0; i < kCount; ++i) {
+        buffers.emplace_back(64, static_cast<std::byte>(i));
+        reqs.push_back(ep.issend(1, i % 3, buffers.back()));
+      }
+      // Pump until every message sits in the receiver's unexpected queue,
+      // then go quiet: nothing drains the ack ring while the receiver
+      // matches, so its ack backlog must outlive its endpoint.
+      while (!all_buffered) {
+        ep.progress();
+        std::this_thread::yield();
+      }
+      while (!receiver_done) {
+        std::this_thread::yield();
+      }
+      for (const RequestPtr& req : reqs) {
+        check_ok(ep.wait_for(req, std::chrono::milliseconds(10000)));
+      }
+    } else {
+      while (ep.debug_queue_sizes().unexpected <
+             static_cast<std::size_t>(kCount)) {
+        ep.progress();
+        std::this_thread::yield();
+      }
+      all_buffered = true;
+      for (int round = 0; round < kCount / 3; ++round) {
+        for (int tag = 2; tag >= 0; --tag) {
+          std::vector<std::byte> inbox(64);
+          check_ok(ep.recv(0, tag, inbox).status());
+          EXPECT_EQ(std::to_integer<int>(inbox[0]), tag + 3 * round);
+        }
+      }
+      receiver_done = true;
+      // Fall out of the lambda: ~Endpoint must flush the queued acks.
     }
   });
 }

@@ -1,0 +1,130 @@
+// Lease-boundary semantics of the heartbeat failure detector, pinned with
+// a fake wall clock (the debug_set_clock seam — the edge cannot be hit
+// deterministically against std::chrono::steady_clock):
+//
+//   * a heartbeat observed EXACTLY at the lease edge is still alive:
+//     conviction requires strictly more than a full lease of silence,
+//   * a counter advance observed inside the lease restarts it,
+//   * verdicts are sticky: a convicted peer stays dead even if its
+//     counter later advances (its pool state may already be scavenged).
+#include "runtime/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "cxlsim/accessor.hpp"
+#include "cxlsim/cache_sim.hpp"
+#include "cxlsim/dax_device.hpp"
+#include "simtime/vclock.hpp"
+
+namespace cmpi::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+class FailureDetectorLease : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kBase = 4096;
+  static constexpr std::size_t kRanks = 2;
+  static constexpr std::chrono::milliseconds kLease{100};
+
+  void SetUp() override {
+    device_ = check_ok(cxlsim::DaxDevice::create(1_MiB));
+    cache_ = std::make_unique<cxlsim::CacheSim>(*device_);
+    acc_ = std::make_unique<cxlsim::Accessor>(*device_, *cache_, clock_);
+    FailureDetector::format(*acc_, kBase, kRanks);
+    observer_ = std::make_unique<FailureDetector>(kBase, kRanks,
+                                                  /*my_rank=*/0, kLease);
+    peer_ = std::make_unique<FailureDetector>(kBase, kRanks,
+                                              /*my_rank=*/1, kLease);
+    // Both detectors share one fake clock, parked away from the epoch so
+    // lease subtraction can never underflow the time_point.
+    now_ = FailureDetector::Clock::time_point{} + 1h;
+    observer_->debug_set_clock([this] { return now_; });
+    peer_->debug_set_clock([this] { return now_; });
+  }
+
+  void advance(std::chrono::milliseconds by) { now_ += by; }
+
+  simtime::VClock clock_;
+  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::unique_ptr<cxlsim::CacheSim> cache_;
+  std::unique_ptr<cxlsim::Accessor> acc_;
+  std::unique_ptr<FailureDetector> observer_;
+  std::unique_ptr<FailureDetector> peer_;
+  FailureDetector::Clock::time_point now_;
+};
+
+TEST_F(FailureDetectorLease, HeartbeatExactlyAtLeaseEdgeIsNotConvicted) {
+  peer_->beat(*acc_);
+  // First look starts the lease window.
+  EXPECT_FALSE(observer_->dead(*acc_, 1));
+  // Exactly one lease of silence: the boundary itself still counts as
+  // alive (conviction is `elapsed > lease`, not `>=`).
+  advance(kLease);
+  EXPECT_FALSE(observer_->dead(*acc_, 1));
+  EXPECT_TRUE(observer_->check_peer(*acc_, 1).is_ok());
+  // One tick past the edge: convicted.
+  advance(1ms);
+  EXPECT_TRUE(observer_->dead(*acc_, 1));
+  EXPECT_EQ(observer_->check_peer(*acc_, 1).code(), ErrorCode::kPeerFailed);
+}
+
+TEST_F(FailureDetectorLease, CounterAdvanceInsideTheLeaseRestartsIt) {
+  peer_->beat(*acc_);
+  EXPECT_FALSE(observer_->dead(*acc_, 1));
+  // 80 ms in (past the lease/8 publish throttle) the peer beats again.
+  advance(80ms);
+  peer_->beat(*acc_);
+  EXPECT_FALSE(observer_->dead(*acc_, 1));  // observes the advance
+  // The lease now runs from the second observation: a full lease later is
+  // still the edge, one more tick convicts.
+  advance(kLease);
+  EXPECT_FALSE(observer_->dead(*acc_, 1));
+  advance(1ms);
+  EXPECT_TRUE(observer_->dead(*acc_, 1));
+}
+
+TEST_F(FailureDetectorLease, StickyVerdictSurvivesLateHeartbeat) {
+  peer_->beat(*acc_);
+  EXPECT_FALSE(observer_->dead(*acc_, 1));
+  advance(kLease + 1ms);
+  ASSERT_TRUE(observer_->dead(*acc_, 1));
+  // The "dead" host resumes beating — too late: its locks may already be
+  // broken and its arena state scavenged. The verdict must not flip back.
+  advance(50ms);
+  peer_->beat(*acc_);
+  EXPECT_TRUE(observer_->dead(*acc_, 1));
+  advance(1ms);
+  peer_->beat(*acc_);
+  EXPECT_TRUE(observer_->dead(*acc_, 1));
+  EXPECT_EQ(observer_->failed_ranks(), (std::vector<int>{1}));
+  EXPECT_EQ(observer_->check_peer(*acc_, 1).code(), ErrorCode::kPeerFailed);
+}
+
+TEST_F(FailureDetectorLease, SelfAndOutOfRangePeersAreAlwaysAlive) {
+  advance(kLease * 10);
+  EXPECT_FALSE(observer_->dead(*acc_, 0));   // never its own peer
+  EXPECT_FALSE(observer_->dead(*acc_, -1));  // out of range
+  EXPECT_FALSE(observer_->dead(*acc_, static_cast<int>(kRanks)));
+  EXPECT_TRUE(observer_->failed_ranks().empty());
+}
+
+TEST_F(FailureDetectorLease, BeatPublishThrottleStillKeepsThePeerAlive) {
+  // A waiter that calls beat() every iteration publishes only every
+  // lease/8; the observer must still never convict it.
+  peer_->beat(*acc_);
+  EXPECT_FALSE(observer_->dead(*acc_, 1));
+  for (int step = 0; step < 40; ++step) {
+    advance(kLease / 4);
+    peer_->beat(*acc_);
+    EXPECT_FALSE(observer_->dead(*acc_, 1)) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace cmpi::runtime
