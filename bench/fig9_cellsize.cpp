@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
                                  128u * 1024}) {
     osu::SweepParams params = bench::sweep_params(opts, procs);
     params.cell_payload = cell;
+    // The figure studies the eager chunking mechanism, so the sweep pins
+    // the rendezvous path off: with it on, every message above one cell
+    // bypasses chunking and the four series collapse onto one curve (the
+    // adaptive series below shows exactly that).
+    params.rendezvous_threshold = ~std::size_t{0};
     const auto values = osu::cxl_twosided_bw_mbps(params);
     const std::string series = format_size(cell) + " cells";
     double peak = 0;
@@ -32,7 +37,19 @@ int main(int argc, char** argv) {
     std::printf("  peak with %s cells: %.0f MB/s\n",
                 format_size(cell).c_str(), peak);
   }
+  {
+    // The adaptive protocol with the smallest cell: rendezvous makes the
+    // cell size irrelevant above the threshold, which is the point of the
+    // large-message fast path.
+    osu::SweepParams params = bench::sweep_params(opts, procs);
+    params.cell_payload = 16u * 1024;
+    const auto values = osu::cxl_twosided_bw_mbps(params);
+    for (std::size_t i = 0; i < params.sizes.size(); ++i) {
+      table.set("16 KiB cells + rdvz", params.sizes[i], values[i]);
+    }
+  }
   bench::finish(table, opts);
+  bench::write_json(table, opts);
 
   // The splitting mechanism is most visible in latency: beyond the cell
   // size a message travels as sequential chunks and latency turns linear
@@ -45,6 +62,7 @@ int main(int argc, char** argv) {
                                  128u * 1024}) {
     osu::SweepParams params = bench::sweep_params(opts, 2);
     params.cell_payload = cell;
+    params.rendezvous_threshold = ~std::size_t{0};  // study the eager path
     params.sizes.clear();
     for (std::size_t s = 4u * 1024; s <= 512u * 1024; s *= 2) {
       params.sizes.push_back(s);

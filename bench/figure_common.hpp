@@ -4,10 +4,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -25,6 +27,13 @@ struct FigureOptions {
   int warmup = 2;
   std::size_t cell_payload = 64u * 1024;  // §4.2: tuned cell size
   bool csv = false;
+  /// Two-sided rendezvous threshold (0 = library default of one cell
+  /// payload). --eager-only pins it past any sweep size, measuring the
+  /// pre-rendezvous chunked path.
+  std::size_t rendezvous_threshold = 0;
+  bool eager_only = false;
+  /// When non-empty, the primary table is also written here as JSON.
+  std::string json_path;
 };
 
 inline std::vector<int> parse_proc_list(const std::string& text) {
@@ -38,6 +47,7 @@ inline std::vector<int> parse_proc_list(const std::string& text) {
 }
 
 /// Common flags: --procs=2,8,16  --max-size=8M  --iters=N  --cell=64K --csv
+/// --rdvz=SIZE  --eager-only  --json=PATH
 inline FigureOptions parse_options(int argc, char** argv) {
   const auto args = check_ok(CliArgs::parse(argc, argv));
   FigureOptions opts;
@@ -48,6 +58,12 @@ inline FigureOptions parse_options(int argc, char** argv) {
   opts.warmup = static_cast<int>(args.get_int("warmup", opts.warmup));
   opts.cell_payload = args.get_size("cell", opts.cell_payload);
   opts.csv = args.get_bool("csv");
+  opts.rendezvous_threshold = args.get_size("rdvz", opts.rendezvous_threshold);
+  opts.eager_only = args.get_bool("eager-only");
+  if (opts.eager_only) {
+    opts.rendezvous_threshold = ~std::size_t{0};
+  }
+  opts.json_path = args.get_string("json", "");
   for (const auto& flag : args.unused_flags()) {
     std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
     std::exit(2);
@@ -62,7 +78,41 @@ inline osu::SweepParams sweep_params(const FigureOptions& opts, int procs) {
   params.iters = opts.iters;
   params.warmup = opts.warmup;
   params.cell_payload = opts.cell_payload;
+  params.rendezvous_threshold = opts.rendezvous_threshold;
   return params;
+}
+
+/// Self-describing metadata for JSON artefacts: the knobs that move the
+/// numbers, so a checked-in BENCH_*.json records its own provenance.
+inline std::vector<std::pair<std::string, std::string>> json_metadata(
+    const FigureOptions& opts) {
+  const std::size_t effective_threshold =
+      opts.rendezvous_threshold == 0 ? opts.cell_payload
+                                     : opts.rendezvous_threshold;
+  return {
+      {"cell_payload", std::to_string(opts.cell_payload)},
+      {"rendezvous_threshold",
+       opts.eager_only ? "disabled" : std::to_string(effective_threshold)},
+      {"iters", std::to_string(opts.iters)},
+      {"warmup", std::to_string(opts.warmup)},
+      {"max_size", std::to_string(opts.max_size)},
+  };
+}
+
+/// Write the table to opts.json_path (if set) with standard metadata.
+inline void write_json(const osu::FigureTable& table,
+                       const FigureOptions& opts) {
+  if (opts.json_path.empty()) {
+    return;
+  }
+  std::ofstream out(opts.json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 opts.json_path.c_str());
+    std::exit(2);
+  }
+  table.print_json(out, json_metadata(opts));
+  std::printf("  wrote %s\n", opts.json_path.c_str());
 }
 
 /// Run the standard three-transport sweep of Figs. 5-8 and fill the table.

@@ -266,19 +266,57 @@ ObjectHandle Arena::make_handle(std::string_view name, std::size_t slot_index,
   return handle;
 }
 
-Result<ObjectHandle> Arena::create(std::string_view name, std::uint64_t size,
-                                   Ownership ownership) {
-  if (name.empty() || name.size() > kMaxNameLen) {
+namespace {
+
+Status validate_create_args(std::string_view name, std::uint64_t size) {
+  if (name.empty() || name.size() > Arena::kMaxNameLen) {
     return status::invalid_argument("object name must be 1.." +
-                                    std::to_string(kMaxNameLen) + " chars");
+                                    std::to_string(Arena::kMaxNameLen) +
+                                    " chars");
   }
   if (size == 0) {
     return status::invalid_argument("object size must be nonzero");
   }
+  return Status::ok();
+}
+
+/// lock_for demands a verdict for every participant it may wait behind;
+/// callers without a failure detector wait the full deadline.
+bool nobody_dead(std::size_t) { return false; }
+
+}  // namespace
+
+Result<ObjectHandle> Arena::create(std::string_view name, std::uint64_t size,
+                                   Ownership ownership) {
+  if (Status valid = validate_create_args(name, size); !valid.is_ok()) {
+    return valid;
+  }
+  BakeryLock::Guard guard(lock_, *acc_, participant_);
+  return create_locked(name, size, ownership);
+}
+
+Result<ObjectHandle> Arena::create_for(
+    std::string_view name, std::uint64_t size, Ownership ownership,
+    std::chrono::milliseconds timeout,
+    const BakeryLock::DeadPredicate& peer_dead) {
+  if (Status valid = validate_create_args(name, size); !valid.is_ok()) {
+    return valid;
+  }
+  if (Status locked = lock_.lock_for(*acc_, participant_, timeout,
+                                     peer_dead ? peer_dead : nobody_dead);
+      !locked.is_ok()) {
+    return locked;
+  }
+  Result<ObjectHandle> out = create_locked(name, size, ownership);
+  lock_.unlock(*acc_, participant_);
+  return out;
+}
+
+Result<ObjectHandle> Arena::create_locked(std::string_view name,
+                                          std::uint64_t size,
+                                          Ownership ownership) {
   const std::uint64_t name_hash = hash_string(name);
   const std::uint64_t alloc_size = align_up(size, kCacheLineSize);
-
-  BakeryLock::Guard guard(lock_, *acc_, participant_);
   const Probe where = probe(name, name_hash);
   if (where.found.has_value()) {
     return status::already_exists("object '" + std::string(name) +
@@ -355,6 +393,26 @@ Status Arena::destroy(ObjectHandle& handle) {
     return status::closed("handle already closed");
   }
   BakeryLock::Guard guard(lock_, *acc_, participant_);
+  return destroy_locked(handle);
+}
+
+Status Arena::destroy_for(ObjectHandle& handle,
+                          std::chrono::milliseconds timeout,
+                          const BakeryLock::DeadPredicate& peer_dead) {
+  if (!handle.open) {
+    return status::closed("handle already closed");
+  }
+  if (Status locked = lock_.lock_for(*acc_, participant_, timeout,
+                                     peer_dead ? peer_dead : nobody_dead);
+      !locked.is_ok()) {
+    return locked;
+  }
+  Status out = destroy_locked(handle);
+  lock_.unlock(*acc_, participant_);
+  return out;
+}
+
+Status Arena::destroy_locked(ObjectHandle& handle) {
   Slot slot = read_slot(handle.slot_index);
   if (slot.status != kSlotUsed ||
       handle.name != std::string_view(slot.name)) {
@@ -470,6 +528,10 @@ Arena::ScavengeStats Arena::scavenge_locked(std::size_t dead_participant,
       continue;
     }
     const std::uint64_t alloc_size = align_up(slot.size, kCacheLineSize);
+    if (std::strncmp(slot.name, kRendezvousNamePrefix.data(),
+                     kRendezvousNamePrefix.size()) == 0) {
+      stats.rendezvous_slots += 1;
+    }
     slot.status = kSlotFree;
     slot.refcount = 0;
     write_slot(i, slot);

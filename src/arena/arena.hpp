@@ -57,6 +57,13 @@ struct ObjectHandle {
 ///             leaves it alone.
 enum class Ownership { kOwned, kShared };
 
+/// Name prefix of the p2p layer's rendezvous payload slots (large-message
+/// one-copy path; see p2p::Endpoint). The arena treats names as opaque
+/// except in scavenge_locked, which counts reclaimed slots carrying this
+/// prefix so pool recovery can report how many in-flight large-message
+/// payloads died with a rank.
+inline constexpr std::string_view kRendezvousNamePrefix = "cmpi.rdvz.";
+
 class Arena {
  public:
   struct Params {
@@ -103,6 +110,19 @@ class Arena {
   /// the hazard the real system has. Closes `handle` too.
   Status destroy(ObjectHandle& handle);
 
+  /// Deadline-bounded create/destroy for callers on a data path that must
+  /// not block forever behind a crashed lock holder (the p2p rendezvous
+  /// path allocates per-message slots). Waits at most `timeout` for the
+  /// arena lock and returns kTimedOut on expiry; `peer_dead`, when given,
+  /// lets the wait break a convicted corpse's ticket instead of timing
+  /// out (see BakeryLock::lock_for).
+  Result<ObjectHandle> create_for(
+      std::string_view name, std::uint64_t size, Ownership ownership,
+      std::chrono::milliseconds timeout,
+      const BakeryLock::DeadPredicate& peer_dead = {});
+  Status destroy_for(ObjectHandle& handle, std::chrono::milliseconds timeout,
+                     const BakeryLock::DeadPredicate& peer_dead = {});
+
   // --- Introspection (tests, stats) ---
   [[nodiscard]] const MultilevelHash& index() const noexcept { return index_; }
   [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
@@ -128,6 +148,9 @@ class Arena {
   struct ScavengeStats {
     std::uint64_t bytes = 0;  ///< object bytes returned to the free list
     std::uint64_t slots = 0;  ///< metadata slots freed
+    /// Of `slots`, how many were in-flight rendezvous payload slots
+    /// (names starting with kRendezvousNamePrefix).
+    std::uint64_t rendezvous_slots = 0;
   };
 
   /// Reclaim every kOwned object created by `dead_participant` under an
@@ -212,6 +235,11 @@ class Arena {
 
   /// First-fit allocation from the free list. Caller holds the lock.
   /// Returns base-relative offset.
+  /// create/destroy bodies, run with the arena lock already held.
+  Result<ObjectHandle> create_locked(std::string_view name, std::uint64_t size,
+                                     Ownership ownership);
+  Status destroy_locked(ObjectHandle& handle);
+
   Result<std::uint64_t> allocate_locked(std::uint64_t size);
   /// Address-ordered free with coalescing. Caller holds the lock.
   void free_locked(std::uint64_t offset_from_base, std::uint64_t size);

@@ -1,6 +1,15 @@
 #include "common/crc32c.hpp"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CMPI_CRC32C_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define CMPI_CRC32C_ARM 1
+#endif
 
 namespace cmpi {
 namespace detail {
@@ -27,6 +36,33 @@ std::array<std::uint32_t, 8 * 256> build_table() noexcept {
   return table;
 }
 
+std::uint64_t load_u64(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// One slice-by-8 step: folds the 8 bytes at `p` into the running
+/// (pre-inverted) crc state.
+std::uint32_t slice8_step(const std::uint32_t* table, std::uint32_t crc,
+                          const std::byte* p) noexcept {
+  std::uint32_t lo = crc;
+  lo ^= static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+  const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                           (static_cast<std::uint32_t>(p[5]) << 8) |
+                           (static_cast<std::uint32_t>(p[6]) << 16) |
+                           (static_cast<std::uint32_t>(p[7]) << 24);
+  return table[7 * 256 + (lo & 0xFFu)] ^ table[6 * 256 + ((lo >> 8) & 0xFFu)] ^
+         table[5 * 256 + ((lo >> 16) & 0xFFu)] ^
+         table[4 * 256 + ((lo >> 24) & 0xFFu)] ^ table[3 * 256 + (hi & 0xFFu)] ^
+         table[2 * 256 + ((hi >> 8) & 0xFFu)] ^
+         table[1 * 256 + ((hi >> 16) & 0xFFu)] ^
+         table[0 * 256 + ((hi >> 24) & 0xFFu)];
+}
+
 }  // namespace
 
 const std::uint32_t* crc32c_table() noexcept {
@@ -34,33 +70,14 @@ const std::uint32_t* crc32c_table() noexcept {
   return table.data();
 }
 
-}  // namespace detail
-
-std::uint32_t crc32c(std::span<const std::byte> data,
-                     std::uint32_t seed) noexcept {
-  const std::uint32_t* table = detail::crc32c_table();
+std::uint32_t crc32c_sw(std::span<const std::byte> data,
+                        std::uint32_t seed) noexcept {
+  const std::uint32_t* table = crc32c_table();
   std::uint32_t crc = ~seed;
   const std::byte* p = data.data();
   std::size_t n = data.size();
-  // Slice-by-8 over the aligned middle.
   while (n >= 8) {
-    std::uint32_t lo = crc;
-    lo ^= static_cast<std::uint32_t>(p[0]) |
-          (static_cast<std::uint32_t>(p[1]) << 8) |
-          (static_cast<std::uint32_t>(p[2]) << 16) |
-          (static_cast<std::uint32_t>(p[3]) << 24);
-    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
-                             (static_cast<std::uint32_t>(p[5]) << 8) |
-                             (static_cast<std::uint32_t>(p[6]) << 16) |
-                             (static_cast<std::uint32_t>(p[7]) << 24);
-    crc = table[7 * 256 + (lo & 0xFFu)] ^
-          table[6 * 256 + ((lo >> 8) & 0xFFu)] ^
-          table[5 * 256 + ((lo >> 16) & 0xFFu)] ^
-          table[4 * 256 + ((lo >> 24) & 0xFFu)] ^
-          table[3 * 256 + (hi & 0xFFu)] ^
-          table[2 * 256 + ((hi >> 8) & 0xFFu)] ^
-          table[1 * 256 + ((hi >> 16) & 0xFFu)] ^
-          table[0 * 256 + ((hi >> 24) & 0xFFu)];
+    crc = slice8_step(table, crc, p);
     p += 8;
     n -= 8;
   }
@@ -68,6 +85,145 @@ std::uint32_t crc32c(std::span<const std::byte> data,
     crc = table[(crc ^ static_cast<std::uint32_t>(*p++)) & 0xFFu] ^ (crc >> 8);
   }
   return ~crc;
+}
+
+std::uint32_t copy_and_crc32c_sw(std::byte* dst, const std::byte* src,
+                                 std::size_t n, std::uint32_t seed) noexcept {
+  const std::uint32_t* table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  while (n >= 8) {
+    std::memcpy(dst, src, 8);
+    crc = slice8_step(table, crc, src);
+    src += 8;
+    dst += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    *dst++ = *src;
+    crc =
+        table[(crc ^ static_cast<std::uint32_t>(*src++)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+#if defined(CMPI_CRC32C_X86)
+
+bool crc32c_hw_available() noexcept {
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  std::uint64_t crc = ~seed;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    crc = _mm_crc32_u64(crc, load_u64(p));
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  while (n-- > 0) {
+    crc32 = _mm_crc32_u8(crc32, static_cast<unsigned char>(*p++));
+  }
+  return ~crc32;
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t copy_and_crc32c_hw(
+    std::byte* dst, const std::byte* src, std::size_t n,
+    std::uint32_t seed) noexcept {
+  std::uint64_t crc = ~seed;
+  while (n >= 8) {
+    const std::uint64_t v = load_u64(src);
+    std::memcpy(dst, &v, sizeof(v));
+    crc = _mm_crc32_u64(crc, v);
+    src += 8;
+    dst += 8;
+    n -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  while (n-- > 0) {
+    *dst++ = *src;
+    crc32 = _mm_crc32_u8(crc32, static_cast<unsigned char>(*src++));
+  }
+  return ~crc32;
+}
+
+#elif defined(CMPI_CRC32C_ARM)
+
+bool crc32c_hw_available() noexcept {
+  // __ARM_FEATURE_CRC32 means the compiler already targets a CPU with the
+  // CRC extension, so no runtime probe is needed.
+  return true;
+}
+
+std::uint32_t crc32c_hw(std::span<const std::byte> data,
+                        std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    crc = __crc32cd(crc, load_u64(p));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, static_cast<std::uint8_t>(*p++));
+  }
+  return ~crc;
+}
+
+std::uint32_t copy_and_crc32c_hw(std::byte* dst, const std::byte* src,
+                                 std::size_t n, std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  while (n >= 8) {
+    const std::uint64_t v = load_u64(src);
+    std::memcpy(dst, &v, sizeof(v));
+    crc = __crc32cd(crc, v);
+    src += 8;
+    dst += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    *dst++ = *src;
+    crc = __crc32cb(crc, static_cast<std::uint8_t>(*src++));
+  }
+  return ~crc;
+}
+
+#else
+
+bool crc32c_hw_available() noexcept { return false; }
+
+std::uint32_t crc32c_hw(std::span<const std::byte> data,
+                        std::uint32_t seed) noexcept {
+  return crc32c_sw(data, seed);
+}
+
+std::uint32_t copy_and_crc32c_hw(std::byte* dst, const std::byte* src,
+                                 std::size_t n, std::uint32_t seed) noexcept {
+  return copy_and_crc32c_sw(dst, src, n, seed);
+}
+
+#endif
+
+}  // namespace detail
+
+std::uint32_t crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed) noexcept {
+  if (detail::crc32c_hw_available()) {
+    return detail::crc32c_hw(data, seed);
+  }
+  return detail::crc32c_sw(data, seed);
+}
+
+std::uint32_t copy_and_crc32c(std::byte* dst, std::span<const std::byte> src,
+                              std::uint32_t seed) noexcept {
+  if (detail::crc32c_hw_available()) {
+    return detail::copy_and_crc32c_hw(dst, src.data(), src.size(), seed);
+  }
+  return detail::copy_and_crc32c_sw(dst, src.data(), src.size(), seed);
 }
 
 }  // namespace cmpi

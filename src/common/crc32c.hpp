@@ -5,10 +5,11 @@
 // past the device model, stray write) becomes a retryable NAK instead of
 // silent corruption.
 //
-// Software slice-by-8 implementation: no ISA dependence (the simulated
-// pool runs on whatever host builds the tests) and fast enough that the
-// checksum never shows up next to the modeled CXL latencies. The checksum
-// is host-side work only — it charges no virtual time.
+// Two implementations, picked once at startup:
+//   - hardware: SSE4.2 `crc32` (x86-64) or the ARMv8 CRC32 extension,
+//     detected at runtime so the same binary runs on hosts without them;
+//   - software: slice-by-8 table, no ISA dependence.
+// The checksum is host-side work only — it charges no virtual time.
 #pragma once
 
 #include <cstddef>
@@ -21,11 +22,41 @@ namespace detail {
 /// Lazily built 8x256 lookup table for the Castagnoli polynomial
 /// (0x1EDC6F41, reflected 0x82F63B78).
 const std::uint32_t* crc32c_table() noexcept;
+
+/// Portable slice-by-8 implementation. Exposed so tests can check that the
+/// hardware path agrees with it bit-for-bit.
+std::uint32_t crc32c_sw(std::span<const std::byte> data,
+                        std::uint32_t seed) noexcept;
+
+/// True when the running CPU has a usable CRC32C instruction (SSE4.2 on
+/// x86-64, the CRC extension on ARMv8) and the hardware path is active.
+bool crc32c_hw_available() noexcept;
+
+/// Hardware implementation; only callable when crc32c_hw_available().
+std::uint32_t crc32c_hw(std::span<const std::byte> data,
+                        std::uint32_t seed) noexcept;
+
+/// Fused copy+CRC, software path (exposed for the agreement test).
+std::uint32_t copy_and_crc32c_sw(std::byte* dst, const std::byte* src,
+                                 std::size_t n, std::uint32_t seed) noexcept;
+
+/// Fused copy+CRC, hardware path; only callable when crc32c_hw_available().
+std::uint32_t copy_and_crc32c_hw(std::byte* dst, const std::byte* src,
+                                 std::size_t n, std::uint32_t seed) noexcept;
 }  // namespace detail
 
 /// CRC32C of `data`, continuing from `seed` (pass the previous result to
 /// checksum a message in chunks). The empty span returns `seed` unchanged.
 std::uint32_t crc32c(std::span<const std::byte> data,
                      std::uint32_t seed = 0) noexcept;
+
+/// Copies `src` into `dst` while computing CRC32C of the bytes in the same
+/// traversal. Equivalent to `memcpy(dst, src, src.size())` followed by
+/// `crc32c(src, seed)` but touches the payload once instead of twice — the
+/// eager send path uses this to build its staging copy and the checksum in
+/// a single pass. `dst` must hold at least `src.size()` bytes and must not
+/// overlap `src`.
+std::uint32_t copy_and_crc32c(std::byte* dst, std::span<const std::byte> src,
+                              std::uint32_t seed = 0) noexcept;
 
 }  // namespace cmpi

@@ -58,6 +58,7 @@ runtime::UniverseConfig bench_universe_config(const SweepParams& params) {
   cfg.ranks_per_node = static_cast<unsigned>(params.procs) / 2;
   cfg.cell_payload = params.cell_payload;
   cfg.ring_cells = params.ring_cells;
+  cfg.rendezvous_threshold = params.rendezvous_threshold;
   cfg.arena_params.levels = 4;
   cfg.arena_params.level1_buckets = 127;
   // Pool: ring matrix + windows + metadata, with generous slack. The memfd

@@ -39,6 +39,10 @@ struct SweepParams {
   /// cMPI message-cell payload (§4.3; the paper's tuned value is 64 KiB).
   std::size_t cell_payload = 64 * 1024;
   std::size_t ring_cells = 8;
+  /// Two-sided rendezvous threshold: 0 = library default (one cell
+  /// payload); SIZE_MAX effectively disables the large-message path so a
+  /// sweep can measure the eager-only baseline.
+  std::size_t rendezvous_threshold = 0;
 };
 
 /// Message window for a given size (OSU window, adaptively bounded).

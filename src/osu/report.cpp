@@ -119,6 +119,70 @@ void FigureTable::print_csv(std::ostream& os) const {
   os.flush();
 }
 
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void FigureTable::print_json(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& metadata) const {
+  os << "{\n";
+  os << "  \"title\": \"" << json_escape(title_) << "\",\n";
+  os << "  \"row_label\": \"" << json_escape(row_label_) << "\",\n";
+  os << "  \"unit\": \"" << json_escape(value_unit_) << "\",\n";
+  os << "  \"metadata\": {";
+  for (std::size_t i = 0; i < metadata.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metadata[i].first)
+       << "\": \"" << json_escape(metadata[i].second) << "\"";
+  }
+  os << (metadata.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"series\": {";
+  bool first_series = true;
+  for (const auto& name : series_order_) {
+    os << (first_series ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": [";
+    first_series = false;
+    const auto& column = data_.at(name);
+    bool first_row = true;
+    for (const std::size_t key : row_order_) {
+      const auto it = column.find(key);
+      if (it == column.end()) {
+        continue;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", it->second);
+      os << (first_row ? "\n" : ",\n") << "      {\"size\": " << key
+         << ", \"value\": " << buf << "}";
+      first_row = false;
+    }
+    os << (first_row ? "]" : "\n    ]");
+  }
+  os << (series_order_.empty() ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  os.flush();
+}
+
 double max_ratio(const FigureTable& table, const std::string& numerator,
                  const std::string& denominator) {
   double best = 0;

@@ -8,6 +8,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cmpi::osu {
@@ -30,6 +31,16 @@ class FigureTable {
 
   /// CSV (same data, machine-readable).
   void print_csv(std::ostream& os) const;
+
+  /// JSON document for plotting/regression tooling:
+  ///   {"title": ..., "row_label": ..., "unit": ...,
+  ///    "metadata": {...}, "series": {name: [{"size": N, "value": V}..]}}
+  /// `metadata` carries run parameters (rendezvous threshold, cell size,
+  /// iteration counts) so a checked-in artefact is self-describing.
+  void print_json(
+      std::ostream& os,
+      const std::vector<std::pair<std::string, std::string>>& metadata =
+          {}) const;
 
   [[nodiscard]] double at(const std::string& series,
                           std::size_t row_key) const;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string>
 
+#include "common/crc32c.hpp"
 #include "common/log.hpp"
 #include "cxlsim/fault_injector.hpp"
 
@@ -43,7 +45,13 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
       ssend_sent_(static_cast<std::size_t>(ctx.nranks()), 0),
       ssend_seen_(static_cast<std::size_t>(ctx.nranks()), 0),
       send_seq_(static_cast<std::size_t>(ctx.nranks()), 0),
-      staged_copies_(static_cast<std::size_t>(ctx.nranks())) {}
+      staged_copies_(static_cast<std::size_t>(ctx.nranks())),
+      staged_bytes_(static_cast<std::size_t>(ctx.nranks()), 0),
+      rdvz_inflight_(static_cast<std::size_t>(ctx.nranks())),
+      rdvz_slot_cache_(static_cast<std::size_t>(ctx.nranks())) {
+  const std::size_t configured = ctx.config().rendezvous_threshold;
+  rdvz_threshold_ = configured == 0 ? matrix_.cell_payload() : configured;
+}
 
 namespace {
 /// Internal tag space for synchronous-send acknowledgements: per-pair
@@ -57,12 +65,45 @@ constexpr std::uint32_t kSsendAckRange = 1u << 20;
 /// 4-byte payload: the msg_seq of the message they speak about.
 constexpr int kNakTag = kSsendAckBase + static_cast<int>(kSsendAckRange);
 constexpr int kRejectTag = kNakTag + 1;
+/// Rendezvous FIN: the receiver finished pulling message msg_seq (4-byte
+/// payload) from the sender's slab; the sender may recycle the slot.
+constexpr int kRdvzFinTag = kRejectTag + 1;
 
 int ssend_ack_tag(std::uint32_t counter) {
   return kSsendAckBase + static_cast<int>(counter % kSsendAckRange);
 }
 
 bool is_internal_tag(int tag) { return tag >= kSsendAckBase; }
+
+/// On-ring payload of one rendezvous RTS cell: where in the pool one
+/// segment of the message lives. The cell header still carries the real
+/// message envelope (tag, total_bytes, msg_seq) for matching/probing.
+struct RdvzDescriptor {
+  std::uint64_t slot_offset = 0;  ///< absolute pool offset of the slab
+  std::uint64_t seg_offset = 0;   ///< segment's offset within the message
+  std::uint64_t total_bytes = 0;  ///< message size (header cross-check)
+  std::uint32_t seg_bytes = 0;
+  std::uint32_t seg_crc = 0;      ///< CRC32C of the segment in the slab
+};
+static_assert(sizeof(RdvzDescriptor) == 32);
+
+/// Deadline for arena-lock acquisition on the rendezvous data path: long
+/// enough to never fire behind live contention, short enough that a lock
+/// wedged under a corpse degrades the send to eager instead of hanging it.
+constexpr std::chrono::milliseconds kRdvzLockTimeout{100};
+
+/// Bounded sub-chunk for slab bulk transfers. One monolithic multi-MiB op
+/// would saturate the memory-hierarchy contention penalty (the very
+/// collapse Fig. 5 shows for naive one-sided bulk ops), while tiny ops
+/// drown in per-op flush setup. The cell payload is the granularity §4.3
+/// already tuned for exactly this copy-size trade-off, so slab transfers
+/// move at the same stride the eager path would have used — floored at
+/// the contention threshold so a small-cell configuration doesn't drag
+/// the large-message path down with it.
+std::size_t rdvz_bulk_chunk(std::size_t cell_payload,
+                            const cxlsim::CxlTimingParams& params) {
+  return std::max<std::size_t>(cell_payload, params.contention_threshold);
+}
 }  // namespace
 
 Endpoint::~Endpoint() {
@@ -101,14 +142,51 @@ Endpoint::~Endpoint() {
         control_pending = control_pending || has_control(pending);
       }
       if (!control_pending) {
-        return;
+        break;
       }
       if (std::chrono::steady_clock::now() > deadline) {
         log_warn("endpoint teardown: control traffic still unstaged after "
                  "1 s; peer gone — dropping it");
-        return;
+        break;
       }
       ctx_->doorbell().wait_once();
+    }
+    // Best-effort FIN collection: receivers FIN the moment a rendezvous
+    // message is delivered, so a FIN for a still-inflight slot is usually
+    // already sitting in our inbound ring. One non-blocking drain pass
+    // recycles those slots into the cache. Slots whose FIN never arrived
+    // stay allocated on purpose — a live peer may still pull them; pool
+    // scavenge reclaims them if we die, pool teardown otherwise.
+    for (int src = 0; src < nranks(); ++src) {
+      if (src == rank() ||
+          rdvz_inflight_[static_cast<std::size_t>(src)].empty() ||
+          (injector != nullptr && injector->rank_crashed(src))) {
+        continue;
+      }
+      drain_source(src);
+    }
+    // A crashed receiver will never FIN: its inflight slots are ours to
+    // destroy (its own pool state is the scavenger's job, these slabs are
+    // ours).
+    if (injector != nullptr) {
+      for (int dst = 0; dst < nranks(); ++dst) {
+        if (!injector->rank_crashed(dst)) {
+          continue;
+        }
+        auto& inflight = rdvz_inflight_[static_cast<std::size_t>(dst)];
+        for (RdvzInflight& entry : inflight) {
+          destroy_rdvz_slot(std::move(entry.slot));
+        }
+        inflight.clear();
+      }
+    }
+    // Cached (FINished) slots are idle and ours: destroy them so repeated
+    // sessions over one pool do not bleed arena space.
+    for (auto& cache : rdvz_slot_cache_) {
+      for (arena::ObjectHandle& slot : cache) {
+        destroy_rdvz_slot(std::move(slot));
+      }
+      cache.clear();
     }
   } catch (...) {
     // Best-effort: a fault-plan crash firing inside the flush (the
@@ -128,6 +206,7 @@ RequestPtr Endpoint::isend(int dst, int tag,
   request->peer = dst;
   request->tag = tag;
   request->send_data = data;
+  request->rendezvous = !is_internal_tag(tag) && data.size() > rdvz_threshold_;
   request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   if (!is_internal_tag(tag)) {
     ++stats_.messages_sent;
@@ -152,6 +231,7 @@ RequestPtr Endpoint::issend(int dst, int tag,
   request->peer = dst;
   request->tag = tag;
   request->send_data = data;
+  request->rendezvous = data.size() > rdvz_threshold_;
   request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
@@ -175,48 +255,71 @@ void Endpoint::push_sends(int dst) {
   const std::size_t cell = matrix_.cell_payload();
   while (!pending.empty()) {
     Request& req = *pending.front();
-    const std::size_t total = req.send_data.size();
-    bool made_progress = false;
-    while (req.bytes_pushed < total || (total == 0 && !req.staged)) {
-      const std::size_t chunk =
-          std::min(cell, total - req.bytes_pushed);
-      const bool last = req.bytes_pushed + chunk == total;
-      queue::CellHeader header{};
-      header.src_rank = static_cast<std::uint32_t>(rank());
-      header.src_incarnation = ctx_->incarnation();
-      header.tag = static_cast<std::uint32_t>(req.tag);
-      header.msg_seq = req.seq;
-      header.total_bytes = total;
-      header.chunk_offset = req.bytes_pushed;
-      header.chunk_bytes = static_cast<std::uint32_t>(chunk);
-      header.flags = (last ? queue::kLastChunk : 0u) |
-                     (req.synchronous ? queue::kSyncSend : 0u) |
-                     req.force_flags;
-      if (!ring.try_enqueue(ctx_->acc(), header,
-                            req.send_data.subspan(req.bytes_pushed, chunk))) {
-        break;
+    if (req.rendezvous) {
+      const RdvzPush outcome = push_rendezvous(dst, ring, req);
+      if (outcome == RdvzPush::kBlocked) {
+        return;  // ring/slot budget full; resume in a later progress()
       }
-      made_progress = true;
-      req.bytes_pushed += chunk;
-      // Scripted kill location for the recovery tests: the chunk is
-      // durably in the ring but the message may be incomplete — exactly
-      // the partial state a host dying mid-send leaves behind.
-      ctx_->acc().fault_sync_point("p2p-chunk-staged");
-      if (last) {
-        req.staged = true;
-        break;
+      if (outcome == RdvzPush::kFallback) {
+        continue;  // re-enter this same request through the eager path
       }
+      // Staged: the payload lives in the slab until the receiver's FIN;
+      // the caller's buffer is no longer referenced.
+      req.send_data = {};
+    } else {
+      prepare_eager_staging(req);
+      const std::size_t total = req.send_data.size();
+      bool made_progress = false;
+      while (req.bytes_pushed < total || (total == 0 && !req.staged)) {
+        const std::size_t chunk =
+            std::min(cell, total - req.bytes_pushed);
+        const bool last = req.bytes_pushed + chunk == total;
+        queue::CellHeader header{};
+        header.src_rank = static_cast<std::uint32_t>(rank());
+        header.src_incarnation = ctx_->incarnation();
+        header.tag = static_cast<std::uint32_t>(req.tag);
+        header.msg_seq = req.seq;
+        header.total_bytes = total;
+        header.chunk_offset = req.bytes_pushed;
+        header.chunk_bytes = static_cast<std::uint32_t>(chunk);
+        header.flags = (last ? queue::kLastChunk : 0u) |
+                       (req.synchronous ? queue::kSyncSend : 0u) |
+                       req.force_flags;
+        const auto payload = req.send_data.subspan(req.bytes_pushed, chunk);
+        bool enqueued;
+        if (!req.chunk_crcs.empty()) {
+          // The fused staging pass already checksummed each cell chunk;
+          // hand the CRC in so the ring skips its own pass.
+          header.payload_crc = req.chunk_crcs[req.bytes_pushed / cell];
+          enqueued = ring.try_enqueue_prehashed(ctx_->acc(), header, payload);
+        } else {
+          enqueued = ring.try_enqueue(ctx_->acc(), header, payload);
+        }
+        if (!enqueued) {
+          break;
+        }
+        made_progress = true;
+        req.bytes_pushed += chunk;
+        // Scripted kill location for the recovery tests: the chunk is
+        // durably in the ring but the message may be incomplete — exactly
+        // the partial state a host dying mid-send leaves behind.
+        ctx_->acc().fault_sync_point("p2p-chunk-staged");
+        if (last) {
+          req.staged = true;
+          break;
+        }
+      }
+      if (made_progress) {
+        ctx_->doorbell().ring();
+      }
+      if (!req.staged) {
+        return;  // ring full; resume in a later progress() call
+      }
+      // All chunks are in cells now; drop the reference to the payload
+      // before staging moves it, so a completed request cannot dangle.
+      req.send_data = {};
+      stage_for_retransmit(dst, req);
     }
-    if (made_progress) {
-      ctx_->doorbell().ring();
-    }
-    if (!req.staged) {
-      return;  // ring full; resume in a later progress() call
-    }
-    stage_for_retransmit(dst, req);
-    // All chunks are in cells now; drop the reference to the caller's
-    // buffer so a completed request cannot dangle into freed memory.
-    req.send_data = {};
     if (req.synchronous) {
       // Completion comes with the receiver's match ack (progress()).
       pending_ssends_.push_back(pending.front());
@@ -225,6 +328,202 @@ void Endpoint::push_sends(int dst) {
     }
     pending.pop_front();
   }
+}
+
+Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
+                                             Request& req) {
+  const std::size_t total = req.send_data.size();
+  auto& inflight = rdvz_inflight_[static_cast<std::size_t>(dst)];
+  if (!req.rdvz_slot.has_value()) {
+    if (inflight.size() >= kMaxRendezvousInflight) {
+      return RdvzPush::kBlocked;  // wait for the receiver's FINs
+    }
+    Result<arena::ObjectHandle> slot = acquire_rdvz_slot(dst, total);
+    if (!slot.is_ok()) {
+      // Pool pressure, or the arena lock is wedged behind a corpse:
+      // deliver through the eager path instead of failing the send.
+      req.rendezvous = false;
+      ++stats_.rendezvous_fallbacks;
+      return RdvzPush::kFallback;
+    }
+    req.rdvz_slot = std::move(slot).value();
+  }
+  cxlsim::Accessor& acc = ctx_->acc();
+  const std::uint64_t slab = req.rdvz_slot->pool_offset;
+  const std::size_t piece_max =
+      rdvz_bulk_chunk(matrix_.cell_payload(), acc.device().timing().params());
+  // Segment quantum: small enough that even a just-over-threshold message
+  // pipelines a few segments deep against the receiver (single-segment
+  // delivery would serialize writer and reader and lose the eager path's
+  // per-cell overlap), large enough that the per-segment RTS/fence cost
+  // stays amortized on multi-MiB messages. Only the sender chooses — the
+  // receiver follows whatever bounds each RTS descriptor carries.
+  const std::size_t seg_quantum =
+      std::clamp((total / 8 + piece_max - 1) / piece_max * piece_max,
+                 piece_max, kRendezvousSegmentBytes);
+  bool enqueued_any = false;
+  while (req.bytes_pushed < total) {
+    const std::size_t seg_begin = req.bytes_pushed;
+    const std::size_t seg = std::min(seg_quantum, total - seg_begin);
+    if (req.rdvz_written <= seg_begin) {
+      // Write the segment into the slab in bounded sub-chunks, folding
+      // the CRC in as the bytes stream past (host-side, charge-free).
+      std::uint32_t crc = 0;
+      for (std::size_t off = 0; off < seg; off += piece_max) {
+        const std::size_t piece = std::min(piece_max, seg - off);
+        const auto piece_span = req.send_data.subspan(seg_begin + off, piece);
+        acc.bulk_write(slab + seg_begin + off, piece_span);
+        crc = crc32c(piece_span, crc);
+      }
+      req.rdvz_seg_crc = crc;
+      req.rdvz_written = seg_begin + seg;
+      // Scripted kill location: slab writes issued but the RTS never
+      // published — the receiver never learns of this segment and the
+      // slot is reclaimed by pool scavenge.
+      acc.fault_sync_point("p2p-rdvz-slab-written");
+    }
+    if (!ring.can_enqueue(acc)) {
+      break;  // the written segment is announced on a later attempt
+    }
+    RdvzDescriptor desc;
+    desc.slot_offset = slab;
+    desc.seg_offset = seg_begin;
+    desc.total_bytes = total;
+    desc.seg_bytes = static_cast<std::uint32_t>(seg);
+    desc.seg_crc = req.rdvz_seg_crc;
+    const bool last = seg_begin + seg == total;
+    queue::CellHeader header{};
+    header.src_rank = static_cast<std::uint32_t>(rank());
+    header.src_incarnation = ctx_->incarnation();
+    header.tag = static_cast<std::uint32_t>(req.tag);
+    header.msg_seq = req.seq;
+    header.total_bytes = total;
+    header.chunk_offset = seg_begin;
+    header.chunk_bytes = static_cast<std::uint32_t>(sizeof(desc));
+    header.flags = queue::kRendezvous | (last ? queue::kLastChunk : 0u) |
+                   (req.synchronous ? queue::kSyncSend : 0u);
+    // The RTS publish covers the slab segment too: try_enqueue's sfence
+    // drains the pending slab writes before the tail flag moves, so the
+    // receiver's slab reads causally follow a durable segment.
+    acc.annotate_publish_range(slab + seg_begin, seg);
+    const bool enqueued = ring.try_enqueue(
+        acc, header,
+        {reinterpret_cast<const std::byte*>(&desc), sizeof(desc)});
+    CMPI_ASSERT(enqueued);  // can_enqueue held above
+    enqueued_any = true;
+    req.bytes_pushed = seg_begin + seg;
+    // Scripted kill location: the RTS is durable — the receiver can pull
+    // this segment from the slab even if the sender dies now.
+    acc.fault_sync_point("p2p-rdvz-rts");
+  }
+  if (enqueued_any) {
+    ctx_->doorbell().ring();
+  }
+  if (req.bytes_pushed < total) {
+    return RdvzPush::kBlocked;  // ring full mid-announcement
+  }
+  req.staged = true;
+  inflight.push_back(RdvzInflight{req.seq, std::move(*req.rdvz_slot)});
+  req.rdvz_slot.reset();
+  ++stats_.rendezvous_sent;
+  return RdvzPush::kStaged;
+}
+
+Result<arena::ObjectHandle> Endpoint::acquire_rdvz_slot(int dst,
+                                                        std::uint64_t bytes) {
+  auto& cache = rdvz_slot_cache_[static_cast<std::size_t>(dst)];
+  for (auto it = cache.begin(); it != cache.end(); ++it) {
+    if (it->size >= bytes) {
+      arena::ObjectHandle slot = std::move(*it);
+      cache.erase(it);
+      return slot;
+    }
+  }
+  // Unique name per allocation: recycled slots keep their original name,
+  // so the counter never collides even across reuse.
+  const std::string name = std::string(arena::kRendezvousNamePrefix) +
+                           std::to_string(rank()) + "." +
+                           std::to_string(dst) + "." +
+                           std::to_string(rdvz_name_counter_++);
+  const cxlsim::FaultInjector* injector = ctx_->device().fault_injector();
+  return ctx_->arena().create_for(
+      name, bytes, arena::Ownership::kOwned, kRdvzLockTimeout,
+      [injector](std::size_t participant) {
+        return injector != nullptr &&
+               injector->rank_crashed(static_cast<int>(participant));
+      });
+}
+
+void Endpoint::destroy_rdvz_slot(arena::ObjectHandle slot) {
+  const cxlsim::FaultInjector* injector = ctx_->device().fault_injector();
+  const Status destroyed = ctx_->arena().destroy_for(
+      slot, kRdvzLockTimeout, [injector](std::size_t participant) {
+        return injector != nullptr &&
+               injector->rank_crashed(static_cast<int>(participant));
+      });
+  if (!destroyed.is_ok() && destroyed.code() != ErrorCode::kNotFound) {
+    // Deliberate leak on a wedged arena lock: scavenging whoever holds it
+    // unblocks future destroys, and the slab is reclaimed with us if we
+    // die, or at pool teardown.
+    log_warn("rendezvous slot '%s' not destroyed: %s", slot.name.c_str(),
+             destroyed.message().c_str());
+  }
+}
+
+void Endpoint::release_rdvz_slot(int dst, arena::ObjectHandle slot) {
+  auto& cache = rdvz_slot_cache_[static_cast<std::size_t>(dst)];
+  cache.push_back(std::move(slot));
+  while (cache.size() > kRendezvousSlotCacheDepth) {
+    arena::ObjectHandle victim = std::move(cache.front());
+    cache.pop_front();
+    destroy_rdvz_slot(std::move(victim));
+  }
+}
+
+void Endpoint::pull_rendezvous_segment(std::uint64_t seg_pool_offset,
+                                       std::size_t msg_offset,
+                                       std::size_t seg_bytes,
+                                       std::uint32_t seg_crc,
+                                       std::span<std::byte> buffer,
+                                       bool& corrupt, bool& truncated) {
+  cxlsim::Accessor& acc = ctx_->acc();
+  if (msg_offset + seg_bytes > buffer.size()) {
+    truncated = true;
+  }
+  const std::size_t piece_max =
+      rdvz_bulk_chunk(matrix_.cell_payload(), acc.device().timing().params());
+  // The slab stays live until we FIN, so a CRC mismatch here is repaired
+  // by re-reading in place — the rendezvous analogue of the eager path's
+  // NAK/retransmit loop, with the same attempt budget.
+  for (std::size_t attempt = 0; attempt <= kMaxRetransmits; ++attempt) {
+    std::uint32_t crc = 0;
+    for (std::size_t off = 0; off < seg_bytes; off += piece_max) {
+      const std::size_t piece = std::min(piece_max, seg_bytes - off);
+      const std::size_t at = msg_offset + off;
+      const bool fits = at + piece <= buffer.size();
+      std::span<std::byte> dst;
+      if (fits) {
+        dst = buffer.subspan(at, piece);
+      } else {
+        // Truncation: consume through scratch, keep the bytes that fit.
+        scratch_.resize(piece);
+        dst = std::span<std::byte>(scratch_).subspan(0, piece);
+      }
+      acc.bulk_read(seg_pool_offset + off, dst);
+      crc = crc32c(dst, crc);
+      if (!fits && at < buffer.size()) {
+        std::memcpy(buffer.data() + at, dst.data(), buffer.size() - at);
+      }
+    }
+    if (crc == seg_crc) {
+      return;
+    }
+    ctx_->recovery_counters().crc_failures.fetch_add(1);
+    if (acc.poison_pending()) {
+      break;  // media poison is sticky; re-reading cannot clear it
+    }
+  }
+  corrupt = true;
 }
 
 void Endpoint::send_ssend_ack(int src, std::uint32_t counter) {
@@ -237,13 +536,35 @@ void Endpoint::send_ssend_ack(int src, std::uint32_t counter) {
 
 // ---------- Payload integrity: NAK / retransmission ----------
 
-void Endpoint::stage_for_retransmit(int dst, const Request& req) {
-  // Only user payloads are staged: internal messages carry no data worth
-  // retransmitting, and a retransmission's copy is already staged. The
-  // copy is host-side bookkeeping (like a NIC retaining its DMA buffer)
-  // and charges no virtual time.
-  if (req.send_data.empty() || is_internal_tag(req.tag) ||
-      (req.force_flags & queue::kRetransmit) != 0) {
+void Endpoint::prepare_eager_staging(Request& req) {
+  // Only user payloads get a staging copy: internal messages carry no
+  // data worth retransmitting, a retransmission already owns its copy,
+  // and a repeat call (ring was full last attempt) finds `owned` built.
+  if (req.send_data.empty() || !req.owned.empty() ||
+      is_internal_tag(req.tag) || req.force_flags != 0 ||
+      !req.chunk_crcs.empty()) {
+    return;
+  }
+  // One fused pass replaces three (memcpy for staging, CRC in the ring's
+  // enqueue, and the eventual retransmit source): copy into the staging
+  // buffer while folding the CRC per cell chunk, then push the cells
+  // straight out of that copy with try_enqueue_prehashed. Host-side
+  // bookkeeping (like a NIC retaining its DMA buffer) — no virtual time.
+  const std::size_t total = req.send_data.size();
+  const std::size_t cell = matrix_.cell_payload();
+  req.owned.resize(total);
+  req.chunk_crcs.reserve((total + cell - 1) / cell);
+  for (std::size_t off = 0; off < total; off += cell) {
+    const std::size_t chunk = std::min(cell, total - off);
+    req.chunk_crcs.push_back(copy_and_crc32c(
+        req.owned.data() + off, req.send_data.subspan(off, chunk)));
+  }
+  req.send_data = req.owned;
+}
+
+void Endpoint::stage_for_retransmit(int dst, Request& req) {
+  if (is_internal_tag(req.tag) ||
+      (req.force_flags & queue::kRetransmit) != 0 || req.owned.empty()) {
     return;
   }
   auto& staged = staged_copies_[static_cast<std::size_t>(dst)];
@@ -251,9 +572,20 @@ void Endpoint::stage_for_retransmit(int dst, const Request& req) {
   copy.seq = req.seq;
   copy.tag = req.tag;
   copy.synchronous = req.synchronous;
-  copy.data.assign(req.send_data.begin(), req.send_data.end());
+  copy.data = std::move(req.owned);
+  copy.chunk_crcs = std::move(req.chunk_crcs);
+  staged_bytes_[static_cast<std::size_t>(dst)] += copy.data.size();
   staged.push_back(std::move(copy));
-  while (staged.size() > kRetransmitStagingDepth) {
+  // Dual bound — entry count and bytes — so neither many small messages
+  // nor one long stream of large ones grows host memory without limit.
+  // The newest copy always survives: the message just staged must be
+  // NAKable at least once.
+  while ((staged.size() > kRetransmitStagingDepth ||
+          staged_bytes_[static_cast<std::size_t>(dst)] >
+              kRetransmitStagingBytes) &&
+         staged.size() > 1) {
+    staged_bytes_[static_cast<std::size_t>(dst)] -=
+        staged.front().data.size();
     staged.pop_front();
   }
 }
@@ -282,6 +614,7 @@ void Endpoint::queue_retransmit(int dst, const StagedCopy& copy) {
   // The request owns its payload: the staging entry may be evicted while
   // this retransmission still sits in the send queue.
   request->owned = copy.data;
+  request->chunk_crcs = copy.chunk_crcs;
   request->send_data = request->owned;
   send_queues_[static_cast<std::size_t>(dst)].push_back(std::move(request));
   push_sends(dst);
@@ -294,6 +627,20 @@ void Endpoint::handle_control(int src, int tag,
   }
   std::uint32_t seq = 0;
   std::memcpy(&seq, payload.data(), sizeof(seq));
+  if (tag == kRdvzFinTag) {
+    // The receiver finished pulling rendezvous message `seq`: its slab is
+    // ours again. An unknown seq is benign (the slot was already destroyed
+    // by scavenge_peer or teardown).
+    auto& inflight = rdvz_inflight_[static_cast<std::size_t>(src)];
+    const auto it =
+        std::find_if(inflight.begin(), inflight.end(),
+                     [&](const RdvzInflight& e) { return e.seq == seq; });
+    if (it != inflight.end()) {
+      release_rdvz_slot(src, std::move(it->slot));
+      inflight.erase(it);
+    }
+    return;
+  }
   if (tag == kNakTag) {
     // The receiver saw a corrupt payload for our message `seq`.
     auto& staged = staged_copies_[static_cast<std::size_t>(src)];
@@ -438,6 +785,45 @@ bool Endpoint::match_unexpected(Request& request) {
         !tags_match(request.peer, request.tag, msg.source, msg.tag)) {
       continue;
     }
+    if (msg.rendezvous) {
+      // Deferred one-copy delivery: the payload waited in the sender's
+      // slab; pull it pool→user now that the destination is known, then
+      // FIN so the sender can recycle the slot.
+      Status delivery = Status::ok();
+      bool corrupt = false;
+      bool truncated = false;
+      if (msg.data_error.is_ok()) {
+        for (const RdvzSegment& seg : msg.rdvz_segs) {
+          pull_rendezvous_segment(
+              seg.pool_offset,
+              static_cast<std::size_t>(seg.pool_offset -
+                                       msg.rdvz_slot_offset),
+              seg.bytes, seg.crc, request.recv_buffer, corrupt, truncated);
+        }
+        if (ctx_->acc().poison_pending()) {
+          delivery = ctx_->acc().take_poison_status(
+              "recv payload from rank " + std::to_string(msg.source));
+        } else if (corrupt) {
+          delivery = status::data_poisoned(
+              "payload from rank " + std::to_string(msg.source) +
+              " still corrupt after " + std::to_string(kMaxRetransmits) +
+              " re-reads");
+        } else if (truncated || msg.total > request.recv_buffer.size()) {
+          delivery = status::truncated("message larger than recv buffer");
+        }
+      } else {
+        delivery = msg.data_error;
+      }
+      complete_recv(request, msg.source, msg.tag,
+                    std::min(msg.total, request.recv_buffer.size()),
+                    std::move(delivery));
+      if (msg.synchronous) {
+        send_ssend_ack(msg.source, msg.ssend_counter);
+      }
+      send_control(msg.source, kRdvzFinTag, msg.rdvz_seq);
+      unexpected_.erase(it);
+      return true;
+    }
     const std::size_t copy = std::min(msg.total, request.recv_buffer.size());
     // One extra host copy — the cost of an unexpected arrival, same as in
     // MPICH. The CXL-side copy was already charged when the chunk was
@@ -529,15 +915,16 @@ void Endpoint::drain_source(int src) {
       assembly.unexpected = nullptr;
       assembly.data_error = Status::ok();
       assembly.synchronous = (header->flags & queue::kSyncSend) != 0;
+      assembly.rendezvous = (header->flags & queue::kRendezvous) != 0;
       if (header->src_incarnation != ctx_->incarnation(src)) {
         // Incarnation fence: this message was published by a previous
         // (dead) life of `src`. Consume and discard it whole — stale
         // writes must not leak into the new epoch's traffic.
         assembly.fenced = true;
         ctx_->recovery_counters().stale_fenced.fetch_add(1);
-      } else if (tag == kNakTag || tag == kRejectTag) {
-        // Retransmission control traffic: consumed, acted on, never
-        // delivered to matching.
+      } else if (tag == kNakTag || tag == kRejectTag || tag == kRdvzFinTag) {
+        // Retransmission/rendezvous control traffic: consumed, acted on,
+        // never delivered to matching.
         assembly.control = true;
         assembly.control_data.assign(header->total_bytes, std::byte{0});
       } else if ((header->flags & queue::kRetransmit) != 0) {
@@ -570,7 +957,14 @@ void Endpoint::drain_source(int src) {
           msg->source = src;
           msg->tag = tag;
           msg->total = header->total_bytes;
-          msg->data.resize(header->total_bytes);
+          if (assembly.rendezvous) {
+            // Deferred pull: the payload stays parked in the sender's slab
+            // until a receive matches — the one copy happens pool→user.
+            msg->rendezvous = true;
+            msg->rdvz_seq = header->msg_seq;
+          } else {
+            msg->data.resize(header->total_bytes);
+          }
           msg->synchronous = assembly.synchronous;
           msg->ssend_counter = assembly.ssend_counter;
           assembly.unexpected = msg;
@@ -586,6 +980,43 @@ void Endpoint::drain_source(int src) {
                        std::span<std::byte>(assembly.control_data)
                            .subspan(header->chunk_offset,
                                     header->chunk_bytes));
+    } else if (assembly.rendezvous) {
+      // The cell is an RTS descriptor, not payload: decode it, then pull
+      // the announced segment straight from the sender's slab.
+      RdvzDescriptor desc{};
+      scratch_.resize(
+          std::max<std::size_t>(header->chunk_bytes, sizeof(desc)));
+      ring.try_dequeue(
+          ctx_->acc(), consumed,
+          std::span<std::byte>(scratch_).subspan(0, header->chunk_bytes));
+      bool desc_ok = ring.last_dequeue_intact() &&
+                     header->chunk_bytes == sizeof(RdvzDescriptor);
+      if (desc_ok) {
+        std::memcpy(&desc, scratch_.data(), sizeof(desc));
+        desc_ok = desc.total_bytes == assembly.total &&
+                  desc.seg_offset + desc.seg_bytes <= assembly.total;
+      }
+      if (!desc_ok) {
+        // A torn descriptor leaves the segment unlocatable; the slab was
+        // never touched, so only this message is damaged, not the ring.
+        assembly.corrupt = true;
+      } else {
+        if (assembly.request != nullptr) {
+          pull_rendezvous_segment(desc.slot_offset + desc.seg_offset,
+                                  desc.seg_offset, desc.seg_bytes,
+                                  desc.seg_crc, assembly.request->recv_buffer,
+                                  assembly.corrupt, assembly.truncated);
+        } else if (assembly.unexpected != nullptr) {
+          UnexpectedMsg& msg = *assembly.unexpected;
+          msg.rdvz_slot_offset = desc.slot_offset;
+          msg.rdvz_segs.push_back(RdvzSegment{
+              desc.slot_offset + desc.seg_offset, desc.seg_bytes,
+              desc.seg_crc});
+          msg.received += desc.seg_bytes;
+        }
+        // Fenced/detached: descriptor consumed, slab left untouched.
+        assembly.received += desc.seg_bytes;
+      }
     } else if (assembly.request != nullptr) {
       std::span<std::byte> buffer = assembly.request->recv_buffer;
       if (header->chunk_offset + header->chunk_bytes <= buffer.size()) {
@@ -625,11 +1056,16 @@ void Endpoint::drain_source(int src) {
       assembly.data_error = ctx_->acc().take_poison_status(
           "recv payload from rank " + std::to_string(src));
     }
-    assembly.received += header->chunk_bytes;
+    if (!assembly.rendezvous) {
+      assembly.received += header->chunk_bytes;
+    }
     drained_any = true;
 
     if ((header->flags & queue::kLastChunk) != 0) {
-      CMPI_ASSERT(assembly.received == assembly.total);
+      // A torn RTS descriptor loses that segment's byte count, so a
+      // corrupt rendezvous assembly may legitimately undercount.
+      CMPI_ASSERT(assembly.received == assembly.total ||
+                  (assembly.rendezvous && assembly.corrupt));
       const bool damaged = assembly.corrupt || !assembly.data_error.is_ok();
       if (assembly.control) {
         if (!damaged) {
@@ -638,7 +1074,9 @@ void Endpoint::drain_source(int src) {
         // A damaged control message is dropped: retransmitting NAKs of
         // NAKs cannot converge, and the peer's next NAK retries anyway.
       } else if (assembly.request != nullptr) {
-        if (damaged && begin_retry(src, tag, assembly)) {
+        // Rendezvous damage never NAKs: pull_rendezvous_segment already
+        // exhausted its re-read budget against the live slab.
+        if (damaged && !assembly.rendezvous && begin_retry(src, tag, assembly)) {
           // The request went back to the head of posted_recvs_; the
           // retransmission (or a REJECT) completes it later.
         } else {
@@ -650,7 +1088,7 @@ void Endpoint::drain_source(int src) {
             delivery = status::data_poisoned(
                 "payload from rank " + std::to_string(src) +
                 " still corrupt after " + std::to_string(kMaxRetransmits) +
-                " retransmissions");
+                (assembly.rendezvous ? " re-reads" : " retransmissions"));
           } else if (assembly.truncated) {
             delivery = status::truncated("message larger than recv buffer");
           }
@@ -664,9 +1102,14 @@ void Endpoint::drain_source(int src) {
           if (assembly.synchronous) {
             send_ssend_ack(src, assembly.ssend_counter);
           }
+          if (assembly.rendezvous) {
+            // FIN even when damaged: the sender's slab has nothing more
+            // to give, so holding its slot hostage helps nobody.
+            send_control(src, kRdvzFinTag, assembly.seq);
+          }
         }
       } else if (assembly.unexpected != nullptr) {
-        if (damaged && begin_retry(src, tag, assembly)) {
+        if (damaged && !assembly.rendezvous && begin_retry(src, tag, assembly)) {
           // Parked in unexpected_ with retry_pending; the retransmission
           // rewrites it in place.
         } else {
@@ -680,6 +1123,11 @@ void Endpoint::drain_source(int src) {
                 " retransmissions");
           }
           retry_.erase({src, assembly.seq});
+          if (assembly.rendezvous) {
+            // A torn descriptor undercounts `received`; force the message
+            // matchable so the error (if any) can be delivered.
+            msg.received = msg.total;
+          }
           // The unexpected message is now complete: a posted wildcard may
           // have been waiting for it.
           auto posted = std::find_if(
@@ -694,10 +1142,15 @@ void Endpoint::drain_source(int src) {
             CMPI_ASSERT(found);
           }
         }
+      } else if (assembly.rendezvous && !assembly.fenced) {
+        // Detached rendezvous (the matched receive was cancelled): the
+        // payload will never be pulled — FIN now so the sender's slot is
+        // not pinned forever.
+        send_control(src, kRdvzFinTag, assembly.seq);
       }
-      // (Detached and fenced assemblies complete silently — the message
-      // was consumed on behalf of a cancelled receive, or belongs to a
-      // dead incarnation.)
+      // (Other detached and all fenced assemblies complete silently — the
+      // message was consumed on behalf of a cancelled receive, or belongs
+      // to a dead incarnation.)
       assembly = Assembly{};
     }
   }
@@ -746,7 +1199,28 @@ Endpoint::DebugQueueSizes Endpoint::debug_queue_sizes() const noexcept {
   for (const auto& queue : send_queues_) {
     sizes.send_queued += queue.size();
   }
+  for (const std::size_t bytes : staged_bytes_) {
+    sizes.staged_bytes += bytes;
+  }
+  for (const auto& inflight : rdvz_inflight_) {
+    sizes.rendezvous_inflight += inflight.size();
+  }
+  for (const auto& cache : rdvz_slot_cache_) {
+    sizes.rendezvous_cached += cache.size();
+  }
   return sizes;
+}
+
+std::vector<Endpoint::DebugRdvzSlot> Endpoint::debug_rendezvous_inflight(
+    int dst) const {
+  CMPI_EXPECTS(dst >= 0 && dst < nranks());
+  std::vector<DebugRdvzSlot> out;
+  for (const RdvzInflight& entry :
+       rdvz_inflight_[static_cast<std::size_t>(dst)]) {
+    out.push_back(DebugRdvzSlot{entry.seq, entry.slot.pool_offset,
+                                entry.slot.size});
+  }
+  return out;
 }
 
 bool Endpoint::test(const RequestPtr& request) {
@@ -845,6 +1319,12 @@ bool Endpoint::cancel_request(const RequestPtr& request, Status verdict) {
         return false;
       }
       queue.erase(queued);
+    }
+    if (req.rdvz_slot.has_value()) {
+      // Slot acquired but nothing announced yet (an announced send either
+      // stayed pending above or moved the slot to the inflight list).
+      release_rdvz_slot(req.peer, std::move(*req.rdvz_slot));
+      req.rdvz_slot.reset();
     }
     if (req.synchronous) {
       std::erase_if(pending_ssends_,
@@ -987,14 +1467,24 @@ Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
   }
   // Partial or retry-parked unexpected messages from the corpse can never
   // complete; fully-arrived intact ones were sent before the death and
-  // stay deliverable.
+  // stay deliverable. Rendezvous arrivals are the exception: their bytes
+  // still sit in the corpse's slab, which the pool scavenge is about to
+  // reclaim — a deferred pull would read freed (or reused) memory.
   std::erase_if(unexpected_, [&](const std::shared_ptr<UnexpectedMsg>& m) {
-    return m->source == dead_rank && (!m->full() || m->retry_pending);
+    return m->source == dead_rank &&
+           (!m->full() || m->retry_pending || m->rendezvous);
   });
 
   // Outbound: nothing queued for the corpse will ever be consumed.
   auto& pending = send_queues_[dead];
   for (const RequestPtr& req : pending) {
+    if (req->rdvz_slot.has_value()) {
+      // Half-announced rendezvous send: the slab is ours to destroy (no
+      // live consumer can ever pull from it).
+      destroy_rdvz_slot(std::move(*req->rdvz_slot));
+      req->rdvz_slot.reset();
+      ++report.rendezvous_slots_freed;
+    }
     if (!req->complete_) {
       req->send_data = {};
       req->result_ = status::peer_failed(
@@ -1005,6 +1495,26 @@ Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
   }
   pending.clear();
   staged_copies_[dead].clear();
+  staged_bytes_[dead] = 0;
+  // In-flight rendezvous slots toward the corpse will never be FINed, and
+  // its cached (idle) slots are dead weight: both are our own arena
+  // objects, destroyed here rather than leaked until pool teardown.
+  auto& inflight = rdvz_inflight_[dead];
+  for (RdvzInflight& entry : inflight) {
+    destroy_rdvz_slot(std::move(entry.slot));
+    ++report.rendezvous_slots_freed;
+  }
+  inflight.clear();
+  auto& cache = rdvz_slot_cache_[dead];
+  for (arena::ObjectHandle& slot : cache) {
+    destroy_rdvz_slot(std::move(slot));
+    ++report.rendezvous_slots_freed;
+  }
+  cache.clear();
+  if (report.rendezvous_slots_freed > 0) {
+    ctx_->recovery_counters().rendezvous_slots_scavenged.fetch_add(
+        report.rendezvous_slots_freed);
+  }
   std::erase_if(pending_ssends_, [&](const RequestPtr& req) {
     if (req->peer != dead_rank) {
       return false;

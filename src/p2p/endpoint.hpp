@@ -35,6 +35,22 @@
 // is consumed and discarded whole at the match path (never delivered, never
 // acked) — late writes of the dead incarnation cannot leak into the new
 // epoch's traffic.
+//
+// Large-message fast path (one-copy rendezvous): a message larger than
+// the configured threshold (UniverseConfig::rendezvous_threshold; default
+// one cell payload) skips cell chunking entirely. The sender parks the
+// payload in a per-message arena slab and announces it through the ring
+// with small RTS descriptor cells (kRendezvous flag), one per
+// kRendezvousSegmentBytes segment so the receiver pulls segment k while
+// the sender writes k+1. The receiver reads each segment straight from
+// the pool into the user buffer — one copy end to end instead of the
+// eager path's copy-in/copy-out — and FINishes the message with a control
+// cell so the sender can recycle the slab (a small per-destination slot
+// cache amortizes arena allocation). Integrity is per-segment CRC32C with
+// bounded re-reads in place of NAK retransmissions (the slab IS the
+// staging copy); a dead sender's slabs are reclaimed by pool scavenge
+// (arena::kRendezvousNamePrefix), a dead receiver's un-FINished slots by
+// scavenge_peer.
 #pragma once
 
 #include <chrono>
@@ -48,6 +64,7 @@
 #include <utility>
 #include <vector>
 
+#include "arena/arena.hpp"
 #include "common/status.hpp"
 #include "queue/queue_matrix.hpp"
 #include "runtime/universe.hpp"
@@ -73,6 +90,11 @@ struct CommStats {
   std::uint64_t bytes_received = 0;
   /// Messages that arrived before a matching receive was posted.
   std::uint64_t unexpected_messages = 0;
+  /// Messages sent through the large-message rendezvous path.
+  std::uint64_t rendezvous_sent = 0;
+  /// Rendezvous-eligible messages delivered eagerly instead (arena slot
+  /// unavailable, or the arena lock deadline expired behind a corpse).
+  std::uint64_t rendezvous_fallbacks = 0;
   /// Virtual time spent inside wait()/wait_all().
   double wait_ns = 0;
 };
@@ -101,7 +123,16 @@ class Request {
   std::uint32_t seq = 0;             // per-(src,dst) message sequence
   std::uint32_t force_flags = 0;     // extra CellHeader flags (retransmit)
   std::vector<std::byte> owned;      // payload owned by the request itself
-                                     // (control messages, retransmissions)
+                                     // (control messages, retransmissions,
+                                     // eager staging copies)
+  /// Per-cell CRC32Cs computed while building `owned` (one fused
+  /// copy+checksum pass); the ring enqueues prehashed from these.
+  std::vector<std::uint32_t> chunk_crcs;
+  // rendezvous send fields (large-message one-copy path)
+  bool rendezvous = false;           // path decided at isend/issend time
+  std::optional<arena::ObjectHandle> rdvz_slot;  // slab while announcing
+  std::size_t rdvz_written = 0;      // slab bytes already written
+  std::uint32_t rdvz_seg_crc = 0;    // CRC of the written-but-unannounced seg
   // recv fields
   std::span<std::byte> recv_buffer{};
   bool matched = false;
@@ -121,6 +152,29 @@ class Endpoint {
   /// Completed sends (per destination) whose payloads stay staged for
   /// possible retransmission; older copies are evicted.
   static constexpr std::size_t kRetransmitStagingDepth = 8;
+  /// Byte budget of the per-destination retransmit staging. A long
+  /// one-way stream of large eager messages must not grow host memory
+  /// without bound, so the depth bound above is joined by this byte
+  /// bound; the newest copy always stays staged.
+  static constexpr std::size_t kRetransmitStagingBytes = std::size_t{1} << 20;
+  /// One rendezvous RTS descriptor is published per this many payload
+  /// bytes, so the receiver pulls segment k while the sender writes k+1
+  /// (a single end-of-message announcement would serialize the two sides
+  /// and lose to eager pipelining at low rank counts).
+  static constexpr std::size_t kRendezvousSegmentBytes = std::size_t{128}
+                                                        << 10;
+  /// Rendezvous slots staged toward one destination whose FIN is still
+  /// outstanding; further large sends to that destination wait (bounds
+  /// pool consumption under a one-way stream).
+  static constexpr std::size_t kMaxRendezvousInflight = 8;
+  /// FINished slots kept per destination for reuse (skips the arena
+  /// create/destroy round-trip on the next large message). Sized to the
+  /// inflight cap: an OSU-style window of concurrent sends returns that
+  /// many slots at once, and a smaller cache would destroy and re-create
+  /// the excess every iteration (measured 3.6x bandwidth loss at 128 KiB
+  /// with a depth-2 cache under an 8-message window).
+  static constexpr std::size_t kRendezvousSlotCacheDepth =
+      kMaxRendezvousInflight;
 
   /// Collective construction: every rank of the universe calls this during
   /// initialization. Rank 0 creates and formats the ring matrix in the
@@ -217,14 +271,36 @@ class Endpoint {
     std::size_t matched_keepalive = 0;
     std::size_t pending_ssends = 0;
     std::size_t send_queued = 0;  // across all destinations
+    std::size_t staged_bytes = 0;  // retransmit staging, all destinations
+    std::size_t rendezvous_inflight = 0;  // slots awaiting FIN, all dsts
+    std::size_t rendezvous_cached = 0;    // recycled slots held, all dsts
   };
   [[nodiscard]] DebugQueueSizes debug_queue_sizes() const noexcept;
+
+  /// Sender-side in-flight rendezvous slots toward `dst` (fully announced,
+  /// FIN not yet received). Lets fault-injection tests aim poison at the
+  /// slab bytes a deferred (unexpected-message) pull will read.
+  struct DebugRdvzSlot {
+    std::uint32_t seq = 0;
+    std::uint64_t pool_offset = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] std::vector<DebugRdvzSlot> debug_rendezvous_inflight(
+      int dst) const;
+  /// Effective eager/rendezvous switchover in bytes (resolved from the
+  /// UniverseConfig at construction).
+  [[nodiscard]] std::size_t rendezvous_threshold() const noexcept {
+    return rdvz_threshold_;
+  }
 
   /// What scavenge_peer reclaimed from this endpoint's view of a corpse.
   struct PeerScavengeReport {
     std::uint64_t cells_drained = 0;   ///< published ring cells discarded
     std::uint64_t cells_torn = 0;      ///< cells failing generation/CRC
     std::uint64_t requests_failed = 0; ///< requests completed kPeerFailed
+    /// Our rendezvous slots toward the corpse destroyed here (in-flight
+    /// slots whose FIN will never come, plus idle cached slots).
+    std::uint64_t rendezvous_slots_freed = 0;
   };
 
   /// Endpoint-local half of pool recovery (the pool-global half is
@@ -252,6 +328,13 @@ class Endpoint {
  private:
   Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix);
 
+  /// Receiver-side record of one announced rendezvous segment.
+  struct RdvzSegment {
+    std::uint64_t pool_offset = 0;  ///< absolute pool offset of the segment
+    std::uint32_t bytes = 0;
+    std::uint32_t crc = 0;
+  };
+
   /// A message that arrived (fully or partially) with no matching posted
   /// receive yet.
   struct UnexpectedMsg {
@@ -262,6 +345,14 @@ class Endpoint {
     std::vector<std::byte> data;
     bool synchronous = false;        // sender awaits a match ack
     std::uint32_t ssend_counter = 0;
+    /// Large-message rendezvous: the payload stays parked in the sender's
+    /// slab (not copied into `data`); `rdvz_segs` records where each
+    /// announced segment lives. Pulled into the user buffer — and FINed —
+    /// only when a receive finally matches.
+    bool rendezvous = false;
+    std::uint64_t rdvz_slot_offset = 0;  // slab base (segment->msg offsets)
+    std::uint32_t rdvz_seq = 0;          // sender's msg_seq (FIN payload)
+    std::vector<RdvzSegment> rdvz_segs;
     /// The payload arrived corrupt and a retransmission was requested; the
     /// message is not matchable until the retransmit lands (or a REJECT
     /// finalizes it with kDataPoisoned).
@@ -285,7 +376,8 @@ class Endpoint {
     bool synchronous = false;
     bool corrupt = false;           // a chunk failed the generation/CRC scan
     bool fenced = false;            // stale incarnation: discard whole msg
-    bool control = false;           // NAK/REJECT: consumed, never delivered
+    bool control = false;           // NAK/REJECT/FIN: consumed, not delivered
+    bool rendezvous = false;        // cells are RTS descriptors, not payload
     std::uint32_t ssend_counter = 0;
     std::vector<std::byte> control_data;  // control message payload
     /// Media error recorded while chunks were drained (kDataPoisoned).
@@ -299,6 +391,16 @@ class Endpoint {
     int tag = 0;
     bool synchronous = false;
     std::vector<std::byte> data;
+    /// Per-cell CRCs carried over from the fused staging pass, so a
+    /// retransmission enqueues prehashed too.
+    std::vector<std::uint32_t> chunk_crcs;
+  };
+
+  /// Sender-side rendezvous slot fully announced toward a destination,
+  /// awaiting that receiver's FIN before the slab can be recycled.
+  struct RdvzInflight {
+    std::uint32_t seq = 0;
+    arena::ObjectHandle slot;
   };
 
   /// Receiver-side state of a message awaiting retransmission, keyed by
@@ -322,8 +424,39 @@ class Endpoint {
   void drain_source(int src);
   void push_sends(int dst);
   bool match_unexpected(Request& request);
-  /// Keep a copy of a just-staged user payload for retransmission.
-  void stage_for_retransmit(int dst, const Request& request);
+
+  // --- Large-message rendezvous path ---
+  /// Outcome of one attempt to advance a rendezvous send.
+  enum class RdvzPush {
+    kBlocked,   ///< ring full or inflight budget exhausted; retry later
+    kStaged,    ///< fully announced; the slot moved to the inflight list
+    kFallback,  ///< no slab available; deliver this message eagerly
+  };
+  RdvzPush push_rendezvous(int dst, queue::SpscRing& ring, Request& req);
+  /// Slab for one outgoing message: recycled from the per-destination
+  /// cache when a FINished slot is large enough, freshly created
+  /// (deadline-bounded; see Arena::create_for) otherwise.
+  Result<arena::ObjectHandle> acquire_rdvz_slot(int dst, std::uint64_t bytes);
+  /// Return a slot to the per-destination cache, destroying the overflow.
+  void release_rdvz_slot(int dst, arena::ObjectHandle slot);
+  void destroy_rdvz_slot(arena::ObjectHandle slot);
+  /// Receiver side: pull one segment from the sender's slab into its
+  /// place in `buffer` (bytes beyond the buffer are consumed via scratch
+  /// and reported as truncation), verifying the segment CRC with bounded
+  /// re-reads in place of the eager path's NAK retransmissions.
+  void pull_rendezvous_segment(std::uint64_t seg_pool_offset,
+                               std::size_t msg_offset, std::size_t seg_bytes,
+                               std::uint32_t seg_crc,
+                               std::span<std::byte> buffer, bool& corrupt,
+                               bool& truncated);
+
+  /// Build the staging copy + per-cell CRCs for an eligible eager user
+  /// send in one fused pass over the payload (common/crc32c), and point
+  /// the request's send_data at the copy.
+  void prepare_eager_staging(Request& request);
+  /// Keep a copy of a just-staged user payload for retransmission (moves
+  /// the request's staging copy; call after send_data is dropped).
+  void stage_for_retransmit(int dst, Request& request);
   /// Queue a 4-byte NAK/REJECT control message carrying `seq`.
   void send_control(int dst, int tag, std::uint32_t seq);
   /// Sender side: act on an arrived NAK or REJECT.
@@ -357,6 +490,13 @@ class Endpoint {
   std::vector<std::uint32_t> ssend_seen_;           // per source
   std::vector<std::uint32_t> send_seq_;             // per destination
   std::vector<std::deque<StagedCopy>> staged_copies_;  // per destination
+  std::vector<std::size_t> staged_bytes_;              // per destination
+  /// Rendezvous sender state, per destination: slots awaiting FIN and the
+  /// recycled-slot cache.
+  std::vector<std::deque<RdvzInflight>> rdvz_inflight_;
+  std::vector<std::deque<arena::ObjectHandle>> rdvz_slot_cache_;
+  std::size_t rdvz_threshold_ = 0;   // resolved switchover (bytes)
+  std::uint64_t rdvz_name_counter_ = 0;  // unique slab names
   /// Messages awaiting retransmission, keyed (source, msg_seq).
   std::map<std::pair<int, std::uint32_t>, RetryState> retry_;
   std::deque<RequestPtr> posted_recvs_;             // in post order

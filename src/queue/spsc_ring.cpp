@@ -92,6 +92,18 @@ bool SpscRing::can_enqueue(cxlsim::Accessor& acc) {
 
 bool SpscRing::try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
                            std::span<const std::byte> payload) {
+  return enqueue_cell(acc, header, payload, /*compute_crc=*/true);
+}
+
+bool SpscRing::try_enqueue_prehashed(cxlsim::Accessor& acc,
+                                     const CellHeader& header,
+                                     std::span<const std::byte> payload) {
+  return enqueue_cell(acc, header, payload, /*compute_crc=*/false);
+}
+
+bool SpscRing::enqueue_cell(cxlsim::Accessor& acc, const CellHeader& header,
+                            std::span<const std::byte> payload,
+                            bool compute_crc) {
   CMPI_EXPECTS(payload.size() <= cell_payload_);
   CMPI_EXPECTS(header.chunk_bytes == payload.size());
   if (!can_enqueue(acc)) {
@@ -105,7 +117,9 @@ bool SpscRing::try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
   acc.sfence();
   CellHeader stamped = header;
   stamped.generation = static_cast<std::uint32_t>(tail_local_);
-  stamped.payload_crc = crc32c(payload);
+  if (compute_crc) {
+    stamped.payload_crc = crc32c(payload);
+  }
   stamped.stamp = std::bit_cast<std::uint64_t>(acc.clock().now());
   acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&stamped),
                       sizeof(CellHeader)});

@@ -75,6 +75,11 @@ inline constexpr std::uint32_t kSyncSend = 2;
 /// The message is a retransmission of an earlier sequence number (the
 /// receiver NAKed a corrupt payload; see p2p::Endpoint).
 inline constexpr std::uint32_t kRetransmit = 4;
+/// The cell is a rendezvous RTS descriptor: the payload is a small
+/// p2p-layer descriptor pointing at the message body parked in an arena
+/// slot, not message data (large-message one-copy path; see p2p::Endpoint).
+/// `total_bytes` still carries the real message size for matching/probing.
+inline constexpr std::uint32_t kRendezvous = 8;
 
 class SpscRing {
  public:
@@ -119,6 +124,14 @@ class SpscRing {
   /// full. `payload.size()` must be <= cell_payload.
   bool try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
                    std::span<const std::byte> payload);
+
+  /// Same as try_enqueue, but trusts `header.payload_crc` as supplied by
+  /// the caller instead of computing CRC32C over `payload` here. The p2p
+  /// eager path computes the checksum while building its staging copy
+  /// (one fused pass over the payload) and hands it in, so the ring does
+  /// not traverse the bytes a second time.
+  bool try_enqueue_prehashed(cxlsim::Accessor& acc, const CellHeader& header,
+                             std::span<const std::byte> payload);
 
   // ---- Consumer side ----
   /// True if a cell is available to dequeue.
@@ -190,6 +203,9 @@ class SpscRing {
  private:
   SpscRing(std::uint64_t base, std::size_t cells, std::size_t cell_payload)
       : base_(base), cells_(cells), cell_payload_(cell_payload) {}
+
+  bool enqueue_cell(cxlsim::Accessor& acc, const CellHeader& header,
+                    std::span<const std::byte> payload, bool compute_crc);
 
   [[nodiscard]] std::uint64_t cell_base(std::uint64_t index) const noexcept {
     return base_ + kCellsOffset +

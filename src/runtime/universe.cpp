@@ -291,6 +291,7 @@ RecoveryStats Universe::recovery_stats() const {
   out.stale_fenced = c.stale_fenced.load();
   out.scavenges = c.scavenges.load();
   out.ring_cells_tombstoned = c.ring_cells_tombstoned.load();
+  out.rendezvous_slots_scavenged = c.rendezvous_slots_scavenged.load();
   return out;
 }
 

@@ -66,6 +66,13 @@ struct UniverseConfig {
   /// Universe construction (the ring's free-running u64 indices need
   /// cells to divide 2^64 so `index % cells` survives wraparound).
   std::size_t ring_cells = 8;
+  /// Eager/rendezvous switchover for two-sided sends (bytes). A message
+  /// strictly larger than this takes the one-copy rendezvous path: the
+  /// payload is parked in an arena slot and announced through the ring
+  /// with small RTS descriptors, and the receiver pulls it straight into
+  /// the user buffer (see p2p::Endpoint). 0 selects the default — one
+  /// cell payload; SIZE_MAX disables rendezvous (eager chunking always).
+  std::size_t rendezvous_threshold = 0;
   /// §3.5's rejected alternative to software coherence: mark the whole
   /// pool uncachable via MTRR. Correct but drastically slower past the
   /// PCIe MPS (see bench/ablation_coherence_mode and Fig. 11).
@@ -106,6 +113,10 @@ struct RecoveryCounters {
   std::atomic<std::uint64_t> stale_fenced{0};   ///< dead-incarnation msgs dropped
   std::atomic<std::uint64_t> scavenges{0};      ///< scavenge passes performed
   std::atomic<std::uint64_t> ring_cells_tombstoned{0};  ///< cells drained dead
+  /// In-flight rendezvous payload slots reclaimed: by pool scavenge (a
+  /// dead sender's slots) plus by survivors dropping slots whose receiver
+  /// died before sending FIN.
+  std::atomic<std::uint64_t> rendezvous_slots_scavenged{0};
 };
 
 /// Plain-value snapshot of RecoveryCounters.
@@ -117,6 +128,7 @@ struct RecoveryStats {
   std::uint64_t stale_fenced = 0;
   std::uint64_t scavenges = 0;
   std::uint64_t ring_cells_tombstoned = 0;
+  std::uint64_t rendezvous_slots_scavenged = 0;
 };
 
 /// Everything one rank thread needs. Owned by the Universe; valid only for

@@ -1,0 +1,244 @@
+// Large-message one-copy rendezvous protocol: adaptive path selection,
+// deferred (unexpected) pulls, slot recycling bounds, eager fallback when
+// no slab is available, and the bounded retransmit-staging budget that
+// rides along with the fused eager staging pass.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "p2p/endpoint.hpp"
+
+namespace cmpi::p2p {
+namespace {
+
+runtime::UniverseConfig rdvz_config(std::size_t cell_payload = 4_KiB,
+                                    std::size_t ring_cells = 8) {
+  runtime::UniverseConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.pool_size = 64_MiB;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 61;
+  cfg.cell_payload = cell_payload;
+  cfg.ring_cells = ring_cells;
+  return cfg;
+}
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed * 13 + i * 7) & 0xFF);
+  }
+  return out;
+}
+
+TEST(Rendezvous, ThresholdRoutesLargeNotSmall) {
+  runtime::Universe universe(rdvz_config());
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    EXPECT_EQ(ep.rendezvous_threshold(), 4_KiB);  // default: one cell
+    const auto small = pattern(4_KiB, 1);    // == threshold: eager
+    const auto large = pattern(4_KiB + 1, 2);  // > threshold: rendezvous
+    if (ctx.rank() == 0) {
+      check_ok(ep.send(1, 0, small));
+      check_ok(ep.send(1, 1, large));
+      EXPECT_EQ(ep.stats().rendezvous_sent, 1u);
+      EXPECT_EQ(ep.stats().rendezvous_fallbacks, 0u);
+    } else {
+      std::vector<std::byte> buf_s(small.size());
+      std::vector<std::byte> buf_l(large.size());
+      check_ok(ep.recv(0, 0, buf_s));
+      check_ok(ep.recv(0, 1, buf_l));
+      EXPECT_EQ(buf_s, small);
+      EXPECT_EQ(buf_l, large);
+      EXPECT_EQ(ep.stats().rendezvous_sent, 0u);
+    }
+  });
+}
+
+TEST(Rendezvous, ConfiguredThresholdOverridesDefault) {
+  runtime::UniverseConfig cfg = rdvz_config();
+  cfg.rendezvous_threshold = 1_MiB;
+  runtime::Universe universe(cfg);
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    EXPECT_EQ(ep.rendezvous_threshold(), 1_MiB);
+    const auto data = pattern(64_KiB, 3);  // under the raised threshold
+    if (ctx.rank() == 0) {
+      check_ok(ep.send(1, 0, data));
+      EXPECT_EQ(ep.stats().rendezvous_sent, 0u);
+    } else {
+      std::vector<std::byte> buf(data.size());
+      check_ok(ep.recv(0, 0, buf));
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Rendezvous, MultiSegmentMessageDeliversIntact) {
+  // 2.5 MiB spans twenty 128 KiB segments — exercises the pipelined
+  // announce-while-writing loop and CRC chaining across sub-chunks.
+  runtime::Universe universe(rdvz_config());
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(2 * 1024 * 1024 + 512 * 1024 + 37, 4);
+    if (ctx.rank() == 0) {
+      check_ok(ep.send(1, 9, data));
+      EXPECT_EQ(ep.stats().rendezvous_sent, 1u);
+    } else {
+      std::vector<std::byte> buf(data.size());
+      const RecvInfo info = check_ok(ep.recv(0, 9, buf));
+      EXPECT_EQ(info.bytes, data.size());
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Rendezvous, UnexpectedArrivalPullsOnMatch) {
+  // The receiver posts nothing until after the message has fully arrived:
+  // the payload must wait parked in the sender's slab (no host-side copy
+  // of the bytes) and be pulled pool→user at match time.
+  runtime::Universe universe(rdvz_config());
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(700 * 1000, 5);
+    if (ctx.rank() == 0) {
+      check_ok(ep.send(1, 2, data));
+      // The receiver FINs only when its late recv matches; wait for the
+      // slot to come home so teardown sees a clean endpoint.
+      check_ok(ep.recv(1, 3, {}).status());
+      EXPECT_EQ(ep.debug_queue_sizes().rendezvous_inflight, 0u);
+    } else {
+      // Let the whole message land unexpected before posting the receive.
+      while (!ep.iprobe(0, 2).has_value()) {
+        ctx.doorbell().wait_once();
+      }
+      std::vector<std::byte> buf(data.size());
+      check_ok(ep.recv(0, 2, buf));
+      EXPECT_EQ(buf, data);
+      check_ok(ep.send(0, 3, {}));
+    }
+  });
+}
+
+TEST(Rendezvous, TruncationReportsAndKeepsPrefix) {
+  runtime::Universe universe(rdvz_config());
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(300 * 1024, 6);
+    if (ctx.rank() == 0) {
+      check_ok(ep.send(1, 0, data));
+    } else {
+      std::vector<std::byte> buf(100 * 1024);
+      const auto r = ep.recv(0, 0, buf);
+      ASSERT_FALSE(r.is_ok());
+      EXPECT_EQ(r.status().code(), ErrorCode::kTruncated);
+      EXPECT_TRUE(std::equal(buf.begin(), buf.end(), data.begin()));
+    }
+  });
+}
+
+TEST(Rendezvous, SynchronousSendCompletesOnMatch) {
+  runtime::Universe universe(rdvz_config());
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(512 * 1024, 7);
+    if (ctx.rank() == 0) {
+      check_ok(ep.ssend(1, 4, data));
+      EXPECT_EQ(ep.stats().rendezvous_sent, 1u);
+    } else {
+      std::vector<std::byte> buf(data.size());
+      check_ok(ep.recv(0, 4, buf));
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Rendezvous, SlotRecyclingStaysBounded) {
+  // A long stream of large messages must not accumulate arena slots: FINs
+  // recycle slabs through the bounded per-destination cache, and inflight
+  // never exceeds its cap.
+  runtime::Universe universe(rdvz_config());
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(96 * 1024, 8);
+    constexpr int kRounds = 40;
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < kRounds; ++i) {
+        check_ok(ep.send(1, i, data));
+        const auto sizes = ep.debug_queue_sizes();
+        EXPECT_LE(sizes.rendezvous_inflight, Endpoint::kMaxRendezvousInflight);
+        EXPECT_LE(sizes.rendezvous_cached,
+                  2 * Endpoint::kRendezvousSlotCacheDepth);
+      }
+      EXPECT_EQ(ep.stats().rendezvous_sent,
+                static_cast<std::uint64_t>(kRounds));
+      check_ok(ep.recv(1, 999, {}).status());
+      EXPECT_EQ(ep.debug_queue_sizes().rendezvous_inflight, 0u);
+    } else {
+      std::vector<std::byte> buf(data.size());
+      for (int i = 0; i < kRounds; ++i) {
+        check_ok(ep.recv(0, i, buf));
+        EXPECT_EQ(buf, data);
+      }
+      check_ok(ep.send(0, 999, {}));
+    }
+  });
+}
+
+TEST(Rendezvous, FallsBackToEagerWhenArenaIsFull) {
+  runtime::UniverseConfig cfg = rdvz_config();
+  cfg.pool_size = 32_MiB;
+  runtime::Universe universe(cfg);
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(256 * 1024, 9);
+    if (ctx.rank() == 0) {
+      // Leave less free arena space than one slab needs.
+      const std::uint64_t free = ctx.arena().free_bytes();
+      ASSERT_GT(free, 300 * 1024u);
+      auto hog = check_ok(
+          ctx.arena().create("test.hog", free - 64 * 1024));
+      check_ok(ep.send(1, 0, data));
+      EXPECT_EQ(ep.stats().rendezvous_sent, 0u);
+      EXPECT_EQ(ep.stats().rendezvous_fallbacks, 1u);
+      check_ok(ctx.arena().destroy(hog));
+    } else {
+      std::vector<std::byte> buf(data.size());
+      check_ok(ep.recv(0, 0, buf));
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(Rendezvous, EagerStagingBytesStayBounded) {
+  // Satellite: a long one-way stream of eager messages must not grow the
+  // retransmit staging without bound — the byte budget evicts old copies
+  // (the newest always survives so the just-sent message stays NAKable).
+  runtime::UniverseConfig cfg = rdvz_config();
+  cfg.rendezvous_threshold = ~std::size_t{0};  // force everything eager
+  runtime::Universe universe(cfg);
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    const auto data = pattern(192 * 1024, 10);
+    constexpr int kRounds = 30;
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < kRounds; ++i) {
+        check_ok(ep.send(1, i, data));
+        EXPECT_LE(ep.debug_queue_sizes().staged_bytes,
+                  Endpoint::kRetransmitStagingBytes);
+      }
+      EXPECT_EQ(ep.stats().rendezvous_sent, 0u);
+    } else {
+      std::vector<std::byte> buf(data.size());
+      for (int i = 0; i < kRounds; ++i) {
+        check_ok(ep.recv(0, i, buf));
+        EXPECT_EQ(buf, data);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cmpi::p2p

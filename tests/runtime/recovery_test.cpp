@@ -81,6 +81,10 @@ std::vector<std::byte> patterned(std::size_t size, std::uint64_t seed) {
 
 TEST(PoolRecoveryScavenge, MidSendCrashSurvivorsReclaimEverything) {
   runtime::UniverseConfig cfg = recovery_config(2, 2);
+  // This test scripts its crash at eager chunk boundaries; keep message B
+  // on the chunked path (the rendezvous-path crashes have their own suite
+  // in rendezvous_fault_test).
+  cfg.rendezvous_threshold = 64_KiB;
   // Rank 3 dies after staging chunk 2 of its second message: message A
   // (1 chunk, to rank 0) is durable, message B (3 chunks, to rank 1) is
   // forever partial.
@@ -200,6 +204,9 @@ TEST(PoolRecoveryScavenge, DeadLockHolderTicketIsBroken) {
 
 TEST(PoolRecoveryRespawn, StaleCellsAreFencedAndTheRankRejoins) {
   runtime::UniverseConfig cfg = recovery_config();
+  // Crash scripted at eager chunk boundaries (see the rendezvous fault
+  // suite for the large-message analogue).
+  cfg.rendezvous_threshold = 64_KiB;
   // Epoch 1: rank 1 fully stages message A (1 chunk), dies after chunk 2
   // of message B — three incarnation-0 cells sit unconsumed in the ring.
   cfg.fault_plan.crash_at_sync.push_back(
