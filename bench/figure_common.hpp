@@ -15,6 +15,7 @@
 #include "common/cli.hpp"
 #include "common/units.hpp"
 #include "fabric/profiles.hpp"
+#include "obs/obs.hpp"
 #include "osu/drivers.hpp"
 #include "osu/report.hpp"
 
@@ -99,7 +100,39 @@ inline std::vector<std::pair<std::string, std::string>> json_metadata(
   };
 }
 
-/// Write the table to opts.json_path (if set) with standard metadata.
+/// Digest of the obs metrics registry for the JSON artefact's optional
+/// "telemetry" section. Empty unless the run had CMPI_METRICS set (the
+/// digest of a run without metrics would be all zeros — misleading, so it
+/// is omitted entirely).
+inline std::vector<std::pair<std::string, double>> telemetry_digest() {
+  std::vector<std::pair<std::string, double>> out;
+  if (!obs::metrics_enabled()) {
+    return out;
+  }
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::instance().snapshot();
+  const auto count = [&snap](const char* name) {
+    return static_cast<double>(snap.counter(name));
+  };
+  const double hits = count("cache.hits");
+  const double misses = count("cache.misses");
+  if (hits + misses > 0) {
+    out.emplace_back("cache_hit_rate", hits / (hits + misses));
+  }
+  out.emplace_back("retransmits", count("recovery.retransmits"));
+  const double slot_reuse = count("p2p.rdvz_slot_reuse");
+  const double slot_create = count("p2p.rdvz_slot_create");
+  if (slot_reuse + slot_create > 0) {
+    out.emplace_back("rendezvous_slot_reuse_rate",
+                     slot_reuse / (slot_reuse + slot_create));
+  }
+  out.emplace_back("messages_sent", count("p2p.messages_sent"));
+  out.emplace_back("rendezvous_sent", count("p2p.rendezvous_sent"));
+  return out;
+}
+
+/// Write the table to opts.json_path (if set) with standard metadata and,
+/// when the run collected metrics, the telemetry digest.
 inline void write_json(const osu::FigureTable& table,
                        const FigureOptions& opts) {
   if (opts.json_path.empty()) {
@@ -111,7 +144,9 @@ inline void write_json(const osu::FigureTable& table,
                  opts.json_path.c_str());
     std::exit(2);
   }
-  table.print_json(out, json_metadata(opts));
+  osu::FigureTable annotated = table;
+  annotated.set_telemetry(telemetry_digest());
+  annotated.print_json(out, json_metadata(opts));
   std::printf("  wrote %s\n", opts.json_path.c_str());
 }
 

@@ -6,6 +6,7 @@
 #include "common/hash.hpp"
 #include "common/log.hpp"
 #include "cxlsim/coherence_checker.hpp"
+#include "obs/obs.hpp"
 
 namespace cmpi::arena {
 
@@ -170,6 +171,8 @@ Result<Arena> Arena::attach(cxlsim::Accessor& acc, std::uint64_t base,
     return status::invalid_argument("arena version mismatch");
   }
   if (Status fsck = validate_free_list(acc, base, header); !fsck.is_ok()) {
+    CMPI_OBS_INSTANT("arena.fsck_failed");
+    CMPI_OBS_FLIGHT("arena: attach found a corrupt free list");
     return fsck;
   }
   auto index = MultilevelHash::create(header.levels, header.level1_buckets);

@@ -1,69 +1,88 @@
 #include "coll/collectives.hpp"
 
 #include "coll/algorithms.hpp"
+#include "obs/obs.hpp"
 
 // Thin non-template entry points over the channel-templated algorithms in
 // coll/algorithms.hpp, instantiated for the global Endpoint. The same
 // algorithms run over sub-communicators through core/communicator.hpp.
+// Each entry point opens an obs span, so a trace of an application run
+// shows one box per collective call with its payload size.
 namespace cmpi::coll {
 
-void barrier(p2p::Endpoint& ep) { detail::barrier(ep); }
+void barrier(p2p::Endpoint& ep) {
+  CMPI_OBS_SPAN("coll.barrier");
+  detail::barrier(ep);
+}
 
 void bcast(p2p::Endpoint& ep, int root, std::span<std::byte> data) {
+  CMPI_OBS_SPAN_ARG("coll.bcast", "bytes", data.size());
   detail::bcast(ep, root, data);
 }
 
 void reduce(p2p::Endpoint& ep, int root, std::span<double> inout,
             ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.reduce", "elems", inout.size());
   detail::reduce(ep, root, inout, op);
 }
 void reduce(p2p::Endpoint& ep, int root, std::span<std::int64_t> inout,
             ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.reduce", "elems", inout.size());
   detail::reduce(ep, root, inout, op);
 }
 
 void allreduce(p2p::Endpoint& ep, std::span<double> inout, ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.allreduce", "elems", inout.size());
   detail::allreduce(ep, inout, op);
 }
 void allreduce(p2p::Endpoint& ep, std::span<std::int64_t> inout,
                ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.allreduce", "elems", inout.size());
   detail::allreduce(ep, inout, op);
 }
 
 void allgather(p2p::Endpoint& ep, std::span<const std::byte> mine,
                std::span<std::byte> all) {
+  CMPI_OBS_SPAN_ARG("coll.allgather", "bytes", mine.size());
   detail::allgather(ep, mine, all);
 }
 
 void allgather_bruck(p2p::Endpoint& ep, std::span<const std::byte> mine,
                      std::span<std::byte> all) {
+  CMPI_OBS_SPAN_ARG("coll.allgather_bruck", "bytes", mine.size());
   detail::allgather_bruck(ep, mine, all);
 }
 
 void alltoall(p2p::Endpoint& ep, std::span<const std::byte> send,
               std::span<std::byte> recv, std::size_t block) {
+  CMPI_OBS_SPAN_ARG("coll.alltoall", "bytes", send.size());
   detail::alltoall(ep, send, recv, block);
 }
 
 void reduce_scatter(p2p::Endpoint& ep, std::span<const double> data,
                     std::span<double> out, ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.reduce_scatter", "elems", data.size());
   detail::reduce_scatter(ep, data, out, op);
 }
 
 void gather(p2p::Endpoint& ep, int root, std::span<const std::byte> mine,
             std::span<std::byte> all) {
+  CMPI_OBS_SPAN_ARG("coll.gather", "bytes", mine.size());
   detail::gather(ep, root, mine, all);
 }
 
 void scatter(p2p::Endpoint& ep, int root, std::span<const std::byte> all,
              std::span<std::byte> mine) {
+  CMPI_OBS_SPAN_ARG("coll.scatter", "bytes", mine.size());
   detail::scatter(ep, root, all, mine);
 }
 
 void scan(p2p::Endpoint& ep, std::span<double> inout, ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.scan", "elems", inout.size());
   detail::scan(ep, inout, op);
 }
 void scan(p2p::Endpoint& ep, std::span<std::int64_t> inout, ReduceOp op) {
+  CMPI_OBS_SPAN_ARG("coll.scan", "elems", inout.size());
   detail::scan(ep, inout, op);
 }
 

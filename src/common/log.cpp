@@ -17,8 +17,17 @@ LogLevel level_from_env() noexcept {
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  // Direct fprintf, not log_warn: this runs during the level storage's
+  // own static initialization.
+  std::fprintf(stderr,
+               "[cmpi W] unrecognized CMPI_LOG value \"%s\""
+               " (expected debug|info|warn|error); using warn\n",
+               env);
   return LogLevel::kWarn;
 }
+
+thread_local int t_log_rank = -1;
+thread_local double (*t_log_now_ns)() = nullptr;
 
 std::atomic<int>& level_storage() noexcept {
   static std::atomic<int> level{static_cast<int>(level_from_env())};
@@ -50,6 +59,11 @@ LogLevel log_level() noexcept {
       level_storage().load(std::memory_order_relaxed));
 }
 
+void log_set_thread_context(int rank, double (*now_ns)()) noexcept {
+  t_log_rank = rank;
+  t_log_now_ns = rank >= 0 ? now_ns : nullptr;
+}
+
 namespace detail {
 
 void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept {
@@ -58,7 +72,15 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept {
   }
   char body[1024];
   std::vsnprintf(body, sizeof body, fmt, args);
-  std::fprintf(stderr, "[cmpi %s] %s\n", level_tag(level), body);
+  if (t_log_rank >= 0 && t_log_now_ns != nullptr) {
+    std::fprintf(stderr, "[cmpi %s r%d @%.0fns] %s\n", level_tag(level),
+                 t_log_rank, t_log_now_ns(), body);
+  } else if (t_log_rank >= 0) {
+    std::fprintf(stderr, "[cmpi %s r%d] %s\n", level_tag(level), t_log_rank,
+                 body);
+  } else {
+    std::fprintf(stderr, "[cmpi %s] %s\n", level_tag(level), body);
+  }
 }
 
 }  // namespace detail

@@ -16,6 +16,12 @@ void set_log_level(LogLevel level) noexcept;
 /// Current global log threshold (initialized from $CMPI_LOG on first use).
 LogLevel log_level() noexcept;
 
+/// Install per-thread log context: messages from this thread gain a
+/// "r<rank> @<t>ns" prefix, with <t> taken from `now_ns` at format time
+/// (pass nullptr if no clock is available). rank < 0 clears the context.
+/// The runtime installs this on every rank thread.
+void log_set_thread_context(int rank, double (*now_ns)()) noexcept;
+
 namespace detail {
 void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept;
 }  // namespace detail

@@ -6,6 +6,7 @@
 
 #include "common/align.hpp"
 #include "cxlsim/coherence_checker.hpp"
+#include "obs/obs.hpp"
 
 namespace cmpi::cxlsim {
 
@@ -99,13 +100,17 @@ void Accessor::charge_flush(const CacheSim::FlushResult& result,
   }
   // A degraded link (fault injection) stretches the write-back drain.
   const double link = fault_latency_multiplier();
+  CMPI_OBS_COUNT("cxl.flush_lines", result.lines_touched);
   clock_.advance(p.flush_base +
                  static_cast<simtime::Ns>(result.lines_touched) *
                      per_line_cost * link);
   if (result.lines_written_back > 0) {
+    CMPI_OBS_COUNT("cxl.flush_writebacks", result.lines_written_back);
+    const simtime::Ns start = clock_.now();
     const simtime::Ns done = device_.timing().reserve_device(
-        clock_.now(), result.lines_written_back * kCacheLineSize,
+        start, result.lines_written_back * kCacheLineSize,
         /*is_read=*/false);
+    CMPI_OBS_HIST("cxl.dev_write_wait_ns", done - start);
     pending_drain_ =
         std::max(pending_drain_, done + p.line_write_latency * link);
     writes_since_fence_ = true;
@@ -219,6 +224,8 @@ void Accessor::bulk_write(std::uint64_t offset,
   clock_.advance(p.flush_base + device_.timing().cpu_copy_cost(src.size()));
   const simtime::Ns done =
       device_.timing().reserve_device(start, src.size(), /*is_read=*/false);
+  CMPI_OBS_COUNT("cxl.bulk_write_bytes", src.size());
+  CMPI_OBS_HIST("cxl.dev_write_wait_ns", done - start);
   pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
   writes_since_fence_ = true;
   cache_.nt_store(offset, src);
@@ -242,6 +249,8 @@ void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst) {
   clock_.advance(p.flush_base + device_.timing().cpu_copy_cost(dst.size()));
   const simtime::Ns done =
       device_.timing().reserve_device(start, dst.size(), /*is_read=*/true);
+  CMPI_OBS_COUNT("cxl.bulk_read_bytes", dst.size());
+  CMPI_OBS_HIST("cxl.dev_read_wait_ns", done - start);
   clock_.observe(done + p.line_fill_latency);
   cache_.nt_load(offset, dst);
 }

@@ -14,6 +14,13 @@ CacheSim::CacheSim(DaxDevice& device, Geometry geometry)
   CMPI_EXPECTS(geometry.sets > 0 && geometry.ways > 0);
   lines_.resize(geometry_.sets * geometry_.ways);
   device_.register_cache(this);
+  obs_registration_ = obs::ProviderRegistration([this] {
+    const Stats s = stats();
+    return std::vector<obs::Sample>{{"cache.hits", s.hits},
+                                    {"cache.misses", s.misses},
+                                    {"cache.evictions", s.evictions},
+                                    {"cache.writebacks", s.writebacks}};
+  });
 }
 
 CacheSim::~CacheSim() { device_.unregister_cache(this); }

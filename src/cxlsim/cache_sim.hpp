@@ -23,6 +23,7 @@
 #include "common/align.hpp"
 #include "common/status.hpp"
 #include "cxlsim/dax_device.hpp"
+#include "obs/metrics.hpp"
 
 namespace cmpi::cxlsim {
 
@@ -135,6 +136,9 @@ class CacheSim {
   std::vector<Line> lines_;  // sets * ways, row-major by set
   std::uint64_t lru_clock_ = 0;
   Stats stats_;
+  // Exposes stats() to the obs metrics registry as the cache.* family;
+  // the registration folds the final values in when this cache dies.
+  obs::ProviderRegistration obs_registration_;
 };
 
 }  // namespace cmpi::cxlsim

@@ -1,0 +1,79 @@
+#include "obs/flight.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace cmpi::obs {
+
+namespace {
+
+std::atomic<int> g_dumps{0};
+std::mutex g_dump_mutex;  // serializes whole dumps so they don't interleave
+
+void render_tail(std::ostream& os, std::size_t limit) {
+  const auto events = TraceRecorder::instance().tail(limit);
+  for (const auto& [ring, ev] : events) {
+    char line[192];
+    std::snprintf(line, sizeof(line), "  [n%d/r%d] %12.1fns %c %s",
+                  ring->node(), ring->rank(), ev.ts_ns, ev.phase, ev.name);
+    os << line;
+    if (ev.arg_name != nullptr) {
+      os << " " << ev.arg_name << "=" << ev.arg;
+    }
+    os << "\n";
+  }
+  if (events.empty()) {
+    os << "  (no trace events recorded — tracing off?)\n";
+  }
+}
+
+}  // namespace
+
+void flight_dump(const char* reason) {
+  if (!flight_enabled()) {
+    return;
+  }
+  const int n = g_dumps.fetch_add(1, std::memory_order_relaxed);
+  if (n >= kMaxFlightDumps) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_dump_mutex);
+  const Config cfg = config();
+
+  std::ostringstream text;
+  text << "=== cmpi flight recorder dump " << (n + 1) << "/" << kMaxFlightDumps
+       << " — " << reason << " ===\n";
+  text << "last " << cfg.flight_events << " events (virtual time order):\n";
+  render_tail(text, cfg.flight_events);
+  text << "metrics snapshot:\n";
+  MetricsRegistry::instance().write_json(text);
+  text << "=== end flight dump ===\n";
+  const std::string rendered = text.str();
+  std::fwrite(rendered.data(), 1, rendered.size(), stderr);
+
+  // First dump wins the file: the earliest failure is the interesting one.
+  if (n == 0 && !cfg.flight_path.empty()) {
+    std::ofstream out(cfg.flight_path);
+    if (out) {
+      out << "{\"reason\": \"" << reason << "\",\n\"metrics\": ";
+      MetricsRegistry::instance().write_json(out);
+      out << "}\n";
+    }
+  }
+}
+
+int flight_dump_count() noexcept {
+  const int n = g_dumps.load(std::memory_order_relaxed);
+  return n > kMaxFlightDumps ? kMaxFlightDumps : n;
+}
+
+void flight_reset_for_test() noexcept {
+  g_dumps.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cmpi::obs

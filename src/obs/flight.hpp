@@ -1,0 +1,28 @@
+// Flight recorder (cmpi::obs).
+//
+// On a failure the process can still explain itself: flight_dump()
+// writes the last N trace events plus a metrics snapshot to stderr (and,
+// when CMPI_FLIGHT names a file, a JSON copy — first dump wins, so the
+// file holds the earliest failure). Triggered from failure paths only:
+// kPeerFailed cancellation, kCorruptPool attach, coherence-checker
+// violations, failure-detector convictions, teardown with failures.
+// Rate-limited to a handful of dumps per process so a failure storm
+// can't flood stderr.
+#pragma once
+
+namespace cmpi::obs {
+
+inline constexpr int kMaxFlightDumps = 4;
+
+/// Emit a flight dump tagged with `reason` (immortal string preferred,
+/// but the value is only read during the call). No-op when the flight
+/// recorder is disabled or the per-process dump budget is exhausted.
+void flight_dump(const char* reason);
+
+/// Number of dumps emitted so far (tests).
+[[nodiscard]] int flight_dump_count() noexcept;
+
+/// Reset the dump budget (tests).
+void flight_reset_for_test() noexcept;
+
+}  // namespace cmpi::obs

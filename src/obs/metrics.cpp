@@ -1,0 +1,228 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace cmpi::obs {
+
+void Histogram::record(double v) noexcept {
+  const double clamped = v < 0 ? 0 : v;
+  // Bucket by the bit width of the integer part: bucket 0 holds [0, 1),
+  // bucket b holds [2^(b-1), 2^b). Durations beyond 2^63 ns saturate.
+  const auto n = clamped >= 9.2e18 ? ~std::uint64_t{0}
+                                   : static_cast<std::uint64_t>(clamped);
+  const auto bucket = static_cast<std::size_t>(std::bit_width(n));
+  buckets_[std::min(bucket, kBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ += clamped;  // C++20 atomic<double> fetch-add, relaxed is fine here
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: rank threads may bump counters during static
+  // destruction of other objects.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::register_provider(Provider fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  providers_.emplace(token, std::move(fn));
+  return token;
+}
+
+void MetricsRegistry::unregister_provider(std::uint64_t token) {
+  Provider fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = providers_.find(token);
+    if (it == providers_.end()) {
+      return;
+    }
+    fn = std::move(it->second);
+    providers_.erase(it);
+  }
+  // Run the final read outside the lock: the provider's owner is being
+  // destroyed on this thread, so the callback is still safe to call, and
+  // keeping it out of the lock avoids ordering surprises with snapshot().
+  std::vector<Sample> last = fn();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Sample& s : last) {
+    retired_[s.name] += s.value;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] += c->total();
+  }
+  for (const auto& [name, value] : retired_) {
+    snap.counters[name] += value;
+  }
+  for (const auto& [token, fn] : providers_) {
+    (void)token;
+    for (const Sample& s : fn()) {
+      snap.counters[s.name] += s.value;
+    }
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = std::max(snap.gauges[name], g->max());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot& hs = snap.histograms[name];
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.buckets = h->buckets();
+  }
+  return snap;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(os, name);
+    os << ": " << value;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(os, name);
+    os << ": " << value;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", h.sum);
+    os << buf << ", \"buckets\": [";
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] != 0) {
+        last = i + 1;
+      }
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      os << (i == 0 ? "" : ", ") << h.buckets[i];
+    }
+    os << "]}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void MetricsRegistry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->reset();
+  }
+  retired_.clear();
+}
+
+}  // namespace cmpi::obs

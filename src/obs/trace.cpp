@@ -1,0 +1,172 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cmpi::obs {
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked on purpose, same rationale as MetricsRegistry.
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRing& TraceRecorder::ring(int node, int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& r : rings_) {
+    if (r->node() == node && r->rank() == rank) {
+      return *r;
+    }
+  }
+  rings_.push_back(std::make_unique<TraceRing>(node, rank, capacity_));
+  return *rings_.back();
+}
+
+void TraceRecorder::set_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = events ? events : 1;
+}
+
+std::vector<std::pair<const TraceRing*, TraceEvent>> TraceRecorder::tail(
+    std::size_t limit) const {
+  std::vector<std::pair<const TraceRing*, TraceEvent>> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& r : rings_) {
+      for (const TraceEvent& ev : r->ordered()) {
+        all.emplace_back(r.get(), ev);
+      }
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second.ts_ns < b.second.ts_ns;
+  });
+  if (all.size() > limit) {
+    all.erase(all.begin(), all.end() - static_cast<long>(limit));
+  }
+  return all;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+void write_ts_us(std::ostream& os, double ts_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_ns / 1000.0);
+  os << buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  std::vector<const TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) {
+      rings.push_back(r.get());
+    }
+  }
+  std::sort(rings.begin(), rings.end(),
+            [](const TraceRing* a, const TraceRing* b) {
+              return a->rank() < b->rank();
+            });
+
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    os << (first ? "" : ",\n");
+    first = false;
+  };
+
+  // Metadata: name each pid after its simulated node, each tid after its
+  // rank. One metadata pair per ring; duplicate process_name entries for
+  // a shared node are harmless to the viewers.
+  for (const TraceRing* r : rings) {
+    comma();
+    os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << r->node()
+       << ", \"tid\": " << r->rank() << ", \"args\": {\"name\": \"node "
+       << r->node() << "\"}}";
+    comma();
+    os << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << r->node()
+       << ", \"tid\": " << r->rank() << ", \"args\": {\"name\": \"rank "
+       << r->rank() << "\"}}";
+  }
+
+  for (const TraceRing* r : rings) {
+    const std::vector<TraceEvent> events = r->ordered();
+    std::vector<TraceEvent> open;  // B events awaiting their E
+    double last_ts = 0;
+    bool have_ts = false;
+    for (const TraceEvent& ev : events) {
+      TraceEvent out = ev;
+      if (have_ts) {
+        out.ts_ns = std::max(out.ts_ns, last_ts);
+      }
+      last_ts = out.ts_ns;
+      have_ts = true;
+      if (out.phase == 'E') {
+        if (open.empty()) {
+          // Its B was overwritten by the bounded ring: drop rather than
+          // let the viewer pair it with an unrelated B.
+          continue;
+        }
+        open.pop_back();
+      } else if (out.phase == 'B') {
+        open.push_back(out);
+      }
+      comma();
+      os << "{\"ph\": \"" << out.phase << "\", \"name\": ";
+      write_escaped(os, out.name);
+      os << ", \"pid\": " << r->node() << ", \"tid\": " << r->rank()
+         << ", \"ts\": ";
+      write_ts_us(os, out.ts_ns);
+      if (out.phase == 'i') {
+        os << ", \"s\": \"t\"";
+      }
+      if (out.arg_name != nullptr) {
+        os << ", \"args\": {";
+        write_escaped(os, out.arg_name);
+        os << ": " << out.arg << "}";
+      }
+      os << "}";
+    }
+    // Close spans left open (rank crashed mid-span, or the recording
+    // simply stopped) at the last timestamp seen on this tid.
+    while (!open.empty()) {
+      const TraceEvent& b = open.back();
+      comma();
+      os << "{\"ph\": \"E\", \"name\": ";
+      write_escaped(os, b.name);
+      os << ", \"pid\": " << r->node() << ", \"tid\": " << r->rank()
+         << ", \"ts\": ";
+      write_ts_us(os, last_ts);
+      os << "}";
+      open.pop_back();
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+void TraceRecorder::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+}
+
+}  // namespace cmpi::obs

@@ -1,0 +1,123 @@
+// Trace recorder (cmpi::obs).
+//
+// Each rank owns a bounded ring of span/instant events stamped with
+// virtual time. Rings are keyed by (node, rank) and survive respawn, so
+// a crashed rank's pre-crash events and its successor incarnation's
+// events land on the same timeline. The whole recording exports as
+// Chrome trace_event JSON (one pid per simulated node, one tid per
+// rank) that chrome://tracing and ui.perfetto.dev load directly.
+//
+// Event names must be string literals (or otherwise immortal): the ring
+// stores the pointer, not a copy — that keeps an event at 32 bytes and
+// the record path allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace cmpi::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;      // immortal string (literal)
+  const char* arg_name = nullptr;  // optional, immortal string
+  double ts_ns = 0;                // virtual time
+  std::uint64_t arg = 0;
+  char phase = 'i';  // 'B' span begin, 'E' span end, 'i' instant
+};
+
+/// One rank's bounded event ring. The owning rank thread appends; other
+/// threads only read (flight dumps, export after join) — every access
+/// goes through the ring mutex, which is only ever touched when tracing
+/// is enabled.
+class TraceRing {
+ public:
+  explicit TraceRing(int node, int rank, std::size_t capacity)
+      : node_(node), rank_(rank), capacity_(capacity ? capacity : 1) {}
+
+  void append(TraceEvent ev) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() < capacity_) {
+      events_.push_back(ev);
+    } else {
+      events_[next_ % capacity_] = ev;
+      dropped_ += 1;
+    }
+    ++next_;
+  }
+
+  /// Events in append order, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> ordered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    if (events_.size() < capacity_) {
+      out = events_;
+    } else {
+      const std::size_t head = next_ % capacity_;
+      out.insert(out.end(), events_.begin() + static_cast<long>(head),
+                 events_.end());
+      out.insert(out.end(), events_.begin(),
+                 events_.begin() + static_cast<long>(head));
+    }
+    return out;
+  }
+
+  [[nodiscard]] int node() const noexcept { return node_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  const int node_;
+  const int rank_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t next_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Process-wide collection of rank rings.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  /// Get-or-create the ring for (node, rank). Stable address for the
+  /// process lifetime; respawned incarnations reuse their predecessor's
+  /// ring.
+  TraceRing& ring(int node, int rank);
+
+  /// Ring capacity used for rings created after this call.
+  void set_capacity(std::size_t events);
+
+  /// Emit the whole recording as Chrome trace_event JSON. Repairs what a
+  /// bounded ring can break: per-tid timestamps are clamped monotone
+  /// (virtual clocks only move forward, but belt and braces), 'E' events
+  /// whose 'B' was overwritten are dropped, and spans still open at the
+  /// end get a synthetic 'E' so viewers don't render them to infinity.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Most recent `limit` events across all rings, oldest first — the
+  /// flight recorder's view.
+  [[nodiscard]] std::vector<std::pair<const TraceRing*, TraceEvent>>
+  tail(std::size_t limit) const;
+
+  /// Drop all rings (cached TraceRing pointers become invalid — only for
+  /// tests that re-run recordings from scratch).
+  void reset_for_test();
+
+ private:
+  TraceRecorder() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::size_t capacity_ = 1 << 14;
+};
+
+}  // namespace cmpi::obs

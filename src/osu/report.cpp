@@ -157,6 +157,16 @@ void FigureTable::print_json(
        << "\": \"" << json_escape(metadata[i].second) << "\"";
   }
   os << (metadata.empty() ? "" : "\n  ") << "},\n";
+  if (!telemetry_.empty()) {
+    os << "  \"telemetry\": {";
+    for (std::size_t i = 0; i < telemetry_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", telemetry_[i].second);
+      os << (i == 0 ? "\n" : ",\n") << "    \""
+         << json_escape(telemetry_[i].first) << "\": " << buf;
+    }
+    os << "\n  },\n";
+  }
   os << "  \"series\": {";
   bool first_series = true;
   for (const auto& name : series_order_) {

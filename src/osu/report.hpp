@@ -34,13 +34,25 @@ class FigureTable {
 
   /// JSON document for plotting/regression tooling:
   ///   {"title": ..., "row_label": ..., "unit": ...,
-  ///    "metadata": {...}, "series": {name: [{"size": N, "value": V}..]}}
+  ///    "metadata": {...}, "telemetry": {...}?,
+  ///    "series": {name: [{"size": N, "value": V}..]}}
   /// `metadata` carries run parameters (rendezvous threshold, cell size,
   /// iteration counts) so a checked-in artefact is self-describing.
   void print_json(
       std::ostream& os,
       const std::vector<std::pair<std::string, std::string>>& metadata =
           {}) const;
+
+  /// Attach a run-telemetry section (obs metrics digest: cache hit rate,
+  /// retransmits, rendezvous slot reuse). Emitted by print_json as a
+  /// "telemetry" object when non-empty; insertion order preserved.
+  void set_telemetry(std::vector<std::pair<std::string, double>> telemetry) {
+    telemetry_ = std::move(telemetry);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>&
+  telemetry() const noexcept {
+    return telemetry_;
+  }
 
   [[nodiscard]] double at(const std::string& series,
                           std::size_t row_key) const;
@@ -55,6 +67,7 @@ class FigureTable {
   std::vector<std::string> series_order_;
   std::vector<std::size_t> row_order_;
   std::map<std::string, std::map<std::size_t, double>> data_;
+  std::vector<std::pair<std::string, double>> telemetry_;
 };
 
 /// "who wins" annotation helper: max ratio of series a over series b

@@ -8,6 +8,7 @@
 #include "common/crc32c.hpp"
 #include "common/log.hpp"
 #include "cxlsim/fault_injector.hpp"
+#include "obs/obs.hpp"
 
 namespace cmpi::p2p {
 
@@ -48,9 +49,29 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
       staged_copies_(static_cast<std::size_t>(ctx.nranks())),
       staged_bytes_(static_cast<std::size_t>(ctx.nranks()), 0),
       rdvz_inflight_(static_cast<std::size_t>(ctx.nranks())),
-      rdvz_slot_cache_(static_cast<std::size_t>(ctx.nranks())) {
+      rdvz_slot_cache_(static_cast<std::size_t>(ctx.nranks())),
+      stats_(std::make_unique<CommStats>()) {
   const std::size_t configured = ctx.config().rendezvous_threshold;
   rdvz_threshold_ = configured == 0 ? matrix_.cell_payload() : configured;
+  obs_registration_ = obs::ProviderRegistration([stats = stats_.get()] {
+    return std::vector<obs::Sample>{
+        {"p2p.messages_sent",
+         stats->messages_sent.load(std::memory_order_relaxed)},
+        {"p2p.messages_received",
+         stats->messages_received.load(std::memory_order_relaxed)},
+        {"p2p.bytes_sent", stats->bytes_sent.load(std::memory_order_relaxed)},
+        {"p2p.bytes_received",
+         stats->bytes_received.load(std::memory_order_relaxed)},
+        {"p2p.unexpected_messages",
+         stats->unexpected_messages.load(std::memory_order_relaxed)},
+        {"p2p.rendezvous_sent",
+         stats->rendezvous_sent.load(std::memory_order_relaxed)},
+        {"p2p.rendezvous_fallbacks",
+         stats->rendezvous_fallbacks.load(std::memory_order_relaxed)},
+        {"p2p.wait_ns",
+         static_cast<std::uint64_t>(
+             stats->wait_ns.load(std::memory_order_relaxed))}};
+  });
 }
 
 namespace {
@@ -209,9 +230,12 @@ RequestPtr Endpoint::isend(int dst, int tag,
   request->rendezvous = !is_internal_tag(tag) && data.size() > rdvz_threshold_;
   request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   if (!is_internal_tag(tag)) {
-    ++stats_.messages_sent;
-    stats_.bytes_sent += data.size();
+    ++stats_->messages_sent;
+    stats_->bytes_sent += data.size();
   }
+  CMPI_OBS_SPAN_ARG(
+      request->rendezvous ? "p2p.isend_rdvz" : "p2p.isend_eager", "bytes",
+      data.size());
   send_queues_[static_cast<std::size_t>(dst)].push_back(request);
   push_sends(dst);
   return request;
@@ -233,8 +257,11 @@ RequestPtr Endpoint::issend(int dst, int tag,
   request->send_data = data;
   request->rendezvous = data.size() > rdvz_threshold_;
   request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
-  ++stats_.messages_sent;
-  stats_.bytes_sent += data.size();
+  ++stats_->messages_sent;
+  stats_->bytes_sent += data.size();
+  CMPI_OBS_SPAN_ARG(
+      request->rendezvous ? "p2p.issend_rdvz" : "p2p.issend_eager", "bytes",
+      data.size());
   request->synchronous = true;
   // Post the internal ack receive before the data can possibly arrive.
   const std::uint32_t counter =
@@ -343,7 +370,7 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
       // Pool pressure, or the arena lock is wedged behind a corpse:
       // deliver through the eager path instead of failing the send.
       req.rendezvous = false;
-      ++stats_.rendezvous_fallbacks;
+      ++stats_->rendezvous_fallbacks;
       return RdvzPush::kFallback;
     }
     req.rdvz_slot = std::move(slot).value();
@@ -423,9 +450,11 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
     return RdvzPush::kBlocked;  // ring full mid-announcement
   }
   req.staged = true;
-  inflight.push_back(RdvzInflight{req.seq, std::move(*req.rdvz_slot)});
+  CMPI_OBS_INSTANT_ARG("p2p.rdvz_rts_complete", "seq", req.seq);
+  inflight.push_back(RdvzInflight{req.seq, std::move(*req.rdvz_slot),
+                                  ctx_->clock().now()});
   req.rdvz_slot.reset();
-  ++stats_.rendezvous_sent;
+  ++stats_->rendezvous_sent;
   return RdvzPush::kStaged;
 }
 
@@ -436,9 +465,11 @@ Result<arena::ObjectHandle> Endpoint::acquire_rdvz_slot(int dst,
     if (it->size >= bytes) {
       arena::ObjectHandle slot = std::move(*it);
       cache.erase(it);
+      CMPI_OBS_COUNT("p2p.rdvz_slot_reuse", 1);
       return slot;
     }
   }
+  CMPI_OBS_COUNT("p2p.rdvz_slot_create", 1);
   // Unique name per allocation: recycled slots keep their original name,
   // so the counter never collides even across reuse.
   const std::string name = std::string(arena::kRendezvousNamePrefix) +
@@ -587,6 +618,7 @@ void Endpoint::stage_for_retransmit(int dst, Request& req) {
     staged_bytes_[static_cast<std::size_t>(dst)] -=
         staged.front().data.size();
     staged.pop_front();
+    CMPI_OBS_COUNT("p2p.staging_evictions", 1);
   }
 }
 
@@ -616,6 +648,7 @@ void Endpoint::queue_retransmit(int dst, const StagedCopy& copy) {
   request->owned = copy.data;
   request->chunk_crcs = copy.chunk_crcs;
   request->send_data = request->owned;
+  CMPI_OBS_INSTANT_ARG("p2p.retransmit", "seq", copy.seq);
   send_queues_[static_cast<std::size_t>(dst)].push_back(std::move(request));
   push_sends(dst);
 }
@@ -636,6 +669,9 @@ void Endpoint::handle_control(int src, int tag,
         std::find_if(inflight.begin(), inflight.end(),
                      [&](const RdvzInflight& e) { return e.seq == seq; });
     if (it != inflight.end()) {
+      CMPI_OBS_INSTANT_ARG("p2p.rdvz_fin", "seq", seq);
+      CMPI_OBS_HIST("p2p.rdvz_rts_to_fin_ns",
+                    ctx_->clock().now() - it->staged_ns);
       release_rdvz_slot(src, std::move(it->slot));
       inflight.erase(it);
     }
@@ -714,6 +750,7 @@ bool Endpoint::begin_retry(int src, int tag, Assembly& assembly) {
     retry.unexpected = assembly.unexpected;
     retry.request.reset();
   }
+  CMPI_OBS_INSTANT_ARG("p2p.nak", "seq", assembly.seq);
   send_control(src, kNakTag, assembly.seq);
   ctx_->recovery_counters().naks_sent.fetch_add(1);
   return true;
@@ -770,6 +807,7 @@ RequestPtr Endpoint::irecv(int src, int tag, std::span<std::byte> buffer) {
 
 Result<RecvInfo> Endpoint::recv(int src, int tag,
                                 std::span<std::byte> buffer) {
+  CMPI_OBS_SPAN_ARG("p2p.recv", "bytes", buffer.size());
   const RequestPtr request = irecv(src, tag, buffer);
   const Status status = wait(request);
   if (!status.is_ok()) {
@@ -855,8 +893,8 @@ bool Endpoint::match_unexpected(Request& request) {
 void Endpoint::complete_recv(Request& request, int src, int tag,
                              std::size_t bytes, Status status) {
   if (!is_internal_tag(tag)) {
-    ++stats_.messages_received;
-    stats_.bytes_received += bytes;
+    ++stats_->messages_received;
+    stats_->bytes_received += bytes;
   }
   request.info_.source = src;
   request.info_.tag = tag;
@@ -952,7 +990,7 @@ void Endpoint::drain_source(int src) {
         } else {
           auto msg = std::make_shared<UnexpectedMsg>();
           if (!is_internal_tag(tag)) {
-            ++stats_.unexpected_messages;
+            ++stats_->unexpected_messages;
           }
           msg->source = src;
           msg->tag = tag;
@@ -1236,6 +1274,7 @@ bool Endpoint::test(const RequestPtr& request) {
 Status Endpoint::wait(const RequestPtr& request) {
   CMPI_EXPECTS(request != nullptr);
   ctx_->charge_mpi_overhead();
+  CMPI_OBS_SPAN("p2p.wait");
   const double entered = ctx_->clock().now();
   while (!request->complete_) {
     progress();
@@ -1244,11 +1283,12 @@ Status Endpoint::wait(const RequestPtr& request) {
     }
     ctx_->doorbell().wait_once();
   }
-  stats_.wait_ns += ctx_->clock().now() - entered;
+  stats_->wait_ns += ctx_->clock().now() - entered;
   return request->result_;
 }
 
 Status Endpoint::wait_all(std::span<const RequestPtr> requests) {
+  CMPI_OBS_SPAN_ARG("p2p.wait_all", "requests", requests.size());
   Status first_error;
   for (const RequestPtr& r : requests) {
     const Status s = wait(r);
@@ -1286,6 +1326,11 @@ Status Endpoint::check_request_liveness(const Request& request) {
 bool Endpoint::cancel_request(const RequestPtr& request, Status verdict) {
   Request& req = *request;
   const bool peer_dead = verdict.code() == ErrorCode::kPeerFailed;
+  if (peer_dead) {
+    CMPI_OBS_INSTANT_ARG("p2p.peer_failed", "peer",
+                         static_cast<std::uint64_t>(req.peer));
+    CMPI_OBS_FLIGHT("p2p: request cancelled with kPeerFailed");
+  }
   if (req.kind == Request::Kind::kRecv) {
     std::erase_if(posted_recvs_,
                   [&](const RequestPtr& r) { return r.get() == &req; });
@@ -1372,14 +1417,14 @@ Status Endpoint::wait_for(const RequestPtr& request,
           std::string(" involving rank ") + std::to_string(request->peer) +
           " missed its deadline");
       if (!cancel_request(request, timed)) {
-        stats_.wait_ns += ctx_->clock().now() - entered;
+        stats_->wait_ns += ctx_->clock().now() - entered;
         return timed;  // request left pending (see header)
       }
       break;
     }
     ctx_->doorbell().wait_once();
   }
-  stats_.wait_ns += ctx_->clock().now() - entered;
+  stats_->wait_ns += ctx_->clock().now() - entered;
   return request->result_;
 }
 
@@ -1405,6 +1450,7 @@ Status Endpoint::ssend_for(int dst, int tag, std::span<const std::byte> data,
 }
 
 RecvInfo Endpoint::probe(int src, int tag) {
+  CMPI_OBS_SPAN("p2p.probe");
   std::optional<RecvInfo> found;
   ctx_->doorbell().wait_until([&] {
     found = iprobe(src, tag);
@@ -1417,6 +1463,7 @@ Status Endpoint::sendrecv(int dst, int send_tag,
                           std::span<const std::byte> out, int src,
                           int recv_tag, std::span<std::byte> in,
                           RecvInfo* info) {
+  CMPI_OBS_SPAN("p2p.sendrecv");
   const RequestPtr send_req = isend(dst, send_tag, out);
   const RequestPtr recv_req = irecv(src, recv_tag, in);
   const Status send_status = wait(send_req);

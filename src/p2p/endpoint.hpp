@@ -53,6 +53,7 @@
 // scavenge_peer.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +67,7 @@
 
 #include "arena/arena.hpp"
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
 #include "queue/queue_matrix.hpp"
 #include "runtime/universe.hpp"
 
@@ -83,20 +85,42 @@ struct RecvInfo {
 
 /// Per-endpoint communication statistics (user traffic; internal
 /// synchronous-send acks are excluded). Times are virtual nanoseconds.
+///
+/// Fields are atomics so teardown paths (Universe summary, metrics
+/// snapshots, monitoring threads) can read them while the owning rank is
+/// still progressing. The copy operations take a relaxed field-by-field
+/// snapshot, so `CommStats s = ep.stats();` keeps working.
 struct CommStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_received = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_received = 0;
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> messages_received{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
   /// Messages that arrived before a matching receive was posted.
-  std::uint64_t unexpected_messages = 0;
+  std::atomic<std::uint64_t> unexpected_messages{0};
   /// Messages sent through the large-message rendezvous path.
-  std::uint64_t rendezvous_sent = 0;
+  std::atomic<std::uint64_t> rendezvous_sent{0};
   /// Rendezvous-eligible messages delivered eagerly instead (arena slot
   /// unavailable, or the arena lock deadline expired behind a corpse).
-  std::uint64_t rendezvous_fallbacks = 0;
+  std::atomic<std::uint64_t> rendezvous_fallbacks{0};
   /// Virtual time spent inside wait()/wait_all().
-  double wait_ns = 0;
+  std::atomic<double> wait_ns{0};
+
+  CommStats() = default;
+  CommStats(const CommStats& other) { *this = other; }
+  CommStats& operator=(const CommStats& other) {
+    messages_sent = other.messages_sent.load(std::memory_order_relaxed);
+    messages_received =
+        other.messages_received.load(std::memory_order_relaxed);
+    bytes_sent = other.bytes_sent.load(std::memory_order_relaxed);
+    bytes_received = other.bytes_received.load(std::memory_order_relaxed);
+    unexpected_messages =
+        other.unexpected_messages.load(std::memory_order_relaxed);
+    rendezvous_sent = other.rendezvous_sent.load(std::memory_order_relaxed);
+    rendezvous_fallbacks =
+        other.rendezvous_fallbacks.load(std::memory_order_relaxed);
+    wait_ns = other.wait_ns.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// Nonblocking operation handle. Created by isend/irecv; completed by the
@@ -259,8 +283,9 @@ class Endpoint {
   /// Pump the progress engine once (drain rings, push pending sends).
   void progress();
 
-  /// Cumulative communication statistics for this rank.
-  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+  /// Cumulative communication statistics for this rank. Safe to read from
+  /// other threads while this rank progresses (atomic fields).
+  [[nodiscard]] const CommStats& stats() const noexcept { return *stats_; }
 
   /// Sizes of the internal bookkeeping containers. Test hook: soak tests
   /// assert these stay bounded over many messages (completed requests must
@@ -401,6 +426,9 @@ class Endpoint {
   struct RdvzInflight {
     std::uint32_t seq = 0;
     arena::ObjectHandle slot;
+    /// Sender's virtual time when the last RTS was published (obs: the
+    /// RTS→FIN lifetime histogram).
+    simtime::Ns staged_ns = 0;
   };
 
   /// Receiver-side state of a message awaiting retransmission, keyed by
@@ -506,7 +534,11 @@ class Endpoint {
   std::vector<RequestPtr> matched_keepalive_;
   /// Synchronous sends fully staged into cells, awaiting the match ack.
   std::vector<RequestPtr> pending_ssends_;
-  CommStats stats_;
+  /// Heap-held so the address is stable across Endpoint moves (the obs
+  /// provider below captures it) and the defaulted move ctor still works.
+  std::unique_ptr<CommStats> stats_;
+  /// Exposes stats_ to the obs metrics registry as the p2p.* family.
+  obs::ProviderRegistration obs_registration_;
   std::vector<std::byte> scratch_;  // truncated-chunk staging
 };
 

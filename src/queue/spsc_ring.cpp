@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/crc32c.hpp"
+#include "obs/obs.hpp"
 
 namespace cmpi::queue {
 
@@ -124,6 +125,11 @@ bool SpscRing::enqueue_cell(cxlsim::Accessor& acc, const CellHeader& header,
   acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&stamped),
                       sizeof(CellHeader)});
   ++tail_local_;
+  CMPI_OBS_COUNT("ring.enqueues", 1);
+  CMPI_OBS_GAUGE_MAX("ring.occupancy_hwm", tail_local_ - peer_head_);
+  if ((stamped.flags & kRetransmit) != 0) {
+    CMPI_OBS_COUNT("ring.retransmit_cells", 1);
+  }
   // Coherence-checker hint: the tail publish covers this cell (header +
   // payload); the consumer reads it after observing the flag.
   acc.annotate_publish_range(cell, sizeof(CellHeader) + payload.size());
@@ -195,6 +201,7 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
       cell + offsetof(CellHeader, freed_stamp),
       std::bit_cast<std::uint64_t>(acc.clock().now()));
   ++head_local_;
+  CMPI_OBS_COUNT("ring.dequeues", 1);
   mid_message_ = (header_out.flags & kLastChunk) == 0;
   // The head publish covers no cached payload (the freed stamp above is an
   // NT store), so no annotate_publish_range is needed here.

@@ -4,6 +4,7 @@
 
 #include "common/align.hpp"
 #include "common/log.hpp"
+#include "obs/obs.hpp"
 #include "runtime/seq_barrier.hpp"
 
 namespace cmpi::rma {
@@ -180,6 +181,8 @@ void Window::annotate_epoch_puts() {
 void Window::put(int target, std::uint64_t disp,
                  std::span<const std::byte> data) {
   CMPI_EXPECTS(disp + data.size() <= win_size_);
+  CMPI_OBS_COUNT("rma.put_bytes", data.size());
+  CMPI_OBS_INSTANT_ARG("rma.put", "bytes", data.size());
   ctx_->charge_mpi_overhead();
   ctx_->acc().fault_sync_point("window-put");
   const std::uint64_t at = segment_offset(target) + disp;
@@ -189,6 +192,8 @@ void Window::put(int target, std::uint64_t disp,
 
 void Window::get(int target, std::uint64_t disp, std::span<std::byte> out) {
   CMPI_EXPECTS(disp + out.size() <= win_size_);
+  CMPI_OBS_COUNT("rma.get_bytes", out.size());
+  CMPI_OBS_INSTANT_ARG("rma.get", "bytes", out.size());
   ctx_->charge_mpi_overhead();
   ctx_->acc().bulk_read(segment_offset(target) + disp, out);
 }
@@ -290,6 +295,7 @@ void Window::wait_count_at_least(std::uint64_t flag_offset,
 }
 
 void Window::post(std::span<const int> origins) {
+  CMPI_OBS_SPAN("rma.post");
   ctx_->charge_mpi_overhead();
   // Make the target's own prior segment writes visible before exposing.
   ctx_->acc().sfence();
@@ -303,6 +309,7 @@ void Window::post(std::span<const int> origins) {
 }
 
 void Window::start(std::span<const int> targets) {
+  CMPI_OBS_SPAN("rma.start");
   ctx_->charge_mpi_overhead();
   for (const int target : targets) {
     CMPI_EXPECTS(target >= 0 && target < nranks());
@@ -313,6 +320,7 @@ void Window::start(std::span<const int> targets) {
 }
 
 void Window::complete(std::span<const int> targets) {
+  CMPI_OBS_SPAN("rma.complete");
   ctx_->charge_mpi_overhead();
   // The first complete flag's publish covers every put of this epoch; the
   // checker verifies none of the payload is still dirty in our cache.
@@ -328,6 +336,7 @@ void Window::complete(std::span<const int> targets) {
 }
 
 void Window::wait(std::span<const int> origins) {
+  CMPI_OBS_SPAN("rma.wait");
   ctx_->charge_mpi_overhead();
   for (const int origin : origins) {
     CMPI_EXPECTS(origin >= 0 && origin < nranks());
@@ -340,6 +349,7 @@ void Window::wait(std::span<const int> origins) {
 // ---------- Fence / passive target ----------
 
 void Window::fence() {
+  CMPI_OBS_SPAN("rma.fence");
   ctx_->charge_mpi_overhead();
   // The barrier's arrival publish covers this epoch's puts.
   annotate_epoch_puts();
@@ -349,6 +359,7 @@ void Window::fence() {
 
 void Window::lock(int target) {
   CMPI_EXPECTS(target >= 0 && target < nranks());
+  CMPI_OBS_SPAN("rma.lock");
   ctx_->charge_mpi_overhead();
   target_locks_[static_cast<std::size_t>(target)].lock(
       ctx_->acc(), static_cast<std::size_t>(rank()));
@@ -371,6 +382,7 @@ Status Window::lock_for(int target, std::chrono::milliseconds timeout) {
 
 void Window::unlock(int target) {
   CMPI_EXPECTS(target >= 0 && target < nranks());
+  CMPI_OBS_SPAN("rma.unlock");
   ctx_->charge_mpi_overhead();
   // The lock-release publish covers the epoch's puts.
   annotate_epoch_puts();

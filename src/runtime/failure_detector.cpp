@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/contracts.hpp"
+#include "obs/obs.hpp"
 
 namespace cmpi::runtime {
 
@@ -62,6 +63,10 @@ bool FailureDetector::dead(cxlsim::Accessor& acc, int rank) {
   // still counts as alive (conviction requires a full lease of silence).
   if (at - peer.changed > lease_) {
     peer.dead = true;
+    CMPI_OBS_COUNT("runtime.peer_convictions", 1);
+    CMPI_OBS_INSTANT_ARG("runtime.peer_convicted", "peer",
+                         static_cast<std::uint64_t>(rank));
+    CMPI_OBS_FLIGHT("runtime: failure detector convicted a peer");
   }
   return peer.dead;
 }

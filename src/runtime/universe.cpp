@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "cxlsim/coherence_checker.hpp"
+#include "obs/obs.hpp"
 #include "runtime/pool_recovery.hpp"
 
 namespace cmpi::runtime {
@@ -27,6 +28,11 @@ Universe::Universe(const UniverseConfig& config)
   CMPI_EXPECTS(config.ring_cells >= 2);
   CMPI_EXPECTS(config.failure_lease.count() > 0);
   CMPI_EXPECTS(config.doorbell_recheck.count() > 0);
+
+  // Settle the telemetry configuration (CMPI_TRACE / CMPI_METRICS /
+  // CMPI_FLIGHT / CMPI_OBS) before any instrumented traffic. Idempotent:
+  // only the first Universe of the process reads the environment.
+  obs::configure_from_env();
 
   // The rings require a power-of-two cell count (index wraparound);
   // accept any requested geometry and round up.
@@ -93,6 +99,25 @@ Universe::Universe(const UniverseConfig& config)
   rank_crashed_.assign(config_.nranks(), false);
   node_dead_.assign(config_.nodes, false);
   recovery_counters_ = std::make_unique<RecoveryCounters>();
+  obs_registration_ = obs::ProviderRegistration(
+      [counters = recovery_counters_.get()] {
+        const auto load = [](const std::atomic<std::uint64_t>& a) {
+          return a.load(std::memory_order_relaxed);
+        };
+        return std::vector<obs::Sample>{
+            {"recovery.crc_failures", load(counters->crc_failures)},
+            {"recovery.naks_sent", load(counters->naks_sent)},
+            {"recovery.retransmits", load(counters->retransmits)},
+            {"recovery.retransmit_rejects",
+             load(counters->retransmit_rejects)},
+            {"recovery.stale_fenced", load(counters->stale_fenced)},
+            {"recovery.scavenges", load(counters->scavenges)},
+            {"recovery.ring_cells_tombstoned",
+             load(counters->ring_cells_tombstoned)},
+            {"recovery.rendezvous_slots_scavenged",
+             load(counters->rendezvous_slots_scavenged)},
+        };
+      });
   log_info("universe: %u nodes x %u ranks, pool %zu MiB, arena at %#lx",
            config_.nodes, config_.ranks_per_node, device_->size() >> 20,
            static_cast<unsigned long>(arena_base_));
@@ -123,6 +148,9 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
           ctx.clock_);
       cxlsim::CoherenceChecker::set_current_rank(static_cast<int>(r));
       cxlsim::FaultInjector::set_current_rank(static_cast<int>(r));
+      // Rank/node/clock context for the obs layer (metrics shard, trace
+      // ring, log prefix); torn down when the thread leaves the lambda.
+      obs::RankScope obs_scope(ctx.rank_, ctx.node_, &ctx.clock_);
       try {
         ctx.arena_ = std::make_unique<arena::Arena>(
             check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r,
@@ -219,6 +247,7 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
     if (violations.size() > shown) {
       log_warn("universe:   ... %zu more", violations.size() - shown);
     }
+    CMPI_OBS_FLIGHT("universe: coherence checker recorded violations");
   }
   // Surface injected faults the same way.
   if (cxlsim::FaultInjector* fi = device_->fault_injector();
@@ -239,12 +268,22 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       log_warn("universe:   ... %zu more", events.size() - shown);
     }
   }
+  bool any_failed = false;
   {
     std::lock_guard lock(failures_mutex_);
     for (int d : detected_failures_) {
       log_warn("universe: failure detector declared rank %d dead", d);
     }
+    any_failed = !detected_failures_.empty() ||
+                 std::find(rank_crashed_.begin(), rank_crashed_.end(), true) !=
+                     rank_crashed_.end();
   }
+  if (any_failed) {
+    CMPI_OBS_FLIGHT("universe: teardown with failed ranks");
+  }
+  // Write CMPI_METRICS / CMPI_TRACE artifacts even when re-throwing — a
+  // failed run is exactly when the telemetry is wanted.
+  obs::export_artifacts();
   if (first_error) {
     std::rethrow_exception(first_error);
   }

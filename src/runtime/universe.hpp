@@ -34,6 +34,7 @@
 #include "cxlsim/accessor.hpp"
 #include "cxlsim/cache_sim.hpp"
 #include "cxlsim/dax_device.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/doorbell.hpp"
 #include "runtime/failure_detector.hpp"
 #include "runtime/seq_barrier.hpp"
@@ -299,6 +300,10 @@ class Universe {
   std::vector<bool> node_dead_;
   std::vector<std::uint32_t> incarnations_;
   std::unique_ptr<RecoveryCounters> recovery_counters_;
+  // Exposes the recovery counters to the obs metrics registry as the
+  // recovery.* family; declared after the counters so the provider's final
+  // read at unregistration still sees them alive.
+  obs::ProviderRegistration obs_registration_;
 };
 
 }  // namespace cmpi::runtime

@@ -1,0 +1,98 @@
+// Flight recorder: dumps carry the reason and recent trace events to
+// stderr, the per-process budget caps a failure storm, the optional JSON
+// file holds the FIRST failure, and a disabled recorder stays silent.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_lite.hpp"
+#include "obs/obs.hpp"
+#include "simtime/vclock.hpp"
+
+namespace cmpi::obs {
+namespace {
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::instance().reset_for_test();
+    flight_reset_for_test();
+  }
+  void TearDown() override {
+    configure(Config{});
+    flight_reset_for_test();
+    TraceRecorder::instance().reset_for_test();
+  }
+  static Config flight_config() {
+    Config config;
+    config.flight = true;
+    return config;
+  }
+};
+
+TEST_F(FlightTest, DumpWritesReasonAndTailToStderr) {
+  Config config = flight_config();
+  config.trace = true;
+  configure(config);
+  simtime::VClock clock;
+  RankScope scope(3, 1, &clock);
+  clock.advance(1234);
+  trace_event('i', "flight.breadcrumb");
+
+  ::testing::internal::CaptureStderr();
+  CMPI_OBS_FLIGHT("test: simulated failure");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("test: simulated failure"), std::string::npos);
+  EXPECT_NE(err.find("flight.breadcrumb"), std::string::npos);
+  EXPECT_NE(err.find("r3"), std::string::npos);
+  EXPECT_EQ(flight_dump_count(), 1);
+}
+
+TEST_F(FlightTest, BudgetCapsDumpStorm) {
+  configure(flight_config());
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < kMaxFlightDumps + 3; ++i) {
+    flight_dump("test: storm");
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(flight_dump_count(), kMaxFlightDumps);
+  std::size_t occurrences = 0;
+  for (std::size_t at = err.find("test: storm"); at != std::string::npos;
+       at = err.find("test: storm", at + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, static_cast<std::size_t>(kMaxFlightDumps));
+}
+
+TEST_F(FlightTest, FileHoldsFirstFailure) {
+  const std::string path = ::testing::TempDir() + "cmpi_flight_test.json";
+  Config config = flight_config();
+  config.flight_path = path;
+  configure(config);
+  ::testing::internal::CaptureStderr();
+  flight_dump("first failure");
+  flight_dump("second failure");
+  (void)::testing::internal::GetCapturedStderr();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const jsonlite::Value doc = jsonlite::parse(buffer.str());
+  EXPECT_EQ(doc.at("reason").string, "first failure");
+  EXPECT_TRUE(doc.at("metrics").is_object());
+}
+
+TEST_F(FlightTest, DisabledRecorderStaysSilent) {
+  configure(Config{});  // flight off
+  ::testing::internal::CaptureStderr();
+  CMPI_OBS_FLIGHT("test: should not appear");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_EQ(flight_dump_count(), 0);
+}
+
+}  // namespace
+}  // namespace cmpi::obs

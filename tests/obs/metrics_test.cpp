@@ -1,0 +1,196 @@
+// Metrics registry: shard summation, gauge/histogram semantics, snapshot
+// providers (live and retired), JSON export, and the acceptance check
+// that a metrics snapshot agrees with CacheSim::Stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "cxlsim/cache_sim.hpp"
+#include "cxlsim/dax_device.hpp"
+#include "json_lite.hpp"
+#include "obs/obs.hpp"
+#include "simtime/vclock.hpp"
+
+namespace cmpi::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config config;
+    config.metrics = true;
+    configure(config);
+    MetricsRegistry::instance().reset_for_test();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset_for_test();
+    configure(Config{});
+  }
+};
+
+TEST_F(MetricsTest, CounterSumsAcrossRankShards) {
+  Counter& counter = MetricsRegistry::instance().counter("test.shards");
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 8; ++r) {
+    threads.emplace_back([&counter, r] {
+      RankScope scope(r, r / 2, nullptr);
+      for (int i = 0; i < 1000; ++i) {
+        counter.add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.total(), 8000u);
+}
+
+TEST_F(MetricsTest, NonRankThreadUsesShardZeroWithoutLosingCounts) {
+  Counter& counter = MetricsRegistry::instance().counter("test.shard0");
+  counter.add(3);  // no RankScope installed: shard 0
+  {
+    RankScope scope(31, 0, nullptr);  // (31 + 1) % 32 == 0: same shard
+    counter.add(4);
+  }
+  EXPECT_EQ(counter.total(), 7u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsHighWaterMark) {
+  Gauge& gauge = MetricsRegistry::instance().gauge("test.hwm");
+  gauge.record(5);
+  gauge.record(2);
+  gauge.record(9);
+  gauge.record(7);
+  EXPECT_EQ(gauge.max(), 9u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByLog2AndClampsNegatives) {
+  Histogram& hist = MetricsRegistry::instance().histogram("test.hist");
+  hist.record(0);      // bucket 0
+  hist.record(1);      // bucket 1: [1, 2)
+  hist.record(1024);   // bucket 11: [1024, 2048)
+  hist.record(1500);   // bucket 11
+  hist.record(-12);    // clamps to 0: bucket 0
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0 + 1 + 1024 + 1500 + 0);
+  const auto buckets = hist.buckets();
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[11], 2u);
+}
+
+TEST_F(MetricsTest, ProviderSamplesAppearInSnapshot) {
+  ProviderRegistration registration([] {
+    return std::vector<Sample>{{"test.provided", 42}};
+  });
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.provided"),
+            42u);
+}
+
+TEST_F(MetricsTest, RetiredProviderTotalsStayCumulative) {
+  {
+    ProviderRegistration registration([] {
+      return std::vector<Sample>{{"test.retired", 10}};
+    });
+    EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.retired"),
+              10u);
+  }
+  // Owner died: final samples folded into the retired accumulator.
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.retired"),
+            10u);
+  // A second short-lived owner adds on top, not instead.
+  {
+    ProviderRegistration registration([] {
+      return std::vector<Sample>{{"test.retired", 5}};
+    });
+    EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.retired"),
+              15u);
+  }
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.retired"),
+            15u);
+}
+
+TEST_F(MetricsTest, NativeAndProviderCountsSumUnderOneName) {
+  MetricsRegistry::instance().counter("test.merged").add(7);
+  ProviderRegistration registration([] {
+    return std::vector<Sample>{{"test.merged", 3}};
+  });
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.merged"),
+            10u);
+}
+
+TEST_F(MetricsTest, WriteJsonIsValidAndCarriesValues) {
+  MetricsRegistry::instance().counter("test.json_counter").add(11);
+  MetricsRegistry::instance().gauge("test.json_gauge").record(6);
+  MetricsRegistry::instance().histogram("test.json_hist").record(100);
+  std::ostringstream out;
+  MetricsRegistry::instance().write_json(out);
+  const jsonlite::Value doc = jsonlite::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("test.json_counter").number, 11);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("test.json_gauge").number, 6);
+  const jsonlite::Value& hist = doc.at("histograms").at("test.json_hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 1);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 100);
+  ASSERT_TRUE(hist.at("buckets").is_array());
+  EXPECT_FALSE(hist.at("buckets").array.empty());
+}
+
+TEST_F(MetricsTest, MacrosRecordNothingWhileDisabled) {
+  configure(Config{});  // everything off
+  CMPI_OBS_COUNT("test.disabled", 1);
+  CMPI_OBS_GAUGE_MAX("test.disabled_gauge", 9);
+  CMPI_OBS_HIST("test.disabled_hist", 5);
+  Config config;
+  config.metrics = true;
+  configure(config);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.count("test.disabled"), 0u);
+  EXPECT_EQ(snap.gauges.count("test.disabled_gauge"), 0u);
+  EXPECT_EQ(snap.histograms.count("test.disabled_hist"), 0u);
+}
+
+// Acceptance: the registry's cache.* family agrees with the CacheSim's
+// own Stats. Deltas, not absolutes — other caches (bootstrap, scratch)
+// may be registered in the same process.
+TEST_F(MetricsTest, SnapshotAgreesWithCacheSimStats) {
+  auto device = check_ok(cxlsim::DaxDevice::create(4_MiB, 4, {}));
+  cxlsim::CacheSim cache(*device, {.sets = 16, .ways = 2});
+
+  const MetricsSnapshot before = MetricsRegistry::instance().snapshot();
+  std::vector<std::byte> buf(4096, std::byte{0x5A});
+  cache.write(0, buf);
+  std::vector<std::byte> out(4096);
+  cache.read(0, out);          // hits: lines were just written
+  cache.read(64_KiB, out);     // misses: cold lines
+  const MetricsSnapshot after = MetricsRegistry::instance().snapshot();
+
+  const cxlsim::CacheSim::Stats stats = cache.stats();
+  EXPECT_EQ(after.counter("cache.hits") - before.counter("cache.hits"),
+            stats.hits);
+  EXPECT_EQ(after.counter("cache.misses") - before.counter("cache.misses"),
+            stats.misses);
+  EXPECT_EQ(
+      after.counter("cache.evictions") - before.counter("cache.evictions"),
+      stats.evictions);
+  EXPECT_EQ(
+      after.counter("cache.writebacks") - before.counter("cache.writebacks"),
+      stats.writebacks);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST_F(MetricsTest, ResetForTestZeroesButKeepsCachedReferences) {
+  Counter& counter = MetricsRegistry::instance().counter("test.reset");
+  counter.add(5);
+  MetricsRegistry::instance().reset_for_test();
+  EXPECT_EQ(counter.total(), 0u);
+  counter.add(2);  // the cached reference is still live
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().counter("test.reset"), 2u);
+}
+
+}  // namespace
+}  // namespace cmpi::obs
