@@ -203,8 +203,25 @@ void Accessor::nt_store_u64(std::uint64_t offset, std::uint64_t value) {
   cache_.nt_store_u64(offset, value);
 }
 
-void Accessor::bulk_write(std::uint64_t offset,
-                          std::span<const std::byte> src) {
+void Accessor::hint_store_u64(std::uint64_t offset, std::uint64_t value) {
+  fault_access(offset, sizeof(std::uint64_t), /*is_read=*/false);
+  if (CoherenceChecker* chk = device_.checker()) {
+    // A hint word covers no payload, so it needs no fence: report it as
+    // fenced so the checker doesn't flag the (by-design) missing sfence.
+    chk->on_flag_store(&cache_, offset, /*fenced=*/true);
+  }
+  clock_.advance(device_.timing().params().cache_hit_latency);
+  cache_.nt_store_u64(offset, value);
+}
+
+std::uint64_t Accessor::peek_u64(std::uint64_t offset) {
+  CMPI_EXPECTS(is_aligned(offset, sizeof(std::uint64_t)));
+  fault_poll_read(offset, sizeof(std::uint64_t));
+  return cache_.nt_load_u64(offset);
+}
+
+void Accessor::bulk_write(std::uint64_t offset, std::span<const std::byte> src,
+                          BulkCharge charge) {
   if (src.empty()) {
     return;
   }
@@ -221,7 +238,10 @@ void Accessor::bulk_write(std::uint64_t offset,
   // §3.5 discipline: every bulk write ends with a flush round (the
   // clflushopt sweep's setup cost; the per-line flush work is what limits
   // the flushed streaming rate and is folded into the device reservation).
-  clock_.advance(p.flush_base + device_.timing().cpu_copy_cost(src.size()));
+  // Batched ops share their batch's single sweep, so only the first op of
+  // the batch pays the setup.
+  const simtime::Ns setup = charge == BulkCharge::kFull ? p.flush_base : 0;
+  clock_.advance(setup + device_.timing().cpu_copy_cost(src.size()));
   const simtime::Ns done =
       device_.timing().reserve_device(start, src.size(), /*is_read=*/false);
   CMPI_OBS_COUNT("cxl.bulk_write_bytes", src.size());
@@ -231,7 +251,8 @@ void Accessor::bulk_write(std::uint64_t offset,
   cache_.nt_store(offset, src);
 }
 
-void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst) {
+void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst,
+                         BulkCharge charge) {
   if (dst.empty()) {
     return;
   }
@@ -245,8 +266,9 @@ void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst) {
   CxlTimingModel::StreamScope stream(device_.timing());
   const simtime::Ns start = clock_.now();
   // §3.5 discipline: invalidate (flush) before the read so no stale lines
-  // satisfy it.
-  clock_.advance(p.flush_base + device_.timing().cpu_copy_cost(dst.size()));
+  // satisfy it; batched ops share the batch's single invalidate sweep.
+  const simtime::Ns setup = charge == BulkCharge::kFull ? p.flush_base : 0;
+  clock_.advance(setup + device_.timing().cpu_copy_cost(dst.size()));
   const simtime::Ns done =
       device_.timing().reserve_device(start, dst.size(), /*is_read=*/true);
   CMPI_OBS_COUNT("cxl.bulk_read_bytes", dst.size());

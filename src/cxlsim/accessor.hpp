@@ -71,13 +71,32 @@ class Accessor {
   std::uint64_t nt_load_u64(std::uint64_t offset);
   void nt_store_u64(std::uint64_t offset, std::uint64_t value);
 
+  /// Poll-read one bare u64 without charging time (failed polls are
+  /// waiting, not work — the doorbell-word analogue of peek_flag).
+  [[nodiscard]] std::uint64_t peek_u64(std::uint64_t offset);
+
+  /// Fire-and-forget hint store of one u64 (doorbell words). The value is
+  /// a monotonic wake-up hint that carries no payload and orders against
+  /// nothing: a reader that misses it only sleeps until its next periodic
+  /// re-check. Charges a store-buffer retire (cache-hit latency), not a
+  /// full NT-store round, and does not join the sfence drain set.
+  void hint_store_u64(std::uint64_t offset, std::uint64_t value);
+
+  /// Whether a bulk op pays the flush/invalidate sweep's setup cost.
+  /// kBatched is for the second and later ops of one reap/publish batch:
+  /// the sweep is issued once for the whole batch, so only the first op
+  /// charges flush_base (per-byte costs are always charged).
+  enum class BulkCharge { kFull, kBatched };
+
   // --- Streaming payload copies (message cells, RMA data) ---
   /// Local buffer -> pool. Functionally non-temporal (immediately visible
   /// to other heads); charges the CPU copy cost and reserves device write
   /// bandwidth. Device completion is folded into the next sfence.
-  void bulk_write(std::uint64_t offset, std::span<const std::byte> src);
+  void bulk_write(std::uint64_t offset, std::span<const std::byte> src,
+                  BulkCharge charge = BulkCharge::kFull);
   /// Pool -> local buffer; charges CPU copy and device read bandwidth.
-  void bulk_read(std::uint64_t offset, std::span<std::byte> dst);
+  void bulk_read(std::uint64_t offset, std::span<std::byte> dst,
+                 BulkCharge charge = BulkCharge::kFull);
 
   // --- Timestamped synchronization flags ---
   /// Layout: [u64 value][u64 vtime bits]; 16 bytes, 8-byte aligned.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <mutex>
+#include <span>
 
 #include "core/cmpi.hpp"
 #include "queue/queue_matrix.hpp"
@@ -259,6 +260,80 @@ std::vector<double> cxl_onesided_latency_us(const SweepParams& params) {
     win.free();
   });
   return board.take();
+}
+
+double cxl_msgrate_fanin(const MsgRateParams& params) {
+  CMPI_EXPECTS(params.senders >= 1 && params.size >= 1);
+  const int receiver = params.senders;  // last rank; one rank per node
+  runtime::UniverseConfig cfg;
+  cfg.nodes = static_cast<unsigned>(params.senders + 1);
+  cfg.ranks_per_node = 1;
+  // Small cells: at 8-byte payloads the per-cell protocol cost IS the
+  // benchmark; a 64 KiB cell would only waste pool space.
+  cfg.cell_payload = 4 * 1024;
+  cfg.ring_cells = params.ring_cells;
+  cfg.progress_engine = params.legacy_scan
+                            ? runtime::ProgressEngine::kLegacyScan
+                            : runtime::ProgressEngine::kDoorbell;
+  const std::size_t matrix = queue::QueueMatrix::footprint(
+      params.senders + 1, cfg.ring_cells, cfg.cell_payload);
+  cfg.pool_size = std::max<std::size_t>(64_MiB, 2 * matrix + 32_MiB);
+  runtime::Universe universe(cfg);
+  ResultBoard board(1);
+  universe.run([&](runtime::RankCtx& ctx) {
+    Session mpi(ctx);
+    const bool is_receiver = ctx.rank() == receiver;
+    const auto payload = make_payload(params.size);
+    std::byte ack[4] = {};
+    const std::size_t per_iter =
+        static_cast<std::size_t>(params.senders) *
+        static_cast<std::size_t>(params.window);
+    ctx.barrier();
+    double start = 0;
+    for (int it = -params.warmup; it < params.iters; ++it) {
+      if (it == 0) {
+        ctx.barrier();
+        start = ctx.clock().now();
+      }
+      if (is_receiver) {
+        std::vector<std::byte> inboxes(per_iter * params.size);
+        std::vector<p2p::RequestPtr> reqs;
+        reqs.reserve(per_iter);
+        for (int s = 0; s < params.senders; ++s) {
+          for (int w = 0; w < params.window; ++w) {
+            const std::size_t slot =
+                static_cast<std::size_t>(s) *
+                    static_cast<std::size_t>(params.window) +
+                static_cast<std::size_t>(w);
+            reqs.push_back(mpi.irecv(
+                s, kBwTag,
+                std::span<std::byte>(inboxes)
+                    .subspan(slot * params.size, params.size)));
+          }
+        }
+        check_ok(mpi.wait_all(reqs));
+        for (int s = 0; s < params.senders; ++s) {
+          check_ok(mpi.send(s, kAckTag, ack));
+        }
+      } else {
+        std::vector<p2p::RequestPtr> reqs;
+        reqs.reserve(static_cast<std::size_t>(params.window));
+        for (int w = 0; w < params.window; ++w) {
+          reqs.push_back(mpi.isend(receiver, kBwTag, payload));
+        }
+        check_ok(mpi.wait_all(reqs));
+        check_ok(mpi.recv(receiver, kAckTag, ack).status());
+      }
+    }
+    ctx.barrier();
+    if (is_receiver) {
+      const double elapsed_ns = ctx.clock().now() - start;
+      const double msgs =
+          static_cast<double>(per_iter) * static_cast<double>(params.iters);
+      board.set(0, msgs / elapsed_ns * 1e9);  // messages/second
+    }
+  });
+  return board.take()[0];
 }
 
 // ---------------- MPI over a modeled NIC ----------------

@@ -71,4 +71,26 @@ std::vector<double> net_onesided_latency_us(const fabric::NicProfile& profile,
 /// matrix and windows at the given proc count / cell size).
 runtime::UniverseConfig bench_universe_config(const SweepParams& params);
 
+// ---- Small-message message rate (OSU osu_mbw_mr-style fan-in) ----
+//
+// N senders (one per node) stream `window` back-to-back `size`-byte
+// messages each at ONE receiver per iteration, then wait for a 4-byte
+// ack. This is the progress-engine stress case: the receiver's match
+// path and per-peer scan — not the copy cost — dominate, which is what
+// the doorbell-aggregated engine (p2p::Endpoint) exists to fix.
+struct MsgRateParams {
+  std::size_t size = 8;   ///< payload bytes per message
+  int senders = 16;       ///< fan-in width (total ranks = senders + 1)
+  int window = 64;        ///< messages per sender per iteration
+  int iters = 10;         ///< timed iterations
+  int warmup = 2;         ///< untimed iterations
+  std::size_t ring_cells = 64;
+  /// Run the pre-doorbell linear-scan progress engine instead
+  /// (ProgressEngine::kLegacyScan) — the before/after ablation knob.
+  bool legacy_scan = false;
+};
+
+/// Aggregate messages/second observed by the receiver (virtual time).
+double cxl_msgrate_fanin(const MsgRateParams& params);
+
 }  // namespace cmpi::osu

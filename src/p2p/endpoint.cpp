@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/crc32c.hpp"
@@ -50,9 +51,35 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
       staged_bytes_(static_cast<std::size_t>(ctx.nranks()), 0),
       rdvz_inflight_(static_cast<std::size_t>(ctx.nranks())),
       rdvz_slot_cache_(static_cast<std::size_t>(ctx.nranks())),
+      dbell_(ctx.doorbell_base(), ctx.nranks()),
+      dbell_next_(static_cast<std::size_t>(ctx.nranks()), 1),
+      dbell_seen_(static_cast<std::size_t>(ctx.nranks()), 0),
+      drain_pending_(static_cast<std::size_t>(ctx.nranks()), 0),
       stats_(std::make_unique<CommStats>()) {
   const std::size_t configured = ctx.config().rendezvous_threshold;
   rdvz_threshold_ = configured == 0 ? matrix_.cell_payload() : configured;
+  legacy_ =
+      ctx.config().progress_engine == runtime::ProgressEngine::kLegacyScan;
+  // Batched cell publication coarsens which cells are visible at a
+  // scripted kill point; the fault/recovery tests assert exact per-sync-
+  // point published-cell counts, so any configured injector keeps the
+  // per-cell publish discipline (perf runs carry no injector).
+  publish_per_cell_ = legacy_ || ctx.device().fault_injector() != nullptr;
+  if (!legacy_) {
+    for (int r = 0; r < ctx.nranks(); ++r) {
+      if (r == ctx.rank()) {
+        continue;
+      }
+      const auto s = static_cast<std::size_t>(r);
+      // Sender side: the pool word survives respawns; continuing past it
+      // keeps the slot monotonic whether or not scavenge cleared it.
+      dbell_next_[s] = dbell_.peek(ctx.acc(), r, ctx.rank()) + 1;
+      // Receiver side: start one behind so the first progress() visits
+      // every peer once (cells published before we attached have no edge
+      // ring coming).
+      dbell_seen_[s] = dbell_.peek(ctx.acc(), ctx.rank(), r) - 1;
+    }
+  }
   obs_registration_ = obs::ProviderRegistration([stats = stats_.get()] {
     return std::vector<obs::Sample>{
         {"p2p.messages_sent",
@@ -68,6 +95,10 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
          stats->rendezvous_sent.load(std::memory_order_relaxed)},
         {"p2p.rendezvous_fallbacks",
          stats->rendezvous_fallbacks.load(std::memory_order_relaxed)},
+        {"p2p.doorbell_rings",
+         stats->doorbell_rings.load(std::memory_order_relaxed)},
+        {"p2p.doorbell_suppressed",
+         stats->doorbell_suppressed.load(std::memory_order_relaxed)},
         {"p2p.wait_ns",
          static_cast<std::uint64_t>(
              stats->wait_ns.load(std::memory_order_relaxed))}};
@@ -145,6 +176,9 @@ Endpoint::~Endpoint() {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(1);
     for (;;) {
+      // Arm before checking: a peer's drain landing between the check and
+      // the sleep below must not be lost (see Doorbell::epoch).
+      const std::uint64_t armed = ctx_->doorbell().epoch();
       const auto has_control = [](const auto& pending) {
         return std::any_of(pending.begin(), pending.end(),
                            [](const RequestPtr& r) {
@@ -170,7 +204,7 @@ Endpoint::~Endpoint() {
                  "1 s; peer gone — dropping it");
         break;
       }
-      ctx_->doorbell().wait_once();
+      ctx_->doorbell().wait_past(armed);
     }
     // Best-effort FIN collection: receivers FIN the moment a rendezvous
     // message is delivered, so a FIN for a still-inflight slot is usually
@@ -184,7 +218,7 @@ Endpoint::~Endpoint() {
           (injector != nullptr && injector->rank_crashed(src))) {
         continue;
       }
-      drain_source(src);
+      drain_source(src, std::numeric_limits<std::size_t>::max());
     }
     // A crashed receiver will never FIN: its inflight slots are ours to
     // destroy (its own pool state is the scavenger's job, these slabs are
@@ -280,11 +314,15 @@ void Endpoint::push_sends(int dst) {
   auto& pending = send_queues_[static_cast<std::size_t>(dst)];
   queue::SpscRing& ring = matrix_.ring(ctx_->acc(), dst, rank());
   const std::size_t cell = matrix_.cell_payload();
+  // Bytes staged-but-unpublished by THIS call (the cell-count threshold
+  // reads ring.staged_pending() directly).
+  std::size_t batch_bytes = 0;
   while (!pending.empty()) {
     Request& req = *pending.front();
     if (req.rendezvous) {
       const RdvzPush outcome = push_rendezvous(dst, ring, req);
       if (outcome == RdvzPush::kBlocked) {
+        publish_now(dst, ring);
         return;  // ring/slot budget full; resume in a later progress()
       }
       if (outcome == RdvzPush::kFallback) {
@@ -313,23 +351,44 @@ void Endpoint::push_sends(int dst) {
                        (req.synchronous ? queue::kSyncSend : 0u) |
                        req.force_flags;
         const auto payload = req.send_data.subspan(req.bytes_pushed, chunk);
-        bool enqueued;
         if (!req.chunk_crcs.empty()) {
           // The fused staging pass already checksummed each cell chunk;
           // hand the CRC in so the ring skips its own pass.
           header.payload_crc = req.chunk_crcs[req.bytes_pushed / cell];
-          enqueued = ring.try_enqueue_prehashed(ctx_->acc(), header, payload);
+        }
+        const bool prehashed = !req.chunk_crcs.empty();
+        bool enqueued;
+        if (publish_per_cell_) {
+          enqueued = prehashed
+                         ? ring.try_enqueue_prehashed(ctx_->acc(), header,
+                                                      payload)
+                         : ring.try_enqueue(ctx_->acc(), header, payload);
+          if (enqueued) {
+            note_publish(dst, ring.last_publish_edge());
+          }
         } else {
-          enqueued = ring.try_enqueue(ctx_->acc(), header, payload);
+          enqueued = prehashed
+                         ? ring.try_stage_prehashed(ctx_->acc(), header,
+                                                    payload)
+                         : ring.try_stage(ctx_->acc(), header, payload);
         }
         if (!enqueued) {
           break;
         }
         made_progress = true;
         req.bytes_pushed += chunk;
+        batch_bytes += chunk;
+        if (!publish_per_cell_ &&
+            (ring.staged_pending() >= kPublishBatchCells ||
+             batch_bytes >= kPublishBatchBytes)) {
+          publish_now(dst, ring);
+          batch_bytes = 0;
+        }
         // Scripted kill location for the recovery tests: the chunk is
         // durably in the ring but the message may be incomplete — exactly
-        // the partial state a host dying mid-send leaves behind.
+        // the partial state a host dying mid-send leaves behind. Any run
+        // with a fault injector takes the per-cell publish path above, so
+        // the chunk IS published when this fires.
         ctx_->acc().fault_sync_point("p2p-chunk-staged");
         if (last) {
           req.staged = true;
@@ -340,6 +399,7 @@ void Endpoint::push_sends(int dst) {
         ctx_->doorbell().ring();
       }
       if (!req.staged) {
+        publish_now(dst, ring);
         return;  // ring full; resume in a later progress() call
       }
       // All chunks are in cells now; drop the reference to the payload
@@ -354,6 +414,30 @@ void Endpoint::push_sends(int dst) {
       req.complete_ = true;
     }
     pending.pop_front();
+  }
+  // Nothing staged ever outlives push_sends: every exit publishes, so the
+  // batch thresholds above only bound latency WITHIN one call.
+  publish_now(dst, ring);
+}
+
+void Endpoint::publish_now(int dst, queue::SpscRing& ring) {
+  if (ring.staged_pending() == 0) {
+    return;
+  }
+  const bool edge = ring.publish_staged(ctx_->acc());
+  note_publish(dst, edge);
+}
+
+void Endpoint::note_publish(int dst, bool edge) {
+  if (legacy_) {
+    return;  // the legacy engine scans every ring; no doorbell traffic
+  }
+  if (edge) {
+    const auto d = static_cast<std::size_t>(dst);
+    dbell_.ring(ctx_->acc(), dst, rank(), dbell_next_[d]++);
+    ++stats_->doorbell_rings;
+  } else {
+    ++stats_->doorbell_suppressed;
   }
 }
 
@@ -437,6 +521,7 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
         acc, header,
         {reinterpret_cast<const std::byte*>(&desc), sizeof(desc)});
     CMPI_ASSERT(enqueued);  // can_enqueue held above
+    note_publish(dst, ring.last_publish_edge());
     enqueued_any = true;
     req.bytes_pushed = seg_begin + seg;
     // Scripted kill location: the RTS is durable — the receiver can pull
@@ -705,10 +790,7 @@ void Endpoint::handle_control(int src, int tag,
       "payload from rank " + std::to_string(src) +
       " unrecoverable: sender's retransmit staging copy was evicted");
   if (const RequestPtr req = retry.request.lock()) {
-    const auto posted =
-        std::find(posted_recvs_.begin(), posted_recvs_.end(), req);
-    if (posted != posted_recvs_.end()) {
-      posted_recvs_.erase(posted);
+    if (posted_recvs_.remove(req.get()) != nullptr) {
       complete_recv(*req, src, retry.tag, 0, std::move(verdict));
     }
   } else if (const std::shared_ptr<UnexpectedMsg> msg =
@@ -742,7 +824,9 @@ bool Endpoint::begin_retry(int src, int tag, Assembly& assembly) {
     req->matched = false;
     retry.request = req;
     retry.unexpected.reset();
-    posted_recvs_.push_front(std::move(req));
+    const int filter_src = req->peer;
+    const int filter_tag = req->tag;
+    posted_recvs_.repost_front(std::move(req), filter_src, filter_tag);
   } else if (assembly.unexpected != nullptr) {
     // Park the unexpected message: it stays queued (FIFO position kept)
     // but is unmatchable until the retransmission rewrites it.
@@ -768,10 +852,7 @@ void Endpoint::attach_retransmit(int src, const queue::CellHeader& header,
   assembly.synchronous = retry.synchronous;
   assembly.ssend_counter = retry.ssend_counter;
   if (RequestPtr req = retry.request.lock()) {
-    const auto posted =
-        std::find(posted_recvs_.begin(), posted_recvs_.end(), req);
-    if (posted != posted_recvs_.end()) {
-      posted_recvs_.erase(posted);
+    if (posted_recvs_.remove(req.get()) != nullptr) {
       req->matched = true;
       assembly.request = req.get();
       matched_keepalive_.push_back(std::move(req));
@@ -800,7 +881,7 @@ RequestPtr Endpoint::irecv(int src, int tag, std::span<std::byte> buffer) {
   request->tag = tag;
   request->recv_buffer = buffer;
   if (!match_unexpected(*request)) {
-    posted_recvs_.push_back(request);
+    posted_recvs_.post(request, src, tag);
   }
   return request;
 }
@@ -817,77 +898,77 @@ Result<RecvInfo> Endpoint::recv(int src, int tag,
 }
 
 bool Endpoint::match_unexpected(Request& request) {
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    UnexpectedMsg& msg = **it;
-    if (!msg.full() || msg.retry_pending ||
-        !tags_match(request.peer, request.tag, msg.source, msg.tag)) {
-      continue;
-    }
-    if (msg.rendezvous) {
-      // Deferred one-copy delivery: the payload waited in the sender's
-      // slab; pull it pool→user now that the destination is known, then
-      // FIN so the sender can recycle the slot.
-      Status delivery = Status::ok();
-      bool corrupt = false;
-      bool truncated = false;
-      if (msg.data_error.is_ok()) {
-        for (const RdvzSegment& seg : msg.rdvz_segs) {
-          pull_rendezvous_segment(
-              seg.pool_offset,
-              static_cast<std::size_t>(seg.pool_offset -
-                                       msg.rdvz_slot_offset),
-              seg.bytes, seg.crc, request.recv_buffer, corrupt, truncated);
-        }
-        if (ctx_->acc().poison_pending()) {
-          delivery = ctx_->acc().take_poison_status(
-              "recv payload from rank " + std::to_string(msg.source));
-        } else if (corrupt) {
-          delivery = status::data_poisoned(
-              "payload from rank " + std::to_string(msg.source) +
-              " still corrupt after " + std::to_string(kMaxRetransmits) +
-              " re-reads");
-        } else if (truncated || msg.total > request.recv_buffer.size()) {
-          delivery = status::truncated("message larger than recv buffer");
-        }
-      } else {
-        delivery = msg.data_error;
-      }
-      complete_recv(request, msg.source, msg.tag,
-                    std::min(msg.total, request.recv_buffer.size()),
-                    std::move(delivery));
-      if (msg.synchronous) {
-        send_ssend_ack(msg.source, msg.ssend_counter);
-      }
-      send_control(msg.source, kRdvzFinTag, msg.rdvz_seq);
-      unexpected_.erase(it);
-      return true;
-    }
-    const std::size_t copy = std::min(msg.total, request.recv_buffer.size());
-    // One extra host copy — the cost of an unexpected arrival, same as in
-    // MPICH. The CXL-side copy was already charged when the chunk was
-    // drained.
-    if (copy > 0) {
-      std::memcpy(request.recv_buffer.data(), msg.data.data(), copy);
-      ctx_->clock().advance(
-          static_cast<double>(copy) /
-          ctx_->device().timing().params().local_mem_bytes_per_ns);
-    }
-    const bool truncated = msg.total > request.recv_buffer.size();
+  std::size_t probe = 0;
+  const UnexpectedMsgPtr found = unexpected_.find_match(
+      request.peer, request.tag, /*require_full=*/true, &probe);
+  if (found == nullptr) {
+    return false;
+  }
+  CMPI_OBS_HIST("p2p.match_probe_len", probe);
+  UnexpectedMsg& msg = *found;
+  if (msg.rendezvous) {
+    // Deferred one-copy delivery: the payload waited in the sender's
+    // slab; pull it pool→user now that the destination is known, then
+    // FIN so the sender can recycle the slot.
     Status delivery = Status::ok();
-    if (!msg.data_error.is_ok()) {
-      delivery = msg.data_error;  // poison recorded at drain time
-    } else if (truncated) {
-      delivery = status::truncated("message larger than recv buffer");
+    bool corrupt = false;
+    bool truncated = false;
+    if (msg.data_error.is_ok()) {
+      for (const RdvzSegment& seg : msg.rdvz_segs) {
+        pull_rendezvous_segment(
+            seg.pool_offset,
+            static_cast<std::size_t>(seg.pool_offset -
+                                     msg.rdvz_slot_offset),
+            seg.bytes, seg.crc, request.recv_buffer, corrupt, truncated);
+      }
+      if (ctx_->acc().poison_pending()) {
+        delivery = ctx_->acc().take_poison_status(
+            "recv payload from rank " + std::to_string(msg.source));
+      } else if (corrupt) {
+        delivery = status::data_poisoned(
+            "payload from rank " + std::to_string(msg.source) +
+            " still corrupt after " + std::to_string(kMaxRetransmits) +
+            " re-reads");
+      } else if (truncated || msg.total > request.recv_buffer.size()) {
+        delivery = status::truncated("message larger than recv buffer");
+      }
+    } else {
+      delivery = msg.data_error;
     }
-    complete_recv(request, msg.source, msg.tag, copy, std::move(delivery));
+    complete_recv(request, msg.source, msg.tag,
+                  std::min(msg.total, request.recv_buffer.size()),
+                  std::move(delivery));
     if (msg.synchronous) {
-      // The sender's Ssend may complete now: the message is matched.
       send_ssend_ack(msg.source, msg.ssend_counter);
     }
-    unexpected_.erase(it);
+    send_control(msg.source, kRdvzFinTag, msg.rdvz_seq);
+    unexpected_.remove(found.get());
     return true;
   }
-  return false;
+  const std::size_t copy = std::min(msg.total, request.recv_buffer.size());
+  // One extra host copy — the cost of an unexpected arrival, same as in
+  // MPICH. The CXL-side copy was already charged when the chunk was
+  // drained.
+  if (copy > 0) {
+    std::memcpy(request.recv_buffer.data(), msg.data.data(), copy);
+    ctx_->clock().advance(
+        static_cast<double>(copy) /
+        ctx_->device().timing().params().local_mem_bytes_per_ns);
+  }
+  const bool truncated = msg.total > request.recv_buffer.size();
+  Status delivery = Status::ok();
+  if (!msg.data_error.is_ok()) {
+    delivery = msg.data_error;  // poison recorded at drain time
+  } else if (truncated) {
+    delivery = status::truncated("message larger than recv buffer");
+  }
+  complete_recv(request, msg.source, msg.tag, copy, std::move(delivery));
+  if (msg.synchronous) {
+    // The sender's Ssend may complete now: the message is matched.
+    send_ssend_ack(msg.source, msg.ssend_counter);
+  }
+  unexpected_.remove(found.get());
+  return true;
 }
 
 void Endpoint::complete_recv(Request& request, int src, int tag,
@@ -904,12 +985,34 @@ void Endpoint::complete_recv(Request& request, int src, int tag,
   request.recv_buffer = {};  // done with the caller's buffer
 }
 
-void Endpoint::drain_source(int src) {
+Endpoint::DrainOutcome Endpoint::drain_source(int src,
+                                              std::size_t max_cells) {
   queue::SpscRing& ring = matrix_.ring(ctx_->acc(), rank(), src);
   Assembly& assembly = assembly_[static_cast<std::size_t>(src)];
-  bool drained_any = false;
-  for (;;) {
-    const std::optional<queue::CellHeader> header = ring.peek(ctx_->acc());
+  // Batched reaping: the head publish (and with it the invalidate-sweep
+  // setup the consumer pays per published head) is deferred across the
+  // whole batch and flushed once at every exit below.
+  const bool defer = !legacy_;
+  if (defer) {
+    ring.defer_head_publish(true);
+    // Fused header+payload-line reads on the fault-free hot path only:
+    // the fault/recovery suites pin the pre-change access pattern (their
+    // scripted poison/kill points count individual pool touches), and the
+    // legacy ablation must model the pre-change engine.
+    ring.enable_fused_small_reads(ctx_->device().fault_injector() == nullptr);
+  }
+  std::size_t reaped = 0;
+  while (reaped < max_cells) {
+    std::optional<queue::CellHeader> header = ring.peek(ctx_->acc());
+    if (!header.has_value() && defer) {
+      // Publish our true head BEFORE concluding empty: the producer's
+      // edge detection compares against the published head, and a stale
+      // one makes it suppress the doorbell for cells we have not seen —
+      // flush, then re-peek, and only a still-empty ring is really empty
+      // (its next publish will ring).
+      ring.flush_head(ctx_->acc());
+      header = ring.peek(ctx_->acc());
+    }
     if (!header.has_value()) {
       break;
     }
@@ -931,10 +1034,7 @@ void Endpoint::drain_source(int src) {
                       [&](const RequestPtr& r) { return r.get() == &req; });
       }
       if (assembly.unexpected != nullptr) {
-        std::erase_if(unexpected_,
-                      [&](const std::shared_ptr<UnexpectedMsg>& m) {
-                        return m.get() == assembly.unexpected.get();
-                      });
+        unexpected_.remove(assembly.unexpected.get());
       }
       assembly = Assembly{};
     }
@@ -975,18 +1075,15 @@ void Endpoint::drain_source(int src) {
           assembly.ssend_counter =
               ssend_seen_[static_cast<std::size_t>(src)]++;
         }
-        auto posted = std::find_if(posted_recvs_.begin(), posted_recvs_.end(),
-                                   [&](const RequestPtr& r) {
-                                     return tags_match(r->peer, r->tag, src,
-                                                       tag);
-                                   });
-        if (posted != posted_recvs_.end()) {
-          assembly.request = posted->get();
+        std::size_t probe = 0;
+        RequestPtr posted = posted_recvs_.take_match(src, tag, &probe);
+        CMPI_OBS_HIST("p2p.match_probe_len", probe);
+        if (posted != nullptr) {
+          assembly.request = posted.get();
           assembly.request->matched = true;
           // Keep the shared_ptr alive through assembly.
           assembly.unexpected = nullptr;
-          matched_keepalive_.push_back(*posted);
-          posted_recvs_.erase(posted);
+          matched_keepalive_.push_back(std::move(posted));
         } else {
           auto msg = std::make_shared<UnexpectedMsg>();
           if (!is_internal_tag(tag)) {
@@ -1006,7 +1103,7 @@ void Endpoint::drain_source(int src) {
           msg->synchronous = assembly.synchronous;
           msg->ssend_counter = assembly.ssend_counter;
           assembly.unexpected = msg;
-          unexpected_.push_back(msg);
+          unexpected_.push(msg);
         }
       }
     }
@@ -1097,7 +1194,7 @@ void Endpoint::drain_source(int src) {
     if (!assembly.rendezvous) {
       assembly.received += header->chunk_bytes;
     }
-    drained_any = true;
+    ++reaped;
 
     if ((header->flags & queue::kLastChunk) != 0) {
       // A torn RTS descriptor loses that segment's byte count, so a
@@ -1168,14 +1265,7 @@ void Endpoint::drain_source(int src) {
           }
           // The unexpected message is now complete: a posted wildcard may
           // have been waiting for it.
-          auto posted = std::find_if(
-              posted_recvs_.begin(), posted_recvs_.end(),
-              [&](const RequestPtr& r) {
-                return tags_match(r->peer, r->tag, src, tag);
-              });
-          if (posted != posted_recvs_.end()) {
-            RequestPtr req = *posted;
-            posted_recvs_.erase(posted);
+          if (RequestPtr req = posted_recvs_.take_match(src, tag)) {
             const bool found = match_unexpected(*req);
             CMPI_ASSERT(found);
           }
@@ -1192,18 +1282,71 @@ void Endpoint::drain_source(int src) {
       assembly = Assembly{};
     }
   }
-  if (drained_any) {
+  if (defer) {
+    // One head publish covers the whole batch — including the reap-cap
+    // exit, so a crashed receiver's unpublished-head window never spans
+    // calls (at-least-once redelivery stays confined to one drain).
+    ring.flush_head(ctx_->acc());
+    ring.defer_head_publish(false);
+  }
+  DrainOutcome out;
+  out.drained_any = reaped > 0;
+  out.more = reaped >= max_cells && ring.peek(ctx_->acc()).has_value();
+  if (reaped > 0) {
+    CMPI_OBS_HIST("p2p.cells_per_reap", reaped);
+  }
+  if (out.drained_any) {
     ctx_->doorbell().ring();
   }
+  return out;
 }
 
 // ---------- Progress / completion ----------
 
 void Endpoint::progress() {
-  for (int src = 0; src < nranks(); ++src) {
-    if (src != rank()) {
-      drain_source(src);
+  if (legacy_) {
+    // Ablation baseline: visit every peer, drain each ring dry.
+    for (int src = 0; src < nranks(); ++src) {
+      if (src != rank()) {
+        drain_source(src, std::numeric_limits<std::size_t>::max());
+      }
     }
+  } else {
+    ++progress_calls_;
+    // Periodic full scan: the doorbell hint is an unfenced fire-and-forget
+    // store, so its staleness must be bounded by something fenced — this
+    // is it (the flush-head-before-empty handshake in drain_source makes
+    // losses rare; this makes them harmless).
+    const bool full_scan = progress_calls_ % kFullScanInterval == 0;
+    const int n = nranks();
+    for (int i = 0; i < n; ++i) {
+      // Rotating start: two saturating senders hitting the reap cap are
+      // served round-robin instead of lowest-rank-first.
+      const int src = (scan_start_ + i) % n;
+      if (src == rank()) {
+        continue;
+      }
+      const auto s = static_cast<std::size_t>(src);
+      const std::uint64_t bell = dbell_.peek(ctx_->acc(), rank(), src);
+      const bool rung = bell != dbell_seen_[s];
+      if (!rung && drain_pending_[s] == 0 && !full_scan) {
+        continue;  // the common case: one free peek, no ring touch
+      }
+      if (rung) {
+        CMPI_OBS_COUNT("p2p.doorbell_visits", 1);
+      }
+      const DrainOutcome out = drain_source(src, kReapBatchCells);
+      if (rung && !out.drained_any) {
+        CMPI_OBS_COUNT("p2p.doorbell_spurious", 1);
+      }
+      drain_pending_[s] = out.more ? 1 : 0;
+      if (!out.more) {
+        // Advance past the value read BEFORE the drain: a ring landing
+        // during the drain keeps slot != seen, forcing a revisit.
+        dbell_seen_[s] = bell;
+      }
+    }
+    scan_start_ = (scan_start_ + 1) % n;
   }
   for (int dst = 0; dst < nranks(); ++dst) {
     if (!send_queues_[static_cast<std::size_t>(dst)].empty()) {
@@ -1271,27 +1414,39 @@ bool Endpoint::test(const RequestPtr& request) {
   return request->complete_;
 }
 
-Status Endpoint::wait(const RequestPtr& request) {
+Status Endpoint::wait_uncharged(const RequestPtr& request) {
   CMPI_EXPECTS(request != nullptr);
-  ctx_->charge_mpi_overhead();
   CMPI_OBS_SPAN("p2p.wait");
   const double entered = ctx_->clock().now();
   while (!request->complete_) {
+    // Arm-then-check: a peer's ring landing between progress() and the
+    // sleep bumps the generation past `armed`, so wait_past returns
+    // immediately instead of losing the wakeup (see Doorbell::epoch).
+    const std::uint64_t armed = ctx_->doorbell().epoch();
     progress();
     if (request->complete_) {
       break;
     }
-    ctx_->doorbell().wait_once();
+    ctx_->doorbell().wait_past(armed);
   }
   stats_->wait_ns += ctx_->clock().now() - entered;
   return request->result_;
 }
 
+Status Endpoint::wait(const RequestPtr& request) {
+  ctx_->charge_mpi_overhead();
+  return wait_uncharged(request);
+}
+
 Status Endpoint::wait_all(std::span<const RequestPtr> requests) {
+  // MPI_Waitall is ONE library call no matter how many requests it
+  // retires: charge the entry overhead once, then run the uncharged
+  // blocking loop per request.
+  ctx_->charge_mpi_overhead();
   CMPI_OBS_SPAN_ARG("p2p.wait_all", "requests", requests.size());
   Status first_error;
   for (const RequestPtr& r : requests) {
-    const Status s = wait(r);
+    const Status s = wait_uncharged(r);
     if (!s.is_ok() && first_error.is_ok()) {
       first_error = s;
     }
@@ -1332,8 +1487,7 @@ bool Endpoint::cancel_request(const RequestPtr& request, Status verdict) {
     CMPI_OBS_FLIGHT("p2p: request cancelled with kPeerFailed");
   }
   if (req.kind == Request::Kind::kRecv) {
-    std::erase_if(posted_recvs_,
-                  [&](const RequestPtr& r) { return r.get() == &req; });
+    posted_recvs_.remove(&req);
     // A receive parked for retransmission is abandoned with its retry
     // state; the retransmission (if any) drains detached.
     std::erase_if(retry_, [&](const auto& entry) {
@@ -1376,9 +1530,7 @@ bool Endpoint::cancel_request(const RequestPtr& request, Status verdict) {
                     [&](const RequestPtr& r) { return r.get() == &req; });
       if (req.ack != nullptr) {
         // Withdraw the internal ack receive with its Ssend.
-        std::erase_if(posted_recvs_, [&](const RequestPtr& r) {
-          return r.get() == req.ack.get();
-        });
+        posted_recvs_.remove(req.ack.get());
         req.ack->complete_ = true;
         req.ack.reset();
       }
@@ -1399,6 +1551,7 @@ Status Endpoint::wait_for(const RequestPtr& request,
   const double entered = ctx_->clock().now();
   runtime::FailureDetector& detector = ctx_->failure_detector();
   while (!request->complete_) {
+    const std::uint64_t armed = ctx_->doorbell().epoch();
     progress();
     if (request->complete_) {
       break;
@@ -1422,7 +1575,7 @@ Status Endpoint::wait_for(const RequestPtr& request,
       }
       break;
     }
-    ctx_->doorbell().wait_once();
+    ctx_->doorbell().wait_past(armed);
   }
   stats_->wait_ns += ctx_->clock().now() - entered;
   return request->result_;
@@ -1506,9 +1659,7 @@ Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
       ++report.requests_failed;
     }
     if (assembly.unexpected != nullptr) {
-      std::erase_if(unexpected_, [&](const std::shared_ptr<UnexpectedMsg>& m) {
-        return m.get() == assembly.unexpected.get();
-      });
+      unexpected_.remove(assembly.unexpected.get());
     }
     assembly = Assembly{};
   }
@@ -1517,7 +1668,7 @@ Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
   // stay deliverable. Rendezvous arrivals are the exception: their bytes
   // still sit in the corpse's slab, which the pool scavenge is about to
   // reclaim — a deferred pull would read freed (or reused) memory.
-  std::erase_if(unexpected_, [&](const std::shared_ptr<UnexpectedMsg>& m) {
+  unexpected_.remove_if([&](const UnexpectedMsgPtr& m) {
     return m->source == dead_rank &&
            (!m->full() || m->retry_pending || m->rendezvous);
   });
@@ -1567,9 +1718,7 @@ Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
       return false;
     }
     if (req->ack != nullptr) {
-      std::erase_if(posted_recvs_, [&](const RequestPtr& r) {
-        return r.get() == req->ack.get();
-      });
+      posted_recvs_.remove(req->ack.get());
       req->ack->complete_ = true;
       req->ack.reset();
     }
@@ -1581,35 +1730,43 @@ Endpoint::PeerScavengeReport Endpoint::scavenge_peer(int dead_rank) {
     return true;
   });
   // Posted receives waiting on the corpse specifically cannot complete.
-  std::erase_if(posted_recvs_, [&](const RequestPtr& r) {
-    if (r->peer != dead_rank || r->complete_) {
-      return false;
-    }
+  for (const RequestPtr& r : posted_recvs_.remove_if([&](const RequestPtr& r) {
+         return r->peer == dead_rank && !r->complete_;
+       })) {
     complete_recv(*r, dead_rank, r->tag, 0,
                   status::peer_failed("recv: rank " +
                                       std::to_string(dead_rank) +
                                       " died before sending a match"));
     ++report.requests_failed;
-    return true;
-  });
+  }
   // Retry state keyed to the corpse will never be served.
   std::erase_if(retry_, [&](const auto& entry) {
     return entry.first.first == dead_rank;
   });
+  if (!legacy_) {
+    // PoolRecovery clears the corpse's doorbell slots; resync our local
+    // cursor so the respawned incarnation's FIRST ring is not mistaken
+    // for already-seen (and drop any pending-revisit debt — the ring was
+    // just tombstoned empty).
+    dbell_seen_[dead] = dbell_.peek(ctx_->acc(), rank(), dead_rank) - 1;
+    drain_pending_[dead] = 0;
+  }
   return report;
 }
 
 std::optional<RecvInfo> Endpoint::iprobe(int src, int tag) {
   ctx_->charge_mpi_overhead();
   progress();
-  for (const auto& msg : unexpected_) {
-    if (!msg->retry_pending && tags_match(src, tag, msg->source, msg->tag)) {
-      RecvInfo info;
-      info.source = msg->source;
-      info.tag = msg->tag;
-      info.bytes = msg->total;
-      return info;
-    }
+  // Probing needs an envelope, not a complete payload: match partially-
+  // arrived messages too (require_full=false).
+  const UnexpectedMsgPtr msg =
+      unexpected_.find_match(src, tag, /*require_full=*/false);
+  if (msg != nullptr) {
+    RecvInfo info;
+    info.source = msg->source;
+    info.tag = msg->tag;
+    info.bytes = msg->total;
+    return info;
   }
   return std::nullopt;
 }

@@ -36,6 +36,22 @@
 // acked) — late writes of the dead incarnation cannot leak into the new
 // epoch's traffic.
 //
+// Message-rate engine (doorbell-aggregated progress): the progress loop
+// does not scan every peer ring. Each sender bumps its slot in the
+// receiver's pool-resident AggDoorbell row on the ring's empty→non-empty
+// edge (detected at tail publish from the consumer's published head);
+// the receiver polls its one cacheline-packed row with time-free peeks
+// and visits only peers whose slot moved, reaping up to kReapBatchCells
+// cells per visit with ONE head publish and one invalidate-sweep setup
+// per batch. Senders with no fault injector configured batch cell
+// publication the same way (one fence + one tail store per staged batch).
+// Matching is sharded (see tag_match.hpp). A rotating scan start plus the
+// per-visit reap bound round-robins saturating senders fairly. A periodic
+// full scan (every kFullScanInterval calls) plus the flush-head-before-
+// concluding-empty discipline bound the staleness of the unfenced
+// doorbell hint; UniverseConfig::progress_engine = kLegacyScan keeps the
+// pre-doorbell linear-scan engine alive as the ablation baseline.
+//
 // Large-message fast path (one-copy rendezvous): a message larger than
 // the configured threshold (UniverseConfig::rendezvous_threshold; default
 // one cell payload) skips cell chunking entirely. The sender parks the
@@ -68,13 +84,11 @@
 #include "arena/arena.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
+#include "p2p/tag_match.hpp"
 #include "queue/queue_matrix.hpp"
 #include "runtime/universe.hpp"
 
 namespace cmpi::p2p {
-
-inline constexpr int kAnySource = -1;
-inline constexpr int kAnyTag = -1;
 
 /// Completion information of a receive (MPI_Status equivalent).
 struct RecvInfo {
@@ -102,6 +116,12 @@ struct CommStats {
   /// Rendezvous-eligible messages delivered eagerly instead (arena slot
   /// unavailable, or the arena lock deadline expired behind a corpse).
   std::atomic<std::uint64_t> rendezvous_fallbacks{0};
+  /// Aggregated-doorbell slots this rank rang (cell publishes that hit the
+  /// ring's empty→non-empty edge, so the receiver had to be woken).
+  std::atomic<std::uint64_t> doorbell_rings{0};
+  /// Cell publishes into an already non-empty ring: no doorbell needed.
+  /// suppressed / (rings + suppressed) is the doorbell coalesce rate.
+  std::atomic<std::uint64_t> doorbell_suppressed{0};
   /// Virtual time spent inside wait()/wait_all().
   std::atomic<double> wait_ns{0};
 
@@ -118,6 +138,9 @@ struct CommStats {
     rendezvous_sent = other.rendezvous_sent.load(std::memory_order_relaxed);
     rendezvous_fallbacks =
         other.rendezvous_fallbacks.load(std::memory_order_relaxed);
+    doorbell_rings = other.doorbell_rings.load(std::memory_order_relaxed);
+    doorbell_suppressed =
+        other.doorbell_suppressed.load(std::memory_order_relaxed);
     wait_ns = other.wait_ns.load(std::memory_order_relaxed);
     return *this;
   }
@@ -199,6 +222,20 @@ class Endpoint {
   /// with a depth-2 cache under an 8-message window).
   static constexpr std::size_t kRendezvousSlotCacheDepth =
       kMaxRendezvousInflight;
+  /// Cells reaped from one peer ring per doorbell visit before the
+  /// progress loop moves on (fairness bound) — and therefore the span of
+  /// one deferred head publish / one amortized invalidate-sweep setup.
+  static constexpr std::size_t kReapBatchCells = 16;
+  /// Producer-side batch bounds: staged cells are published when either
+  /// the cell count or the staged payload bytes reach these (or at every
+  /// exit from push_sends). The byte bound keeps large-cell streams
+  /// pipelining per cell instead of collapsing into batch-lockstep.
+  static constexpr std::size_t kPublishBatchCells = 16;
+  static constexpr std::size_t kPublishBatchBytes = std::size_t{16} << 10;
+  /// Every this-many progress() calls the engine drains ALL peer rings
+  /// regardless of doorbell state: belt-and-braces bound on the staleness
+  /// of the unfenced doorbell hint word.
+  static constexpr std::uint64_t kFullScanInterval = 64;
 
   /// Collective construction: every rank of the universe calls this during
   /// initialization. Rank 0 creates and formats the ring matrix in the
@@ -353,39 +390,8 @@ class Endpoint {
  private:
   Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix);
 
-  /// Receiver-side record of one announced rendezvous segment.
-  struct RdvzSegment {
-    std::uint64_t pool_offset = 0;  ///< absolute pool offset of the segment
-    std::uint32_t bytes = 0;
-    std::uint32_t crc = 0;
-  };
-
-  /// A message that arrived (fully or partially) with no matching posted
-  /// receive yet.
-  struct UnexpectedMsg {
-    int source;
-    int tag;
-    std::size_t total = 0;
-    std::size_t received = 0;
-    std::vector<std::byte> data;
-    bool synchronous = false;        // sender awaits a match ack
-    std::uint32_t ssend_counter = 0;
-    /// Large-message rendezvous: the payload stays parked in the sender's
-    /// slab (not copied into `data`); `rdvz_segs` records where each
-    /// announced segment lives. Pulled into the user buffer — and FINed —
-    /// only when a receive finally matches.
-    bool rendezvous = false;
-    std::uint64_t rdvz_slot_offset = 0;  // slab base (segment->msg offsets)
-    std::uint32_t rdvz_seq = 0;          // sender's msg_seq (FIN payload)
-    std::vector<RdvzSegment> rdvz_segs;
-    /// The payload arrived corrupt and a retransmission was requested; the
-    /// message is not matchable until the retransmit lands (or a REJECT
-    /// finalizes it with kDataPoisoned).
-    bool retry_pending = false;
-    /// Media error recorded while chunks were drained (kDataPoisoned).
-    Status data_error;
-    [[nodiscard]] bool full() const noexcept { return received == total; }
-  };
+  // (RdvzSegment and UnexpectedMsg moved to tag_match.hpp: the sharded
+  // unexpected queue owns the message type.)
 
   /// Per-source assembly state: where the chunks of the in-flight incoming
   /// message are being delivered.
@@ -444,14 +450,28 @@ class Endpoint {
 
   void send_ssend_ack(int src, std::uint32_t counter);
 
-  static bool tags_match(int posted_src, int posted_tag, int src, int tag) {
-    return (posted_src == kAnySource || posted_src == src) &&
-           (posted_tag == kAnyTag || posted_tag == tag);
-  }
-
-  void drain_source(int src);
+  /// What one bounded drain visit of a peer ring left behind.
+  struct DrainOutcome {
+    bool more = false;         ///< hit the reap cap with cells still queued
+    bool drained_any = false;  ///< consumed at least one cell
+  };
+  DrainOutcome drain_source(int src, std::size_t max_cells);
   void push_sends(int dst);
+
+  /// wait() minus the MPI library-entry charge — the shared blocking loop
+  /// for wait() (one charge per request) and wait_all() (one charge per
+  /// call, like MPI_Waitall).
+  Status wait_uncharged(const RequestPtr& request);
   bool match_unexpected(Request& request);
+
+  /// Publish any staged cells on `ring` toward `dst` now (one fence + one
+  /// tail store for the whole batch) and ring/suppress the doorbell from
+  /// the batch's empty→non-empty verdict.
+  void publish_now(int dst, queue::SpscRing& ring);
+  /// Account one cell publish toward `dst`: ring the destination's
+  /// aggregated doorbell slot on an empty→non-empty edge, count a
+  /// suppressed ring otherwise.
+  void note_publish(int dst, bool edge);
 
   // --- Large-message rendezvous path ---
   /// Outcome of one attempt to advance a rendezvous send.
@@ -527,8 +547,26 @@ class Endpoint {
   std::uint64_t rdvz_name_counter_ = 0;  // unique slab names
   /// Messages awaiting retransmission, keyed (source, msg_seq).
   std::map<std::pair<int, std::uint32_t>, RetryState> retry_;
-  std::deque<RequestPtr> posted_recvs_;             // in post order
-  std::deque<std::shared_ptr<UnexpectedMsg>> unexpected_;
+  PostedRecvQueue posted_recvs_;  // sharded, matched in post order
+  UnexpectedQueue unexpected_;    // sharded + global arrival order
+  /// Aggregated doorbell state (tentpole). dbell_next_[dst] is the value
+  /// this rank's NEXT ring toward dst will store (monotonic across
+  /// respawns: seeded from the pool word + 1). dbell_seen_[src] is the
+  /// last value of src's slot this rank has fully drained behind;
+  /// slot != seen means src published since our last complete drain.
+  runtime::AggDoorbell dbell_;
+  std::vector<std::uint64_t> dbell_next_;  // per destination
+  std::vector<std::uint64_t> dbell_seen_;  // per source
+  /// A reap-capped visit left cells behind: revisit next progress() even
+  /// if the doorbell slot has not moved again.
+  std::vector<std::uint8_t> drain_pending_;
+  int scan_start_ = 0;             // rotating fairness offset
+  std::uint64_t progress_calls_ = 0;
+  bool legacy_ = false;            // kLegacyScan ablation engine
+  /// Publish every cell individually (legacy engine, or any fault
+  /// injector configured: scripted kill points assert exact per-sync-point
+  /// published-cell counts, which batching would coarsen).
+  bool publish_per_cell_ = false;
   /// Keeps matched-but-incomplete posted receives alive while their chunks
   /// stream in (the assembly holds a raw pointer).
   std::vector<RequestPtr> matched_keepalive_;

@@ -1,5 +1,6 @@
 #include "queue/spsc_ring.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstring>
@@ -69,6 +70,8 @@ Result<SpscRing> SpscRing::attach(cxlsim::Accessor& acc, std::uint64_t base) {
   ring.head_local_ = head;
   ring.peer_head_ = head;
   ring.peer_tail_ = tail;
+  ring.published_tail_ = tail;
+  ring.head_published_ = head;
   return ring;
 }
 
@@ -93,48 +96,103 @@ bool SpscRing::can_enqueue(cxlsim::Accessor& acc) {
 
 bool SpscRing::try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
                            std::span<const std::byte> payload) {
-  return enqueue_cell(acc, header, payload, /*compute_crc=*/true);
+  if (!stage_cell(acc, header, payload, /*compute_crc=*/true)) {
+    return false;
+  }
+  publish_staged(acc);
+  return true;
 }
 
 bool SpscRing::try_enqueue_prehashed(cxlsim::Accessor& acc,
                                      const CellHeader& header,
                                      std::span<const std::byte> payload) {
-  return enqueue_cell(acc, header, payload, /*compute_crc=*/false);
+  if (!stage_cell(acc, header, payload, /*compute_crc=*/false)) {
+    return false;
+  }
+  publish_staged(acc);
+  return true;
 }
 
-bool SpscRing::enqueue_cell(cxlsim::Accessor& acc, const CellHeader& header,
-                            std::span<const std::byte> payload,
-                            bool compute_crc) {
+bool SpscRing::try_stage(cxlsim::Accessor& acc, const CellHeader& header,
+                         std::span<const std::byte> payload) {
+  return stage_cell(acc, header, payload, /*compute_crc=*/true);
+}
+
+bool SpscRing::try_stage_prehashed(cxlsim::Accessor& acc,
+                                   const CellHeader& header,
+                                   std::span<const std::byte> payload) {
+  return stage_cell(acc, header, payload, /*compute_crc=*/false);
+}
+
+bool SpscRing::stage_cell(cxlsim::Accessor& acc, const CellHeader& header,
+                          std::span<const std::byte> payload,
+                          bool compute_crc) {
   CMPI_EXPECTS(payload.size() <= cell_payload_);
   CMPI_EXPECTS(header.chunk_bytes == payload.size());
   if (!can_enqueue(acc)) {
     return false;
   }
   const std::uint64_t cell = cell_base(tail_local_);
-  // Payload first, then drain, so the header's per-cell stamp covers it.
+  // Payload now; header (and its durability stamp) at publish time, after
+  // the batch fence, so the stamp covers the payload. The second and later
+  // cells of a batch share the first one's flush sweep.
   if (!payload.empty()) {
-    acc.bulk_write(cell + sizeof(CellHeader), payload);
+    acc.bulk_write(cell + sizeof(CellHeader), payload,
+                   staged_.empty() ? cxlsim::Accessor::BulkCharge::kFull
+                                   : cxlsim::Accessor::BulkCharge::kBatched);
   }
-  acc.sfence();
-  CellHeader stamped = header;
-  stamped.generation = static_cast<std::uint32_t>(tail_local_);
+  Staged staged;
+  staged.header = header;
+  staged.header.generation = static_cast<std::uint32_t>(tail_local_);
   if (compute_crc) {
-    stamped.payload_crc = crc32c(payload);
+    staged.header.payload_crc = crc32c(payload);
   }
-  stamped.stamp = std::bit_cast<std::uint64_t>(acc.clock().now());
-  acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&stamped),
-                      sizeof(CellHeader)});
+  staged.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  staged_.push_back(staged);
   ++tail_local_;
   CMPI_OBS_COUNT("ring.enqueues", 1);
   CMPI_OBS_GAUGE_MAX("ring.occupancy_hwm", tail_local_ - peer_head_);
-  if ((stamped.flags & kRetransmit) != 0) {
+  if ((header.flags & kRetransmit) != 0) {
     CMPI_OBS_COUNT("ring.retransmit_cells", 1);
   }
-  // Coherence-checker hint: the tail publish covers this cell (header +
-  // payload); the consumer reads it after observing the flag.
-  acc.annotate_publish_range(cell, sizeof(CellHeader) + payload.size());
-  acc.publish_flag(base_ + kTailOffset, tail_local_);
   return true;
+}
+
+bool SpscRing::publish_staged(cxlsim::Accessor& acc) {
+  if (staged_.empty()) {
+    return false;
+  }
+  // One drain for the whole batch: every header stamp below covers every
+  // staged payload.
+  acc.sfence();
+  std::uint64_t index = published_tail_;
+  for (Staged& staged : staged_) {
+    const std::uint64_t cell = cell_base(index);
+    staged.header.stamp = std::bit_cast<std::uint64_t>(acc.clock().now());
+    acc.nt_store(cell, {reinterpret_cast<const std::byte*>(&staged.header),
+                        sizeof(CellHeader)});
+    // Coherence-checker hint: the tail publish covers this cell (header +
+    // payload); the consumer reads it after observing the flag.
+    acc.annotate_publish_range(cell,
+                               sizeof(CellHeader) + staged.payload_bytes);
+    ++index;
+  }
+  CMPI_ASSERT(index == tail_local_);
+  CMPI_OBS_HIST("ring.cells_per_publish",
+                static_cast<std::int64_t>(staged_.size()));
+  const std::uint64_t before = published_tail_;
+  acc.publish_flag(base_ + kTailOffset, tail_local_);
+  published_tail_ = tail_local_;
+  staged_.clear();
+  // Empty→non-empty edge: if the consumer's published head says it had
+  // drained everything visible before this batch, it may have concluded
+  // "empty" and gone idle — the caller must ring its doorbell. The peek is
+  // time-free; a consumer that merely lags its head publish flushes it
+  // before concluding empty (see defer_head_publish), so a false here
+  // guarantees the consumer still sees a non-empty ring.
+  const std::uint64_t head = acc.peek_flag(base_ + kHeadOffset).value;
+  last_publish_edge_ = head == before;
+  return last_publish_edge_;
 }
 
 bool SpscRing::can_dequeue(cxlsim::Accessor& acc) {
@@ -162,8 +220,25 @@ std::optional<CellHeader> SpscRing::peek(cxlsim::Accessor& acc) {
     return std::nullopt;
   }
   CellHeader header{};
-  acc.nt_load(cell_base(head_local_),
-              {reinterpret_cast<std::byte*>(&header), sizeof(CellHeader)});
+  if (fused_reads_) {
+    // Fused small-cell read: one streaming load spans the header line and
+    // the first payload line. Adjacent-line fills pipeline, so the pair
+    // costs one line-fill latency (plus a few ns of device occupancy)
+    // instead of two — and a small-message dequeue then needs no separate
+    // payload read at all.
+    const std::size_t inline_bytes = std::min(cell_payload_, kCacheLineSize);
+    std::array<std::byte, sizeof(CellHeader) + kCacheLineSize> fused;
+    acc.nt_load(cell_base(head_local_),
+                std::span(fused.data(), sizeof(CellHeader) + inline_bytes));
+    std::memcpy(&header, fused.data(), sizeof(CellHeader));
+    std::memcpy(peeked_inline_.data(), fused.data() + sizeof(CellHeader),
+                inline_bytes);
+    peeked_inline_bytes_ = inline_bytes;
+  } else {
+    acc.nt_load(cell_base(head_local_),
+                {reinterpret_cast<std::byte*>(&header), sizeof(CellHeader)});
+    peeked_inline_bytes_ = 0;
+  }
   acc.clock().observe(std::bit_cast<simtime::Ns>(header.stamp));
   peeked_ = header;
   return peeked_;
@@ -171,10 +246,14 @@ std::optional<CellHeader> SpscRing::peek(cxlsim::Accessor& acc) {
 
 bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
                            std::span<std::byte> payload_out) {
+  std::size_t inline_bytes = 0;
   if (peeked_.has_value()) {
-    // peek() already charged the header read for this cell.
+    // peek() already charged the header read for this cell (and, under
+    // fused reads, prefetched the first payload line alongside it).
     header_out = *peeked_;
+    inline_bytes = peeked_inline_bytes_;
     peeked_.reset();
+    peeked_inline_bytes_ = 0;
   } else if (!can_dequeue(acc)) {
     return false;
   } else {
@@ -190,7 +269,19 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
   if (!payload_out.empty()) {
     CMPI_EXPECTS(payload_out.size() >= header_out.chunk_bytes);
     const auto chunk = payload_out.subspan(0, header_out.chunk_bytes);
-    acc.bulk_read(cell + sizeof(CellHeader), chunk);
+    if (header_out.chunk_bytes <= inline_bytes) {
+      // The whole chunk rode in with the fused peek: host-side copy only,
+      // no second pool read, no invalidate sweep.
+      std::memcpy(chunk.data(), peeked_inline_.data(), header_out.chunk_bytes);
+    } else {
+      // In a deferred-head reap batch, cells after the first share the
+      // batch's single invalidate sweep.
+      acc.bulk_read(cell + sizeof(CellHeader), chunk,
+                    head_defer_ && read_setup_charged_
+                        ? cxlsim::Accessor::BulkCharge::kBatched
+                        : cxlsim::Accessor::BulkCharge::kFull);
+      read_setup_charged_ = true;
+    }
     // End-to-end integrity: the CRC is over what we actually copied out,
     // so corruption anywhere between the producer's staging copy and this
     // read is caught here. Host-side work only — no virtual time charged.
@@ -203,10 +294,25 @@ bool SpscRing::try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
   ++head_local_;
   CMPI_OBS_COUNT("ring.dequeues", 1);
   mid_message_ = (header_out.flags & kLastChunk) == 0;
+  if (head_defer_) {
+    // Batched reaping: the caller publishes via flush_head() at the end of
+    // the reap batch (and always before concluding the ring is empty).
+    return true;
+  }
   // The head publish covers no cached payload (the freed stamp above is an
   // NT store), so no annotate_publish_range is needed here.
   acc.publish_flag(base_ + kHeadOffset, head_local_);
+  head_published_ = head_local_;
   return true;
+}
+
+void SpscRing::flush_head(cxlsim::Accessor& acc) {
+  read_setup_charged_ = false;
+  if (head_published_ == head_local_) {
+    return;
+  }
+  acc.publish_flag(base_ + kHeadOffset, head_local_);
+  head_published_ = head_local_;
 }
 
 bool SpscRing::abandoned_mid_message(cxlsim::Accessor& acc) {
@@ -222,6 +328,7 @@ SpscRing::ScavengeCounts SpscRing::scavenge_producer(cxlsim::Accessor& acc) {
     if (peeked_.has_value()) {
       header = *peeked_;
       peeked_.reset();
+      peeked_inline_bytes_ = 0;
     } else {
       acc.nt_load(cell, {reinterpret_cast<std::byte*>(&header),
                          sizeof(CellHeader)});
@@ -248,8 +355,9 @@ SpscRing::ScavengeCounts SpscRing::scavenge_producer(cxlsim::Accessor& acc) {
   }
   mid_message_ = false;
   last_intact_ = true;
-  if (counts.drained > 0) {
+  if (counts.drained > 0 || head_published_ != head_local_) {
     acc.publish_flag(base_ + kHeadOffset, head_local_);
+    head_published_ = head_local_;
   }
   if (acc.poison_pending()) {
     // Poison encountered while draining a dead producer's cells is part of
@@ -267,7 +375,12 @@ void SpscRing::debug_rebase_counters(cxlsim::Accessor& acc,
   head_local_ = count;
   peer_head_ = count;
   peer_tail_ = count;
+  published_tail_ = count;
+  head_published_ = count;
+  staged_.clear();
+  read_setup_charged_ = false;
   peeked_.reset();
+  peeked_inline_bytes_ = 0;
   mid_message_ = false;
 }
 

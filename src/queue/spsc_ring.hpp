@@ -40,10 +40,12 @@
 // (§4.3); the SPSC FIFO guarantees chunks arrive in order and contiguously.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "common/align.hpp"
 #include "common/status.hpp"
@@ -121,7 +123,8 @@ class SpscRing {
   [[nodiscard]] bool can_enqueue(cxlsim::Accessor& acc);
 
   /// Enqueue one chunk. Returns false (and does nothing) if the ring is
-  /// full. `payload.size()` must be <= cell_payload.
+  /// full. `payload.size()` must be <= cell_payload. Publishes any
+  /// previously staged cells along with this one (FIFO order preserved).
   bool try_enqueue(cxlsim::Accessor& acc, const CellHeader& header,
                    std::span<const std::byte> payload);
 
@@ -132,6 +135,40 @@ class SpscRing {
   /// not traverse the bytes a second time.
   bool try_enqueue_prehashed(cxlsim::Accessor& acc, const CellHeader& header,
                              std::span<const std::byte> payload);
+
+  // ---- Producer side: staged batches ----
+  // The message-rate path amortizes the per-cell publish cost: stage K
+  // cells (payload copies only), then publish_staged() makes them all
+  // visible under ONE fence + ONE tail-flag store. Headers are written at
+  // publish time so every cell's stamp still covers its durable payload.
+  // Staged-but-unpublished cells are lost on a crash, exactly like a real
+  // producer dying between memcpy and store-release.
+
+  /// Stage one chunk without publishing it. Same contract as try_enqueue
+  /// (false when the ring is full), but the consumer cannot see the cell
+  /// until publish_staged().
+  bool try_stage(cxlsim::Accessor& acc, const CellHeader& header,
+                 std::span<const std::byte> payload);
+  /// try_stage with a caller-computed CRC (see try_enqueue_prehashed).
+  bool try_stage_prehashed(cxlsim::Accessor& acc, const CellHeader& header,
+                           std::span<const std::byte> payload);
+  /// Cells staged but not yet published.
+  [[nodiscard]] std::size_t staged_pending() const noexcept {
+    return staged_.size();
+  }
+  /// Publish all staged cells: one fence, per-cell header stores, one tail
+  /// flag. Returns the empty→non-empty edge verdict: true when the
+  /// published head shows the consumer had drained everything published
+  /// before this batch — it may have concluded "empty" and gone idle, so
+  /// the producer must ring the receiver's doorbell. False with nothing
+  /// staged.
+  bool publish_staged(cxlsim::Accessor& acc);
+  /// Edge verdict of the most recent publish (publish_staged directly, or
+  /// the one embedded in try_enqueue). Lets callers that publish per cell
+  /// drive the same doorbell decision as the batched path.
+  [[nodiscard]] bool last_publish_edge() const noexcept {
+    return last_publish_edge_;
+  }
 
   // ---- Consumer side ----
   /// True if a cell is available to dequeue.
@@ -147,6 +184,27 @@ class SpscRing {
   /// the peeked header; pass empty to discard). Returns false when empty.
   bool try_dequeue(cxlsim::Accessor& acc, CellHeader& header_out,
                    std::span<std::byte> payload_out);
+
+  // ---- Consumer side: batched reaping ----
+  /// When deferred, try_dequeue skips the per-cell head publish (and
+  /// amortizes the invalidate sweep across the batch); the consumer must
+  /// call flush_head() at the end of each reap batch — in particular
+  /// BEFORE concluding the ring is empty, or the producer's
+  /// empty→non-empty edge detection can miss a wake-up.
+  void defer_head_publish(bool on) noexcept { head_defer_ = on; }
+  /// Publish the head if any dequeues are pending publication.
+  void flush_head(cxlsim::Accessor& acc);
+
+  /// Fused small-cell reads (consumer side). When enabled, peek() pulls
+  /// the header line AND the first payload line with one streaming load —
+  /// adjacent-line fills pipeline, so the pair costs one line-fill
+  /// latency instead of two (see Accessor::nt_load) — and a dequeue whose
+  /// chunk fits the prefetched line skips the separate payload read (and
+  /// its invalidate sweep) entirely. This is the dominant per-message
+  /// receiver cost at small sizes. Enabled by the doorbell progress
+  /// engine on its fault-free hot path; the legacy-scan ablation and the
+  /// fault/recovery paths keep the pre-change split reads.
+  void enable_fused_small_reads(bool on) noexcept { fused_reads_ = on; }
 
   /// Consumer-side crash symptom: the last dequeued cell was a non-final
   /// chunk of a multi-cell message and no successor cell has arrived — the
@@ -204,8 +262,15 @@ class SpscRing {
   SpscRing(std::uint64_t base, std::size_t cells, std::size_t cell_payload)
       : base_(base), cells_(cells), cell_payload_(cell_payload) {}
 
-  bool enqueue_cell(cxlsim::Accessor& acc, const CellHeader& header,
-                    std::span<const std::byte> payload, bool compute_crc);
+  /// A staged-but-unpublished cell: the payload is already in the pool,
+  /// the header (with its durability stamp) is written at publish time.
+  struct Staged {
+    CellHeader header;
+    std::uint32_t payload_bytes;
+  };
+
+  bool stage_cell(cxlsim::Accessor& acc, const CellHeader& header,
+                  std::span<const std::byte> payload, bool compute_crc);
 
   [[nodiscard]] std::uint64_t cell_base(std::uint64_t index) const noexcept {
     return base_ + kCellsOffset +
@@ -224,11 +289,32 @@ class SpscRing {
   /// Header of the not-yet-consumed cell at head_local_, cached by peek()
   /// so repeated polls of the same cell are time-free.
   std::optional<CellHeader> peeked_;
+  /// Consumer-side: fused reads enabled (see enable_fused_small_reads).
+  bool fused_reads_ = false;
+  /// Consumer-side: first payload line of the peeked cell, prefetched by
+  /// the fused peek. Valid for the cell in peeked_ iff
+  /// peeked_inline_bytes_ > 0; consumed or discarded with peeked_.
+  std::array<std::byte, kCacheLineSize> peeked_inline_{};
+  std::size_t peeked_inline_bytes_ = 0;
   /// Consumer-side: the most recently dequeued cell lacked kLastChunk, so
   /// the next cell is owed as part of the same message.
   bool mid_message_ = false;
   /// Consumer-side: generation/CRC verdict of the last dequeued cell.
   bool last_intact_ = true;
+  /// Producer-side: cells staged ahead of the published tail.
+  std::vector<Staged> staged_;
+  /// Producer-side: value the tail flag currently holds in the pool
+  /// (tail_local_ minus the staged cells).
+  std::uint64_t published_tail_ = 0;
+  /// Producer-side: edge verdict of the most recent publish.
+  bool last_publish_edge_ = false;
+  /// Consumer-side: value the head flag currently holds in the pool.
+  std::uint64_t head_published_ = 0;
+  /// Consumer-side: head publishes are batched (see defer_head_publish).
+  bool head_defer_ = false;
+  /// Consumer-side: the current reap batch has already paid the invalidate
+  /// sweep's setup cost (reset by flush_head).
+  bool read_setup_charged_ = false;
 };
 
 }  // namespace cmpi::queue

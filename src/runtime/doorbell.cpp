@@ -1,0 +1,30 @@
+#include "runtime/doorbell.hpp"
+
+#include "common/contracts.hpp"
+
+namespace cmpi::runtime {
+
+void AggDoorbell::format(cxlsim::Accessor& acc, std::uint64_t base,
+                         std::size_t ranks) {
+  CMPI_EXPECTS(is_aligned(base, kCacheLineSize));
+  for (std::size_t receiver = 0; receiver < ranks; ++receiver) {
+    for (std::size_t sender = 0; sender < ranks; ++sender) {
+      acc.nt_store_u64(base + receiver * row_stride(ranks) +
+                           sender * sizeof(std::uint64_t),
+                       0);
+    }
+  }
+}
+
+void AggDoorbell::clear_sender(cxlsim::Accessor& acc, std::uint64_t base,
+                               std::size_t ranks, int dead_rank) {
+  CMPI_EXPECTS(dead_rank >= 0 && static_cast<std::size_t>(dead_rank) < ranks);
+  for (std::size_t receiver = 0; receiver < ranks; ++receiver) {
+    acc.hint_store_u64(base + receiver * row_stride(ranks) +
+                           static_cast<std::uint64_t>(dead_rank) *
+                               sizeof(std::uint64_t),
+                       0);
+  }
+}
+
+}  // namespace cmpi::runtime

@@ -65,14 +65,14 @@ Universe::Universe(const UniverseConfig& config)
 
   const std::uint64_t barrier_end =
       kBarrierBase + SeqBarrier::footprint(config_.nranks());
-  // Heartbeat slots and the recovery ledger ride in the same reserved
-  // region as the barrier; the arena still starts at the next 4 KiB
-  // boundary (offset 8 KiB for any geometry up to 21 ranks, so most
-  // pre-liveness pool layouts are unchanged).
+  // Heartbeat slots, the recovery ledger and the aggregated p2p doorbell
+  // matrix ride in the same reserved region as the barrier; the arena
+  // starts at the next 4 KiB boundary.
   hb_base_ = barrier_end;
   recovery_base_ = hb_base_ + FailureDetector::footprint(config_.nranks());
+  doorbell_base_ = recovery_base_ + PoolRecovery::footprint(config_.nranks());
   arena_base_ = align_up(
-      recovery_base_ + PoolRecovery::footprint(config_.nranks()), 4096);
+      doorbell_base_ + AggDoorbell::footprint(config_.nranks()), 4096);
   CMPI_EXPECTS(arena_base_ + arena::Arena::metadata_footprint(
                                  config_.arena_params) <
                device_->size());
@@ -86,6 +86,7 @@ Universe::Universe(const UniverseConfig& config)
   SeqBarrier::format(boot, kBarrierBase, config_.nranks());
   FailureDetector::format(boot, hb_base_, config_.nranks());
   PoolRecovery::format(boot, recovery_base_, config_.nranks());
+  AggDoorbell::format(boot, doorbell_base_, config_.nranks());
   check_ok(arena::Arena::format(boot, arena_base_,
                                 device_->size() - arena_base_,
                                 /*participant=*/0, config_.arena_params));
@@ -143,6 +144,7 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       ctx.recovery_counters_ = recovery_counters_.get();
       ctx.barrier_base_ = kBarrierBase;
       ctx.recovery_base_ = recovery_base_;
+      ctx.doorbell_base_ = doorbell_base_;
       ctx.acc_ = std::make_unique<cxlsim::Accessor>(
           *device_, *node_caches_[static_cast<std::size_t>(ctx.node_)],
           ctx.clock_);

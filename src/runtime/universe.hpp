@@ -6,10 +6,12 @@
 // Pool layout (all cMPI-visible state lives in the pool, like the real
 // system's dax device):
 //
-//   [0, 4 KiB)      bootstrap page (universe magic + geometry echo)
-//   [4 KiB, ...)    initialization-barrier slot array (§3.4)
-//   [hb_base, ...)  heartbeat slots, one cacheline per rank (liveness)
-//   [arena_base, )  CXL SHM Arena — every queue/window/flag object
+//   [0, 4 KiB)        bootstrap page (universe magic + geometry echo)
+//   [4 KiB, ...)      initialization-barrier slot array (§3.4)
+//   [hb_base, ...)    heartbeat slots, one cacheline per rank (liveness)
+//   [recovery_base, ) PoolRecovery ledger (epoch + per-rank stamps)
+//   [doorbell_base, ) aggregated p2p doorbell matrix (AggDoorbell)
+//   [arena_base, )    CXL SHM Arena — every queue/window/flag object
 //
 // Universe::run(fn) launches one thread per rank, builds each rank's
 // context (accessor over the node cache, virtual clock, attached arena)
@@ -49,6 +51,16 @@ enum class CoherenceChecking {
   kDisabled,  ///< never interpose, even if the environment asks for it
 };
 
+/// Which progress engine the p2p endpoints run (see p2p::Endpoint).
+enum class ProgressEngine {
+  /// Doorbell-aggregated delivery: the receiver polls its AggDoorbell row
+  /// and visits only active peers, reaping cells in amortized batches.
+  kDoorbell,
+  /// The pre-doorbell engine: linear scan of every peer ring with per-cell
+  /// publishes. Kept as the message-rate ablation baseline.
+  kLegacyScan,
+};
+
 struct UniverseConfig {
   unsigned nodes = 2;
   unsigned ranks_per_node = 1;
@@ -74,6 +86,9 @@ struct UniverseConfig {
   /// the user buffer (see p2p::Endpoint). 0 selects the default — one
   /// cell payload; SIZE_MAX disables rendezvous (eager chunking always).
   std::size_t rendezvous_threshold = 0;
+  /// p2p progress engine (doorbell-aggregated by default; kLegacyScan is
+  /// the message-rate ablation baseline).
+  ProgressEngine progress_engine = ProgressEngine::kDoorbell;
   /// §3.5's rejected alternative to software coherence: mark the whole
   /// pool uncachable via MTRR. Correct but drastically slower past the
   /// PCIe MPS (see bench/ablation_coherence_mode and Fig. 11).
@@ -173,6 +188,10 @@ class RankCtx {
   [[nodiscard]] std::uint64_t recovery_base() const noexcept {
     return recovery_base_;
   }
+  /// Base offset of the aggregated p2p doorbell matrix (AggDoorbell).
+  [[nodiscard]] std::uint64_t doorbell_base() const noexcept {
+    return doorbell_base_;
+  }
   /// Shared recovery counters (see RecoveryCounters).
   [[nodiscard]] RecoveryCounters& recovery_counters() noexcept {
     return *recovery_counters_;
@@ -210,6 +229,7 @@ class RankCtx {
   RecoveryCounters* recovery_counters_ = nullptr;
   std::uint64_t barrier_base_ = 0;
   std::uint64_t recovery_base_ = 0;
+  std::uint64_t doorbell_base_ = 0;
 };
 
 class Universe {
@@ -259,6 +279,10 @@ class Universe {
   [[nodiscard]] std::uint64_t recovery_base() const noexcept {
     return recovery_base_;
   }
+  /// Base offset of the aggregated p2p doorbell matrix.
+  [[nodiscard]] std::uint64_t doorbell_base() const noexcept {
+    return doorbell_base_;
+  }
 
   /// Restart a crashed rank for the NEXT run() epoch under a bumped
   /// incarnation: forgives the injector's crash record, withdraws the rank
@@ -288,6 +312,7 @@ class Universe {
   Doorbell doorbell_;
   std::uint64_t hb_base_ = 0;
   std::uint64_t recovery_base_ = 0;
+  std::uint64_t doorbell_base_ = 0;
   std::uint64_t arena_base_ = 0;
   /// Peers declared dead by rank detectors, merged at thread exit.
   mutable std::mutex failures_mutex_;

@@ -160,5 +160,27 @@ TEST_F(PerfSmoke, OnesidedBandwidth) {
   check("onesided_bw_mbps_1M", bw[0]);
 }
 
+TEST_F(PerfSmoke, MessageRateFanin) {
+  // The progress-engine stress case: 16 senders stream 8-byte messages at
+  // one receiver, where per-message protocol cost (scan + match + reap)
+  // is everything and copy cost is nothing.
+  MsgRateParams p;
+  p.size = 8;
+  p.senders = 16;
+  p.window = 64;
+  p.iters = 3;
+  p.warmup = 1;
+  const double doorbell = cxl_msgrate_fanin(p);
+  p.legacy_scan = true;
+  const double legacy = cxl_msgrate_fanin(p);
+  check("msgrate_fanin_8B_16snd", doorbell);
+  check("msgrate_fanin_8B_16snd_legacy", legacy);
+  // Acceptance floor for the doorbell engine, independent of baseline
+  // drift: at least 2x the pre-change scan loop's message rate.
+  EXPECT_GE(doorbell, 2.0 * legacy)
+      << "doorbell engine " << doorbell << " msg/s vs legacy scan " << legacy
+      << " msg/s — the aggregated-doorbell progress path lost its edge";
+}
+
 }  // namespace
 }  // namespace cmpi::osu

@@ -1,12 +1,17 @@
-// Doorbell unit tests: the configurable recheck interval and the
-// deadline overload that the liveness layer's *_for variants build on.
+// Doorbell unit tests: the configurable recheck interval, the deadline
+// overload that the liveness layer's *_for variants build on, and the
+// epoch()/wait_past() arming discipline that closes the check-then-sleep
+// race (a ring landing between the caller's last condition check and the
+// sleep must wake the sleeper immediately, not after a recheck interval).
 #include "runtime/doorbell.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <random>
 #include <thread>
+#include <vector>
 
 namespace cmpi::runtime {
 namespace {
@@ -67,6 +72,70 @@ TEST(Doorbell, RecheckIntervalBoundsMissedWakeups) {
                       std::chrono::steady_clock::now() + 30s);
   EXPECT_TRUE(ok);
   writer.join();
+}
+
+TEST(Doorbell, WaitPastReturnsImmediatelyAfterInterveningRing) {
+  // The lost-wakeup scenario, deterministically: the caller arms, the
+  // ring lands BEFORE the sleep, and wait_past must return on the
+  // generation bump. With a 10 s recheck interval, relying on the
+  // timeout instead would hang this test visibly.
+  Doorbell bell(10s);
+  const std::uint64_t armed = bell.epoch();
+  bell.ring();  // between the condition check and the sleep
+  const auto start = std::chrono::steady_clock::now();
+  bell.wait_past(armed);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(Doorbell, WaitPastSleepsWhenNothingRangSinceArming) {
+  // Control: with no intervening ring, wait_past really does sleep (until
+  // the recheck interval or a later ring) instead of spinning through.
+  Doorbell bell(30ms);
+  const std::uint64_t armed = bell.epoch();
+  const auto start = std::chrono::steady_clock::now();
+  bell.wait_past(armed);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(Doorbell, SeededStressNoLostWakeups) {
+  // Four producers ring with seeded pseudo-random jitter while one
+  // consumer runs the arm-then-check-then-sleep loop the p2p wait path
+  // uses. The 10 s recheck interval turns any lost wake-up into a visible
+  // stall, so finishing promptly proves the epoch discipline holds under
+  // real interleavings (run under TSan in the sanitize CI job).
+  Doorbell bell(10s);
+  constexpr int kProducers = 4;
+  constexpr int kRingsEach = 200;
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&bell, &count, p] {
+      std::mt19937 rng(0xD00DBE11u + static_cast<unsigned>(p));
+      std::uniform_int_distribution<int> jitter(0, 64);
+      for (int i = 0; i < kRingsEach; ++i) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        bell.ring();
+        for (volatile int spin = jitter(rng); spin > 0; --spin) {
+        }
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const std::uint64_t armed = bell.epoch();
+    if (count.load(std::memory_order_relaxed) >= kProducers * kRingsEach) {
+      break;
+    }
+    bell.wait_past(armed);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  // One lost wake-up would cost a full 10 s recheck; the whole run must
+  // come in far under that.
+  EXPECT_LT(elapsed, 8s);
 }
 
 }  // namespace
