@@ -1,5 +1,6 @@
 #include "arena/arena.hpp"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/align.hpp"
@@ -111,6 +112,28 @@ Result<Arena> Arena::format(cxlsim::Accessor& acc, std::uint64_t base,
                std::move(index).value(), lock_view);
 }
 
+namespace {
+
+/// Hex rendering for fsck diagnostics (pool offsets read naturally in hex).
+std::string hex(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+std::string Arena::fsck_location(std::uint64_t base, const Header& header,
+                                 std::uint64_t at) {
+  // Self-locating diagnostic: the corrupt slot's pool-absolute offset plus
+  // the owning region, so a multi-tenant operator can attribute the
+  // corruption to one tenant's arena without replaying the walk.
+  return "free block at pool offset " + hex(base + at) + " (arena base " +
+         hex(base) + ", object region [" + hex(base + header.objects_offset) +
+         ", " + hex(base + header.objects_offset + header.objects_size) + "))";
+}
+
 Status Arena::validate_free_list(cxlsim::Accessor& acc, std::uint64_t base,
                                  const Header& header) {
   // Every free block is at least one cacheline, so a healthy list can
@@ -126,30 +149,31 @@ Status Arena::validate_free_list(cxlsim::Accessor& acc, std::uint64_t base,
   std::uint64_t steps = 0;
   while (at != 0) {
     if (++steps > max_blocks) {
-      return status::corrupt_pool("free list longer than the object region "
-                                  "can hold: cycle suspected");
+      return status::corrupt_pool(
+          "free list longer than the object region can hold: cycle "
+          "suspected, last link " + fsck_location(base, header, at));
     }
     if (at < header.objects_offset ||
         at + sizeof(FreeBlock) > header.objects_offset + header.objects_size ||
         !is_aligned(at, kCacheLineSize)) {
-      return status::corrupt_pool("free block at " + std::to_string(at) +
+      return status::corrupt_pool(fsck_location(base, header, at) +
                                   " outside the object region");
     }
     if (at <= prev) {
       // The list is address-ordered by construction; a backward or
       // self-referencing link is a cycle or a torn write.
       return status::corrupt_pool("free list not address-ordered at " +
-                                  std::to_string(at));
+                                  fsck_location(base, header, at));
     }
     FreeBlock block{};
     read_pod(acc, base + at, block);
     if (block.magic != kFreeMagic) {
-      return status::corrupt_pool("free block at " + std::to_string(at) +
+      return status::corrupt_pool(fsck_location(base, header, at) +
                                   " has a bad magic");
     }
     if (block.size < kCacheLineSize ||
         at + block.size > header.objects_offset + header.objects_size) {
-      return status::corrupt_pool("free block at " + std::to_string(at) +
+      return status::corrupt_pool(fsck_location(base, header, at) +
                                   " has an impossible size " +
                                   std::to_string(block.size));
     }

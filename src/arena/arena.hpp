@@ -224,6 +224,12 @@ class Arena {
   static Status validate_free_list(cxlsim::Accessor& acc, std::uint64_t base,
                                    const Header& header);
 
+  /// Renders a corrupt slot for fsck diagnostics: pool-absolute offset plus
+  /// the owning arena's base and object region, so multi-tenant operators
+  /// can attribute corruption without replaying the walk.
+  static std::string fsck_location(std::uint64_t base, const Header& header,
+                                   std::uint64_t at);
+
   // Raw pool IO for the fixed structures.
   Header read_header();
   void write_free_head(std::uint64_t value);

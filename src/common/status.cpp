@@ -32,6 +32,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "DATA_POISONED";
     case ErrorCode::kCorruptPool:
       return "CORRUPT_POOL";
+    case ErrorCode::kAdmissionRejected:
+      return "ADMISSION_REJECTED";
   }
   return "UNKNOWN";
 }

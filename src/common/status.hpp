@@ -29,6 +29,7 @@ enum class ErrorCode {
   kPeerFailed,        ///< a peer rank crashed or stopped responding
   kDataPoisoned,      ///< read touched a poisoned (media-error) range
   kCorruptPool,       ///< on-pool metadata failed a structural validity scan
+  kAdmissionRejected, ///< pool service at capacity; retry with backoff
 };
 
 /// Human-readable name for an error code.
@@ -145,6 +146,9 @@ inline Status data_poisoned(std::string msg) {
 }
 inline Status corrupt_pool(std::string msg) {
   return {ErrorCode::kCorruptPool, std::move(msg)};
+}
+inline Status admission_rejected(std::string msg) {
+  return {ErrorCode::kAdmissionRejected, std::move(msg)};
 }
 
 }  // namespace status

@@ -228,7 +228,14 @@ class Session {
   [[nodiscard]] std::vector<int> failed_ranks() const {
     std::vector<int> out;
     if (const cxlsim::FaultInjector* fi = ctx_->device().fault_injector()) {
-      out = fi->crashed_ranks();
+      // The injector records GLOBAL ranks (a shared device serves many
+      // tenants); keep only this universe's window, as local ids.
+      const int base = ctx_->config().fault_rank_base;
+      for (const int global : fi->crashed_ranks()) {
+        if (global >= base && global < base + ctx_->nranks()) {
+          out.push_back(global - base);
+        }
+      }
     }
     const auto detected = ctx_->failure_detector().failed_ranks();
     out.insert(out.end(), detected.begin(), detected.end());

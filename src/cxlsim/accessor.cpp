@@ -109,7 +109,7 @@ void Accessor::charge_flush(const CacheSim::FlushResult& result,
     const simtime::Ns start = clock_.now();
     const simtime::Ns done = device_.timing().reserve_device(
         start, result.lines_written_back * kCacheLineSize,
-        /*is_read=*/false);
+        /*is_read=*/false, wfq_class_);
     CMPI_OBS_HIST("cxl.dev_write_wait_ns", done - start);
     pending_drain_ =
         std::max(pending_drain_, done + p.line_write_latency * link);
@@ -167,7 +167,7 @@ void Accessor::nt_store(std::uint64_t offset, std::span<const std::byte> src) {
     clock_.advance(p.nt_store_latency);
   } else {
     const simtime::Ns done = device_.timing().reserve_device(
-        clock_.now(), src.size(), /*is_read=*/false);
+        clock_.now(), src.size(), /*is_read=*/false, wfq_class_);
     pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
     writes_since_fence_ = true;
     clock_.advance(static_cast<simtime::Ns>(lines_of(offset, src.size())) *
@@ -183,7 +183,7 @@ void Accessor::nt_load(std::uint64_t offset, std::span<std::byte> dst) {
     clock_.advance(p.nt_load_latency);
   } else {
     const simtime::Ns done = device_.timing().reserve_device(
-        clock_.now(), dst.size(), /*is_read=*/true);
+        clock_.now(), dst.size(), /*is_read=*/true, wfq_class_);
     clock_.observe(done + p.line_fill_latency);
   }
 }
@@ -243,7 +243,8 @@ void Accessor::bulk_write(std::uint64_t offset, std::span<const std::byte> src,
   const simtime::Ns setup = charge == BulkCharge::kFull ? p.flush_base : 0;
   clock_.advance(setup + device_.timing().cpu_copy_cost(src.size()));
   const simtime::Ns done =
-      device_.timing().reserve_device(start, src.size(), /*is_read=*/false);
+      device_.timing().reserve_device(start, src.size(), /*is_read=*/false,
+                                     wfq_class_);
   CMPI_OBS_COUNT("cxl.bulk_write_bytes", src.size());
   CMPI_OBS_HIST("cxl.dev_write_wait_ns", done - start);
   pending_drain_ = std::max(pending_drain_, done + p.line_write_latency);
@@ -270,7 +271,8 @@ void Accessor::bulk_read(std::uint64_t offset, std::span<std::byte> dst,
   const simtime::Ns setup = charge == BulkCharge::kFull ? p.flush_base : 0;
   clock_.advance(setup + device_.timing().cpu_copy_cost(dst.size()));
   const simtime::Ns done =
-      device_.timing().reserve_device(start, dst.size(), /*is_read=*/true);
+      device_.timing().reserve_device(start, dst.size(), /*is_read=*/true,
+                                     wfq_class_);
   CMPI_OBS_COUNT("cxl.bulk_read_bytes", dst.size());
   CMPI_OBS_HIST("cxl.dev_read_wait_ns", done - start);
   clock_.observe(done + p.line_fill_latency);

@@ -21,6 +21,7 @@
 // (the CacheSim and device underneath are).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -34,6 +35,16 @@
 #include "simtime/vclock.hpp"
 
 namespace cmpi::cxlsim {
+
+/// Blast-radius counters for a tenant fault domain (see
+/// Accessor::set_fault_domain). Shared by every accessor of one tenant;
+/// a multi-tenant pool service asserts these stay zero to prove that a
+/// tenant's traffic — including its crash recovery and fsck — never
+/// touched another tenant's region.
+struct DomainCounters {
+  std::atomic<std::uint64_t> writes_outside{0};
+  std::atomic<std::uint64_t> reads_outside{0};
+};
 
 class Accessor {
  public:
@@ -148,6 +159,24 @@ class Accessor {
   /// whose integrity the caller must vouch for.
   Status take_poison_status(std::string_view context);
 
+  // --- Multi-tenant pool service hooks (see runtime/pool_service.hpp) ---
+  /// Attribute this accessor's device bandwidth to a WFQ class (tenant).
+  /// 0 (the default) is unattributed — no guarantee, classic sharing.
+  void set_wfq_class(unsigned cls) noexcept { wfq_class_ = cls; }
+  [[nodiscard]] unsigned wfq_class() const noexcept { return wfq_class_; }
+
+  /// Declare this accessor's tenant fault domain [base, base + size):
+  /// every access outside the range bumps the matching blast-radius
+  /// counter (the access still performs — the counters *detect* isolation
+  /// breaches, they do not mask them). `counters` must outlive the
+  /// accessor. size == 0 disables the fence (the single-tenant default).
+  void set_fault_domain(std::uint64_t base, std::uint64_t size,
+                        DomainCounters* counters) noexcept {
+    domain_base_ = base;
+    domain_size_ = size;
+    domain_counters_ = counters;
+  }
+
   [[nodiscard]] simtime::VClock& clock() noexcept { return clock_; }
   [[nodiscard]] DaxDevice& device() noexcept { return device_; }
   [[nodiscard]] CacheSim& node_cache() noexcept { return cache_; }
@@ -165,6 +194,7 @@ class Accessor {
   /// counted — their iteration count is wall-clock dependent, and crash
   /// schedules must stay deterministic.
   void fault_access(std::uint64_t offset, std::size_t size, bool is_read) {
+    domain_check(offset, size, is_read);
     if (FaultInjector* fi = device_.fault_injector()) {
       fi->on_access();
       if (is_read && fi->check_poison(offset, size) && !poison_seen_) {
@@ -174,12 +204,27 @@ class Accessor {
     }
   }
   void fault_poll_read(std::uint64_t offset, std::size_t size) {
+    domain_check(offset, size, /*is_read=*/true);
     if (FaultInjector* fi = device_.fault_injector()) {
       if (fi->check_poison(offset, size) && !poison_seen_) {
         poison_seen_ = true;
         poison_offset_ = offset;
       }
     }
+  }
+  /// Blast-radius fence: count accesses leaving the tenant fault domain.
+  /// One compare on the common (in-domain or un-fenced) path.
+  void domain_check(std::uint64_t offset, std::size_t size,
+                    bool is_read) noexcept {
+    if (domain_size_ == 0) {
+      return;
+    }
+    if (offset >= domain_base_ && offset + size <= domain_base_ + domain_size_) {
+      return;
+    }
+    auto& counter = is_read ? domain_counters_->reads_outside
+                            : domain_counters_->writes_outside;
+    counter.fetch_add(1, std::memory_order_relaxed);
   }
   /// Degraded-link multiplier on flush write-back / line-fill latencies.
   [[nodiscard]] double fault_latency_multiplier() const noexcept {
@@ -205,6 +250,12 @@ class Accessor {
   /// injection); consumed by take_poison_status.
   bool poison_seen_ = false;
   std::uint64_t poison_offset_ = 0;
+  /// WFQ class for device-bandwidth attribution (0 = unattributed).
+  unsigned wfq_class_ = 0;
+  /// Tenant fault domain; size 0 = fence disabled.
+  std::uint64_t domain_base_ = 0;
+  std::uint64_t domain_size_ = 0;
+  DomainCounters* domain_counters_ = nullptr;
 };
 
 }  // namespace cmpi::cxlsim

@@ -6,6 +6,12 @@ namespace cmpi::cxlsim {
 
 namespace {
 thread_local int tls_fault_rank = -1;
+thread_local int tls_fault_rank_base = 0;
+
+/// Global rank of the calling thread (-1 when it is not a rank thread).
+int tls_global_rank() noexcept {
+  return tls_fault_rank < 0 ? -1 : tls_fault_rank_base + tls_fault_rank;
+}
 }  // namespace
 
 void FaultInjector::set_current_rank(int rank) noexcept {
@@ -13,6 +19,12 @@ void FaultInjector::set_current_rank(int rank) noexcept {
 }
 
 int FaultInjector::current_rank() noexcept { return tls_fault_rank; }
+
+void FaultInjector::set_rank_base(int base) noexcept {
+  tls_fault_rank_base = base;
+}
+
+int FaultInjector::rank_base() noexcept { return tls_fault_rank_base; }
 
 std::string_view FaultInjector::kind_name(Kind kind) noexcept {
   switch (kind) {
@@ -38,7 +50,7 @@ void FaultInjector::record(Kind kind, int rank, std::uint64_t offset,
 }
 
 void FaultInjector::on_access() {
-  const int rank = tls_fault_rank;
+  const int rank = tls_global_rank();
   if (rank < 0) {
     return;
   }
@@ -67,7 +79,7 @@ void FaultInjector::on_access() {
 }
 
 void FaultInjector::on_sync_point(std::string_view point) {
-  const int rank = tls_fault_rank;
+  const int rank = tls_global_rank();
   if (rank < 0) {
     return;
   }
@@ -106,7 +118,7 @@ bool FaultInjector::check_poison(std::uint64_t offset, std::size_t size) {
   std::lock_guard lock(mutex_);
   for (const FaultPlan::PoisonRange& range : plan_.poison) {
     if (offset < range.offset + range.size && range.offset < offset + size) {
-      record(Kind::kPoisonedRead, tls_fault_rank, offset,
+      record(Kind::kPoisonedRead, tls_global_rank(), offset,
              "read [" + std::to_string(offset) + ", " +
                  std::to_string(offset + size) + ") overlaps poison at " +
                  std::to_string(range.offset));
@@ -142,9 +154,14 @@ std::vector<int> FaultInjector::crashed_ranks() const {
 }
 
 bool FaultInjector::rank_crashed(int rank) const {
+  if (rank < 0) {
+    return false;
+  }
+  // Translate through the caller's rank-namespace base: a tenant rank
+  // asking about its local peer must land on that peer's global record.
+  const auto r = static_cast<std::size_t>(rank + tls_fault_rank_base);
   std::lock_guard lock(mutex_);
-  const auto r = static_cast<std::size_t>(rank);
-  return rank >= 0 && r < crashed_.size() && crashed_[r];
+  return r < crashed_.size() && crashed_[r];
 }
 
 std::uint64_t FaultInjector::total_events() const {

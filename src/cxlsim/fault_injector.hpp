@@ -124,6 +124,16 @@ class FaultInjector {
   static void set_current_rank(int rank) noexcept;
   [[nodiscard]] static int current_rank() noexcept;
 
+  /// Tag the calling thread with its tenant's rank-namespace base
+  /// (multi-tenant pool service): the thread's *global* rank — the id
+  /// fault plans target and crash records carry — is base + local rank.
+  /// Defaults to 0, so single-universe setups are unaffected. Every
+  /// local-rank query made from the thread (rank_crashed) is translated
+  /// through its base; host-side callers holding global ids use the
+  /// results of crashed_ranks() directly.
+  static void set_rank_base(int base) noexcept;
+  [[nodiscard]] static int rank_base() noexcept;
+
   // --- Accessor hooks ---
   /// Count one pool access by the calling rank; throws RankCrashed when
   /// the rank's scripted access-count crash fires.
@@ -154,8 +164,10 @@ class FaultInjector {
   void poison(std::uint64_t offset, std::size_t size);
 
   // --- Results ---
-  /// Ranks whose scripted crash fired, ascending.
+  /// Global ranks whose scripted crash fired, ascending.
   [[nodiscard]] std::vector<int> crashed_ranks() const;
+  /// Whether the rank — local to the calling thread's rank-namespace
+  /// base — has a standing crash record.
   [[nodiscard]] bool rank_crashed(int rank) const;
   [[nodiscard]] std::uint64_t total_events() const;
   [[nodiscard]] std::uint64_t count(Kind kind) const;

@@ -83,12 +83,28 @@ class CxlTimingModel {
   /// Reserve device streaming bandwidth for a bulk transfer of `bytes`
   /// becoming ready at `ready`; returns completion time. Reads consume
   /// less device service time than writes (row-buffer-friendly).
+  /// `wfq_class` attributes the transfer for weighted fair queueing
+  /// (0 = unattributed, the single-tenant default).
   simtime::Ns reserve_device(simtime::Ns ready, std::size_t bytes,
-                             bool is_read) {
+                             bool is_read, unsigned wfq_class = 0) {
     const auto cost_bytes = static_cast<std::size_t>(
         is_read ? static_cast<double>(bytes) * params_.read_cost_factor
                 : static_cast<double>(bytes));
-    return device_.reserve(ready, cost_bytes);
+    return device_.reserve_for(wfq_class, ready, cost_bytes);
+  }
+
+  /// Guarantee `fraction` of device bandwidth to a WFQ class (tenant).
+  /// See simtime::BusyResource::set_share.
+  void set_bandwidth_share(unsigned wfq_class, double fraction) {
+    device_.set_share(wfq_class, fraction);
+  }
+  /// Withdraw a class's bandwidth guarantee (tenant leave).
+  void clear_bandwidth_share(unsigned wfq_class) {
+    device_.clear_share(wfq_class);
+  }
+  /// Registered bandwidth guarantee of a class (0.0 when none).
+  [[nodiscard]] double bandwidth_share(unsigned wfq_class) const {
+    return device_.share(wfq_class);
   }
 
   /// CPU-side cost of copying `bytes` between host memory and the pool,

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "obs/obs.hpp"
 
@@ -14,6 +16,27 @@ namespace {
 
 std::atomic<int> g_dumps{0};
 std::mutex g_dump_mutex;  // serializes whole dumps so they don't interleave
+/// Tenant ids that already claimed their JSON file this process (guarded
+/// by g_dump_mutex). Key 0 is the untenanted base file.
+std::set<int> g_file_claimed;
+
+/// Per-tenant JSON file name: "flight.json" stays as-is for tenant 0 and
+/// becomes "flight.tenant3.json" for tenant 3, so concurrent tenant
+/// failures each keep their own first-failure dump instead of racing for
+/// one file.
+std::string tenant_file_path(const std::string& base, int tenant) {
+  if (tenant <= 0) {
+    return base;
+  }
+  const std::string suffix = ".tenant" + std::to_string(tenant);
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
 
 void render_tail(std::ostream& os, std::size_t limit) {
   const auto events = TraceRecorder::instance().tail(limit);
@@ -56,11 +79,15 @@ void flight_dump(const char* reason) {
   const std::string rendered = text.str();
   std::fwrite(rendered.data(), 1, rendered.size(), stderr);
 
-  // First dump wins the file: the earliest failure is the interesting one.
-  if (n == 0 && !cfg.flight_path.empty()) {
-    std::ofstream out(cfg.flight_path);
+  // First dump wins the file — per tenant: each tenant's earliest failure
+  // lands in its own suffixed JSON, so concurrent tenant failures don't
+  // race for a single file. The dump *budget* above stays global.
+  const int tenant = detail::t_rank.tenant;
+  if (!cfg.flight_path.empty() && g_file_claimed.insert(tenant).second) {
+    std::ofstream out(tenant_file_path(cfg.flight_path, tenant));
     if (out) {
-      out << "{\"reason\": \"" << reason << "\",\n\"metrics\": ";
+      out << "{\"reason\": \"" << reason << "\",\n\"tenant\": " << tenant
+          << ",\n\"metrics\": ";
       MetricsRegistry::instance().write_json(out);
       out << "}\n";
     }
@@ -73,7 +100,9 @@ int flight_dump_count() noexcept {
 }
 
 void flight_reset_for_test() noexcept {
+  std::lock_guard<std::mutex> lock(g_dump_mutex);
   g_dumps.store(0, std::memory_order_relaxed);
+  g_file_claimed.clear();
 }
 
 }  // namespace cmpi::obs

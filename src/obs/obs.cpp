@@ -93,11 +93,13 @@ const Config& config() {
 
 std::size_t shard_index() noexcept { return detail::t_rank.shard; }
 
-RankScope::RankScope(int rank, int node, const simtime::VClock* clock)
+RankScope::RankScope(int rank, int node, const simtime::VClock* clock,
+                     int tenant)
     : saved_(detail::t_rank) {
   RankInfo info;
   info.rank = rank;
   info.node = node;
+  info.tenant = tenant;
   info.clock = clock;
   // Shard 0 stays the home of non-rank threads so rank 0 never shares a
   // cacheline with stray helpers.

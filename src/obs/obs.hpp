@@ -82,6 +82,7 @@ extern std::atomic<bool> g_flight_on;
 struct RankInfo {
   int rank = -1;
   int node = 0;
+  int tenant = 0;  // pool-service tenant id; 0 = untenanted
   const simtime::VClock* clock = nullptr;
   TraceRing* ring = nullptr;
   std::size_t shard = 0;  // metrics shard; 0 for non-rank threads
@@ -102,7 +103,8 @@ extern thread_local RankInfo t_rank;
 /// identity on exit. The runtime wraps each rank thread's body in one.
 class RankScope {
  public:
-  RankScope(int rank, int node, const simtime::VClock* clock);
+  RankScope(int rank, int node, const simtime::VClock* clock,
+            int tenant = 0);
   ~RankScope();
   RankScope(const RankScope&) = delete;
   RankScope& operator=(const RankScope&) = delete;

@@ -55,6 +55,7 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
       dbell_next_(static_cast<std::size_t>(ctx.nranks()), 1),
       dbell_seen_(static_cast<std::size_t>(ctx.nranks()), 0),
       drain_pending_(static_cast<std::size_t>(ctx.nranks()), 0),
+      publish_dirty_(static_cast<std::size_t>(ctx.nranks()), 0),
       stats_(std::make_unique<CommStats>()) {
   const std::size_t configured = ctx.config().rendezvous_threshold;
   rdvz_threshold_ = configured == 0 ? matrix_.cell_payload() : configured;
@@ -95,6 +96,10 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
          stats->rendezvous_sent.load(std::memory_order_relaxed)},
         {"p2p.rendezvous_fallbacks",
          stats->rendezvous_fallbacks.load(std::memory_order_relaxed)},
+        {"p2p.publish_batches",
+         stats->publish_batches.load(std::memory_order_relaxed)},
+        {"p2p.cells_published",
+         stats->cells_published.load(std::memory_order_relaxed)},
         {"p2p.doorbell_rings",
          stats->doorbell_rings.load(std::memory_order_relaxed)},
         {"p2p.doorbell_suppressed",
@@ -173,6 +178,9 @@ Endpoint::~Endpoint() {
     return;  // a corpse must not touch the pool during unwind
   }
   try {
+    // Batched nonblocking sends may have parked their final publish; the
+    // endpoint going away is the last flush point there is.
+    flush_publishes();
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(1);
     for (;;) {
@@ -196,6 +204,7 @@ Endpoint::~Endpoint() {
         push_sends(dst);
         control_pending = control_pending || has_control(pending);
       }
+      flush_publishes();  // push_sends defers its tail publish
       if (!control_pending) {
         break;
       }
@@ -364,6 +373,8 @@ void Endpoint::push_sends(int dst) {
                                                       payload)
                          : ring.try_enqueue(ctx_->acc(), header, payload);
           if (enqueued) {
+            ++stats_->publish_batches;  // a batch of one, for the ablation
+            ++stats_->cells_published;
             note_publish(dst, ring.last_publish_edge());
           }
         } else {
@@ -415,17 +426,46 @@ void Endpoint::push_sends(int dst) {
     }
     pending.pop_front();
   }
-  // Nothing staged ever outlives push_sends: every exit publishes, so the
-  // batch thresholds above only bound latency WITHIN one call.
-  publish_now(dst, ring);
+  // Tail of a fully-staged call: park the final partial batch instead of
+  // publishing, so a burst of back-to-back nonblocking sends coalesces
+  // into one fence + tail store. Every path that returns control to a
+  // consumer of this data flushes first — progress()/test()/wait entry
+  // and the destructor — so a parked batch never outlives the next
+  // engine entry. (Blocked and ring-full exits above still publish
+  // eagerly: the consumer must drain for us to make progress.)
+  if (ring.staged_pending() > 0) {
+    publish_dirty_[static_cast<std::size_t>(dst)] = 1;
+  }
 }
 
 void Endpoint::publish_now(int dst, queue::SpscRing& ring) {
-  if (ring.staged_pending() == 0) {
+  publish_dirty_[static_cast<std::size_t>(dst)] = 0;
+  const std::size_t batch = ring.staged_pending();
+  if (batch == 0) {
     return;
   }
   const bool edge = ring.publish_staged(ctx_->acc());
+  ++stats_->publish_batches;
+  stats_->cells_published += batch;
   note_publish(dst, edge);
+}
+
+void Endpoint::flush_publishes() {
+  bool published = false;
+  for (int dst = 0; dst < nranks(); ++dst) {
+    if (publish_dirty_[static_cast<std::size_t>(dst)] == 0) {
+      continue;
+    }
+    queue::SpscRing& ring = matrix_.ring(ctx_->acc(), dst, rank());
+    published = published || ring.staged_pending() > 0;
+    publish_now(dst, ring);
+  }
+  if (published) {
+    // The stage-time host-doorbell ring may have fired before the cells
+    // were visible; re-ring now that they are, so a receiver that woke,
+    // found nothing, and re-armed is not stranded.
+    ctx_->doorbell().ring();
+  }
 }
 
 void Endpoint::note_publish(int dst, bool edge) {
@@ -521,6 +561,8 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
         acc, header,
         {reinterpret_cast<const std::byte*>(&desc), sizeof(desc)});
     CMPI_ASSERT(enqueued);  // can_enqueue held above
+    ++stats_->publish_batches;  // RTS cells publish per-cell by design:
+    ++stats_->cells_published;  // segment pipelining needs each durable now
     note_publish(dst, ring.last_publish_edge());
     enqueued_any = true;
     req.bytes_pushed = seg_begin + seg;
@@ -1353,6 +1395,10 @@ void Endpoint::progress() {
       push_sends(dst);
     }
   }
+  // Flush at engine EXIT, not entry: callers block on the doorbell right
+  // after progress() returns, and a parked batch held across that sleep
+  // would stall the peer (and with it, us).
+  flush_publishes();
   // Synchronous sends complete once their match ack arrived. Drop the
   // internal ack request with the pending entry — a completed Ssend held
   // by the caller must not pin endpoint bookkeeping.
@@ -1407,6 +1453,9 @@ std::vector<Endpoint::DebugRdvzSlot> Endpoint::debug_rendezvous_inflight(
 bool Endpoint::test(const RequestPtr& request) {
   CMPI_EXPECTS(request != nullptr);
   ctx_->charge_mpi_overhead();
+  // Even an already-complete staged send may still hold a parked publish
+  // batch; the application regaining control is a flush point.
+  flush_publishes();
   if (request->complete_) {
     return true;
   }
@@ -1418,6 +1467,9 @@ Status Endpoint::wait_uncharged(const RequestPtr& request) {
   CMPI_EXPECTS(request != nullptr);
   CMPI_OBS_SPAN("p2p.wait");
   const double entered = ctx_->clock().now();
+  // A fully-staged isend is already complete and skips the loop below —
+  // its cells may still be parked, so flush before possibly returning.
+  flush_publishes();
   while (!request->complete_) {
     // Arm-then-check: a peer's ring landing between progress() and the
     // sleep bumps the generation past `armed`, so wait_past returns
@@ -1550,6 +1602,7 @@ Status Endpoint::wait_for(const RequestPtr& request,
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   const double entered = ctx_->clock().now();
   runtime::FailureDetector& detector = ctx_->failure_detector();
+  flush_publishes();  // same early-complete staged-send case as wait()
   while (!request->complete_) {
     const std::uint64_t armed = ctx_->doorbell().epoch();
     progress();

@@ -44,7 +44,10 @@
 // and visits only peers whose slot moved, reaping up to kReapBatchCells
 // cells per visit with ONE head publish and one invalidate-sweep setup
 // per batch. Senders with no fault injector configured batch cell
-// publication the same way (one fence + one tail store per staged batch).
+// publication the same way (one fence + one tail store per staged
+// batch), and a burst of nonblocking sends parks its final partial batch
+// across calls — flushed at every progress/test/wait entry and in the
+// destructor — so an isend storm coalesces into few publishes.
 // Matching is sharded (see tag_match.hpp). A rotating scan start plus the
 // per-visit reap bound round-robins saturating senders fairly. A periodic
 // full scan (every kFullScanInterval calls) plus the flush-head-before-
@@ -116,6 +119,13 @@ struct CommStats {
   /// Rendezvous-eligible messages delivered eagerly instead (arena slot
   /// unavailable, or the arena lock deadline expired behind a corpse).
   std::atomic<std::uint64_t> rendezvous_fallbacks{0};
+  /// Producer-side publish flushes (each one fence + one tail store
+  /// covering a whole staged batch; per-cell publishes count as batches
+  /// of one).
+  std::atomic<std::uint64_t> publish_batches{0};
+  /// Cells covered by those flushes. cells_published / publish_batches is
+  /// the producer batching rate — 1.0 means batching never engaged.
+  std::atomic<std::uint64_t> cells_published{0};
   /// Aggregated-doorbell slots this rank rang (cell publishes that hit the
   /// ring's empty→non-empty edge, so the receiver had to be woken).
   std::atomic<std::uint64_t> doorbell_rings{0};
@@ -138,6 +148,8 @@ struct CommStats {
     rendezvous_sent = other.rendezvous_sent.load(std::memory_order_relaxed);
     rendezvous_fallbacks =
         other.rendezvous_fallbacks.load(std::memory_order_relaxed);
+    publish_batches = other.publish_batches.load(std::memory_order_relaxed);
+    cells_published = other.cells_published.load(std::memory_order_relaxed);
     doorbell_rings = other.doorbell_rings.load(std::memory_order_relaxed);
     doorbell_suppressed =
         other.doorbell_suppressed.load(std::memory_order_relaxed);
@@ -227,9 +239,13 @@ class Endpoint {
   /// one deferred head publish / one amortized invalidate-sweep setup.
   static constexpr std::size_t kReapBatchCells = 16;
   /// Producer-side batch bounds: staged cells are published when either
-  /// the cell count or the staged payload bytes reach these (or at every
-  /// exit from push_sends). The byte bound keeps large-cell streams
-  /// pipelining per cell instead of collapsing into batch-lockstep.
+  /// the cell count or the staged payload bytes reach these. A final
+  /// partial batch is left parked across nonblocking sends, so a burst of
+  /// isends coalesces into one fence + tail store; it is flushed at every
+  /// engine entry (progress/test/wait) and in the destructor, and any
+  /// blocked or ring-full exit publishes eagerly. The byte bound keeps
+  /// large-cell streams pipelining per cell instead of collapsing into
+  /// batch-lockstep.
   static constexpr std::size_t kPublishBatchCells = 16;
   static constexpr std::size_t kPublishBatchBytes = std::size_t{16} << 10;
   /// Every this-many progress() calls the engine drains ALL peer rings
@@ -468,6 +484,11 @@ class Endpoint {
   /// tail store for the whole batch) and ring/suppress the doorbell from
   /// the batch's empty→non-empty verdict.
   void publish_now(int dst, queue::SpscRing& ring);
+  /// Publish every ring with a parked partial batch (see
+  /// kPublishBatchCells): the flush point batched nonblocking sends rely
+  /// on. Rings the host doorbell when anything went out, so a receiver
+  /// sleeping between our stage and our flush is not lost.
+  void flush_publishes();
   /// Account one cell publish toward `dst`: ring the destination's
   /// aggregated doorbell slot on an empty→non-empty edge, count a
   /// suppressed ring otherwise.
@@ -560,6 +581,9 @@ class Endpoint {
   /// A reap-capped visit left cells behind: revisit next progress() even
   /// if the doorbell slot has not moved again.
   std::vector<std::uint8_t> drain_pending_;
+  /// Per destination: push_sends parked a partial staged batch on this
+  /// ring (cleared by the publish that drains it).
+  std::vector<std::uint8_t> publish_dirty_;
   int scan_start_ = 0;             // rotating fairness offset
   std::uint64_t progress_calls_ = 0;
   bool legacy_ = false;            // kLegacyScan ablation engine

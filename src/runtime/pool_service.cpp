@@ -1,0 +1,245 @@
+#include "runtime/pool_service.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/align.hpp"
+#include "common/log.hpp"
+#include "obs/obs.hpp"
+
+namespace cmpi::runtime {
+
+TenantSession& TenantSession::operator=(TenantSession&& other) noexcept {
+  if (this != &other) {
+    leave();
+    service_ = other.service_;
+    universe_ = std::move(other.universe_);
+    tenant_id_ = other.tenant_id_;
+    rank_base_ = other.rank_base_;
+    base_ = other.base_;
+    size_ = other.size_;
+    share_ = other.share_;
+    other.service_ = nullptr;
+  }
+  return *this;
+}
+
+void TenantSession::leave() {
+  if (service_ == nullptr) {
+    return;
+  }
+  PoolService* service = service_;
+  service_ = nullptr;
+  service->release(*this);
+  universe_.reset();
+}
+
+PoolService::PoolService(const PoolServiceConfig& config)
+    : config_(config), jitter_rng_(config.backoff.jitter_seed) {
+  CMPI_EXPECTS(config_.max_tenants > 0);
+  CMPI_EXPECTS(config_.backoff.initial.count() > 0);
+  CMPI_EXPECTS(config_.backoff.cap >= config_.backoff.initial);
+  CMPI_EXPECTS(config_.backoff.multiplier >= 1.0);
+  if (!config_.now_fn) {
+    config_.now_fn = [] { return std::chrono::steady_clock::now(); };
+  }
+  if (!config_.sleep_fn) {
+    config_.sleep_fn = [](std::chrono::microseconds d) {
+      std::this_thread::sleep_for(d);
+    };
+  }
+  obs::configure_from_env();
+  device_ = check_ok(cxlsim::DaxDevice::create(
+      config_.pool_size, std::max(4u, config_.heads), config_.timing));
+  if (!config_.fault_plan.empty()) {
+    device_->install_fault_plan(config_.fault_plan);
+  }
+  CMPI_EXPECTS(device_->size() > kServiceReserved);
+  free_.push_back({kServiceReserved, device_->size() - kServiceReserved});
+  obs_registration_ = obs::ProviderRegistration([this] {
+    const AdmissionStats stats = admission_stats();
+    return std::vector<obs::Sample>{
+        {"svc.admissions", stats.admissions},
+        {"svc.rejections", stats.rejections},
+        {"svc.retries", stats.retries},
+        {"svc.leaves", stats.leaves},
+        {"svc.active_tenants", stats.active_tenants},
+    };
+  });
+  log_info("pool service: %zu MiB pool, %zu tenant slots",
+           device_->size() >> 20, config_.max_tenants);
+}
+
+std::uint64_t PoolService::allocate_region_locked(std::uint64_t size) {
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].size < size) {
+      continue;
+    }
+    const std::uint64_t base = free_[i].base;
+    free_[i].base += size;
+    free_[i].size -= size;
+    if (free_[i].size == 0) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return base;
+  }
+  return 0;  // the service page occupies offset 0: never a valid region
+}
+
+void PoolService::free_region_locked(std::uint64_t base, std::uint64_t size) {
+  const auto at = std::lower_bound(
+      free_.begin(), free_.end(), base,
+      [](const FreeRegion& r, std::uint64_t b) { return r.base < b; });
+  auto it = free_.insert(at, {base, size});
+  // Coalesce with the successor, then the predecessor.
+  if (const auto next = it + 1;
+      next != free_.end() && it->base + it->size == next->base) {
+    it->size += next->size;
+    it = free_.erase(next) - 1;
+  }
+  if (it != free_.begin()) {
+    const auto prev = it - 1;
+    if (prev->base + prev->size == it->base) {
+      prev->size += it->size;
+      free_.erase(it);
+    }
+  }
+}
+
+Result<TenantSession> PoolService::join(const TenantConfig& tenant) {
+  CMPI_EXPECTS(tenant.nodes > 0 && tenant.ranks_per_node > 0);
+  CMPI_EXPECTS(tenant.bandwidth_share >= 0.0 && tenant.bandwidth_share < 1.0);
+  const std::uint64_t size = align_up(tenant.region_size, std::size_t{4096});
+
+  TenantSession session;
+  {
+    std::lock_guard lock(mutex_);
+    if (active_tenants_ >= config_.max_tenants) {
+      ++rejections_;
+      return status::admission_rejected(
+          "pool service at capacity: " + std::to_string(active_tenants_) +
+          "/" + std::to_string(config_.max_tenants) + " tenants admitted");
+    }
+    if (tenant.bandwidth_share > 0.0 &&
+        reserved_bandwidth_ + tenant.bandwidth_share > 1.0 + 1e-9) {
+      ++rejections_;
+      return status::admission_rejected(
+          "bandwidth oversubscribed: " +
+          std::to_string(reserved_bandwidth_) + " reserved, " +
+          std::to_string(tenant.bandwidth_share) + " requested");
+    }
+    const std::uint64_t base = allocate_region_locked(size);
+    if (base == 0) {
+      ++rejections_;
+      return status::admission_rejected(
+          "no free region of " + std::to_string(size) + " bytes");
+    }
+    session.service_ = this;
+    session.tenant_id_ = next_tenant_id_++;
+    session.rank_base_ = next_rank_base_;
+    next_rank_base_ +=
+        static_cast<int>(tenant.nodes * tenant.ranks_per_node);
+    session.base_ = base;
+    session.size_ = size;
+    session.share_ = tenant.bandwidth_share;
+    ++active_tenants_;
+    ++admissions_;
+    reserved_bandwidth_ += tenant.bandwidth_share;
+  }
+  if (session.share_ > 0.0) {
+    device_->timing().set_bandwidth_share(
+        static_cast<unsigned>(session.tenant_id_), session.share_);
+  }
+
+  // Region bookkeeping done — format the tenant's universe outside the
+  // admission lock (bootstrap traffic may be slow and touches only the
+  // tenant's own region).
+  UniverseConfig cfg;
+  cfg.nodes = tenant.nodes;
+  cfg.ranks_per_node = tenant.ranks_per_node;
+  cfg.arena_params = tenant.arena_params;
+  cfg.cache_geometry = config_.cache_geometry;
+  cfg.cell_payload = tenant.cell_payload;
+  cfg.ring_cells = tenant.ring_cells;
+  cfg.rendezvous_threshold = tenant.rendezvous_threshold;
+  cfg.failure_lease = tenant.failure_lease;
+  cfg.shared_device = device_;
+  cfg.region_base = session.base_;
+  cfg.region_size = session.size_;
+  cfg.tenant_id = session.tenant_id_;
+  cfg.fault_rank_base = session.rank_base_;
+  session.universe_ = std::make_unique<Universe>(cfg);
+  log_info("pool service: tenant %d admitted, region [%#lx, %#lx), share %.2f",
+           session.tenant_id_, static_cast<unsigned long>(session.base_),
+           static_cast<unsigned long>(session.base_ + session.size_),
+           session.share_);
+  return session;
+}
+
+Result<TenantSession> PoolService::join_for(
+    const TenantConfig& tenant, std::chrono::milliseconds deadline) {
+  const auto start = config_.now_fn();
+  const auto limit = start + deadline;
+  std::chrono::microseconds next{config_.backoff.initial};
+  for (;;) {
+    Result<TenantSession> attempt = join(tenant);
+    if (attempt.is_ok() ||
+        attempt.status().code() != ErrorCode::kAdmissionRejected) {
+      return attempt;
+    }
+    const auto now = config_.now_fn();
+    if (now >= limit) {
+      return status::timed_out("join_for deadline elapsed; last rejection: " +
+                               attempt.status().message());
+    }
+    // Jittered exponential backoff, clipped to the remaining deadline so
+    // a late retry never overshoots it.
+    std::chrono::microseconds delay;
+    {
+      std::lock_guard lock(mutex_);
+      std::uniform_real_distribution<double> jitter(0.5, 1.0);
+      delay = std::chrono::microseconds(static_cast<std::int64_t>(
+          static_cast<double>(next.count()) * jitter(jitter_rng_)));
+      ++retries_;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::microseconds>(limit - now);
+    delay = std::min(delay, remaining);
+    if (delay.count() > 0) {
+      config_.sleep_fn(delay);
+    }
+    next = std::min(
+        config_.backoff.cap,
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            static_cast<double>(next.count()) * config_.backoff.multiplier)));
+  }
+}
+
+void PoolService::release(TenantSession& session) {
+  if (session.share_ > 0.0) {
+    device_->timing().clear_bandwidth_share(
+        static_cast<unsigned>(session.tenant_id_));
+  }
+  std::lock_guard lock(mutex_);
+  free_region_locked(session.base_, session.size_);
+  CMPI_EXPECTS(active_tenants_ > 0);
+  --active_tenants_;
+  reserved_bandwidth_ = std::max(0.0, reserved_bandwidth_ - session.share_);
+  ++leaves_;
+  log_info("pool service: tenant %d left, region [%#lx, %#lx) reclaimed",
+           session.tenant_id_, static_cast<unsigned long>(session.base_),
+           static_cast<unsigned long>(session.base_ + session.size_));
+}
+
+AdmissionStats PoolService::admission_stats() const {
+  std::lock_guard lock(mutex_);
+  AdmissionStats out;
+  out.admissions = admissions_;
+  out.rejections = rejections_;
+  out.retries = retries_;
+  out.leaves = leaves_;
+  out.active_tenants = active_tenants_;
+  return out;
+}
+
+}  // namespace cmpi::runtime

@@ -43,8 +43,26 @@ Universe::Universe(const UniverseConfig& config)
       std::max<std::size_t>(config_.arena_params.max_participants,
                             config_.nranks());
 
-  device_ = check_ok(cxlsim::DaxDevice::create(
-      config_.pool_size, std::max(4u, config_.nodes), config_.timing));
+  if (config_.shared_device != nullptr) {
+    // Service mode: a tenant universe over a region of an existing pool.
+    // Device-global policy (fault plans, MTRR cacheability) belongs to
+    // the device owner (the pool service), not to any one tenant.
+    device_ = config_.shared_device;
+    CMPI_EXPECTS(config_.fault_plan.empty());
+    CMPI_EXPECTS(!config_.uncachable_pool);
+    region_base_ = config_.region_base;
+    region_size_ = config_.region_size != 0
+                       ? config_.region_size
+                       : device_->size() - region_base_;
+    CMPI_EXPECTS(is_aligned(region_base_, 4096));
+    CMPI_EXPECTS(region_base_ + region_size_ <= device_->size());
+  } else {
+    CMPI_EXPECTS(config_.region_base == 0);
+    device_ = check_ok(cxlsim::DaxDevice::create(
+        config_.pool_size, std::max(4u, config_.nodes), config_.timing));
+    region_base_ = 0;
+    region_size_ = device_->size();
+  }
   // Settle coherence checking before any pool traffic (kAuto keeps
   // whatever the CMPI_COHERENCE_CHECK environment variable selected in
   // DaxDevice::create).
@@ -63,11 +81,15 @@ Universe::Universe(const UniverseConfig& config)
         std::make_unique<cxlsim::CacheSim>(*device_, config_.cache_geometry));
   }
 
+  const std::uint64_t region_end = region_base_ + region_size_;
+  barrier_base_ = region_base_ + kBarrierOffset;
   const std::uint64_t barrier_end =
-      kBarrierBase + SeqBarrier::footprint(config_.nranks());
+      barrier_base_ + SeqBarrier::footprint(config_.nranks());
   // Heartbeat slots, the recovery ledger and the aggregated p2p doorbell
   // matrix ride in the same reserved region as the barrier; the arena
-  // starts at the next 4 KiB boundary.
+  // starts at the next 4 KiB boundary. Everything is region-relative so a
+  // tenant's whole footprint — metadata included — lives in its fault
+  // domain.
   hb_base_ = barrier_end;
   recovery_base_ = hb_base_ + FailureDetector::footprint(config_.nranks());
   doorbell_base_ = recovery_base_ + PoolRecovery::footprint(config_.nranks());
@@ -75,7 +97,7 @@ Universe::Universe(const UniverseConfig& config)
       doorbell_base_ + AggDoorbell::footprint(config_.nranks()), 4096);
   CMPI_EXPECTS(arena_base_ + arena::Arena::metadata_footprint(
                                  config_.arena_params) <
-               device_->size());
+               region_end);
 
   // Bootstrap with a scratch accessor: format the barrier array, the
   // heartbeat slots and the arena. Bootstrap state is flushed out of the
@@ -83,12 +105,12 @@ Universe::Universe(const UniverseConfig& config)
   simtime::VClock boot_clock;
   cxlsim::CacheSim boot_cache(*device_, {.sets = 64, .ways = 4});
   cxlsim::Accessor boot(*device_, boot_cache, boot_clock);
-  SeqBarrier::format(boot, kBarrierBase, config_.nranks());
+  configure_accessor(boot);
+  SeqBarrier::format(boot, barrier_base_, config_.nranks());
   FailureDetector::format(boot, hb_base_, config_.nranks());
   PoolRecovery::format(boot, recovery_base_, config_.nranks());
   AggDoorbell::format(boot, doorbell_base_, config_.nranks());
-  check_ok(arena::Arena::format(boot, arena_base_,
-                                device_->size() - arena_base_,
+  check_ok(arena::Arena::format(boot, arena_base_, region_end - arena_base_,
                                 /*participant=*/0, config_.arena_params));
   boot_cache.writeback_all();
   // Install the fault plan only after bootstrap so formatting traffic is
@@ -119,9 +141,38 @@ Universe::Universe(const UniverseConfig& config)
              load(counters->rendezvous_slots_scavenged)},
         };
       });
-  log_info("universe: %u nodes x %u ranks, pool %zu MiB, arena at %#lx",
+  if (config_.shared_device != nullptr) {
+    obs_domain_registration_ = obs::ProviderRegistration(
+        [counters = &domain_counters_, tenant = config_.tenant_id] {
+          const std::uint64_t writes =
+              counters->writes_outside.load(std::memory_order_relaxed);
+          const std::uint64_t reads =
+              counters->reads_outside.load(std::memory_order_relaxed);
+          const std::string prefix =
+              "tenant." + std::to_string(tenant) + ".";
+          return std::vector<obs::Sample>{
+              {"tenant.out_of_domain_writes", writes},
+              {"tenant.out_of_domain_reads", reads},
+              {prefix + "out_of_domain_writes", writes},
+              {prefix + "out_of_domain_reads", reads},
+          };
+        });
+  }
+  log_info("universe: %u nodes x %u ranks, pool %zu MiB, region [%#lx, %#lx), "
+           "arena at %#lx",
            config_.nodes, config_.ranks_per_node, device_->size() >> 20,
+           static_cast<unsigned long>(region_base_),
+           static_cast<unsigned long>(region_base_ + region_size_),
            static_cast<unsigned long>(arena_base_));
+}
+
+void Universe::configure_accessor(cxlsim::Accessor& acc) noexcept {
+  if (config_.tenant_id > 0) {
+    acc.set_wfq_class(static_cast<unsigned>(config_.tenant_id));
+  }
+  if (config_.shared_device != nullptr) {
+    acc.set_fault_domain(region_base_, region_size_, &domain_counters_);
+  }
 }
 
 void Universe::run(const std::function<void(RankCtx&)>& fn) {
@@ -142,23 +193,26 @@ void Universe::run(const std::function<void(RankCtx&)>& fn) {
       ctx.config_ = &config_;
       ctx.incarnations_ = &incarnations_;
       ctx.recovery_counters_ = recovery_counters_.get();
-      ctx.barrier_base_ = kBarrierBase;
+      ctx.barrier_base_ = barrier_base_;
       ctx.recovery_base_ = recovery_base_;
       ctx.doorbell_base_ = doorbell_base_;
       ctx.acc_ = std::make_unique<cxlsim::Accessor>(
           *device_, *node_caches_[static_cast<std::size_t>(ctx.node_)],
           ctx.clock_);
+      configure_accessor(*ctx.acc_);
       cxlsim::CoherenceChecker::set_current_rank(static_cast<int>(r));
       cxlsim::FaultInjector::set_current_rank(static_cast<int>(r));
+      cxlsim::FaultInjector::set_rank_base(config_.fault_rank_base);
       // Rank/node/clock context for the obs layer (metrics shard, trace
       // ring, log prefix); torn down when the thread leaves the lambda.
-      obs::RankScope obs_scope(ctx.rank_, ctx.node_, &ctx.clock_);
+      obs::RankScope obs_scope(ctx.rank_, ctx.node_, &ctx.clock_,
+                               config_.tenant_id);
       try {
         ctx.arena_ = std::make_unique<arena::Arena>(
             check_ok(arena::Arena::attach(*ctx.acc_, arena_base_, r,
                                           incarnations_[r])));
         ctx.init_barrier_ = std::make_unique<SeqBarrier>(
-            *ctx.acc_, kBarrierBase, nranks, r);
+            *ctx.acc_, barrier_base_, nranks, r);
         ctx.detector_ = std::make_unique<FailureDetector>(
             hb_base_, nranks, r, config_.failure_lease);
         tls_ctx = &ctx;
@@ -296,7 +350,7 @@ void Universe::respawn(int rank) {
   const auto r = static_cast<std::size_t>(rank);
   incarnations_[r] += 1;
   if (cxlsim::FaultInjector* fi = device_->fault_injector()) {
-    fi->absolve(rank);
+    fi->absolve(config_.fault_rank_base + rank);
   }
   {
     std::lock_guard lock(failures_mutex_);
@@ -315,8 +369,9 @@ void Universe::respawn(int rank) {
   simtime::VClock clock;
   cxlsim::CacheSim cache(*device_, {.sets = 64, .ways = 4});
   cxlsim::Accessor acc(*device_, cache, clock);
+  configure_accessor(acc);
   FailureDetector::reset_slot(acc, hb_base_, r);
-  SeqBarrier::forge_slot(acc, kBarrierBase, config_.nranks(), r);
+  SeqBarrier::forge_slot(acc, barrier_base_, config_.nranks(), r);
   cache.writeback_all();
   log_info("universe: rank %d respawned as incarnation %u", rank,
            incarnations_[r]);
@@ -339,7 +394,15 @@ RecoveryStats Universe::recovery_stats() const {
 std::vector<int> Universe::failed_ranks() const {
   std::vector<int> out;
   if (const cxlsim::FaultInjector* fi = device_->fault_injector()) {
-    out = fi->crashed_ranks();
+    // The injector's record is global; keep only this universe's rank
+    // namespace and translate back to local ids.
+    const int base = config_.fault_rank_base;
+    const int limit = base + static_cast<int>(config_.nranks());
+    for (const int global : fi->crashed_ranks()) {
+      if (global >= base && global < limit) {
+        out.push_back(global - base);
+      }
+    }
   }
   {
     std::lock_guard lock(failures_mutex_);

@@ -110,6 +110,24 @@ struct UniverseConfig {
   /// made from a wait loop can be. Must be well under failure_lease.
   std::chrono::milliseconds doorbell_recheck{1};
 
+  // --- Service mode (multi-tenant; see runtime/pool_service.hpp) ---
+  /// Attach to an existing shared device instead of creating one. The
+  /// universe then occupies [region_base, region_base + region_size) of
+  /// the pool: every on-pool structure (bootstrap page, barrier,
+  /// heartbeats, recovery ledger, doorbell matrix, arena) is laid out
+  /// region-relative, and each rank accessor is fenced to the region with
+  /// blast-radius counters. pool_size/uncachable_pool/fault_plan are the
+  /// *device owner's* business and must stay at their defaults here.
+  std::shared_ptr<cxlsim::DaxDevice> shared_device;
+  std::uint64_t region_base = 0;
+  std::size_t region_size = 0;  ///< 0 = rest of the pool
+  /// Tenant id for telemetry (flight-dump suffix, per-tenant metrics) and
+  /// the WFQ bandwidth class. 0 = untenanted (the standalone default).
+  int tenant_id = 0;
+  /// Base of this universe's global-rank namespace for fault targeting:
+  /// plan entries address rank `fault_rank_base + local`. 0 standalone.
+  int fault_rank_base = 0;
+
   [[nodiscard]] unsigned nranks() const noexcept {
     return nodes * ranks_per_node;
   }
@@ -303,11 +321,44 @@ class Universe {
   /// fenced stale messages, scavenges). Accumulates across run() epochs.
   [[nodiscard]] RecoveryStats recovery_stats() const;
 
+  /// Base/size of this universe's pool region ([0, device size) when it
+  /// owns the whole device).
+  [[nodiscard]] std::uint64_t region_base() const noexcept {
+    return region_base_;
+  }
+  [[nodiscard]] std::uint64_t region_size() const noexcept {
+    return region_size_;
+  }
+
+  /// Blast-radius counters of this universe's fault-domain fence: accesses
+  /// its ranks made OUTSIDE [region_base, region_base + region_size).
+  /// Always zero in whole-device mode (the fence is off) and, if tenant
+  /// isolation holds, in service mode too.
+  struct DomainStats {
+    std::uint64_t writes_outside = 0;
+    std::uint64_t reads_outside = 0;
+  };
+  [[nodiscard]] DomainStats domain_stats() const noexcept {
+    return {domain_counters_.writes_outside.load(std::memory_order_relaxed),
+            domain_counters_.reads_outside.load(std::memory_order_relaxed)};
+  }
+
  private:
-  static constexpr std::uint64_t kBarrierBase = 4096;
+  /// Offset of the barrier array inside the region (the region's first
+  /// 4 KiB is the bootstrap page).
+  static constexpr std::uint64_t kBarrierOffset = 4096;
+
+  /// Apply this universe's tenant attribution to an accessor: WFQ
+  /// bandwidth class and, in service mode, the region fault-domain fence.
+  void configure_accessor(cxlsim::Accessor& acc) noexcept;
 
   UniverseConfig config_;
-  std::unique_ptr<cxlsim::DaxDevice> device_;
+  std::shared_ptr<cxlsim::DaxDevice> device_;
+  std::uint64_t region_base_ = 0;
+  std::uint64_t region_size_ = 0;
+  std::uint64_t barrier_base_ = 0;
+  /// Blast-radius counters shared by every rank accessor of the universe.
+  cxlsim::DomainCounters domain_counters_;
   std::vector<std::unique_ptr<cxlsim::CacheSim>> node_caches_;
   Doorbell doorbell_;
   std::uint64_t hb_base_ = 0;
@@ -329,6 +380,10 @@ class Universe {
   // recovery.* family; declared after the counters so the provider's final
   // read at unregistration still sees them alive.
   obs::ProviderRegistration obs_registration_;
+  // Service mode only: exposes the blast-radius counters as tenant.* (the
+  // aggregate across tenants) plus a tenant.<id>.* copy for per-tenant
+  // isolation dashboards.
+  obs::ProviderRegistration obs_domain_registration_;
 };
 
 }  // namespace cmpi::runtime

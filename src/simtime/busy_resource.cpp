@@ -9,11 +9,57 @@ void BusyResource::advance_base(std::int64_t new_base) {
   // Clear slots that wrap around into the new window region.
   while (base_slot_ < new_base) {
     slot_used(base_slot_) = 0.0;
+    for (ClassShare& share : shares_) {
+      class_used(share, base_slot_) = 0.0;
+    }
     ++base_slot_;
   }
 }
 
-Ns BusyResource::reserve(Ns ready, std::size_t bytes) {
+void BusyResource::set_share(unsigned cls, double fraction) {
+  CMPI_EXPECTS(cls > 0);
+  CMPI_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  std::lock_guard lock(mutex_);
+  double total = fraction;
+  for (const ClassShare& share : shares_) {
+    if (share.cls != cls) {
+      total += share.fraction;
+    }
+  }
+  CMPI_EXPECTS(total <= 1.0 + 1e-9);
+  for (ClassShare& share : shares_) {
+    if (share.cls == cls) {
+      share.fraction = fraction;
+      return;
+    }
+  }
+  ClassShare share;
+  share.cls = cls;
+  share.fraction = fraction;
+  share.used.resize(kWindowSlots, 0.0);
+  shares_.push_back(std::move(share));
+}
+
+void BusyResource::clear_share(unsigned cls) {
+  std::lock_guard lock(mutex_);
+  shares_.erase(std::remove_if(shares_.begin(), shares_.end(),
+                               [cls](const ClassShare& share) {
+                                 return share.cls == cls;
+                               }),
+                shares_.end());
+}
+
+double BusyResource::share(unsigned cls) const {
+  std::lock_guard lock(mutex_);
+  for (const ClassShare& share : shares_) {
+    if (share.cls == cls) {
+      return share.fraction;
+    }
+  }
+  return 0.0;
+}
+
+Ns BusyResource::reserve_for(unsigned cls, Ns ready, std::size_t bytes) {
   CMPI_EXPECTS(ready >= 0);
   if (bytes == 0) {
     return ready;
@@ -26,6 +72,14 @@ Ns BusyResource::reserve(Ns ready, std::size_t bytes) {
   // only reachable under pathological thread skew).
   slot = std::max(slot, base_slot_);
 
+  ClassShare* own = nullptr;
+  for (ClassShare& share : shares_) {
+    if (share.cls == cls) {
+      own = &share;
+      break;
+    }
+  }
+
   Ns completion = ready;
   for (;;) {
     const Ns slot_start = static_cast<Ns>(slot) * kSlotNs;
@@ -37,13 +91,45 @@ Ns BusyResource::reserve(Ns ready, std::size_t bytes) {
     const Ns begin = std::max({ready, slot_start + used});
     const Ns slot_end = slot_start + kSlotNs;
     if (begin < slot_end) {
-      const double take = std::min(need, slot_end - begin);
-      used += take;
-      need -= take;
-      completion = begin + take;
-      if (need <= 0) {
-        break;
+      // Capacity reserved in this slot for other classes' unmet
+      // guarantees: a recently-active guaranteed class must always be
+      // able to claim its fraction of the slot no matter who reserved
+      // first; guarantees of classes idle past the activity window lapse
+      // (work conservation).
+      double reserved_for_others = 0.0;
+      for (ClassShare& share : shares_) {
+        if (&share == own) {
+          continue;
+        }
+        if (share.last_active_slot < 0 ||
+            share.last_active_slot + kActivityWindowSlots < slot) {
+          continue;
+        }
+        const double guarantee = share.fraction * kSlotNs;
+        reserved_for_others +=
+            std::max(0.0, guarantee - class_used(share, slot));
       }
+      const double open = static_cast<double>(slot_end - begin);
+      const double take = std::min(need, open - reserved_for_others);
+      if (take > 0) {
+        used += take;
+        if (own != nullptr) {
+          class_used(*own, slot) += take;
+        }
+        need -= take;
+        completion = begin + static_cast<Ns>(take);
+        if (need <= 0) {
+          if (own != nullptr) {
+            own->last_active_slot = std::max(own->last_active_slot, slot);
+          }
+          break;
+        }
+      }
+    }
+    if (own != nullptr) {
+      // Mark activity on every slot the class *attempts*, so a guaranteed
+      // class queueing behind a backlog keeps its reservation alive.
+      own->last_active_slot = std::max(own->last_active_slot, slot);
     }
     ++slot;
   }
@@ -53,6 +139,10 @@ Ns BusyResource::reserve(Ns ready, std::size_t bytes) {
 void BusyResource::reset() {
   std::lock_guard lock(mutex_);
   std::fill(slots_.begin(), slots_.end(), 0.0);
+  for (ClassShare& share : shares_) {
+    std::fill(share.used.begin(), share.used.end(), 0.0);
+    share.last_active_slot = -1;
+  }
   base_slot_ = 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -330,6 +331,35 @@ TEST_F(ArenaFsckTest, AttachRejectsImpossibleBlockSize) {
   // A size that runs past the end of the object region.
   acc_b_->nt_store_u64(free_head_ + 8, 64_MiB);
   EXPECT_EQ(attach_code(), ErrorCode::kCorruptPool);
+}
+
+TEST_F(ArenaFsckTest, FsckMessageNamesOffsetAndOwningRegion) {
+  // Multi-tenant triage regression: the kCorruptPool message must carry
+  // the corrupt slot's POOL-ABSOLUTE offset and the owning arena's
+  // base/object region, so an operator can attribute the damage to one
+  // tenant without replaying the walk. Use a nonzero base so absolute
+  // and arena-relative offsets actually differ.
+  const std::uint64_t kBase = 8_MiB;
+  check_ok(
+      Arena::format(*acc_, kBase, 4_MiB, /*participant=*/0, small_params())
+          .status());
+  const std::uint64_t rel_head = acc_b_->nt_load_u64(kBase + kFreeHeadOffset);
+  ASSERT_NE(rel_head, 0u);
+  acc_b_->nt_store_u64(kBase + rel_head + 0, 0x0BADF00DULL);  // break magic
+
+  const Status verdict = Arena::attach(*acc_b_, kBase, 1).status();
+  ASSERT_EQ(verdict.code(), ErrorCode::kCorruptPool);
+  const std::string msg(verdict.message());
+  char expect_at[32];
+  std::snprintf(expect_at, sizeof expect_at, "0x%llx",
+                static_cast<unsigned long long>(kBase + rel_head));
+  EXPECT_NE(msg.find(expect_at), std::string::npos)
+      << "missing pool-absolute slot offset in: " << msg;
+  EXPECT_NE(msg.find("arena base 0x800000"), std::string::npos)
+      << "missing owning arena base in: " << msg;
+  EXPECT_NE(msg.find("object region [0x"), std::string::npos)
+      << "missing owning object region in: " << msg;
+  EXPECT_NE(msg.find("bad magic"), std::string::npos) << msg;
 }
 
 TEST_F(ArenaFsckTest, HealthyArenaStillAttaches) {

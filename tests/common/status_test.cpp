@@ -39,6 +39,7 @@ TEST(Status, AllCodesHaveNames) {
       ErrorCode::kUnsupported,  ErrorCode::kInternal,
       ErrorCode::kTimedOut,     ErrorCode::kPeerFailed,
       ErrorCode::kDataPoisoned, ErrorCode::kCorruptPool,
+      ErrorCode::kAdmissionRejected,
   };
   int named = 0;
   for (int raw = 0;; ++raw) {

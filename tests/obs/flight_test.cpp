@@ -85,6 +85,52 @@ TEST_F(FlightTest, FileHoldsFirstFailure) {
   EXPECT_TRUE(doc.at("metrics").is_object());
 }
 
+TEST_F(FlightTest, TenantDumpsLandInSuffixedFilesWithGlobalBudget) {
+  // Multi-tenant service mode: each tenant's first failure claims its own
+  // "flight.tenantN.json" (tenant 0 keeps the bare path), so concurrent
+  // tenant failures never race for one file — while the dump BUDGET stays
+  // a single process-wide cap.
+  const std::string path = ::testing::TempDir() + "cmpi_flight_tenant.json";
+  Config config = flight_config();
+  config.flight_path = path;
+  configure(config);
+  simtime::VClock clock;
+  ::testing::internal::CaptureStderr();
+  {
+    RankScope scope(0, 0, &clock, /*tenant=*/3);
+    flight_dump("tenant three failure");
+    flight_dump("tenant three again");  // first dump already owns the file
+  }
+  {
+    RankScope scope(0, 0, &clock, /*tenant=*/7);
+    flight_dump("tenant seven failure");
+  }
+  flight_dump("untenanted failure");
+  (void)::testing::internal::GetCapturedStderr();
+
+  const auto read_doc = [](const std::string& file) {
+    std::ifstream in(file);
+    EXPECT_TRUE(in.is_open()) << file;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return jsonlite::parse(buffer.str());
+  };
+  const std::string base = path.substr(0, path.size() - 5);  // strip .json
+  const jsonlite::Value t3 = read_doc(base + ".tenant3.json");
+  EXPECT_EQ(t3.at("reason").string, "tenant three failure");
+  EXPECT_EQ(t3.at("tenant").number, 3.0);
+  const jsonlite::Value t7 = read_doc(base + ".tenant7.json");
+  EXPECT_EQ(t7.at("reason").string, "tenant seven failure");
+  EXPECT_EQ(t7.at("tenant").number, 7.0);
+  const jsonlite::Value t0 = read_doc(path);
+  EXPECT_EQ(t0.at("reason").string, "untenanted failure");
+  EXPECT_EQ(t0.at("tenant").number, 0.0);
+  // Four dumps drew on ONE global budget, not one per tenant.
+  EXPECT_EQ(flight_dump_count(), 4);
+  static_assert(kMaxFlightDumps == 4,
+                "budget expectation above tracks kMaxFlightDumps");
+}
+
 TEST_F(FlightTest, DisabledRecorderStaysSilent) {
   configure(Config{});  // flight off
   ::testing::internal::CaptureStderr();

@@ -225,6 +225,80 @@ TEST(DoorbellStats, EdgesRingAndBurstsSuppress) {
   });
 }
 
+TEST(PublishBatching, BurstOfNonblockingSendsCoalescesPublishes) {
+  // Producer-side publish batching: a burst of isends stages cells and
+  // parks the tail publish, so the burst reaches the receiver in a few
+  // publish edges instead of one per cell. 24 one-cell messages against
+  // kPublishBatchCells = 16 and a 32-deep ring should land in ~2 batches
+  // (one threshold flush + one parked tail flushed by wait_all); anything
+  // averaging > 1 cell per publish proves the batching engaged.
+  constexpr int kBurst = 24;
+  runtime::Universe universe(engine_config(2, 256, 32));
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      std::vector<std::vector<std::byte>> bufs(
+          kBurst, std::vector<std::byte>(64));
+      std::vector<RequestPtr> reqs;
+      reqs.reserve(kBurst);
+      for (int i = 0; i < kBurst; ++i) {
+        bufs[static_cast<std::size_t>(i)] = pattern(64, i);
+        reqs.push_back(ep.isend(1, 5, bufs[static_cast<std::size_t>(i)]));
+      }
+      check_ok(ep.wait_all(reqs));
+      const CommStats s = ep.stats();
+      EXPECT_EQ(s.cells_published, static_cast<std::uint64_t>(kBurst));
+      ASSERT_GT(s.publish_batches, 0u);
+      EXPECT_LT(s.publish_batches, static_cast<std::uint64_t>(kBurst))
+          << "every cell published alone: batching never engaged";
+      const double cells_per_publish =
+          static_cast<double>(s.cells_published) /
+          static_cast<double>(s.publish_batches);
+      EXPECT_GT(cells_per_publish, 1.0);
+    } else {
+      std::vector<std::byte> buf(64);
+      for (int i = 0; i < kBurst; ++i) {
+        check_ok(ep.recv(0, 5, buf));
+        EXPECT_EQ(buf, pattern(64, i));
+      }
+    }
+  });
+}
+
+TEST(PublishBatching, LegacyScanKeepsPerCellPublishes) {
+  // The ablation baseline: the legacy engine publishes every cell
+  // immediately, so cells-per-publish stays exactly 1.
+  constexpr int kBurst = 8;
+  runtime::UniverseConfig cfg = engine_config(2, 256, 32);
+  cfg.progress_engine = runtime::ProgressEngine::kLegacyScan;
+  runtime::Universe universe(cfg);
+  universe.run([&](runtime::RankCtx& ctx) {
+    Endpoint ep = Endpoint::create(ctx);
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      std::vector<std::vector<std::byte>> bufs(
+          kBurst, std::vector<std::byte>(64));
+      std::vector<RequestPtr> reqs;
+      reqs.reserve(kBurst);
+      for (int i = 0; i < kBurst; ++i) {
+        bufs[static_cast<std::size_t>(i)] = pattern(64, 100 + i);
+        reqs.push_back(ep.isend(1, 6, bufs[static_cast<std::size_t>(i)]));
+      }
+      check_ok(ep.wait_all(reqs));
+      const CommStats s = ep.stats();
+      EXPECT_EQ(s.cells_published, static_cast<std::uint64_t>(kBurst));
+      EXPECT_EQ(s.publish_batches, static_cast<std::uint64_t>(kBurst));
+    } else {
+      std::vector<std::byte> buf(64);
+      for (int i = 0; i < kBurst; ++i) {
+        check_ok(ep.recv(0, 6, buf));
+        EXPECT_EQ(buf, pattern(64, 100 + i));
+      }
+    }
+  });
+}
+
 TEST(DoorbellStats, LegacyScanGeneratesNoDoorbellTraffic) {
   // The before/after ablation knob: the legacy engine models the
   // pre-doorbell linear scan and must neither ring nor suppress.

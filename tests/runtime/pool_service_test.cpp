@@ -1,0 +1,264 @@
+// Multi-tenant pool service: admission control, region allocation and the
+// join_for backoff state machine.
+//
+// Everything time-dependent runs on a FAKE clock: PoolServiceConfig's
+// now_fn/sleep_fn are injected, so the backoff tests assert the exact
+// delay sequence (jittered, exponentially bounded, deadline-clipped)
+// without sleeping for real — and a busy-spinning retry loop would show
+// up as an absurd attempt count, not as a slow test.
+#include "runtime/pool_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cmpi::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+using std::chrono::microseconds;
+
+/// Deterministic time source for join_for: now() returns a counter that
+/// only sleep() advances.
+struct FakeClock {
+  std::chrono::steady_clock::time_point now{};
+  std::vector<microseconds> sleeps;
+
+  void install(PoolServiceConfig& cfg) {
+    cfg.now_fn = [this] { return now; };
+    cfg.sleep_fn = [this](microseconds d) {
+      sleeps.push_back(d);
+      now += d;
+    };
+  }
+};
+
+PoolServiceConfig small_service(std::size_t pool = 32_MiB) {
+  PoolServiceConfig cfg;
+  cfg.pool_size = pool;
+  return cfg;
+}
+
+TenantConfig small_tenant(std::size_t region = 2_MiB) {
+  TenantConfig tenant;
+  tenant.nodes = 2;
+  tenant.ranks_per_node = 1;
+  tenant.region_size = region;
+  return tenant;
+}
+
+TEST(PoolService, JoinAssignsDisjointRegionsAndMonotonicIds) {
+  PoolService service(small_service());
+  TenantSession a = check_ok(service.join(small_tenant()));
+  TenantSession b = check_ok(service.join(small_tenant()));
+
+  EXPECT_EQ(a.tenant_id(), 1);
+  EXPECT_EQ(b.tenant_id(), 2);
+  // Regions never overlap and never touch the service's reserved page.
+  EXPECT_GE(a.region_base(), 64u * 1024u);
+  EXPECT_GE(b.region_base(), 64u * 1024u);
+  const auto a_end = a.region_base() + a.region_size();
+  const auto b_end = b.region_base() + b.region_size();
+  EXPECT_TRUE(a_end <= b.region_base() || b_end <= a.region_base());
+  // Global rank namespaces are disjoint too (fault-plan targeting).
+  EXPECT_EQ(a.global_rank(0), 0);
+  EXPECT_EQ(a.global_rank(1), 1);
+  EXPECT_EQ(b.global_rank(0), 2);
+  // Each universe reports its own fenced region.
+  EXPECT_EQ(a.universe().region_base(), a.region_base());
+  EXPECT_EQ(a.universe().region_size(), a.region_size());
+
+  const AdmissionStats stats = service.admission_stats();
+  EXPECT_EQ(stats.admissions, 2u);
+  EXPECT_EQ(stats.active_tenants, 2u);
+  EXPECT_EQ(stats.rejections, 0u);
+}
+
+TEST(PoolService, TenantUniverseRunsEntirelyInsideItsRegion) {
+  PoolService service(small_service());
+  TenantSession session = check_ok(service.join(small_tenant(4_MiB)));
+  session.universe().run([](RankCtx& ctx) {
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      const auto obj = check_ok(ctx.arena().create("tenant_obj", 4096));
+      std::vector<std::byte> page(4096, std::byte{0x5a});
+      ctx.acc().bulk_write(obj.pool_offset, page);
+    }
+    ctx.barrier();
+  });
+  // The blast-radius fence saw no access leave the region.
+  const Universe::DomainStats blast = session.universe().domain_stats();
+  EXPECT_EQ(blast.writes_outside, 0u);
+  EXPECT_EQ(blast.reads_outside, 0u);
+}
+
+TEST(PoolService, TenantCapRejectsWithAdmissionRejected) {
+  PoolServiceConfig cfg = small_service();
+  cfg.max_tenants = 1;
+  PoolService service(cfg);
+  TenantSession only = check_ok(service.join(small_tenant()));
+
+  const Result<TenantSession> second = service.join(small_tenant());
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), ErrorCode::kAdmissionRejected);
+  EXPECT_EQ(service.admission_stats().rejections, 1u);
+
+  // The slot frees on leave; admission succeeds again.
+  only.leave();
+  EXPECT_EQ(service.admission_stats().active_tenants, 0u);
+  TenantSession next = check_ok(service.join(small_tenant()));
+  EXPECT_EQ(next.tenant_id(), 2);  // ids are never reused
+}
+
+TEST(PoolService, RegionExhaustionRejectsAndRecoversAfterLeave) {
+  // 8 MiB pool minus the 64 KiB service page: one 4 MiB region fits,
+  // a second does not.
+  PoolService service(small_service(8_MiB));
+  std::optional<TenantSession> first(check_ok(service.join(small_tenant(4_MiB))));
+
+  const Result<TenantSession> crowded = service.join(small_tenant(4_MiB));
+  ASSERT_FALSE(crowded.is_ok());
+  EXPECT_EQ(crowded.status().code(), ErrorCode::kAdmissionRejected);
+
+  const std::uint64_t reused_base = first->region_base();
+  first.reset();  // leave via destructor
+  TenantSession again = check_ok(service.join(small_tenant(4_MiB)));
+  // First-fit hands the reclaimed region back out.
+  EXPECT_EQ(again.region_base(), reused_base);
+}
+
+TEST(PoolService, BandwidthOversubscriptionRejects) {
+  PoolService service(small_service());
+  TenantConfig heavy = small_tenant();
+  heavy.bandwidth_share = 0.6;
+  TenantConfig medium = small_tenant();
+  medium.bandwidth_share = 0.5;
+
+  std::optional<TenantSession> holder(check_ok(service.join(heavy)));
+  // The device-level WFQ share is registered while the tenant is live.
+  EXPECT_DOUBLE_EQ(service.device().timing().bandwidth_share(
+                       static_cast<unsigned>(holder->tenant_id())),
+                   0.6);
+
+  const Result<TenantSession> refused = service.join(medium);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kAdmissionRejected);
+
+  const int held_id = holder->tenant_id();
+  holder.reset();
+  // The share is withdrawn with the tenant, so the reservation fits now.
+  EXPECT_DOUBLE_EQ(
+      service.device().timing().bandwidth_share(static_cast<unsigned>(held_id)),
+      0.0);
+  TenantSession admitted = check_ok(service.join(medium));
+  EXPECT_DOUBLE_EQ(service.device().timing().bandwidth_share(
+                       static_cast<unsigned>(admitted.tenant_id())),
+                   0.5);
+}
+
+TEST(PoolService, JoinForBackoffIsJitteredBoundedAndDeadlineClipped) {
+  PoolServiceConfig cfg = small_service();
+  cfg.max_tenants = 1;
+  cfg.backoff.initial = 200us;
+  cfg.backoff.cap = 10000us;
+  cfg.backoff.multiplier = 2.0;
+  FakeClock clock;
+  clock.install(cfg);
+  PoolService service(cfg);
+  TenantSession blocker = check_ok(service.join(small_tenant()));
+
+  constexpr auto kDeadline = 100ms;
+  const Result<TenantSession> verdict =
+      service.join_for(small_tenant(), kDeadline);
+
+  // Deadline respected, carrying the last rejection's diagnosis.
+  ASSERT_FALSE(verdict.is_ok());
+  EXPECT_EQ(verdict.status().code(), ErrorCode::kTimedOut);
+  EXPECT_NE(verdict.status().message().find("tenants admitted"),
+            std::string::npos);
+
+  // No busy-spin: the whole 100 ms window was covered by a handful of
+  // exponentially-growing sleeps, not thousands of instant retries.
+  ASSERT_GE(clock.sleeps.size(), 5u);
+  ASSERT_LE(clock.sleeps.size(), 64u);
+  // The fake clock advanced exactly to the deadline: every delay was
+  // clipped to the remaining budget, never past it.
+  microseconds total{0};
+  for (const microseconds d : clock.sleeps) {
+    total += d;
+  }
+  EXPECT_EQ(total, kDeadline);
+
+  // Every delay obeys the jittered-exponential envelope
+  // [0.5, 1.0] * min(cap, initial * multiplier^k) — except a final
+  // delay shortened by the deadline clip.
+  std::set<double> jitter_ratios;
+  double envelope = static_cast<double>(cfg.backoff.initial.count());
+  const double cap = static_cast<double>(cfg.backoff.cap.count());
+  for (std::size_t k = 0; k < clock.sleeps.size(); ++k) {
+    const double delay = static_cast<double>(clock.sleeps[k].count());
+    EXPECT_LE(delay, envelope + 1.0) << "delay " << k << " above envelope";
+    if (k + 1 < clock.sleeps.size()) {  // the last one may be clipped
+      EXPECT_GE(delay, 0.5 * envelope - 1.0)
+          << "delay " << k << " below the jitter floor";
+      jitter_ratios.insert(delay / envelope);
+    }
+    envelope = std::min(cap, envelope * cfg.backoff.multiplier);
+  }
+  // Jitter actually moved the delays: the ratios are not one constant.
+  EXPECT_GE(jitter_ratios.size(), 3u);
+  EXPECT_EQ(service.admission_stats().retries, clock.sleeps.size());
+}
+
+TEST(PoolService, JoinForAdmitsWhenCapacityFreesMidBackoff) {
+  PoolServiceConfig cfg = small_service();
+  cfg.max_tenants = 1;
+  FakeClock clock;
+  clock.install(cfg);
+  std::optional<PoolService> service;
+  std::optional<TenantSession> blocker;
+
+  // Release the blocking tenant from inside the third backoff sleep —
+  // the very situation join_for exists for.
+  const auto base_sleep = cfg.sleep_fn;
+  cfg.sleep_fn = [&](microseconds d) {
+    base_sleep(d);
+    if (clock.sleeps.size() == 3) {
+      blocker.reset();
+    }
+  };
+  service.emplace(cfg);
+  blocker.emplace(check_ok(service->join(small_tenant())));
+
+  TenantSession winner = check_ok(service->join_for(small_tenant(), 500ms));
+  EXPECT_EQ(winner.tenant_id(), 2);
+  EXPECT_EQ(clock.sleeps.size(), 3u);
+  const AdmissionStats stats = service->admission_stats();
+  EXPECT_EQ(stats.admissions, 2u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.active_tenants, 1u);
+}
+
+TEST(PoolService, JoinForReturnsNonAdmissionErrorsImmediately) {
+  FakeClock clock;
+  PoolServiceConfig cfg = small_service();
+  clock.install(cfg);
+  PoolService service(cfg);
+  TenantConfig bogus = small_tenant();
+  bogus.region_size = 1_GiB;  // can never fit a 32 MiB pool
+  // Region exhaustion IS an admission verdict — it retries until the
+  // deadline; this guards the loop classification itself.
+  const Result<TenantSession> verdict = service.join_for(bogus, 10ms);
+  ASSERT_FALSE(verdict.is_ok());
+  EXPECT_EQ(verdict.status().code(), ErrorCode::kTimedOut);
+  EXPECT_GT(clock.sleeps.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cmpi::runtime

@@ -1,0 +1,275 @@
+// Tenant fault domains under chaos: the multi-tenant isolation
+// acceptance suite (named *fault_test* so the CI fault matrix reruns it
+// under every CMPI_FAULT_SEED).
+//
+//   * A tenant whose rank crashes mid-send loses only its own traffic:
+//     the neighbours complete every message, no survivor's accessor ever
+//     touches pool bytes outside its own region (blast-radius counters
+//     all zero), and a sentinel object in a neighbour's arena is intact.
+//   * Scavenge after the crash is scoped: the victim tenant's survivor
+//     reclaims the corpse's state from ITS region only.
+//   * Poison injected into one tenant's region surfaces kDataPoisoned to
+//     that tenant alone; the neighbour's reads stay clean.
+//   * Fault plans target the GLOBAL rank namespace: a plan entry for
+//     global rank B + r kills exactly tenant-local rank r of the tenant
+//     whose fault_rank_base is B, nobody else.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "core/cmpi.hpp"
+#include "cxlsim/fault_injector.hpp"
+#include "runtime/pool_service.hpp"
+#include "runtime/universe.hpp"
+
+namespace cmpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+runtime::PoolServiceConfig chaos_service() {
+  runtime::PoolServiceConfig cfg;
+  cfg.pool_size = 32_MiB;
+  return cfg;
+}
+
+runtime::TenantConfig chaos_tenant() {
+  runtime::TenantConfig tenant;
+  tenant.nodes = 2;
+  tenant.ranks_per_node = 1;
+  tenant.region_size = 4_MiB;
+  tenant.cell_payload = 1_KiB;  // multi-chunk messages at modest sizes
+  // Keep the chunked eager path for these sizes (threshold 0 would
+  // resolve to one cell and push 2.5 KiB messages into rendezvous,
+  // skipping the p2p-chunk-staged kill point).
+  tenant.rendezvous_threshold = 64_KiB;
+  tenant.failure_lease = std::chrono::milliseconds(50);
+  return tenant;
+}
+
+std::vector<std::byte> patterned(std::size_t size, int seed) {
+  std::vector<std::byte> data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>((seed * 131 + i * 7) & 0xFF);
+  }
+  return data;
+}
+
+void expect_zero_blast(runtime::Universe& universe, const char* who) {
+  const runtime::Universe::DomainStats blast = universe.domain_stats();
+  EXPECT_EQ(blast.writes_outside, 0u) << who;
+  EXPECT_EQ(blast.reads_outside, 0u) << who;
+}
+
+TEST(TenantIsolation, MidChurnCrashIsContainedToTheVictimTenant) {
+  // Three tenants on one device; global ranks: tenant1 = {0,1},
+  // tenant2 = {2,3}, tenant3 = {4,5}. The plan kills global rank 3 —
+  // tenant2's local rank 1 — after its 4th staged chunk, while every
+  // tenant is mid-stream.
+  constexpr int kMessages = 24;
+  constexpr std::size_t kMsgBytes = 2500;  // 3 chunks at 1 KiB cells
+  runtime::PoolServiceConfig cfg = chaos_service();
+  cfg.fault_plan.crash_at_sync.push_back(
+      {.rank = 3, .point = "p2p-chunk-staged", .occurrence = 4});
+  runtime::PoolService service(cfg);
+
+  runtime::TenantSession t1 = check_ok(service.join(chaos_tenant()));
+  runtime::TenantSession t2 = check_ok(service.join(chaos_tenant()));
+  runtime::TenantSession t3 = check_ok(service.join(chaos_tenant()));
+  ASSERT_EQ(t2.global_rank(1), 3);  // the plan's target
+
+  // All six ranks (three tenants, running concurrently on their own
+  // threads) rendezvous here so the crash lands mid-churn for everyone.
+  std::latch everyone_streaming(6);
+  std::atomic<int> survivor_received{0};
+  std::atomic<bool> victim_recv_failed{false};
+  std::atomic<bool> victim_scavenged{false};
+  std::atomic<bool> sentinel_intact{false};
+
+  const auto survivor_body = [&](runtime::RankCtx& ctx) {
+    Session mpi(ctx);
+    ctx.barrier();
+    everyone_streaming.arrive_and_wait();
+    // Seeded by the SENDER's rank, so both sides agree on the pattern.
+    const std::vector<std::byte> payload = patterned(kMsgBytes, 1);
+    if (ctx.rank() == 1) {
+      for (int m = 0; m < kMessages; ++m) {
+        check_ok(mpi.send(0, m, payload));
+      }
+    } else {
+      std::vector<std::byte> buf(kMsgBytes);
+      for (int m = 0; m < kMessages; ++m) {
+        const auto r = mpi.recv_for(1, m, buf, 10000ms);
+        ASSERT_TRUE(r.is_ok()) << r.status().message();
+        EXPECT_EQ(buf, payload);
+        ++survivor_received;
+      }
+    }
+    ctx.barrier();
+  };
+
+  std::thread run1([&] {
+    t1.universe().run([&](runtime::RankCtx& ctx) {
+      // Sentinel in tenant1's arena: the victim's crash, recovery and
+      // scavenge must never touch it.
+      arena::ObjectHandle sentinel{};
+      const std::vector<std::byte> mark = patterned(4096, 99);
+      if (ctx.rank() == 0) {
+        sentinel = check_ok(ctx.arena().create("sentinel", 4096));
+        ctx.acc().bulk_write(sentinel.pool_offset, mark);
+      }
+      survivor_body(ctx);
+      if (ctx.rank() == 0) {
+        std::vector<std::byte> check(4096);
+        ctx.acc().bulk_read(sentinel.pool_offset, check);
+        sentinel_intact = check == mark;
+      }
+    });
+  });
+  std::thread run3([&] {
+    t3.universe().run(survivor_body);
+  });
+  std::thread run2([&] {
+    t2.universe().run([&](runtime::RankCtx& ctx) {
+      Session mpi(ctx);
+      ctx.barrier();
+      everyone_streaming.arrive_and_wait();
+      const std::vector<std::byte> payload = patterned(kMsgBytes, 7);
+      if (ctx.rank() == 1) {
+        // Dies at the 4th staged chunk: message 0 is durable, message 1
+        // is forever partial.
+        check_ok(mpi.send(0, 0, payload));
+        (void)mpi.send(0, 1, payload);
+        FAIL() << "scripted mid-send crash did not fire";
+      } else {
+        std::vector<std::byte> buf(kMsgBytes);
+        check_ok(mpi.recv_for(1, 0, buf, 10000ms).status());
+        EXPECT_EQ(buf, payload);
+        // Message 1 can never complete; the lease convicts the sender.
+        const auto r = mpi.recv_for(1, 1, buf, 10000ms);
+        victim_recv_failed =
+            !r.is_ok() && r.status().code() == ErrorCode::kPeerFailed;
+        // Region-scoped recovery: this survivor scavenges the corpse
+        // from the tenant's OWN region.
+        const auto rep = mpi.scavenge(1);
+        victim_scavenged = rep.is_ok() && rep.value().pool.performed;
+      }
+    });
+  });
+  run1.join();
+  run2.join();
+  run3.join();
+
+  // Survivor tenants completed every message.
+  EXPECT_EQ(survivor_received.load(), 2 * kMessages);
+  EXPECT_TRUE(sentinel_intact.load());
+  // The victim saw its peer die and reclaimed it — inside its region.
+  EXPECT_TRUE(victim_recv_failed.load());
+  EXPECT_TRUE(victim_scavenged.load());
+  // Failure verdicts are tenant-local...
+  EXPECT_TRUE(t1.universe().failed_ranks().empty());
+  EXPECT_EQ(t2.universe().failed_ranks(), (std::vector<int>{1}));
+  EXPECT_TRUE(t3.universe().failed_ranks().empty());
+  EXPECT_EQ(t2.universe().recovery_stats().scavenges, 1u);
+  // ...and the blast-radius fences prove no tenant ever left its region:
+  // crash handling, recovery and all survivor traffic included.
+  expect_zero_blast(t1.universe(), "tenant 1");
+  expect_zero_blast(t2.universe(), "tenant 2 (victim)");
+  expect_zero_blast(t3.universe(), "tenant 3");
+}
+
+TEST(TenantIsolation, RuntimePoisonSurfacesOnlyInThePoisonedTenant) {
+  runtime::PoolServiceConfig cfg = chaos_service();
+  // A plan entry that can never fire: installs the injector (runtime
+  // poison needs one) without scripting any fault.
+  cfg.fault_plan.crash_at_sync.push_back(
+      {.rank = 1000, .point = "tenant-poison-test-unused", .occurrence = 1});
+  runtime::PoolService service(cfg);
+  runtime::TenantSession healthy = check_ok(service.join(chaos_tenant()));
+  runtime::TenantSession victim = check_ok(service.join(chaos_tenant()));
+
+  // Epoch 1: the victim parks an object and reports where it lives.
+  std::atomic<std::uint64_t> victim_object{0};
+  victim.universe().run([&](runtime::RankCtx& ctx) {
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      const auto obj = check_ok(ctx.arena().create("poison_target", 4096));
+      std::vector<std::byte> page(4096, std::byte{0x11});
+      ctx.acc().bulk_write(obj.pool_offset, page);
+      victim_object = obj.pool_offset;
+    }
+    ctx.barrier();
+  });
+  ASSERT_GE(victim_object.load(), victim.region_base());
+
+  // Media fault lands inside the victim's region only.
+  service.fault_injector()->poison(victim_object.load(), 4096);
+
+  // Epoch 2: the victim observes kDataPoisoned...
+  std::atomic<bool> poison_surfaced{false};
+  victim.universe().run([&](runtime::RankCtx& ctx) {
+    if (ctx.rank() != 0) {
+      return;
+    }
+    std::vector<std::byte> buf(4096);
+    ctx.acc().bulk_read(victim_object.load(), buf);
+    const Status s = ctx.acc().take_poison_status("victim read");
+    poison_surfaced = s.code() == ErrorCode::kDataPoisoned;
+  });
+  EXPECT_TRUE(poison_surfaced.load());
+
+  // ...while the healthy tenant's identical workload stays clean.
+  healthy.universe().run([&](runtime::RankCtx& ctx) {
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      const auto obj = check_ok(ctx.arena().create("clean_obj", 4096));
+      std::vector<std::byte> page(4096, std::byte{0x22});
+      ctx.acc().bulk_write(obj.pool_offset, page);
+      std::vector<std::byte> back(4096);
+      ctx.acc().bulk_read(obj.pool_offset, back);
+      EXPECT_EQ(back, page);
+      EXPECT_TRUE(ctx.acc().take_poison_status("healthy read").is_ok());
+    }
+    ctx.barrier();
+  });
+  expect_zero_blast(healthy.universe(), "healthy tenant");
+  expect_zero_blast(victim.universe(), "poisoned tenant");
+}
+
+TEST(TenantIsolation, FaultPlanAddressesGlobalRanks) {
+  // Global rank 2 = tenant2's local rank 0. Its very first pool access
+  // crashes; tenant1's local rank 0 — same LOCAL id — must be untouched.
+  runtime::PoolServiceConfig cfg = chaos_service();
+  cfg.fault_plan.crash_at_access.push_back({.rank = 2, .nth = 1});
+  runtime::PoolService service(cfg);
+  runtime::TenantSession t1 = check_ok(service.join(chaos_tenant()));
+  runtime::TenantSession t2 = check_ok(service.join(chaos_tenant()));
+
+  std::atomic<bool> t1_rank0_ran{false};
+  std::atomic<bool> t2_rank0_ran{false};
+  t1.universe().run([&](runtime::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      check_ok(ctx.arena().create("t1_obj", 256).status());
+      t1_rank0_ran = true;
+    }
+  });
+  t2.universe().run([&](runtime::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      check_ok(ctx.arena().create("t2_obj", 256).status());
+      t2_rank0_ran = true;  // unreachable: first access crashes
+    }
+  });
+
+  EXPECT_TRUE(t1_rank0_ran.load());
+  EXPECT_FALSE(t2_rank0_ran.load());
+  EXPECT_TRUE(t1.universe().failed_ranks().empty());
+  EXPECT_EQ(t2.universe().failed_ranks(), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace cmpi
