@@ -128,6 +128,20 @@ inline std::vector<std::pair<std::string, double>> telemetry_digest() {
   }
   out.emplace_back("messages_sent", count("p2p.messages_sent"));
   out.emplace_back("rendezvous_sent", count("p2p.rendezvous_sent"));
+  // Topology descriptor (multi-pool runs publish it as high-water gauges
+  // at PodCluster::create; absent on single-pool benches).
+  const auto gauge = [&snap](const char* name) {
+    const auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  if (gauge("topology.pods") > 0) {
+    out.emplace_back("topology_pods", gauge("topology.pods"));
+    out.emplace_back("topology_ranks_per_pod", gauge("topology.ranks_per_pod"));
+    out.emplace_back("topology_router_local_rank",
+                     gauge("topology.router_local_rank"));
+    out.emplace_back("pod_fabric_messages", count("pods.fabric.messages"));
+    out.emplace_back("pod_fabric_bytes", count("pods.fabric.bytes"));
+  }
   return out;
 }
 

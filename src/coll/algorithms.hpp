@@ -39,8 +39,8 @@ constexpr int kTagScan = kCollTagBase + 0xA00;
 template <typename Ch>
 void sendrecv(Ch& ep, int dst, std::span<const std::byte> out,
               int src, std::span<std::byte> in, int tag) {
-  const p2p::RequestPtr s = ep.isend(dst, tag, out);
-  const p2p::RequestPtr r = ep.irecv(src, tag, in);
+  const auto s = ep.isend(dst, tag, out);
+  const auto r = ep.irecv(src, tag, in);
   check_ok(ep.wait(s));
   check_ok(ep.wait(r));
 }
@@ -413,8 +413,11 @@ void scan_impl(Ch& ep, std::span<T> inout, ReduceOp op) {
   // fold it in; send our *pre-fold* partial to rank+d.
   for (int dist = 1; dist < n; dist <<= 1) {
     std::vector<T> outgoing(inout.begin(), inout.end());
-    p2p::RequestPtr send_req;
-    p2p::RequestPtr recv_req;
+    // The channel's request handle type (p2p::RequestPtr for Endpoint);
+    // any shared_ptr-like handle comparable against nullptr works.
+    using Req = decltype(ep.isend(0, 0, std::span<const std::byte>{}));
+    Req send_req{};
+    Req recv_req{};
     if (rank + dist < n) {
       send_req = ep.isend(rank + dist, kTagScan + dist,
                           std::as_bytes(std::span<const T>(outgoing)));

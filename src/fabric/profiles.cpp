@@ -1,5 +1,7 @@
 #include "fabric/profiles.hpp"
 
+#include <cmath>
+
 namespace cmpi::fabric {
 
 // Calibration notes (targets from the paper):
@@ -61,6 +63,103 @@ NicProfile rocev2_cx3() {
   p.loggp.per_segment_overhead = 80;
   p.mpi_msg_overhead = 2000;
   p.rma_sync_overhead = 4000;
+  return p;
+}
+
+namespace {
+
+Status require_finite_nonneg(const char* field, double v) {
+  if (!std::isfinite(v)) {
+    return status::invalid_argument(std::string("NicProfile: ") + field +
+                                    " must be finite");
+  }
+  if (v < 0) {
+    return status::invalid_argument(std::string("NicProfile: ") + field +
+                                    " must be >= 0, got " +
+                                    std::to_string(v));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate(const NicProfile& profile) {
+  const auto& g = profile.loggp;
+  if (auto s = require_finite_nonneg("send_overhead", g.send_overhead);
+      !s.is_ok()) {
+    return s;
+  }
+  if (auto s = require_finite_nonneg("wire_latency", g.wire_latency); !s.is_ok()) {
+    return s;
+  }
+  if (auto s = require_finite_nonneg("recv_overhead", g.recv_overhead);
+      !s.is_ok()) {
+    return s;
+  }
+  if (auto s = require_finite_nonneg("per_segment_overhead",
+                                     g.per_segment_overhead);
+      !s.is_ok()) {
+    return s;
+  }
+  if (auto s = require_finite_nonneg("per_message_gap", g.per_message_gap);
+      !s.is_ok()) {
+    return s;
+  }
+  if (!std::isfinite(g.wire_bytes_per_ns) || g.wire_bytes_per_ns <= 0) {
+    return status::invalid_argument(
+        "NicProfile: wire_bytes_per_ns must be finite and > 0, got " +
+        std::to_string(g.wire_bytes_per_ns));
+  }
+  if (g.mtu == 0) {
+    return status::invalid_argument("NicProfile: mtu must be > 0");
+  }
+  if (auto s = require_finite_nonneg("mpi_msg_overhead",
+                                     profile.mpi_msg_overhead);
+      !s.is_ok()) {
+    return s;
+  }
+  if (auto s = require_finite_nonneg("rma_sync_overhead",
+                                     profile.rma_sync_overhead);
+      !s.is_ok()) {
+    return s;
+  }
+  if (profile.sndbuf == 0) {
+    return status::invalid_argument("NicProfile: sndbuf must be > 0");
+  }
+  return Status::ok();
+}
+
+Result<NicProfile> make_profile(const std::string& name,
+                                simtime::Ns one_way_latency_ns,
+                                double bytes_per_ns,
+                                simtime::Ns mpi_msg_overhead) {
+  if (!std::isfinite(one_way_latency_ns) || one_way_latency_ns < 0) {
+    return status::invalid_argument(
+        "make_profile: one-way latency must be finite and >= 0, got " +
+        std::to_string(one_way_latency_ns));
+  }
+  if (!std::isfinite(bytes_per_ns) || bytes_per_ns <= 0) {
+    return status::invalid_argument(
+        "make_profile: bandwidth must be finite and > 0, got " +
+        std::to_string(bytes_per_ns));
+  }
+  if (!std::isfinite(mpi_msg_overhead) || mpi_msg_overhead < 0) {
+    return status::invalid_argument(
+        "make_profile: mpi_msg_overhead must be finite and >= 0, got " +
+        std::to_string(mpi_msg_overhead));
+  }
+  NicProfile p;
+  p.name = name;
+  p.loggp.send_overhead = one_way_latency_ns / 4;
+  p.loggp.wire_latency = one_way_latency_ns / 2;
+  p.loggp.recv_overhead = one_way_latency_ns / 4;
+  p.loggp.wire_bytes_per_ns = bytes_per_ns;
+  p.loggp.mtu = 4096;
+  p.loggp.per_segment_overhead = 0;
+  p.mpi_msg_overhead = mpi_msg_overhead;
+  if (auto s = validate(p); !s.is_ok()) {
+    return s;
+  }
   return p;
 }
 

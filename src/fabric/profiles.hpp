@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "common/status.hpp"
 #include "simtime/loggp.hpp"
 
 namespace cmpi::fabric {
@@ -48,5 +49,24 @@ NicProfile rocev2_cx3();
 
 /// InfiniBand over Mellanox CX-6: ~0.6 us, 25 GB/s.
 NicProfile infiniband_cx6();
+
+/// Validates a profile before it reaches the timing model. Pod routers
+/// build profiles from user topology config, so malformed latency or
+/// bandwidth must surface as kInvalidArgument — not trip the LogGPModel
+/// precondition asserts. Checks every LogGP field is finite and
+/// non-negative, wire_bytes_per_ns > 0, mtu > 0, and the MPI/RMA
+/// overheads and sndbuf are sane.
+Status validate(const NicProfile& profile);
+
+/// Builds a validated profile from the two numbers users actually know:
+/// one-way latency and bandwidth. The latency is split 1/4 send overhead,
+/// 1/2 wire, 1/4 recv overhead (the shape of the calibrated profiles
+/// above); mtu is 4096 with no per-segment software cost. Returns
+/// kInvalidArgument for non-finite, negative-latency, or
+/// non-positive-bandwidth inputs.
+Result<NicProfile> make_profile(const std::string& name,
+                                simtime::Ns one_way_latency_ns,
+                                double bytes_per_ns,
+                                simtime::Ns mpi_msg_overhead = 0);
 
 }  // namespace cmpi::fabric

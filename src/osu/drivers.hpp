@@ -93,4 +93,34 @@ struct MsgRateParams {
 /// Aggregate messages/second observed by the receiver (virtual time).
 double cxl_msgrate_fanin(const MsgRateParams& params);
 
+// ---- Hierarchical collectives over a pod cluster (bench/fig10h) ----
+
+/// Which allreduce algorithm the hierarchy sweep runs.
+enum class HierMode {
+  kHier,    ///< three-phase hierarchical (pod reduce, router tree, fan-out)
+  kFlat,    ///< flat recursive doubling over the same two-tier fabric
+  kDirect,  ///< pre-hierarchy coll::allreduce on the pod Endpoint
+            ///< (pods == 1 only — the bit-identity reference)
+};
+
+struct HierAllreduceParams {
+  int pods = 4;
+  int ranks_per_pod = 32;
+  std::vector<std::size_t> sizes;  ///< payload bytes (multiples of 8)
+  int iters = 3;
+  int warmup = 1;
+  HierMode mode = HierMode::kHier;
+  /// Switch the intra-pod phases to CxlCollectives' direct-over-pool
+  /// algorithms when the payload fits (kHier, multi-pod only).
+  bool use_cxl_intra = true;
+  std::size_t cell_payload = 4096;
+  std::size_t ring_cells = 8;
+};
+
+/// Allreduce latency across `pods` CXL pools of `ranks_per_pod` ranks each,
+/// stitched by per-pod routers (fabric::PodCluster). Every iteration is
+/// verified against the closed-form sum. Returns the average virtual
+/// microseconds per operation, one entry per size.
+std::vector<double> hier_allreduce_latency_us(const HierAllreduceParams& params);
+
 }  // namespace cmpi::osu

@@ -1,0 +1,126 @@
+// Hierarchy sweep driver (bench/fig10h): allreduce latency over a
+// fabric::PodCluster, with the algorithm (hierarchical / flat / direct)
+// selected per run so the bench compares like-for-like over the SAME
+// fabric timing model.
+#include "osu/drivers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "coll/hier_collectives.hpp"
+#include "common/contracts.hpp"
+#include "fabric/pod_cluster.hpp"
+#include "queue/queue_matrix.hpp"
+
+namespace cmpi::osu {
+namespace {
+
+/// Pod-Universe template for the hierarchy sweep: the pool must hold the
+/// intra-pod ring matrix plus the CxlCollectives window (ranks * max
+/// payload) with slack. The memfd is sparse, so over-sizing is cheap.
+runtime::UniverseConfig hier_pod_config(const HierAllreduceParams& params,
+                                        std::size_t max_size) {
+  runtime::UniverseConfig cfg;
+  if (params.ranks_per_pod % 2 == 0) {
+    cfg.nodes = 2;
+    cfg.ranks_per_node = static_cast<unsigned>(params.ranks_per_pod) / 2;
+  } else {
+    cfg.nodes = 1;
+    cfg.ranks_per_node = static_cast<unsigned>(params.ranks_per_pod);
+  }
+  cfg.cell_payload = params.cell_payload;
+  cfg.ring_cells = params.ring_cells;
+  cfg.arena_params.levels = 4;
+  cfg.arena_params.level1_buckets = 127;
+  const std::size_t matrix = queue::QueueMatrix::footprint(
+      params.ranks_per_pod, params.ring_cells, params.cell_payload);
+  cfg.pool_size = std::max<std::size_t>(
+      64_MiB, 2 * matrix +
+                  4 * static_cast<std::size_t>(params.ranks_per_pod) *
+                      std::max<std::size_t>(max_size, 8) +
+                  32_MiB);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<double> hier_allreduce_latency_us(
+    const HierAllreduceParams& params) {
+  CMPI_EXPECTS(!params.sizes.empty());
+  CMPI_EXPECTS(params.iters > 0);
+  CMPI_EXPECTS(params.mode != HierMode::kDirect || params.pods == 1);
+  const std::size_t max_size =
+      *std::max_element(params.sizes.begin(), params.sizes.end());
+
+  fabric::PodClusterConfig cfg;
+  cfg.topo.pods = params.pods;
+  cfg.topo.ranks_per_pod = params.ranks_per_pod;
+  cfg.topo.router_local = 0;
+  cfg.pod = hier_pod_config(params, max_size);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+
+  const int nranks = cfg.topo.nranks();
+  // Every rank contributes (grank + 1): closed-form global sum for the
+  // per-iteration correctness check.
+  const double expected =
+      static_cast<double>(nranks) * (static_cast<double>(nranks) + 1.0) / 2.0;
+
+  std::vector<double> out(params.sizes.size(), 0.0);
+  std::mutex out_mutex;
+  cluster->run([&](fabric::PodCtx& ctx) {
+    // CxlCollectives construction is collective across the pod, so the
+    // decision must be uniform. Single-pod runs never reach the intra-pod
+    // phases, so skip it there to keep kHier/kDirect paths identical.
+    std::optional<coll::CxlCollectives> cxl;
+    if (params.mode == HierMode::kHier && params.use_cxl_intra &&
+        params.pods > 1) {
+      cxl.emplace(ctx.local(), "hier_bench", max_size);
+    }
+    coll::HierColl hier(ctx, cxl ? &*cxl : nullptr);
+    for (std::size_t si = 0; si < params.sizes.size(); ++si) {
+      const std::size_t n =
+          std::max<std::size_t>(params.sizes[si] / sizeof(double), 1);
+      std::vector<double> buf(n);
+      ctx.cluster_barrier();
+      double start = 0;
+      for (int it = -params.warmup; it < params.iters; ++it) {
+        if (it == 0) {
+          ctx.cluster_barrier();
+          start = ctx.clock().now();
+        }
+        std::fill(buf.begin(), buf.end(),
+                  static_cast<double>(ctx.grank() + 1));
+        const std::span<double> inout(buf);
+        switch (params.mode) {
+          case HierMode::kHier:
+            hier.allreduce(inout, coll::ReduceOp::kSum);
+            break;
+          case HierMode::kFlat:
+            hier.allreduce_flat(inout, coll::ReduceOp::kSum);
+            break;
+          case HierMode::kDirect:
+            coll::allreduce(ctx.ep(), inout, coll::ReduceOp::kSum);
+            break;
+        }
+        CMPI_EXPECTS(std::abs(buf[0] - expected) < 1e-9 * expected);
+      }
+      // The closing barrier maxes every clock, so grank 0 reports the
+      // cluster-wide completion time.
+      ctx.cluster_barrier();
+      if (ctx.grank() == 0) {
+        const double total_ns = ctx.clock().now() - start;
+        std::lock_guard lock(out_mutex);
+        out[si] = total_ns / params.iters / 1000.0;
+      }
+    }
+    if (cxl) {
+      cxl->free();
+    }
+  });
+  return out;
+}
+
+}  // namespace cmpi::osu

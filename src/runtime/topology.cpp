@@ -1,0 +1,25 @@
+#include "runtime/topology.hpp"
+
+#include <string>
+
+namespace cmpi::runtime {
+
+Status PodTopology::validate() const {
+  if (pods < 1) {
+    return status::invalid_argument("PodTopology: pods must be >= 1, got " +
+                                    std::to_string(pods));
+  }
+  if (ranks_per_pod < 1) {
+    return status::invalid_argument(
+        "PodTopology: ranks_per_pod must be >= 1, got " +
+        std::to_string(ranks_per_pod));
+  }
+  if (router_local < 0 || router_local >= ranks_per_pod) {
+    return status::invalid_argument(
+        "PodTopology: router_local " + std::to_string(router_local) +
+        " outside [0, " + std::to_string(ranks_per_pod) + ")");
+  }
+  return Status::ok();
+}
+
+}  // namespace cmpi::runtime

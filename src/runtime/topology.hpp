@@ -1,0 +1,60 @@
+// Two-level pod topology descriptor (multi-pool scale-out).
+//
+// One *pod* is one shared CXL pool — today's Universe. A cluster is a set
+// of identical pods stitched together over the fabric transports through
+// one *router rank* per pod: the rank (at a fixed pod-local index) whose
+// host carries the pod's NIC and forwards every cross-pod message.
+//
+// Addressing: ranks are numbered pod-major, so global rank
+//   g = pod * ranks_per_pod + local
+// and the mapping round-trips by construction. The descriptor is pure
+// arithmetic — no device, no fabric — so every layer (runtime, fabric,
+// coll, bench) can share it without dependency cycles. Validation returns
+// a real Status (router configs come from user topology input, not from
+// compile-time constants).
+#pragma once
+
+#include "common/status.hpp"
+
+namespace cmpi::runtime {
+
+struct PodTopology {
+  int pods = 1;            ///< number of CXL pools
+  int ranks_per_pod = 1;   ///< ranks sharing each pool
+  int router_local = 0;    ///< pod-local rank carrying the pod's NIC
+
+  /// kInvalidArgument unless pods >= 1, ranks_per_pod >= 1 and
+  /// 0 <= router_local < ranks_per_pod.
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] int nranks() const noexcept { return pods * ranks_per_pod; }
+
+  // --- global rank <-> (pod, local) translation ---
+  [[nodiscard]] int pod_of(int grank) const noexcept {
+    return grank / ranks_per_pod;
+  }
+  [[nodiscard]] int local_of(int grank) const noexcept {
+    return grank % ranks_per_pod;
+  }
+  [[nodiscard]] int global_rank(int pod, int local) const noexcept {
+    return pod * ranks_per_pod + local;
+  }
+
+  // --- router addressing ---
+  [[nodiscard]] int router_of(int pod) const noexcept {
+    return global_rank(pod, router_local);
+  }
+  [[nodiscard]] bool is_router(int grank) const noexcept {
+    return local_of(grank) == router_local;
+  }
+
+  [[nodiscard]] bool contains(int grank) const noexcept {
+    return grank >= 0 && grank < nranks();
+  }
+
+  [[nodiscard]] bool same_pod(int a, int b) const noexcept {
+    return pod_of(a) == pod_of(b);
+  }
+};
+
+}  // namespace cmpi::runtime

@@ -33,7 +33,13 @@ class Cluster {
       : engine_(engine),
         config_(config),
         nranks_(config.nodes * config.ranks_per_node),
+        pods_(config.pods()),
+        ranks_per_pod_(nranks_ / pods_),
+        router_busy_(static_cast<std::size_t>(pods_), 0.0),
         comm_ns_(static_cast<std::size_t>(nranks_), 0.0) {
+    if (config.nodes_per_pod > 0) {
+      CMPI_EXPECTS(config.nodes % config.nodes_per_pod == 0);
+    }
     // One uplink per node: the paper's platform gives every host its own
     // CXL port (Fig. 1, "bandwidth fairness") and every server one NIC,
     // so a node's egress bandwidth is the shared resource.
@@ -48,11 +54,26 @@ class Cluster {
       intra_links_.push_back(engine.make_link(config.intra_latency,
                                               config.intra_bytes_per_ns));
     }
+    // One egress NIC per pod: the cross-pod tier. All of a pod's outbound
+    // cross-pod traffic shares it (FCFS), like the pod's router NIC.
+    pod_uplinks_.reserve(static_cast<std::size_t>(pods_));
+    for (int pod = 0; pod < pods_; ++pod) {
+      pod_uplinks_.push_back(
+          engine.make_link(config.pod_transport.inter_latency,
+                           config.pod_transport.inter_bytes_per_ns));
+    }
   }
 
   [[nodiscard]] int nranks() const noexcept { return nranks_; }
   [[nodiscard]] int node_of(int rank) const noexcept {
     return rank / config_.ranks_per_node;
+  }
+  [[nodiscard]] int pods() const noexcept { return pods_; }
+  [[nodiscard]] int pod_of(int rank) const noexcept {
+    return rank / ranks_per_pod_;
+  }
+  [[nodiscard]] bool cross_pod(int src, int dst) const noexcept {
+    return pod_of(src) != pod_of(dst);
   }
 
   Link* link_between(int src, int dst) {
@@ -60,6 +81,9 @@ class Cluster {
     const int b = node_of(dst);
     if (a == b) {
       return intra_links_[static_cast<std::size_t>(a)];
+    }
+    if (cross_pod(src, dst)) {
+      return pod_uplinks_[static_cast<std::size_t>(pod_of(src))];
     }
     return uplinks_[static_cast<std::size_t>(a)];
   }
@@ -69,25 +93,141 @@ class Cluster {
     self.delay(flops / config_.flops_per_ns_per_rank);
   }
 
-  /// Instrumented simultaneous exchange with `peer`.
-  void sendrecv(SimProcess& self, int peer, std::size_t bytes, int tag) {
+  /// Serialize one message through a pod router's forwarding path (FCFS;
+  /// the engine is sequential, so mutating the shared busy-until stamp in
+  /// causal order is deterministic).
+  void wait_router(SimProcess& self, int pod) {
+    simtime::Ns& busy = router_busy_[static_cast<std::size_t>(pod)];
+    const simtime::Ns begin = std::max(self.now(), busy);
+    busy = begin + config_.router_fwd_ns;
+    if (busy > self.now()) {
+      self.delay(busy - self.now());
+    }
+  }
+
+  /// Intra-pod hop cost of staging `bytes` to/from the pod's router node.
+  [[nodiscard]] simtime::Ns router_hop_ns(std::size_t bytes) const noexcept {
+    return config_.transport.inter_latency +
+           static_cast<simtime::Ns>(bytes) /
+               config_.transport.inter_bytes_per_ns;
+  }
+
+  /// One-directional instrumented send (uninstrumented cost is the
+  /// receiver's). Cross-pod messages stage to the router first.
+  void send_to(SimProcess& self, int peer, std::size_t bytes, int tag) {
     const simtime::Ns before = self.now();
+    if (cross_pod(self.id(), peer)) {
+      self.delay(router_hop_ns(bytes));
+      wait_router(self, pod_of(self.id()));
+    }
     self.send(peer, tag, bytes, link_between(self.id(), peer));
-    (void)self.recv(peer, tag);
     comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
   }
 
-  /// Instrumented recursive-doubling allreduce of `bytes` (power-of-two
-  /// rank counts, which the study's 8-per-node configurations satisfy).
+  /// One-directional instrumented receive. Cross-pod messages pay the
+  /// destination router's forwarding + the hop into the pod.
+  void recv_from(SimProcess& self, int peer, std::size_t bytes, int tag) {
+    const simtime::Ns before = self.now();
+    (void)self.recv(peer, tag);
+    if (cross_pod(self.id(), peer)) {
+      wait_router(self, pod_of(self.id()));
+      self.delay(router_hop_ns(bytes));
+    }
+    comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
+  }
+
+  /// Instrumented simultaneous exchange with `peer`.
+  void sendrecv(SimProcess& self, int peer, std::size_t bytes, int tag) {
+    const simtime::Ns before = self.now();
+    const bool cross = cross_pod(self.id(), peer);
+    if (cross) {
+      self.delay(router_hop_ns(bytes));
+      wait_router(self, pod_of(self.id()));
+    }
+    self.send(peer, tag, bytes, link_between(self.id(), peer));
+    (void)self.recv(peer, tag);
+    if (cross) {
+      wait_router(self, pod_of(self.id()));
+      self.delay(router_hop_ns(bytes));
+    }
+    comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
+  }
+
+  /// Instrumented allreduce of `bytes` (power-of-two rank counts, which
+  /// the study's 8-per-node configurations satisfy). Flat recursive
+  /// doubling, or the pod-hierarchical algorithm when configured.
   void allreduce(SimProcess& self, std::size_t bytes, int tag_base) {
+    if (pods_ > 1 && config_.hierarchical_collectives) {
+      allreduce_hier(self, bytes, tag_base);
+      return;
+    }
     const simtime::Ns before = self.now();
     for (int mask = 1; mask < nranks_; mask <<= 1) {
       const int partner = self.id() ^ mask;
       if (partner < nranks_) {
+        const bool cross = cross_pod(self.id(), partner);
+        if (cross) {
+          self.delay(router_hop_ns(bytes));
+          wait_router(self, pod_of(self.id()));
+        }
         self.send(partner, tag_base + mask, bytes,
                   link_between(self.id(), partner));
         (void)self.recv(partner, tag_base + mask);
+        if (cross) {
+          wait_router(self, pod_of(self.id()));
+          self.delay(router_hop_ns(bytes));
+        }
       }
+    }
+    comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
+  }
+
+  /// Hierarchical allreduce: recursive doubling inside the pod, a
+  /// recursive-doubling exchange among pod routers (rank 0 of each pod),
+  /// then a binomial broadcast from the router. Requires power-of-two
+  /// pods and ranks per pod.
+  void allreduce_hier(SimProcess& self, std::size_t bytes, int tag_base) {
+    CMPI_EXPECTS((pods_ & (pods_ - 1)) == 0);
+    CMPI_EXPECTS((ranks_per_pod_ & (ranks_per_pod_ - 1)) == 0);
+    const simtime::Ns before = self.now();
+    const int pod = pod_of(self.id());
+    const int local = self.id() - pod * ranks_per_pod_;
+    const int base = pod * ranks_per_pod_;
+    // Phase 1: intra-pod recursive doubling (every rank gets the pod sum).
+    for (int mask = 1; mask < ranks_per_pod_; mask <<= 1) {
+      const int partner = base + (local ^ mask);
+      self.send(partner, tag_base + mask, bytes,
+                link_between(self.id(), partner));
+      (void)self.recv(partner, tag_base + mask);
+    }
+    // Phase 2: routers exchange pod sums across pods.
+    if (local == 0) {
+      for (int mask = 1; mask < pods_; mask <<= 1) {
+        const int partner = (pod ^ mask) * ranks_per_pod_;
+        wait_router(self, pod);
+        self.send(partner, tag_base + 0x1000 + mask, bytes,
+                  pod_uplinks_[static_cast<std::size_t>(pod)]);
+        (void)self.recv(partner, tag_base + 0x1000 + mask);
+        wait_router(self, pod);
+      }
+    }
+    // Phase 3: binomial broadcast of the global sum from the router.
+    int mask = 1;
+    while (mask < ranks_per_pod_) {
+      if ((local & mask) != 0) {
+        (void)self.recv(base + (local - mask), tag_base + 0x2000 + mask);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (local + mask < ranks_per_pod_) {
+        const int dst = base + local + mask;
+        self.send(dst, tag_base + 0x2000 + mask, bytes,
+                  link_between(self.id(), dst));
+      }
+      mask >>= 1;
     }
     comm_ns_[static_cast<std::size_t>(self.id())] += self.now() - before;
   }
@@ -104,8 +244,13 @@ class Cluster {
   SimEngine& engine_;
   ClusterConfig config_;
   int nranks_;
+  int pods_;
+  int ranks_per_pod_;
   std::vector<Link*> uplinks_;
   std::vector<Link*> intra_links_;
+  std::vector<Link*> pod_uplinks_;
+  /// Per-pod router forwarding busy-until stamps (serial FCFS path).
+  std::vector<simtime::Ns> router_busy_;
   std::vector<double> comm_ns_;
 };
 

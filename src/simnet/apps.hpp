@@ -41,6 +41,26 @@ struct ClusterConfig {
   simtime::Ns intra_latency = 400;
   double intra_bytes_per_ns = 10.0;
   double flops_per_ns_per_rank = 2.0;  ///< per-core sustained GFLOP/s
+
+  // --- Pod tier (multi-pool scale-out) ---
+  /// 0 = one flat pool spanning all nodes (the original behavior). When
+  /// > 0, nodes are grouped into pods of this many nodes; `transport` is
+  /// then the intra-pod tier and cross-pod traffic leaves through one
+  /// router node per pod (the pod's first node, rank 0 of the pod) over
+  /// `pod_transport`, paying an intra-pod hop to reach the router plus a
+  /// serial per-message forwarding cost there.
+  int nodes_per_pod = 0;
+  TransportProfile pod_transport = tcp_cx6dx_profile();
+  /// Serial per-message forwarding cost at a pod router (FCFS).
+  simtime::Ns router_fwd_ns = 3000;
+  /// Pod-aware hierarchical allreduce (intra-pod recursive doubling,
+  /// router tree across pods, intra-pod broadcast); false = flat
+  /// recursive doubling across all ranks — the ablation baseline.
+  bool hierarchical_collectives = true;
+
+  [[nodiscard]] int pods() const noexcept {
+    return nodes_per_pod > 0 ? nodes / nodes_per_pod : 1;
+  }
 };
 
 struct AppResult {

@@ -1,0 +1,197 @@
+// Hierarchical collectives across pods: correctness of the three-phase
+// algorithms against the flat baselines and closed-form results, the
+// 1-pod delegation rule (zero cross-pod traffic), and the topology
+// telemetry published at cluster creation.
+#include "coll/hier_collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fabric/pod_cluster.hpp"
+#include "obs/obs.hpp"
+
+namespace cmpi::coll {
+namespace {
+
+fabric::PodClusterConfig cluster_for(int pods, int ranks_per_pod,
+                                     int router_local = 0) {
+  fabric::PodClusterConfig cfg;
+  cfg.topo.pods = pods;
+  cfg.topo.ranks_per_pod = ranks_per_pod;
+  cfg.topo.router_local = router_local;
+  cfg.pod.nodes = 1;
+  cfg.pod.ranks_per_node = static_cast<unsigned>(ranks_per_pod);
+  return cfg;
+}
+
+double expected_sum(int nranks) {
+  return static_cast<double>(nranks) * (nranks + 1) / 2.0;
+}
+
+TEST(HierColl, AllreduceMatchesFlatAndClosedForm) {
+  const auto cfg = cluster_for(2, 4);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+  const double want = expected_sum(cfg.topo.nranks());
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    std::vector<double> hier(33, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce(std::span<double>(hier), ReduceOp::kSum);
+    std::vector<double> flat(33, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce_flat(std::span<double>(flat), ReduceOp::kSum);
+    for (std::size_t i = 0; i < hier.size(); ++i) {
+      EXPECT_DOUBLE_EQ(hier[i], want) << ctx.grank();
+      EXPECT_DOUBLE_EQ(flat[i], want) << ctx.grank();
+    }
+  });
+}
+
+TEST(HierColl, AllreduceMinMaxAndInt64) {
+  // 4 pods x 3 ranks, router at local rank 1: non-default router
+  // placement plus non-power-of-two counts at both tiers.
+  const auto cfg = cluster_for(4, 3, /*router_local=*/1);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+  const int n = cfg.topo.nranks();
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    std::vector<double> lo(5, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce(std::span<double>(lo), ReduceOp::kMin);
+    std::vector<double> hi(5, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce(std::span<double>(hi), ReduceOp::kMax);
+    std::vector<std::int64_t> sum(7, ctx.grank() + 1);
+    coll.allreduce(std::span<std::int64_t>(sum), ReduceOp::kSum);
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+      EXPECT_DOUBLE_EQ(lo[i], 1.0);
+      EXPECT_DOUBLE_EQ(hi[i], static_cast<double>(n));
+    }
+    for (const auto v : sum) {
+      EXPECT_EQ(v, static_cast<std::int64_t>(expected_sum(n)));
+    }
+  });
+}
+
+TEST(HierColl, ReduceDeliversToNonRouterRoot) {
+  const auto cfg = cluster_for(2, 3);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+  constexpr int kRoot = 4;  // pod 1, local 1 — not a router
+  const double want = expected_sum(cfg.topo.nranks());
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    std::vector<double> v(9, static_cast<double>(ctx.grank() + 1));
+    coll.reduce(kRoot, std::span<double>(v), ReduceOp::kSum);
+    if (ctx.grank() == kRoot) {
+      for (const auto x : v) {
+        EXPECT_DOUBLE_EQ(x, want);
+      }
+    }
+  });
+}
+
+TEST(HierColl, BcastFromNonRouterRoot) {
+  const auto cfg = cluster_for(3, 3);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+  constexpr int kRoot = 5;  // pod 1, local 2
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    std::vector<std::byte> data(257);
+    if (ctx.grank() == kRoot) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>((i * 7 + 3) & 0xFF);
+      }
+    }
+    coll.bcast(kRoot, data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(data[i], static_cast<std::byte>((i * 7 + 3) & 0xFF))
+          << ctx.grank();
+    }
+  });
+}
+
+TEST(HierColl, BarrierReleasesAllRanks) {
+  const auto cfg = cluster_for(2, 2);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+  std::atomic<int> entered{0};
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    entered.fetch_add(1);
+    coll.barrier();
+    // Everyone entered before anyone leaves a second barrier round.
+    EXPECT_EQ(entered.load(), ctx.nranks());
+    coll.barrier();
+  });
+}
+
+TEST(HierColl, CxlIntraPodPhasesMatch) {
+  // Small pods (<= kCxlDirectMaxRanks): phase 1/3 run direct over the
+  // pool through CxlCollectives; results must be identical.
+  const auto cfg = cluster_for(2, 4);
+  auto cluster = check_ok(fabric::PodCluster::create(cfg));
+  const double want = expected_sum(cfg.topo.nranks());
+  cluster->run([&](fabric::PodCtx& ctx) {
+    CxlCollectives cxl(ctx.local(), "hier_test", 4096);
+    HierColl coll(ctx, &cxl);
+    std::vector<double> v(17, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce(std::span<double>(v), ReduceOp::kSum);
+    for (const auto x : v) {
+      EXPECT_DOUBLE_EQ(x, want);
+    }
+    cxl.free();
+  });
+}
+
+class HierCollMetrics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Config config;
+    config.metrics = true;
+    obs::configure(config);
+    obs::MetricsRegistry::instance().reset_for_test();
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::instance().reset_for_test();
+    obs::configure(obs::Config{});
+  }
+
+  static std::uint64_t fabric_messages() {
+    return obs::MetricsRegistry::instance().snapshot().counter(
+        "pods.fabric.messages");
+  }
+};
+
+TEST_F(HierCollMetrics, SinglePodSendsNoFabricTraffic) {
+  // The algorithm-selection rule: pods == 1 delegates to the flat
+  // pre-hierarchy collectives and never touches the cross-pod fabric.
+  auto cluster = check_ok(fabric::PodCluster::create(cluster_for(1, 4)));
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    std::vector<double> v(8, 1.0);
+    coll.allreduce(std::span<double>(v), ReduceOp::kSum);
+    coll.bcast(0, std::as_writable_bytes(std::span<double>(v)));
+    coll.barrier();
+    for (const auto x : v) {
+      EXPECT_DOUBLE_EQ(x, 4.0);
+    }
+  });
+  EXPECT_EQ(fabric_messages(), 0u);
+}
+
+TEST_F(HierCollMetrics, MultiPodUsesFabricAndPublishesTopology) {
+  auto cluster = check_ok(fabric::PodCluster::create(cluster_for(2, 2)));
+  cluster->run([&](fabric::PodCtx& ctx) {
+    HierColl coll(ctx);
+    std::vector<double> v(8, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce(std::span<double>(v), ReduceOp::kSum);
+  });
+  EXPECT_GT(fabric_messages(), 0u);
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.gauges.at("topology.pods"), 2u);
+  EXPECT_EQ(snap.gauges.at("topology.ranks_per_pod"), 2u);
+  EXPECT_EQ(snap.gauges.at("topology.router_local_rank"), 0u);
+  EXPECT_EQ(snap.gauges.at("topology.nranks"), 4u);
+}
+
+}  // namespace
+}  // namespace cmpi::coll

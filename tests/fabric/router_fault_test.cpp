@@ -1,0 +1,146 @@
+// Router-rank crash containment: a pod's router dying must fail
+// cross-pod traffic fast with kPeerFailed while the blast radius stays
+// inside its own pod — sibling pods (separate devices, separate failure
+// domains) keep working, pod-local survivors scavenge the corpse, and a
+// respawn restores full-cluster collectives in the next epoch.
+//
+// The binary name contains "fault_test" so the CI fault matrix reruns it
+// under every CMPI_FAULT_SEED (the seed perturbs the crash's access
+// index).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "coll/hier_collectives.hpp"
+#include "fabric/pod_cluster.hpp"
+#include "runtime/pool_recovery.hpp"
+
+namespace cmpi::fabric {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Crash access index, perturbed by the CI fault seed so reruns explore
+/// different points of the victim's setup/communication sequence.
+std::uint64_t crash_access_nth() {
+  std::uint64_t nth = 400;
+  if (const char* seed = std::getenv("CMPI_FAULT_SEED")) {
+    nth += static_cast<std::uint64_t>(std::atoll(seed)) % 197;
+  }
+  return nth;
+}
+
+/// Spin (wall clock) until this pod's injector records the crash.
+bool wait_for_crash(runtime::RankCtx& ctx, int global_rank,
+                    std::chrono::milliseconds limit = 20000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  const cxlsim::FaultInjector* fi = ctx.device().fault_injector();
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (fi != nullptr && fi->rank_crashed(global_rank)) {
+      return true;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  return false;
+}
+
+TEST(RouterFault, CrashIsContainedToOnePodAndRespawnRecovers) {
+  PodClusterConfig cfg;
+  cfg.topo.pods = 2;
+  cfg.topo.ranks_per_pod = 3;
+  cfg.topo.router_local = 0;
+  cfg.pod.nodes = 1;
+  cfg.pod.ranks_per_node = 3;
+  cfg.pod.failure_lease = 50ms;
+  constexpr int kVictim = 0;  // pod 0's router, global rank 0
+  cfg.fault_plans[0].crash_at_access.push_back(
+      {.rank = kVictim, .nth = crash_access_nth()});
+  auto cluster = check_ok(PodCluster::create(cfg));
+
+  // --- Epoch 1: the router dies mid-communication ---
+  cluster->run([&](PodCtx& ctx) {
+    std::vector<std::byte> payload(64, std::byte{0x5A});
+    std::vector<std::byte> buf(64);
+    switch (ctx.grank()) {
+      case kVictim: {
+        // Keep touching the pool until the scripted access fires.
+        for (int i = 0; i < 100000; ++i) {
+          (void)ctx.ep().send(1, 1, payload);
+        }
+        FAIL() << "scripted router crash did not fire";
+        break;
+      }
+      case 1:
+      case 2: {
+        // Pod-local survivors: detect the death, then scavenge the
+        // corpse's pool state (exactly-once across the two of them is
+        // PoolRecovery's job; both calls must succeed).
+        if (ctx.grank() == 1) {
+          std::vector<std::byte> sink(64);
+          while (ctx.ep().recv_for(0, 1, sink, 50ms).is_ok()) {
+          }
+        }
+        ASSERT_TRUE(wait_for_crash(ctx.local(), kVictim));
+        // Pool traffic to the corpse fails instead of hanging.
+        const auto r = ctx.ep().recv_for(0, 99, buf, 2000ms);
+        EXPECT_FALSE(r.is_ok());
+        runtime::PoolRecovery recovery(ctx.local());
+        const auto rep = recovery.scavenge(ctx.topology().local_of(kVictim),
+                                           10000ms);
+        EXPECT_TRUE(rep.is_ok()) << rep.status().message();
+        break;
+      }
+      default: {
+        // Sibling pod: intra-pod traffic keeps flowing after the remote
+        // router's death...
+        const int peer = ctx.grank() == 3   ? 4
+                         : ctx.grank() == 4 ? 3
+                                            : -1;
+        if (peer >= 0) {
+          const int lp = ctx.topology().local_of(peer);
+          ASSERT_TRUE(ctx.ep().send(lp, 7, payload).is_ok());
+          ASSERT_TRUE(ctx.ep().recv(lp, 7, buf).is_ok());
+          EXPECT_EQ(buf, payload);
+        }
+        // ...and cross-pod traffic into the dead pod surfaces
+        // kPeerFailed once the failure record lands (never hangs).
+        if (ctx.grank() == 5) {
+          const auto deadline =
+              std::chrono::steady_clock::now() + 20000ms;
+          Status s = Status::ok();
+          while (std::chrono::steady_clock::now() < deadline) {
+            s = ctx.fabric_send(1, 11, payload);
+            if (!s.is_ok()) {
+              break;
+            }
+            std::this_thread::sleep_for(1ms);
+          }
+          EXPECT_EQ(s.code(), ErrorCode::kPeerFailed);
+        }
+        break;
+      }
+    }
+  });
+
+  // Blast radius: exactly the router, nothing in the sibling pod.
+  EXPECT_EQ(cluster->failed_ranks(), (std::vector<int>{kVictim}));
+
+  // --- Epoch 2: respawn the router; the cluster is whole again ---
+  cluster->respawn(kVictim);
+  EXPECT_TRUE(cluster->failed_ranks().empty());
+  const int n = cfg.topo.nranks();
+  cluster->run([&](PodCtx& ctx) {
+    coll::HierColl coll(ctx);
+    std::vector<double> v(5, static_cast<double>(ctx.grank() + 1));
+    coll.allreduce(std::span<double>(v), coll::ReduceOp::kSum);
+    for (const auto x : v) {
+      EXPECT_DOUBLE_EQ(x, static_cast<double>(n) * (n + 1) / 2.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cmpi::fabric

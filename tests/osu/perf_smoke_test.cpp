@@ -182,5 +182,30 @@ TEST_F(PerfSmoke, MessageRateFanin) {
       << " msg/s — the aggregated-doorbell progress path lost its edge";
 }
 
+TEST_F(PerfSmoke, HierarchicalAllreduce) {
+  // Multi-pool scale-out gate: allreduce at 32 ranks across 4 pods, flat
+  // recursive doubling vs the three-phase hierarchical algorithm over the
+  // same pod fabric. The fabric tier (LogGP + serial router forwarding)
+  // dominates both numbers, so they are stable enough for the +-10% gate.
+  HierAllreduceParams p;
+  p.pods = 4;
+  p.ranks_per_pod = 8;
+  p.sizes = {2048};
+  p.iters = 5;
+  p.warmup = 1;
+  p.use_cxl_intra = false;
+  p.mode = HierMode::kHier;
+  const double hier = hier_allreduce_latency_us(p)[0];
+  p.mode = HierMode::kFlat;
+  const double flat = hier_allreduce_latency_us(p)[0];
+  check("hier_allreduce_us_32r4p", hier);
+  check("flat_allreduce_us_32r4p", flat);
+  // Acceptance floor independent of baseline drift: the hierarchy must
+  // keep a clear win over flat at this shape.
+  EXPECT_GE(flat, 1.3 * hier)
+      << "hierarchical allreduce " << hier << " us vs flat " << flat
+      << " us — the pod-aware algorithm lost its edge";
+}
+
 }  // namespace
 }  // namespace cmpi::osu

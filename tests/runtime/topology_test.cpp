@@ -1,0 +1,87 @@
+#include "runtime/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cmpi::runtime {
+namespace {
+
+TEST(PodTopology, RankRoundTrips) {
+  PodTopology topo;
+  topo.pods = 4;
+  topo.ranks_per_pod = 8;
+  topo.router_local = 3;
+  ASSERT_TRUE(topo.validate().is_ok());
+  EXPECT_EQ(topo.nranks(), 32);
+  for (int g = 0; g < topo.nranks(); ++g) {
+    const int p = topo.pod_of(g);
+    const int l = topo.local_of(g);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, topo.pods);
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, topo.ranks_per_pod);
+    EXPECT_EQ(topo.global_rank(p, l), g);
+    EXPECT_TRUE(topo.contains(g));
+  }
+  for (int p = 0; p < topo.pods; ++p) {
+    for (int l = 0; l < topo.ranks_per_pod; ++l) {
+      const int g = topo.global_rank(p, l);
+      EXPECT_EQ(topo.pod_of(g), p);
+      EXPECT_EQ(topo.local_of(g), l);
+    }
+  }
+}
+
+TEST(PodTopology, RoutersAndPodMembership) {
+  PodTopology topo;
+  topo.pods = 3;
+  topo.ranks_per_pod = 5;
+  topo.router_local = 2;
+  ASSERT_TRUE(topo.validate().is_ok());
+  for (int p = 0; p < topo.pods; ++p) {
+    const int r = topo.router_of(p);
+    EXPECT_EQ(topo.pod_of(r), p);
+    EXPECT_EQ(topo.local_of(r), 2);
+    EXPECT_TRUE(topo.is_router(r));
+  }
+  int routers = 0;
+  for (int g = 0; g < topo.nranks(); ++g) {
+    routers += topo.is_router(g) ? 1 : 0;
+  }
+  EXPECT_EQ(routers, topo.pods);
+  EXPECT_TRUE(topo.same_pod(0, 4));
+  EXPECT_FALSE(topo.same_pod(4, 5));
+  EXPECT_FALSE(topo.contains(-1));
+  EXPECT_FALSE(topo.contains(topo.nranks()));
+}
+
+TEST(PodTopology, SinglePodDegenerateCase) {
+  PodTopology topo;  // defaults: 1 pod, 1 rank
+  EXPECT_TRUE(topo.validate().is_ok());
+  topo.ranks_per_pod = 16;
+  ASSERT_TRUE(topo.validate().is_ok());
+  for (int g = 0; g < 16; ++g) {
+    EXPECT_EQ(topo.pod_of(g), 0);
+    EXPECT_EQ(topo.local_of(g), g);
+    EXPECT_TRUE(topo.same_pod(g, 0));
+  }
+  EXPECT_EQ(topo.router_of(0), 0);
+}
+
+TEST(PodTopology, ValidateRejectsBadGeometry) {
+  PodTopology topo;
+  topo.pods = 0;
+  EXPECT_EQ(topo.validate().code(), ErrorCode::kInvalidArgument);
+  topo.pods = 2;
+  topo.ranks_per_pod = 0;
+  EXPECT_EQ(topo.validate().code(), ErrorCode::kInvalidArgument);
+  topo.ranks_per_pod = 4;
+  topo.router_local = 4;
+  EXPECT_EQ(topo.validate().code(), ErrorCode::kInvalidArgument);
+  topo.router_local = -1;
+  EXPECT_EQ(topo.validate().code(), ErrorCode::kInvalidArgument);
+  topo.router_local = 3;
+  EXPECT_TRUE(topo.validate().is_ok());
+}
+
+}  // namespace
+}  // namespace cmpi::runtime

@@ -92,6 +92,49 @@ TEST(SimnetApps, Deterministic) {
   EXPECT_DOUBLE_EQ(a.comm_time, b.comm_time);
 }
 
+TEST(SimnetPods, SinglePodIsIdenticalToFlatCluster) {
+  // nodes_per_pod == nodes collapses to one pod: no cross-pod pairs, no
+  // router hops, the hierarchical dispatch never fires — the DES must
+  // produce bit-identical timing to the original flat configuration.
+  const ClusterConfig base = cluster_for(8, cxl_shm_profile());
+  ClusterConfig onepod = base;
+  onepod.nodes_per_pod = 8;
+  ASSERT_EQ(onepod.pods(), 1);
+  const AppResult a = run_cg(base, quick_cg());
+  const AppResult b = run_cg(onepod, quick_cg());
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.comm_time, b.comm_time);
+  const AppResult c = run_miniamr(base, quick_amr());
+  const AppResult d = run_miniamr(onepod, quick_amr());
+  EXPECT_DOUBLE_EQ(c.total_time, d.total_time);
+  EXPECT_DOUBLE_EQ(c.comm_time, d.comm_time);
+}
+
+TEST(SimnetPods, HierarchicalAllreduceBeatsFlatAcrossPods) {
+  // 16 nodes in 4 pods: the flat recursive doubling squeezes every
+  // cross-pod exchange through the serial pod routers; the hierarchical
+  // algorithm sends one message per pod per round.
+  ClusterConfig flat = cluster_for(16, cxl_shm_profile());
+  flat.nodes_per_pod = 4;
+  flat.hierarchical_collectives = false;
+  ClusterConfig hier = flat;
+  hier.hierarchical_collectives = true;
+  ASSERT_EQ(flat.pods(), 4);
+  const AppResult f = run_cg(flat, quick_cg());
+  const AppResult h = run_cg(hier, quick_cg());
+  EXPECT_LT(h.comm_time, f.comm_time);
+  EXPECT_LT(h.total_time, f.total_time);
+}
+
+TEST(SimnetPods, PodTierIsDeterministic) {
+  ClusterConfig cfg = cluster_for(8, tcp_cx6dx_profile());
+  cfg.nodes_per_pod = 2;
+  const AppResult a = run_miniamr(cfg, quick_amr());
+  const AppResult b = run_miniamr(cfg, quick_amr());
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.comm_time, b.comm_time);
+}
+
 TEST(SimnetApps, ProfilesMatchTable1) {
   EXPECT_DOUBLE_EQ(tcp_ethernet_profile().inter_bytes_per_ns, 0.1178);
   EXPECT_DOUBLE_EQ(tcp_cx6dx_profile().inter_bytes_per_ns, 11.5);
