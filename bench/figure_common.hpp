@@ -128,6 +128,11 @@ inline std::vector<std::pair<std::string, double>> telemetry_digest() {
   }
   out.emplace_back("messages_sent", count("p2p.messages_sent"));
   out.emplace_back("rendezvous_sent", count("p2p.rendezvous_sent"));
+  // Eager-vs-rendezvous split (message and byte volume per path), so a
+  // bench artefact records which side of the switchover its traffic ran.
+  out.emplace_back("eager_messages", count("p2p.eager_messages"));
+  out.emplace_back("eager_bytes", count("p2p.eager_bytes"));
+  out.emplace_back("rendezvous_bytes", count("p2p.rendezvous_bytes"));
   // Topology descriptor (multi-pool runs publish it as high-water gauges
   // at PodCluster::create; absent on single-pool benches).
   const auto gauge = [&snap](const char* name) {

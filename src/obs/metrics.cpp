@@ -37,6 +37,38 @@ std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets()
   return out;
 }
 
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) {
+    return 0;
+  }
+  const double clamped = q < 0 ? 0 : (q > 1 ? 1 : q);
+  // Rank of the quantile sample, 1-based: ceil(q * count), floored at 1
+  // so quantile(0) is the smallest recorded bucket.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count)));
+  rank = std::max<std::uint64_t>(1, std::min(rank, count));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Bucket b holds [2^(b-1), 2^b) (bucket 0: [0, 1)); report the
+      // upper bound.
+      return std::ldexp(1.0, static_cast<int>(b));
+    }
+  }
+  // count said there are samples the buckets do not show — only possible
+  // mid-record from another thread; the last bucket is the safe answer.
+  return std::ldexp(1.0, static_cast<int>(buckets.size() - 1));
+}
+
+double Histogram::quantile(double q) const noexcept {
+  HistogramSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  snap.buckets = buckets();
+  return snap.quantile(q);
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) {
     b.store(0, std::memory_order_relaxed);

@@ -120,6 +120,11 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const noexcept;
   [[nodiscard]] double sum() const noexcept;
   [[nodiscard]] std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+  /// Upper bound of the bucket holding the q-quantile sample (q in
+  /// [0, 1]): a conservative estimate with at most 2x overshoot, which is
+  /// what a log2 histogram can promise. 0 on an empty histogram. p50 =
+  /// quantile(0.5), p99 = quantile(0.99) — what the tune controller reads.
+  [[nodiscard]] double quantile(double q) const noexcept;
   void reset() noexcept;
 
  private:
@@ -141,6 +146,9 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0;
   std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  /// Same semantics as Histogram::quantile, over this snapshot.
+  [[nodiscard]] double quantile(double q) const noexcept;
 };
 
 struct MetricsSnapshot {

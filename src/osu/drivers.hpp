@@ -43,6 +43,13 @@ struct SweepParams {
   /// payload); SIZE_MAX effectively disables the large-message path so a
   /// sweep can measure the eager-only baseline.
   std::size_t rendezvous_threshold = 0;
+  /// Rendezvous pipeline quantum / inflight depth (0 = library defaults) —
+  /// the knobs bench/autotune sweeps alongside the Fig 9 axes.
+  std::size_t rendezvous_quantum = 0;
+  std::size_t rendezvous_inflight = 0;
+  /// Self-tuning options forwarded to the UniverseConfig (kAuto = follow
+  /// the CMPI_TUNE environment, as everywhere else).
+  tune::TuneOptions tune{};
 };
 
 /// Message window for a given size (OSU window, adaptively bounded).

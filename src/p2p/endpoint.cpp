@@ -10,6 +10,7 @@
 #include "common/log.hpp"
 #include "cxlsim/fault_injector.hpp"
 #include "obs/obs.hpp"
+#include "tune/tune.hpp"
 
 namespace cmpi::p2p {
 
@@ -59,6 +60,37 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
       stats_(std::make_unique<CommStats>()) {
   const std::size_t configured = ctx.config().rendezvous_threshold;
   rdvz_threshold_ = configured == 0 ? matrix_.cell_payload() : configured;
+  // Resolve every tunable knob into the policy defaults. With tuning off
+  // the static policy hands these back unchanged from every settings()
+  // call — the data path is bit-identical to reading the constants.
+  tune::KnobSettings defaults;
+  defaults.rendezvous_threshold = rdvz_threshold_;
+  defaults.pipeline_quantum = ctx.config().rendezvous_quantum == 0
+                                  ? kRendezvousSegmentBytes
+                                  : ctx.config().rendezvous_quantum;
+  defaults.inflight_depth = ctx.config().rendezvous_inflight == 0
+                                ? kMaxRendezvousInflight
+                                : ctx.config().rendezvous_inflight;
+  defaults.publish_batch_cells = kPublishBatchCells;
+  defaults.publish_batch_bytes = kPublishBatchBytes;
+  if (tune::tuning_enabled(ctx.config().tune)) {
+    policy_ = tune::Policy::make_adaptive(ctx.nranks(), defaults);
+    table_ = tune::shared_table(ctx.config().tune);
+    tune::ControllerConfig tuner;
+    tuner.period_ns = ctx.config().tune.period_ns;
+    // Below one cell payload the eager path is a single enqueue and
+    // rendezvous can only lose; keep the threshold floor there. The
+    // quantum floor tracks the cell payload too so a tuned-down segment
+    // still fills whole bulk pieces.
+    tuner.min_threshold = std::max(tuner.min_threshold,
+                                   matrix_.cell_payload());
+    tuner.min_quantum = std::max(tuner.min_quantum, matrix_.cell_payload());
+    tuner.cell_payload = matrix_.cell_payload();
+    tuner.seed = tune::resolve_seed(ctx.config().tune, ctx.rank());
+    controller_ = std::make_unique<tune::Controller>(tuner, table_.get());
+  } else {
+    policy_ = tune::Policy::make_static(ctx.nranks(), defaults);
+  }
   legacy_ =
       ctx.config().progress_engine == runtime::ProgressEngine::kLegacyScan;
   // Batched cell publication coarsens which cells are visible at a
@@ -94,6 +126,12 @@ Endpoint::Endpoint(runtime::RankCtx& ctx, queue::QueueMatrix matrix)
          stats->unexpected_messages.load(std::memory_order_relaxed)},
         {"p2p.rendezvous_sent",
          stats->rendezvous_sent.load(std::memory_order_relaxed)},
+        {"p2p.rendezvous_bytes",
+         stats->rendezvous_bytes.load(std::memory_order_relaxed)},
+        {"p2p.eager_messages",
+         stats->eager_messages.load(std::memory_order_relaxed)},
+        {"p2p.eager_bytes",
+         stats->eager_bytes.load(std::memory_order_relaxed)},
         {"p2p.rendezvous_fallbacks",
          stats->rendezvous_fallbacks.load(std::memory_order_relaxed)},
         {"p2p.publish_batches",
@@ -270,7 +308,9 @@ RequestPtr Endpoint::isend(int dst, int tag,
   request->peer = dst;
   request->tag = tag;
   request->send_data = data;
-  request->rendezvous = !is_internal_tag(tag) && data.size() > rdvz_threshold_;
+  request->rendezvous =
+      !is_internal_tag(tag) &&
+      data.size() > policy_.settings(dst).rendezvous_threshold;
   request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   if (!is_internal_tag(tag)) {
     ++stats_->messages_sent;
@@ -298,7 +338,8 @@ RequestPtr Endpoint::issend(int dst, int tag,
   request->peer = dst;
   request->tag = tag;
   request->send_data = data;
-  request->rendezvous = data.size() > rdvz_threshold_;
+  request->rendezvous =
+      data.size() > policy_.settings(dst).rendezvous_threshold;
   request->seq = send_seq_[static_cast<std::size_t>(dst)]++;
   ++stats_->messages_sent;
   stats_->bytes_sent += data.size();
@@ -323,6 +364,8 @@ void Endpoint::push_sends(int dst) {
   auto& pending = send_queues_[static_cast<std::size_t>(dst)];
   queue::SpscRing& ring = matrix_.ring(ctx_->acc(), dst, rank());
   const std::size_t cell = matrix_.cell_payload();
+  const tune::KnobSettings& knobs = policy_.settings(dst);
+  tune::DestSignals& signals = policy_.signals(dst);
   // Bytes staged-but-unpublished by THIS call (the cell-count threshold
   // reads ring.staged_pending() directly).
   std::size_t batch_bytes = 0;
@@ -384,14 +427,15 @@ void Endpoint::push_sends(int dst) {
                          : ring.try_stage(ctx_->acc(), header, payload);
         }
         if (!enqueued) {
+          ++signals.ring_full;
           break;
         }
         made_progress = true;
         req.bytes_pushed += chunk;
         batch_bytes += chunk;
         if (!publish_per_cell_ &&
-            (ring.staged_pending() >= kPublishBatchCells ||
-             batch_bytes >= kPublishBatchBytes)) {
+            (ring.staged_pending() >= knobs.publish_batch_cells ||
+             batch_bytes >= knobs.publish_batch_bytes)) {
           publish_now(dst, ring);
           batch_bytes = 0;
         }
@@ -417,6 +461,14 @@ void Endpoint::push_sends(int dst) {
       // before staging moves it, so a completed request cannot dangle.
       req.send_data = {};
       stage_for_retransmit(dst, req);
+      if (!is_internal_tag(req.tag) && req.force_flags == 0) {
+        // User message fully staged through the eager path (control
+        // traffic and retransmissions excluded, mirroring messages_sent).
+        ++stats_->eager_messages;
+        stats_->eager_bytes += total;
+        ++signals.eager_messages;
+        signals.eager_bytes += total;
+      }
     }
     if (req.synchronous) {
       // Completion comes with the receiver's match ack (progress()).
@@ -484,9 +536,12 @@ void Endpoint::note_publish(int dst, bool edge) {
 Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
                                              Request& req) {
   const std::size_t total = req.send_data.size();
+  const tune::KnobSettings& knobs = policy_.settings(dst);
+  tune::DestSignals& signals = policy_.signals(dst);
   auto& inflight = rdvz_inflight_[static_cast<std::size_t>(dst)];
   if (!req.rdvz_slot.has_value()) {
-    if (inflight.size() >= kMaxRendezvousInflight) {
+    if (inflight.size() >= knobs.inflight_depth) {
+      ++signals.inflight_blocked;
       return RdvzPush::kBlocked;  // wait for the receiver's FINs
     }
     Result<arena::ObjectHandle> slot = acquire_rdvz_slot(dst, total);
@@ -508,10 +563,18 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
   // delivery would serialize writer and reader and lose the eager path's
   // per-cell overlap), large enough that the per-segment RTS/fence cost
   // stays amortized on multi-MiB messages. Only the sender chooses — the
-  // receiver follows whatever bounds each RTS descriptor carries.
-  const std::size_t seg_quantum =
-      std::clamp((total / 8 + piece_max - 1) / piece_max * piece_max,
-                 piece_max, kRendezvousSegmentBytes);
+  // receiver follows whatever bounds each RTS descriptor carries. The cap
+  // is the per-destination pipeline quantum (default
+  // kRendezvousSegmentBytes); floored at piece_max so a tuned-down
+  // quantum still covers one bulk piece. Latched per message: the knob
+  // moving between resumed announcement attempts must not shift the
+  // segment boundaries the staged CRC was computed over.
+  if (req.rdvz_quantum == 0) {
+    req.rdvz_quantum =
+        std::clamp((total / 8 + piece_max - 1) / piece_max * piece_max,
+                   piece_max, std::max(piece_max, knobs.pipeline_quantum));
+  }
+  const std::size_t seg_quantum = req.rdvz_quantum;
   bool enqueued_any = false;
   while (req.bytes_pushed < total) {
     const std::size_t seg_begin = req.bytes_pushed;
@@ -534,6 +597,7 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
       acc.fault_sync_point("p2p-rdvz-slab-written");
     }
     if (!ring.can_enqueue(acc)) {
+      ++signals.ring_full;
       break;  // the written segment is announced on a later attempt
     }
     RdvzDescriptor desc;
@@ -582,6 +646,9 @@ Endpoint::RdvzPush Endpoint::push_rendezvous(int dst, queue::SpscRing& ring,
                                   ctx_->clock().now()});
   req.rdvz_slot.reset();
   ++stats_->rendezvous_sent;
+  stats_->rendezvous_bytes += total;
+  ++signals.rdvz_messages;
+  signals.rdvz_bytes += total;
   return RdvzPush::kStaged;
 }
 
@@ -1346,6 +1413,16 @@ Endpoint::DrainOutcome Endpoint::drain_source(int src,
 // ---------- Progress / completion ----------
 
 void Endpoint::progress() {
+  if (controller_ != nullptr) {
+    const simtime::Ns now = ctx_->clock().now();
+    if (controller_->due(now)) {
+      controller_->poll(
+          now, policy_,
+          tune::gather_global_signals(
+              ctx_->recovery_counters().retransmits.load(
+                  std::memory_order_relaxed)));
+    }
+  }
   if (legacy_) {
     // Ablation baseline: visit every peer, drain each ring dry.
     for (int src = 0; src < nranks(); ++src) {

@@ -90,6 +90,8 @@
 #include "p2p/tag_match.hpp"
 #include "queue/queue_matrix.hpp"
 #include "runtime/universe.hpp"
+#include "tune/controller.hpp"
+#include "tune/policy.hpp"
 
 namespace cmpi::p2p {
 
@@ -116,6 +118,14 @@ struct CommStats {
   std::atomic<std::uint64_t> unexpected_messages{0};
   /// Messages sent through the large-message rendezvous path.
   std::atomic<std::uint64_t> rendezvous_sent{0};
+  /// Payload bytes of those rendezvous messages (bytes_sent minus this is
+  /// the eager-path byte volume).
+  std::atomic<std::uint64_t> rendezvous_bytes{0};
+  /// User messages staged through the eager (cell-chunked) path, and
+  /// their payload bytes. eager + rendezvous covers every user send, so
+  /// the per-path split is visible without subtraction.
+  std::atomic<std::uint64_t> eager_messages{0};
+  std::atomic<std::uint64_t> eager_bytes{0};
   /// Rendezvous-eligible messages delivered eagerly instead (arena slot
   /// unavailable, or the arena lock deadline expired behind a corpse).
   std::atomic<std::uint64_t> rendezvous_fallbacks{0};
@@ -146,6 +156,9 @@ struct CommStats {
     unexpected_messages =
         other.unexpected_messages.load(std::memory_order_relaxed);
     rendezvous_sent = other.rendezvous_sent.load(std::memory_order_relaxed);
+    rendezvous_bytes = other.rendezvous_bytes.load(std::memory_order_relaxed);
+    eager_messages = other.eager_messages.load(std::memory_order_relaxed);
+    eager_bytes = other.eager_bytes.load(std::memory_order_relaxed);
     rendezvous_fallbacks =
         other.rendezvous_fallbacks.load(std::memory_order_relaxed);
     publish_batches = other.publish_batches.load(std::memory_order_relaxed);
@@ -192,6 +205,11 @@ class Request {
   std::optional<arena::ObjectHandle> rdvz_slot;  // slab while announcing
   std::size_t rdvz_written = 0;      // slab bytes already written
   std::uint32_t rdvz_seg_crc = 0;    // CRC of the written-but-unannounced seg
+  /// Segment quantum latched at the first announcement attempt: a tuner
+  /// moving the pipeline-quantum knob between attempts must not shift the
+  /// segment boundaries of a half-announced message (the staged CRC is
+  /// per-segment).
+  std::size_t rdvz_quantum = 0;
   // recv fields
   std::span<std::byte> recv_buffer{};
   bool matched = false;
@@ -369,6 +387,16 @@ class Endpoint {
   /// UniverseConfig at construction).
   [[nodiscard]] std::size_t rendezvous_threshold() const noexcept {
     return rdvz_threshold_;
+  }
+  /// Live knob settings toward `dst`. Static mode (tuning off) returns the
+  /// construction-time defaults for every destination.
+  [[nodiscard]] const tune::KnobSettings& knobs(int dst) const noexcept {
+    return policy_.settings(dst);
+  }
+  /// The periodic knob controller, or null when tuning is off. Exposes the
+  /// decision journal to tests and benches.
+  [[nodiscard]] const tune::Controller* tune_controller() const noexcept {
+    return controller_.get();
   }
 
   /// What scavenge_peer reclaimed from this endpoint's view of a corpse.
@@ -565,6 +593,18 @@ class Endpoint {
   std::vector<std::deque<RdvzInflight>> rdvz_inflight_;
   std::vector<std::deque<arena::ObjectHandle>> rdvz_slot_cache_;
   std::size_t rdvz_threshold_ = 0;   // resolved switchover (bytes)
+  /// Knob routing (tune subsystem): every tunable constant above reaches
+  /// the hot paths through policy_. Static mode hands back the
+  /// construction-time defaults for every destination — bit-identical to
+  /// reading the constants — while adaptive mode gives the controller a
+  /// per-destination copy to steer.
+  tune::Policy policy_;
+  /// Periodic AIMD controller; null unless tuning is enabled, so the off
+  /// path costs exactly one pointer test per progress() call.
+  std::unique_ptr<tune::Controller> controller_;
+  /// Warm-start dispatch table, shared across endpoints reading the same
+  /// file; owned here because the controller keeps a raw pointer to it.
+  std::shared_ptr<const tune::DispatchTable> table_;
   std::uint64_t rdvz_name_counter_ = 0;  // unique slab names
   /// Messages awaiting retransmission, keyed (source, msg_seq).
   std::map<std::pair<int, std::uint32_t>, RetryState> retry_;

@@ -1,0 +1,25 @@
+// UniverseConfig knob validation (the fabric::validate pattern): a
+// malformed knob comes back as kInvalidArgument naming the offending
+// field — never a silent clamp, never a bare assert. Universe's
+// constructor runs this and throws std::invalid_argument with the same
+// message; callers who want the Status call validate() themselves first.
+#pragma once
+
+#include "common/status.hpp"
+
+namespace cmpi::runtime {
+
+struct UniverseConfig;
+
+/// Bounds (also the documentation of what "in range" means):
+///   * rendezvous_threshold: 0 (default), or >= 512 bytes (a smaller
+///     switchover sends sub-cell messages through slab bookkeeping that
+///     costs more than the copy it saves). SIZE_MAX = rendezvous off.
+///   * rendezvous_quantum: 0 (default), or in [4 KiB, 16 MiB].
+///   * rendezvous_inflight: 0 (default), or in [1, 64].
+///   * tune.period_ns: > 0 and finite.
+///   * tune.mode kEnabled with a legacy-scan progress engine is fine;
+///     every combination of engine and tuning is legal.
+[[nodiscard]] Status validate(const UniverseConfig& config);
+
+}  // namespace cmpi::runtime

@@ -4,11 +4,13 @@
 #include <bit>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "common/log.hpp"
 #include "cxlsim/coherence_checker.hpp"
 #include "obs/obs.hpp"
+#include "runtime/config_validate.hpp"
 #include "runtime/pool_recovery.hpp"
 
 namespace cmpi::runtime {
@@ -28,6 +30,9 @@ Universe::Universe(const UniverseConfig& config)
   CMPI_EXPECTS(config.ring_cells >= 2);
   CMPI_EXPECTS(config.failure_lease.count() > 0);
   CMPI_EXPECTS(config.doorbell_recheck.count() > 0);
+  if (const Status knobs = validate(config); !knobs.is_ok()) {
+    throw std::invalid_argument(knobs.message());
+  }
 
   // Settle the telemetry configuration (CMPI_TRACE / CMPI_METRICS /
   // CMPI_FLIGHT / CMPI_OBS) before any instrumented traffic. Idempotent:

@@ -41,6 +41,7 @@
 #include "runtime/failure_detector.hpp"
 #include "runtime/seq_barrier.hpp"
 #include "simtime/vclock.hpp"
+#include "tune/options.hpp"
 
 namespace cmpi::runtime {
 
@@ -86,6 +87,20 @@ struct UniverseConfig {
   /// the user buffer (see p2p::Endpoint). 0 selects the default — one
   /// cell payload; SIZE_MAX disables rendezvous (eager chunking always).
   std::size_t rendezvous_threshold = 0;
+  /// Cap on the rendezvous segment quantum — the pipeline granularity the
+  /// sender announces RTS descriptors at (bytes). 0 selects the default
+  /// (p2p::Endpoint::kRendezvousSegmentBytes, 128 KiB). Nonzero values
+  /// must lie in [4 KiB, 16 MiB] (see runtime::validate).
+  std::size_t rendezvous_quantum = 0;
+  /// Un-FINished rendezvous slots allowed in flight toward one
+  /// destination. 0 selects the default
+  /// (p2p::Endpoint::kMaxRendezvousInflight, 8); nonzero must be <= 64.
+  std::size_t rendezvous_inflight = 0;
+  /// Telemetry-driven self-tuning (see src/tune): off by default
+  /// (Tuning::kAuto follows CMPI_TUNE). When the controller is on, the
+  /// three knobs above become per-destination starting points instead of
+  /// fixed values.
+  tune::TuneOptions tune{};
   /// p2p progress engine (doorbell-aggregated by default; kLegacyScan is
   /// the message-rate ablation baseline).
   ProgressEngine progress_engine = ProgressEngine::kDoorbell;

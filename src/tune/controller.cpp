@@ -1,0 +1,184 @@
+#include "tune/controller.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace cmpi::tune {
+
+GlobalSignals gather_global_signals(std::uint64_t retransmits) {
+  GlobalSignals g;
+  g.retransmits = retransmits;
+  if (!obs::metrics_enabled()) {
+    return g;
+  }
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::instance().snapshot();
+  const auto hits = static_cast<double>(snap.counter("cache.hits"));
+  const auto misses = static_cast<double>(snap.counter("cache.misses"));
+  if (hits + misses > 0) {
+    g.cache_hit_rate = hits / (hits + misses);
+  }
+  const auto it = snap.gauges.find("p2p.unexpected_queue_depth");
+  if (it != snap.gauges.end()) {
+    g.queue_depth_hw = it->second;
+  }
+  return g;
+}
+
+Controller::Controller(const ControllerConfig& config,
+                       const DispatchTable* table)
+    : config_(config),
+      table_(table),
+      rng_(config.seed),
+      next_poll_ns_(config.period_ns) {}
+
+void Controller::journal_change(simtime::Ns now, int dst,
+                                Decision::Knob knob, std::uint64_t from,
+                                std::uint64_t to, const char* reason) {
+  if (journal_.size() < kMaxJournalEntries) {
+    journal_.push_back(Decision{now, dst, knob, from, to, reason});
+  }
+  CMPI_OBS_INSTANT_ARG("tune.decision", "to", to);
+}
+
+void Controller::poll(simtime::Ns now, Policy& policy,
+                      const GlobalSignals& global) {
+  ++polls_;
+  next_poll_ns_ = now + config_.period_ns;
+  if (dests_.empty()) {
+    dests_.resize(static_cast<std::size_t>(policy.ndests()));
+  }
+  // Fresh retransmits anywhere in the universe mean the data path is
+  // re-reading slabs / re-staging cells: treat it like backpressure on
+  // every destination this poll.
+  const bool retransmitting = global.retransmits > last_retransmits_;
+  last_retransmits_ = global.retransmits;
+  // A collapsed device cache means wider pipelines only add conflict
+  // misses; hold quantum growth until it recovers.
+  const bool cache_cold =
+      global.cache_hit_rate >= 0 && global.cache_hit_rate < 0.25;
+
+  for (int dst = 0; dst < policy.ndests(); ++dst) {
+    DestState& state = dests_[static_cast<std::size_t>(dst)];
+    const DestSignals& cur = policy.signals(dst);
+    const DestSignals delta{
+        cur.eager_messages - state.last.eager_messages,
+        cur.eager_bytes - state.last.eager_bytes,
+        cur.rdvz_messages - state.last.rdvz_messages,
+        cur.rdvz_bytes - state.last.rdvz_bytes,
+        cur.ring_full - state.last.ring_full,
+        cur.inflight_blocked - state.last.inflight_blocked,
+    };
+    state.last = cur;
+    const std::uint64_t msgs = delta.eager_messages + delta.rdvz_messages;
+    if (msgs == 0 && delta.ring_full == 0 && delta.inflight_blocked == 0) {
+      state.pending_polls = 0;  // idle destination: nothing to learn
+      continue;
+    }
+    KnobSettings& knobs = policy.mutable_settings(dst);
+
+    // --- Rendezvous threshold: dispatch-table prior + hysteresis band ---
+    if (table_ != nullptr && msgs > 0) {
+      const std::uint64_t avg_bytes =
+          (delta.eager_bytes + delta.rdvz_bytes) / msgs;
+      const DispatchEntry* prior = table_->lookup(
+          static_cast<std::size_t>(avg_bytes), config_.cell_payload);
+      if (prior != nullptr && prior->rendezvous_threshold != 0) {
+        const std::size_t candidate =
+            std::clamp(prior->rendezvous_threshold, config_.min_threshold,
+                       config_.max_threshold);
+        const auto curv = static_cast<double>(knobs.rendezvous_threshold);
+        const bool outside_band =
+            static_cast<double>(candidate) >
+                curv * (1.0 + config_.hysteresis_ratio) ||
+            static_cast<double>(candidate) <
+                curv * (1.0 - config_.hysteresis_ratio);
+        if (candidate != knobs.rendezvous_threshold && outside_band) {
+          if (candidate == state.pending_threshold) {
+            ++state.pending_polls;
+          } else {
+            state.pending_threshold = candidate;
+            state.pending_polls = 1;
+          }
+          if (state.pending_polls >= config_.hysteresis_polls) {
+            journal_change(now, dst, Decision::Knob::kThreshold,
+                           knobs.rendezvous_threshold, candidate, "prior");
+            knobs.rendezvous_threshold = candidate;
+            state.pending_polls = 0;
+          }
+        } else {
+          state.pending_polls = 0;
+        }
+      }
+    }
+
+    // --- Pipeline quantum: AIMD ---
+    // Multiplicative decrease on MEDIA pressure (fresh retransmits or a
+    // collapsed cache): smaller segments shrink the re-read unit and the
+    // conflict-miss footprint. Additive increase while rendezvous traffic
+    // flows; ring-full accelerates the increase rather than reversing it —
+    // a full ring on the rendezvous path means RTS descriptor slots are
+    // the bottleneck, so each descriptor should cover MORE payload (the
+    // announced-ahead window is ring_cells x quantum bytes).
+    if (retransmitting || cache_cold) {
+      const std::size_t halved =
+          std::max(config_.min_quantum, knobs.pipeline_quantum / 2);
+      if (halved != knobs.pipeline_quantum) {
+        journal_change(now, dst, Decision::Knob::kQuantum,
+                       knobs.pipeline_quantum, halved, "backpressure");
+        knobs.pipeline_quantum = halved;
+      }
+    } else if (delta.rdvz_messages > 0) {
+      const std::size_t step = delta.ring_full > 0 ? 2 * config_.quantum_step
+                                                   : config_.quantum_step;
+      const std::size_t grown =
+          std::min(config_.max_quantum, knobs.pipeline_quantum + step);
+      if (grown != knobs.pipeline_quantum) {
+        journal_change(now, dst, Decision::Knob::kQuantum,
+                       knobs.pipeline_quantum, grown, "aimd-increase");
+        knobs.pipeline_quantum = grown;
+      }
+    }
+
+    // --- Inflight depth: AIMD ---
+    if (retransmitting) {
+      const std::size_t halved =
+          std::max(config_.min_inflight, knobs.inflight_depth / 2);
+      if (halved != knobs.inflight_depth) {
+        journal_change(now, dst, Decision::Knob::kInflight,
+                       knobs.inflight_depth, halved, "backpressure");
+        knobs.inflight_depth = halved;
+      }
+    } else if (delta.inflight_blocked > 0) {
+      const std::size_t grown =
+          std::min(config_.max_inflight, knobs.inflight_depth + 1);
+      if (grown != knobs.inflight_depth) {
+        journal_change(now, dst, Decision::Knob::kInflight,
+                       knobs.inflight_depth, grown, "inflight-stall");
+        knobs.inflight_depth = grown;
+      }
+    }
+
+    // --- Exploration jitter (seeded; the only randomness in here) ---
+    // One quantum step up or down, clamped: keeps the AIMD loop sampling
+    // its neighbourhood so a stale plateau is eventually re-measured.
+    if (delta.rdvz_messages > 0 && rng_.next_bool(config_.explore_prob)) {
+      const bool up = rng_.next_bool(0.5);
+      const std::size_t nudged =
+          up ? std::min(config_.max_quantum,
+                        knobs.pipeline_quantum + config_.quantum_step)
+             : std::max(config_.min_quantum,
+                        knobs.pipeline_quantum -
+                            std::min(knobs.pipeline_quantum,
+                                     config_.quantum_step));
+      if (nudged != knobs.pipeline_quantum) {
+        journal_change(now, dst, Decision::Knob::kQuantum,
+                       knobs.pipeline_quantum, nudged, "explore");
+        knobs.pipeline_quantum = nudged;
+      }
+    }
+  }
+}
+
+}  // namespace cmpi::tune

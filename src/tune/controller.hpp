@@ -1,0 +1,150 @@
+// tune::Controller — the per-rank runtime half of the self-tuning loop.
+//
+// Polled on a virtual-time period from the endpoint's progress path, the
+// controller reads the per-destination traffic signals (eager/rendezvous
+// split, ring-full backpressure, inflight-budget stalls) plus a global
+// signal digest (retransmits from the recovery counters; cache hit rate
+// and queue-depth high-water from the cmpi::obs metrics registry when
+// metrics are on) and adapts each destination's knobs:
+//
+//   * rendezvous threshold — dispatch-table prior keyed by the observed
+//     size profile, applied through a hysteresis band: a new candidate
+//     must (a) repeat for `hysteresis_polls` consecutive polls and
+//     (b) differ from the current value by more than `hysteresis_ratio`
+//     before it flips, so a profile oscillating near a class boundary
+//     does not thrash the data path.
+//   * pipeline quantum — AIMD: additive increase (one quantum_step, or
+//     two when the ring is full: a full ring on the rendezvous path means
+//     RTS descriptor slots are the bottleneck, so each should cover more
+//     payload) while rendezvous traffic flows; multiplicative halve on
+//     media pressure (fresh retransmits or a collapsed cache hit rate).
+//   * inflight depth — AIMD: +1 when sends stall on the inflight budget,
+//     halve on fresh retransmits.
+//
+// Every change is journaled (and emitted as a trace instant, so Perfetto
+// shows each policy flip on the rank's track). Exploration jitter — an
+// occasional one-step quantum perturbation that keeps the AIMD loop from
+// freezing in a local plateau — draws from a seeded Rng, so a run under
+// CMPI_FAULT_SEED makes the same decisions every time: same seed + same
+// signal sequence => the same journal, asserted by the regression test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simtime/vclock.hpp"
+#include "tune/dispatch_table.hpp"
+#include "tune/policy.hpp"
+
+namespace cmpi::tune {
+
+struct ControllerConfig {
+  simtime::Ns period_ns = 200'000;  ///< virtual poll period
+  // Knob bounds. The endpoint derives them from its geometry (cell
+  // payload, arena size); the defaults suit the 16 KiB-cell test config.
+  std::size_t min_threshold = 4096;
+  std::size_t max_threshold = std::size_t{1} << 20;
+  std::size_t min_quantum = 4096;
+  std::size_t max_quantum = std::size_t{512} << 10;
+  std::size_t min_inflight = 2;
+  std::size_t max_inflight = 32;
+  /// Additive quantum increase per clean poll (one cell payload).
+  std::size_t quantum_step = 16384;
+  /// Consecutive polls a threshold candidate must persist before it flips.
+  int hysteresis_polls = 2;
+  /// Relative band around the current threshold inside which candidates
+  /// are ignored (|new - cur| <= ratio * cur keeps cur).
+  double hysteresis_ratio = 0.25;
+  /// Per-poll probability of an exploration nudge on the quantum.
+  double explore_prob = 0.05;
+  /// Exploration/tie-break RNG seed (already rank-mixed by the caller).
+  std::uint64_t seed = 1;
+  /// Ring-cell payload of the endpoint's universe: selects the matching
+  /// dispatch-table rows (0 = take any row).
+  std::size_t cell_payload = 0;
+};
+
+/// Cross-destination inputs, gathered once per poll by the caller (the
+/// tests drive this directly, which is what makes the determinism
+/// regression test hermetic).
+struct GlobalSignals {
+  /// Cumulative recovery-layer retransmits (universe-wide).
+  std::uint64_t retransmits = 0;
+  /// Device cache hit rate in [0,1]; < 0 = unknown (metrics off).
+  double cache_hit_rate = -1.0;
+  /// High-water queue depth gauge; 0 = unknown.
+  std::uint64_t queue_depth_hw = 0;
+};
+
+/// Reads the obs metrics registry into the fields GlobalSignals wants
+/// (cache hit rate, queue-depth high-water). Leaves them at "unknown"
+/// when metrics are disabled. `retransmits` is the caller's business
+/// (the recovery counters are not obs-gated).
+GlobalSignals gather_global_signals(std::uint64_t retransmits);
+
+/// One journaled knob change.
+struct Decision {
+  simtime::Ns at_ns = 0;
+  int dst = -1;
+  enum class Knob : std::uint8_t { kThreshold, kQuantum, kInflight };
+  Knob knob = Knob::kQuantum;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  /// Static string: "prior", "aimd-increase", "backpressure",
+  /// "inflight-stall", "explore".
+  const char* reason = "";
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+class Controller {
+ public:
+  Controller(const ControllerConfig& config, const DispatchTable* table);
+
+  /// True when `now` has reached the next poll time. Cheap (one compare):
+  /// the progress path calls this every iteration.
+  [[nodiscard]] bool due(simtime::Ns now) const noexcept {
+    return now >= next_poll_ns_;
+  }
+
+  /// Run one control round: consume the signal deltas accumulated in
+  /// `policy` since the last poll and adjust its per-destination knobs.
+  void poll(simtime::Ns now, Policy& policy, const GlobalSignals& global);
+
+  [[nodiscard]] const std::vector<Decision>& journal() const noexcept {
+    return journal_;
+  }
+  [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct DestState {
+    DestSignals last;               // signal snapshot at the previous poll
+    std::size_t pending_threshold = 0;  // candidate awaiting hysteresis
+    int pending_polls = 0;
+  };
+
+  void journal_change(simtime::Ns now, int dst, Decision::Knob knob,
+                      std::uint64_t from, std::uint64_t to,
+                      const char* reason);
+
+  ControllerConfig config_;
+  const DispatchTable* table_;  // warm-start prior; may be nullptr
+  Rng rng_;
+  simtime::Ns next_poll_ns_ = 0;
+  std::uint64_t polls_ = 0;
+  std::uint64_t last_retransmits_ = 0;
+  std::vector<DestState> dests_;
+  std::vector<Decision> journal_;
+};
+
+/// Journal cap: the controller stops journaling (but keeps adapting)
+/// past this many decisions, bounding host memory on very long runs.
+inline constexpr std::size_t kMaxJournalEntries = 65536;
+
+}  // namespace cmpi::tune

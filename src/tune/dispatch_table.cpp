@@ -1,0 +1,213 @@
+#include "tune/dispatch_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cmpi::tune {
+
+DispatchTable::DispatchTable(std::vector<DispatchEntry> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const DispatchEntry& a, const DispatchEntry& b) {
+              return a.max_bytes < b.max_bytes;
+            });
+}
+
+const DispatchEntry* DispatchTable::lookup(
+    std::size_t bytes, std::size_t cell_payload) const noexcept {
+  if (entries_.empty()) {
+    return nullptr;
+  }
+  const DispatchEntry* covering = nullptr;       // smallest class, matching cell
+  const DispatchEntry* covering_any = nullptr;   // smallest class, any cell
+  const DispatchEntry* largest_match = nullptr;  // catch-all, matching cell
+  for (const DispatchEntry& e : entries_) {  // ascending by max_bytes
+    const bool cell_ok = cell_payload == 0 || e.cell_payload == cell_payload;
+    if (cell_ok) {
+      largest_match = &e;
+    }
+    if (bytes <= e.max_bytes) {
+      if (cell_ok && covering == nullptr) {
+        covering = &e;
+      }
+      if (covering_any == nullptr) {
+        covering_any = &e;
+      }
+    }
+  }
+  if (covering != nullptr) {
+    return covering;
+  }
+  if (largest_match != nullptr) {
+    return largest_match;  // bytes beyond every matching class
+  }
+  return covering_any != nullptr ? covering_any : &entries_.back();
+}
+
+namespace {
+
+/// Minimal scanner for the exact document save() writes (the same
+/// approach as the perf-smoke baseline reader): a stream of quoted keys,
+/// with numbers bound to the most recent key. Object nesting is tracked
+/// only to split "provenance" strings from "classes" numbers.
+struct Scanner {
+  std::istream& in;
+
+  void skip_space() {
+    while (in.good() &&
+           std::isspace(static_cast<unsigned char>(in.peek())) != 0) {
+      in.get();
+    }
+  }
+
+  bool next_token(std::string& key, std::string& value, bool& is_string) {
+    char c;
+    while (in.get(c)) {
+      if (c != '"') {
+        continue;
+      }
+      key.clear();
+      while (in.get(c) && c != '"') {
+        key += c;
+      }
+      skip_space();
+      if (in.peek() != ':') {
+        continue;  // a bare string value, not a key
+      }
+      in.get();  // ':'
+      skip_space();
+      const int p = in.peek();
+      if (p == '"') {
+        in.get();
+        value.clear();
+        while (in.get(c) && c != '"') {
+          value += c;
+        }
+        is_string = true;
+        return true;
+      }
+      if ((p >= '0' && p <= '9') || p == '-' || p == '.') {
+        value.clear();
+        while (in.good()) {
+          const int d = in.peek();
+          if ((d >= '0' && d <= '9') || d == '.' || d == 'e' || d == '-' ||
+              d == '+') {
+            value += static_cast<char>(in.get());
+          } else {
+            break;
+          }
+        }
+        is_string = false;
+        return true;
+      }
+      // '{', '[' etc: the key opened a container; report it valueless.
+      value.clear();
+      is_string = false;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+Result<DispatchTable> DispatchTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return status::invalid_argument("dispatch table: cannot open " + path);
+  }
+  std::vector<DispatchEntry> entries;
+  std::vector<std::pair<std::string, std::string>> provenance;
+  Scanner scan{in};
+  std::string key;
+  std::string value;
+  bool is_string = false;
+  enum class Section { kNone, kProvenance, kClasses } section = Section::kNone;
+  DispatchEntry current;
+  bool current_open = false;
+  const auto flush = [&] {
+    if (current_open) {
+      entries.push_back(current);
+      current = DispatchEntry{};
+      current_open = false;
+    }
+  };
+  // Integral fields must round-trip exactly: SIZE_MAX (an "always eager"
+  // threshold) overflows a double, so take the strtoull path unless the
+  // literal really is floating-point.
+  const auto as_size = [](const std::string& v) -> std::size_t {
+    if (v.find_first_of(".eE") == std::string::npos) {
+      return static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    }
+    return static_cast<std::size_t>(std::atof(v.c_str()));
+  };
+  while (scan.next_token(key, value, is_string)) {
+    if (key == "provenance") {
+      section = Section::kProvenance;
+      continue;
+    }
+    if (key == "classes") {
+      section = Section::kClasses;
+      continue;
+    }
+    if (section == Section::kProvenance && !value.empty()) {
+      provenance.emplace_back(key, value);
+      continue;
+    }
+    if (section != Section::kClasses || value.empty()) {
+      continue;
+    }
+    if (key == "max_bytes") {
+      flush();  // max_bytes leads every class object
+      current_open = true;
+      current.max_bytes = as_size(value);
+    } else if (key == "cell_payload") {
+      current.cell_payload = as_size(value);
+    } else if (key == "rendezvous_threshold") {
+      current.rendezvous_threshold = as_size(value);
+    } else if (key == "pipeline_quantum") {
+      current.pipeline_quantum = as_size(value);
+    } else if (key == "inflight_depth") {
+      current.inflight_depth = as_size(value);
+    } else if (key == "mbps") {
+      current.mbps = std::atof(value.c_str());
+    }
+  }
+  flush();
+  if (entries.empty()) {
+    return status::invalid_argument("dispatch table: no classes in " + path);
+  }
+  DispatchTable table(std::move(entries));
+  table.set_provenance(std::move(provenance));
+  return table;
+}
+
+void DispatchTable::save(std::ostream& os) const {
+  os << "{\n  \"provenance\": {";
+  bool first = true;
+  for (const auto& [k, v] : provenance_) {
+    os << (first ? "\n    " : ",\n    ") << '"' << k << "\": \"" << v << '"';
+    first = false;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"classes\": [";
+  first = true;
+  for (const DispatchEntry& e : entries_) {
+    char mbps[32];
+    std::snprintf(mbps, sizeof mbps, "%.1f", e.mbps);
+    os << (first ? "\n" : ",\n")
+       << "    {\"max_bytes\": " << e.max_bytes
+       << ", \"cell_payload\": " << e.cell_payload
+       << ", \"rendezvous_threshold\": " << e.rendezvous_threshold
+       << ", \"pipeline_quantum\": " << e.pipeline_quantum
+       << ", \"inflight_depth\": " << e.inflight_depth << ", \"mbps\": " << mbps
+       << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace cmpi::tune

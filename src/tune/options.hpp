@@ -1,0 +1,40 @@
+// Self-tuning configuration carried by runtime::UniverseConfig.
+//
+// Deliberately dependency-free (std only): runtime/universe.hpp embeds a
+// TuneOptions value, and the heavier tune machinery (Policy, Controller,
+// DispatchTable) must stay out of that include graph.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cmpi::tune {
+
+/// Tri-state enable for the runtime controller, mirroring
+/// runtime::CoherenceChecking: tests force it on/off in code, everything
+/// else follows the environment.
+enum class Tuning {
+  kAuto,      ///< follow the CMPI_TUNE environment variable (off unset)
+  kEnabled,   ///< always run the per-rank controller
+  kDisabled,  ///< never run it, even if the environment asks
+};
+
+struct TuneOptions {
+  Tuning mode = Tuning::kAuto;
+  /// Virtual-time controller poll period (nanoseconds). Each rank's
+  /// endpoint re-evaluates its per-destination knobs at most this often
+  /// from the progress path.
+  double period_ns = 200'000;  // 200 us virtual
+  /// Warm-start dispatch table (bench/autotune output). Empty = follow
+  /// CMPI_TUNE_TABLE; unset there too = no prior (AIMD rules only).
+  std::string table_path;
+  /// Seed for the controller's exploration jitter. 0 = derive from
+  /// CMPI_FAULT_SEED (so the CI fault matrix perturbs exploration the
+  /// same way it perturbs kill schedules), falling back to a fixed
+  /// default. The per-rank controller mixes its rank in, so ranks
+  /// explore independently but reproducibly.
+  std::uint64_t seed = 0;
+};
+
+}  // namespace cmpi::tune

@@ -1,0 +1,69 @@
+#include "tune/tune.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/log.hpp"
+
+namespace cmpi::tune {
+
+bool tuning_enabled(const TuneOptions& options) {
+  switch (options.mode) {
+    case Tuning::kEnabled:
+      return true;
+    case Tuning::kDisabled:
+      return false;
+    case Tuning::kAuto:
+      break;
+  }
+  const char* env = std::getenv("CMPI_TUNE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::shared_ptr<const DispatchTable> shared_table(
+    const TuneOptions& options) {
+  std::string path = options.table_path;
+  if (path.empty()) {
+    if (const char* env = std::getenv("CMPI_TUNE_TABLE")) {
+      path = env;
+    }
+  }
+  if (path.empty()) {
+    return nullptr;
+  }
+  static std::mutex mutex;
+  static std::map<std::string, std::shared_ptr<const DispatchTable>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(path);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  Result<DispatchTable> loaded = DispatchTable::load(path);
+  std::shared_ptr<const DispatchTable> table;
+  if (loaded.is_ok()) {
+    table = std::make_shared<const DispatchTable>(std::move(loaded).value());
+  } else {
+    log_warn("tune: dispatch table unusable, running without prior: %s",
+             loaded.status().message().c_str());
+  }
+  cache.emplace(path, table);  // negative results cached too: warn once
+  return table;
+}
+
+std::uint64_t resolve_seed(const TuneOptions& options, int rank) {
+  std::uint64_t base = options.seed;
+  if (base == 0) {
+    if (const char* env = std::getenv("CMPI_FAULT_SEED")) {
+      base = static_cast<std::uint64_t>(std::atoll(env));
+    }
+  }
+  if (base == 0) {
+    base = 0x9e3779b97f4a7c15ULL;  // fixed default: still deterministic
+  }
+  return mix64(base ^ (static_cast<std::uint64_t>(rank) + 1) * 0x100000001b3ULL);
+}
+
+}  // namespace cmpi::tune

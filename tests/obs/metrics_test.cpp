@@ -183,6 +183,60 @@ TEST_F(MetricsTest, SnapshotAgreesWithCacheSimStats) {
   EXPECT_GT(stats.misses, 0u);
 }
 
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST_F(MetricsTest, QuantileSingleBucketReportsItsUpperBound) {
+  Histogram h;
+  // All samples in [64, 128): bucket 7, upper bound 128. Every quantile
+  // of a one-bucket distribution is that bucket.
+  for (int i = 0; i < 10; ++i) {
+    h.record(100);
+  }
+  EXPECT_EQ(h.quantile(0.0), 128.0);
+  EXPECT_EQ(h.quantile(0.5), 128.0);
+  EXPECT_EQ(h.quantile(0.99), 128.0);
+  EXPECT_EQ(h.quantile(1.0), 128.0);
+}
+
+TEST_F(MetricsTest, QuantileSeparatesP50FromP99) {
+  Histogram h;
+  // 98 fast samples in [64, 128), 2 slow ones in [1024, 2048): the median
+  // sits in the fast bucket, the p99 in the slow tail.
+  for (int i = 0; i < 98; ++i) {
+    h.record(100);
+  }
+  h.record(1500);
+  h.record(1500);
+  EXPECT_EQ(h.quantile(0.5), 128.0);
+  EXPECT_EQ(h.quantile(0.99), 2048.0);
+}
+
+TEST_F(MetricsTest, QuantileClampsArgumentAndHandlesZeroSample) {
+  Histogram h;
+  h.record(0);  // bucket 0: [0, 1)
+  EXPECT_EQ(h.quantile(-1.0), 1.0);  // clamped to q=0
+  EXPECT_EQ(h.quantile(2.0), 1.0);   // clamped to q=1
+}
+
+TEST_F(MetricsTest, SnapshotQuantileMatchesLiveHistogram) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.quantile");
+  for (int i = 0; i < 9; ++i) {
+    h.record(100);
+  }
+  h.record(5000);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const auto it = snap.histograms.find("test.quantile");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.quantile(0.5), h.quantile(0.5));
+  EXPECT_EQ(it->second.quantile(0.99), h.quantile(0.99));
+  EXPECT_EQ(it->second.quantile(0.99), 8192.0);  // 5000 in [4096, 8192)
+}
+
 TEST_F(MetricsTest, ResetForTestZeroesButKeepsCachedReferences) {
   Counter& counter = MetricsRegistry::instance().counter("test.reset");
   counter.add(5);
